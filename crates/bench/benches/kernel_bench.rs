@@ -1,0 +1,80 @@
+//! Kernel microbenchmarks: reduction, unification, tactic application and
+//! full proof replay — the per-tactic costs behind the search's timeout
+//! budget.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use minicoq::env::Env;
+use minicoq::eval::{normalize_term, EvalMode};
+use minicoq::fuel::Fuel;
+use minicoq::goal::ProofState;
+use minicoq::parse::{parse_formula, parse_tactic, split_sentences};
+use minicoq::tactic::apply_tactic;
+use minicoq::term::Term;
+use std::hint::black_box;
+
+fn bench_normalize(c: &mut Criterion) {
+    let env = Env::with_prelude();
+    let t = Term::App("mul".into(), vec![Term::nat(12), Term::nat(12)]);
+    c.bench_function("kernel/normalize mul 12 12", |b| {
+        b.iter(|| {
+            normalize_term(
+                &env,
+                black_box(&t),
+                EvalMode::simpl(),
+                &mut Fuel::unlimited(),
+            )
+            .unwrap()
+        })
+    });
+}
+
+fn bench_tactic_application(c: &mut Criterion) {
+    let env = Env::with_prelude();
+    let stmt = parse_formula(&env, "forall n m : nat, add n (S m) = S (add n m)").unwrap();
+    let st = ProofState::new(stmt);
+    let tac = parse_tactic(&env, st.goals.first(), "induction n; intros; simpl").unwrap();
+    c.bench_function("kernel/apply induction-intros-simpl", |b| {
+        b.iter(|| apply_tactic(&env, black_box(&st), &tac, &mut Fuel::default()).unwrap())
+    });
+}
+
+fn bench_lia(c: &mut Criterion) {
+    let env = Env::with_prelude();
+    let stmt = parse_formula(
+        &env,
+        "forall a b c : nat, le a b -> le b c -> le a (add c 3)",
+    )
+    .unwrap();
+    let mut st = ProofState::new(stmt);
+    let intros = parse_tactic(&env, st.goals.first(), "intros").unwrap();
+    st = apply_tactic(&env, &st, &intros, &mut Fuel::default()).unwrap();
+    let lia = parse_tactic(&env, st.goals.first(), "lia").unwrap();
+    c.bench_function("kernel/lia transitivity", |b| {
+        b.iter(|| apply_tactic(&env, black_box(&st), &lia, &mut Fuel::default()).unwrap())
+    });
+}
+
+fn bench_replay(c: &mut Criterion) {
+    // Replay one mid-size corpus proof end to end.
+    let dev = fscq_corpus::load_corpus(false).unwrap();
+    let thm = dev.theorem("firstn_skipn").unwrap().clone();
+    let env = dev.env_before(&thm).clone();
+    let sentences = split_sentences(&thm.proof_text);
+    c.bench_function("kernel/replay firstn_skipn", |b| {
+        b.iter(|| {
+            let mut st = ProofState::new(thm.stmt.clone());
+            for s in &sentences {
+                let tac = parse_tactic(&env, st.goals.first(), s).unwrap();
+                st = apply_tactic(&env, &st, &tac, &mut Fuel::unlimited()).unwrap();
+            }
+            assert!(st.is_complete());
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_normalize, bench_tactic_application, bench_lia, bench_replay
+}
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Oracle benchmarks: prompt construction and proposal generation — the
+//! per-query costs the paper pays as API latency.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use minicoq::goal::ProofState;
+use proof_oracle::profiles::ModelProfile;
+use proof_oracle::prompt::{build_prompt, PromptConfig};
+use proof_oracle::split::hint_set;
+use proof_oracle::tokenizer::count_tokens;
+use proof_oracle::{QueryCtx, SimulatedModel, TacticModel};
+use std::hint::black_box;
+
+fn bench_prompt(c: &mut Criterion) {
+    let dev = fscq_corpus::load_corpus(false).unwrap();
+    let hints = hint_set(&dev);
+    let thm = dev.theorem("tnd_update").unwrap().clone();
+    c.bench_function("oracle/build hint prompt (deep theorem)", |b| {
+        b.iter(|| build_prompt(&dev, black_box(&thm), &hints, &PromptConfig::hints()))
+    });
+}
+
+fn bench_tokenizer(c: &mut Criterion) {
+    let dev = fscq_corpus::load_corpus(false).unwrap();
+    let hints = hint_set(&dev);
+    let thm = dev.theorem("tnd_update").unwrap();
+    let prompt = build_prompt(&dev, thm, &hints, &PromptConfig::hints());
+    c.bench_function("oracle/tokenize full prompt", |b| {
+        b.iter(|| count_tokens(black_box(&prompt.text)))
+    });
+}
+
+fn bench_propose(c: &mut Criterion) {
+    let dev = fscq_corpus::load_corpus(false).unwrap();
+    let hints = hint_set(&dev);
+    let thm = dev.theorem("in_app_or").unwrap();
+    let env = dev.env_before(thm);
+    let prompt = build_prompt(&dev, thm, &hints, &PromptConfig::hints());
+    let st = ProofState::new(thm.stmt.clone());
+    let mut model = SimulatedModel::new(ModelProfile::gpt4o());
+    c.bench_function("oracle/propose width-8", |b| {
+        b.iter(|| {
+            let ctx = QueryCtx {
+                prompt: &prompt,
+                state: black_box(&st),
+                env,
+                path: &[],
+                theorem: &thm.name,
+                query_index: 0,
+            };
+            model.propose(&ctx, 8)
+        })
+    });
+}
+
+fn bench_retrieval(c: &mut Criterion) {
+    let dev = fscq_corpus::load_corpus(false).unwrap();
+    let thm = dev.theorem("tnd_update").unwrap().clone();
+    c.bench_function("oracle/rank premises (deep theorem)", |b| {
+        b.iter(|| proof_oracle::retrieval::rank_lemmas(&dev, black_box(&thm)))
+    });
+    let hints = hint_set(&dev);
+    let mut cfg = PromptConfig::hints();
+    cfg.retrieval = Some(16);
+    c.bench_function("oracle/build retrieval prompt top-16", |b| {
+        b.iter(|| build_prompt(&dev, black_box(&thm), &hints, &cfg))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_prompt, bench_tokenizer, bench_propose, bench_retrieval
+}
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Search benchmarks: full best-first runs per theorem difficulty class,
+//! and the strategy comparison at a fixed budget.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use proof_oracle::profiles::ModelProfile;
+use proof_oracle::prompt::{build_prompt, PromptConfig};
+use proof_oracle::split::hint_set;
+use proof_oracle::SimulatedModel;
+use proof_search::{search, SearchConfig, Strategy};
+
+fn bench_search_cases(c: &mut Criterion) {
+    let dev = fscq_corpus::load_corpus(false).unwrap();
+    let hints = hint_set(&dev);
+    for (label, name) in [
+        ("easy (app_nil_l)", "app_nil_l"),
+        ("medium (min_comm)", "min_comm"),
+        ("hard, fails (ptsto_upd)", "ptsto_upd"),
+    ] {
+        let thm = dev.theorem(name).unwrap().clone();
+        let env = dev.env_before(&thm).clone();
+        let prompt = build_prompt(&dev, &thm, &hints, &PromptConfig::hints());
+        c.bench_function(&format!("search/best-first {label}"), |b| {
+            b.iter(|| {
+                let mut model = SimulatedModel::new(ModelProfile::gpt4o());
+                search(
+                    &env,
+                    &thm.stmt,
+                    &thm.name,
+                    &mut model,
+                    &prompt,
+                    &SearchConfig::default(),
+                )
+            })
+        });
+    }
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let dev = fscq_corpus::load_corpus(false).unwrap();
+    let hints = hint_set(&dev);
+    let thm = dev.theorem("min_comm").unwrap().clone();
+    let env = dev.env_before(&thm).clone();
+    let prompt = build_prompt(&dev, &thm, &hints, &PromptConfig::hints());
+    for strategy in [
+        Strategy::BestFirst,
+        Strategy::Greedy,
+        Strategy::BreadthFirst,
+    ] {
+        let cfg = SearchConfig {
+            strategy,
+            query_limit: 64,
+            ..Default::default()
+        };
+        c.bench_function(&format!("search/strategy {strategy:?}"), |b| {
+            b.iter(|| {
+                let mut model = SimulatedModel::new(ModelProfile::gpt4o());
+                search(&env, &thm.stmt, &thm.name, &mut model, &prompt, &cfg)
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_search_cases, bench_strategies
+}
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Ablations called out in DESIGN.md: search strategy and duplicate-state
+//! detection, at equal query budgets.
+
+use fscq_corpus::Corpus;
+use proof_metrics::{run_cell, CellConfig};
+use proof_oracle::profiles::ModelProfile;
+use proof_oracle::prompt::PromptSetting;
+use proof_search::Strategy;
+
+fn main() {
+    let corpus = Corpus::load();
+    println!("== Search-strategy ablation (GPT-4o w/ hints, query limit 128) ==");
+    for strategy in [
+        Strategy::BestFirst,
+        Strategy::Greedy,
+        Strategy::BreadthFirst,
+    ] {
+        let mut cell = CellConfig::standard(ModelProfile::gpt4o(), PromptSetting::Hints);
+        cell.search.strategy = strategy;
+        let r = run_cell(&corpus, &cell);
+        let avg_q: f64 = r.outcomes.iter().map(|o| o.queries as f64).sum::<f64>()
+            / r.outcomes.len().max(1) as f64;
+        println!(
+            "  {strategy:?}: proved {:5.1}%  stuck {:5.1}%  fuelout {:5.1}%  avg queries {avg_q:.1}",
+            r.proved_rate() * 100.0,
+            r.rate_of("stuck") * 100.0,
+            r.rate_of("fuelout") * 100.0,
+        );
+    }
+    println!("\n== Duplicate-state detection ablation ==");
+    for dedupe in [true, false] {
+        let mut cell = CellConfig::standard(ModelProfile::gpt4o(), PromptSetting::Hints);
+        cell.search.dedupe_states = dedupe;
+        let r = run_cell(&corpus, &cell);
+        let avg_q: f64 = r.outcomes.iter().map(|o| o.queries as f64).sum::<f64>()
+            / r.outcomes.len().max(1) as f64;
+        println!(
+            "  dedupe={dedupe}: proved {:5.1}%  stuck {:5.1}%  fuelout {:5.1}%  avg queries {avg_q:.1}",
+            r.proved_rate() * 100.0,
+            r.rate_of("stuck") * 100.0,
+            r.rate_of("fuelout") * 100.0,
+        );
+    }
+
+    println!("\n== Context-policy ablation (automated premise selection) ==");
+    for (label, retrieval) in [
+        ("full prompt", None),
+        ("retrieval top-8", Some(8usize)),
+        ("retrieval top-16", Some(16)),
+        ("retrieval top-32", Some(32)),
+    ] {
+        let mut cell = CellConfig::standard(ModelProfile::gpt4o(), PromptSetting::Hints);
+        cell.retrieval = retrieval;
+        let r = run_cell(&corpus, &cell);
+        println!(
+            "  {label:16}: proved {:5.1}%  stuck {:5.1}%  fuelout {:5.1}%",
+            r.proved_rate() * 100.0,
+            r.rate_of("stuck") * 100.0,
+            r.rate_of("fuelout") * 100.0,
+        );
+    }
+}

@@ -1,0 +1,55 @@
+//! Calibration sweep: explores the simulator's shape parameters against the
+//! paper's Table 2 proved-rates and prints the loss per configuration.
+
+use fscq_corpus::Corpus;
+use proof_metrics::{run_cell, CellConfig};
+use proof_oracle::profiles::ModelProfile;
+use proof_oracle::prompt::PromptSetting;
+use proof_oracle::sim::Tuning;
+
+const TARGETS: [(&str, f64, f64); 4] = [
+    ("GPT-4o mini", 4.2, 9.1),
+    ("GPT-4o", 29.2, 38.1),
+    ("Gemini 1.5 Flash", 7.1, 16.3),
+    ("Gemini 1.5 Pro", 11.9, 25.7),
+];
+
+fn profile_of(name: &str) -> ModelProfile {
+    match name {
+        "GPT-4o mini" => ModelProfile::gpt4o_mini(),
+        "GPT-4o" => ModelProfile::gpt4o(),
+        "Gemini 1.5 Flash" => ModelProfile::gemini_flash(),
+        _ => ModelProfile::gemini_pro(),
+    }
+}
+
+fn main() {
+    let corpus = Corpus::load();
+    let mut results = Vec::new();
+    for distractor_slope in [1.2, 1.9, 2.6] {
+        for vanilla_skill in [0.6, 0.75] {
+            let tuning = Tuning {
+                distractor_slope,
+                vanilla_skill,
+                ..Default::default()
+            };
+            let mut loss = 0.0;
+            let mut detail = String::new();
+            for (name, tv, th) in TARGETS {
+                let mut got = Vec::new();
+                for setting in [PromptSetting::Vanilla, PromptSetting::Hints] {
+                    let mut cell = CellConfig::standard(profile_of(name), setting);
+                    cell.tuning = tuning.clone();
+                    let r = run_cell(&corpus, &cell);
+                    got.push(r.proved_rate() * 100.0);
+                }
+                loss += (got[0] - tv).powi(2) + (got[1] - th).powi(2);
+                detail += &format!("{name}: {:.1}->{:.1} (want {tv}->{th}); ", got[0], got[1]);
+            }
+            println!("ds={distractor_slope} vs={vanilla_skill} loss={loss:.0}\n  {detail}");
+            results.push((loss, distractor_slope, vanilla_skill));
+        }
+    }
+    results.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    println!("best: {:?}", results.first());
+}

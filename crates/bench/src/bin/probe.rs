@@ -1,0 +1,51 @@
+//! Developer tool: corpus length distribution and a quick GPT-4o (hints)
+//! cell with per-theorem outcomes — the fast feedback loop used while
+//! calibrating the simulator.
+
+use fscq_corpus::Corpus;
+use proof_metrics::coverage::{bin_coverage, coverage_under};
+use proof_metrics::{run_cell, CellConfig};
+use proof_oracle::profiles::ModelProfile;
+use proof_oracle::prompt::PromptSetting;
+use proof_oracle::tokenizer::{bin_of, count_tokens};
+
+fn main() {
+    let corpus = Corpus::load();
+    // Proof-length distribution of the corpus.
+    let mut bins = [0usize; 7];
+    for t in &corpus.dev.theorems {
+        bins[bin_of(count_tokens(&t.proof_text))] += 1;
+    }
+    let total: usize = bins.iter().sum();
+    println!("proof-length bins: {bins:?} (total {total})");
+    let under64: usize = bins[..3].iter().sum();
+    println!(
+        "under 64 tokens: {:.1}%",
+        100.0 * under64 as f64 / total as f64
+    );
+
+    let t0 = std::time::Instant::now();
+    let cell = CellConfig::standard(ModelProfile::gpt4o(), PromptSetting::Hints);
+    let r = run_cell(&corpus, &cell);
+    println!("GPT-4o hints sampled: {} theorems, proved {:.1}%, stuck {:.1}%, fuelout {:.1}%, sim {:.3}, len {:.1}%  [{:?}]",
+        r.outcomes.len(), r.proved_rate()*100.0, r.rate_of("stuck")*100.0, r.rate_of("fuelout")*100.0,
+        r.avg_similarity(), r.avg_length_ratio(), t0.elapsed());
+    let cov = bin_coverage(&r);
+    println!("bins: totals {:?} proved {:?}", cov.totals, cov.proved);
+    let (rate, share) = coverage_under(&r, 64);
+    println!(
+        "under-64 coverage {:.1}% (share {:.1}%)",
+        rate * 100.0,
+        share * 100.0
+    );
+    for o in r.outcomes.iter().take(40) {
+        println!(
+            "  {:28} {:9} bin{} q{} {}",
+            o.name,
+            o.outcome,
+            o.bin,
+            o.queries,
+            o.script.clone().unwrap_or_default()
+        );
+    }
+}

@@ -1,0 +1,83 @@
+//! Developer tool: verbose best-first search trace for one theorem — every
+//! expansion with its proposals and their validity verdicts.
+//!
+//! ```sh
+//! cargo run --release -p llm-fscq-bench --bin probe3 <lemma_name>
+//! ```
+
+use minicoq_stm::{AddError, ProofSession, SessionConfig};
+use proof_oracle::profiles::ModelProfile;
+use proof_oracle::prompt::{build_prompt, PromptConfig};
+use proof_oracle::{QueryCtx, SimulatedModel, TacticModel};
+use std::collections::BinaryHeap;
+
+#[derive(PartialEq)]
+struct E(f64, u64, minicoq_stm::StateId, u32);
+impl Eq for E {}
+impl PartialOrd for E {
+    fn partial_cmp(&self, o: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(o))
+    }
+}
+impl Ord for E {
+    fn cmp(&self, o: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&o.0).unwrap().then(o.1.cmp(&self.1))
+    }
+}
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "add_0_r".into());
+    let dev = fscq_corpus::load_corpus(false).unwrap();
+    let thm = dev.theorem(&name).unwrap();
+    let env = dev.env_before(thm);
+    let hints = proof_oracle::split::hint_set(&dev);
+    let prompt = build_prompt(&dev, thm, &hints, &PromptConfig::hints());
+    let mut model = SimulatedModel::new(ModelProfile::gpt4o());
+    let mut session = ProofSession::new(env.clone(), thm.stmt.clone(), SessionConfig::default());
+    let mut frontier = BinaryHeap::new();
+    frontier.push(E(0.0, 0, session.root(), 0));
+    let mut seq = 0u64;
+    let mut queries = 0u32;
+    while let Some(E(score, _, id, depth)) = frontier.pop() {
+        if queries >= 40 {
+            println!("... query limit");
+            break;
+        }
+        let state = session.state(id).cloned().unwrap();
+        let path = session.script_to(id);
+        let ctx = QueryCtx {
+            prompt: &prompt,
+            state: &state,
+            env,
+            path: &path,
+            theorem: &thm.name,
+            query_index: queries,
+        };
+        let props = model.propose(&ctx, 8);
+        queries += 1;
+        println!(
+            "q{queries} expand id{} d{depth} score {score:.2} path {:?}",
+            id.0, path
+        );
+        for p in props {
+            let r = session.add(id, &p.tactic);
+            let tag = match &r {
+                Ok(o) if o.proved => "PROVED",
+                Ok(_) => "ok",
+                Err(AddError::DuplicateState(_)) => "dup",
+                Err(AddError::Timeout) => "timeout",
+                Err(_) => "rej",
+            };
+            println!("   {:5.2} {:30} {}", p.logprob, p.tactic, tag);
+            if let Ok(o) = r {
+                if o.proved {
+                    println!("DONE: {:?}", session.script_to(o.id));
+                    return;
+                }
+                seq += 1;
+                frontier.push(E(score + p.logprob, seq, o.id, depth + 1));
+            }
+        }
+    }
+    println!("failed after {queries} queries");
+}

@@ -1,0 +1,11 @@
+//! Table 1: proof coverage across theorem categories (actual / expected),
+//! GPT-4o with and without hints.
+
+use proof_metrics::report::render_table1;
+
+fn main() {
+    let rs = llm_fscq_bench::main_grid(llm_fscq_bench::fresh_flag());
+    let order = ["GPT-4o", "GPT-4o (w/ hints)"];
+    let cells: Vec<_> = order.iter().filter_map(|l| rs.cell(l)).collect();
+    println!("{}", render_table1(&cells));
+}

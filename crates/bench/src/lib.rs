@@ -1,0 +1,47 @@
+//! Shared harness for the table/figure binaries.
+//!
+//! Experiments are deterministic, so results are cached as JSON under
+//! `target/experiments/`; delete the file (or pass `--fresh`) to recompute.
+
+use std::path::PathBuf;
+
+use fscq_corpus::Corpus;
+use proof_metrics::report::ResultSet;
+use proof_metrics::{run_cell, CellConfig};
+use proof_oracle::profiles::ModelProfile;
+use proof_oracle::prompt::PromptSetting;
+
+/// Where cached experiment artifacts live.
+pub fn artifact_dir() -> PathBuf {
+    PathBuf::from("target/experiments")
+}
+
+/// Runs (or loads) the main experiment grid: the five model configurations
+/// of Table 2, each in the vanilla and hint settings.
+pub fn main_grid(fresh: bool) -> ResultSet {
+    let path = artifact_dir().join("main_grid.json");
+    if !fresh {
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            if let Ok(rs) = ResultSet::from_json(&text) {
+                return rs;
+            }
+        }
+    }
+    let corpus = Corpus::load();
+    let mut rs = ResultSet::default();
+    for profile in ModelProfile::all_five() {
+        for setting in [PromptSetting::Vanilla, PromptSetting::Hints] {
+            let cell = CellConfig::standard(profile.clone(), setting);
+            eprintln!("running cell: {}", cell.label());
+            rs.cells.push(run_cell(&corpus, &cell));
+        }
+    }
+    let _ = std::fs::create_dir_all(artifact_dir());
+    let _ = std::fs::write(&path, rs.to_json());
+    rs
+}
+
+/// True when `--fresh` was passed on the command line.
+pub fn fresh_flag() -> bool {
+    std::env::args().any(|a| a == "--fresh")
+}

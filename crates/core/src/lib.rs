@@ -1,0 +1,24 @@
+//! Best-first proof search for Coq-style proof assistants (§3).
+//!
+//! The search maintains a tree of proof states rooted at the theorem's
+//! initial goal. Each iteration:
+//!
+//! * **Selection** — pop the unexpanded state with the highest score, the
+//!   cumulative log probability of the tactics that reached it;
+//! * **Expansion** — query the model for up to `width` next tactics and run
+//!   each through the state-transition machine. A tactic is invalid if it
+//!   is rejected by the proof assistant, reaches a proof state already in
+//!   the tree, or exceeds its execution budget (the paper's 5-second
+//!   timeout, deterministic fuel here).
+//!
+//! The search succeeds when some state has no goals left; it fails
+//! **stuck** when no unexpanded state remains, or **fuelout** when the
+//! model-query limit (default 128, as in GPT-f and the paper) is reached.
+//!
+//! [`Strategy`] also provides greedy/linear and breadth-first baselines for
+//! the ablation benches called out in DESIGN.md.
+
+pub mod search;
+pub mod whole_proof;
+
+pub use search::{search, Outcome, SearchConfig, SearchResult, SearchStats, Strategy};

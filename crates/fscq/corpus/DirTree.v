@@ -1,0 +1,288 @@
+(* DirTree: directory trees. A tree is a file or a directory of named
+   entries; names within a directory must be distinct. Mirrors FSCQ's
+   DirTree lemmas, including Figure 2's Case C. *)
+
+Require Import NatUtils.
+Require Import ListUtils.
+Require Import Mem.
+
+Inductive tree := TreeFile (inum : nat) (data : list valu) | TreeDir (inum : nat) (ents : treelist)
+with treelist := TNil | TCons (name : nat) (t : tree) (rest : treelist).
+
+Fixpoint tl_names (ents : treelist) : list nat :=
+  match ents with
+  | TNil => []
+  | TCons nm t rest => nm :: tl_names rest
+  end.
+
+Fixpoint tl_length (ents : treelist) : nat :=
+  match ents with
+  | TNil => 0
+  | TCons nm t rest => S (tl_length rest)
+  end.
+
+Fixpoint tl_find (n : nat) (ents : treelist) : option tree :=
+  match ents with
+  | TNil => None
+  | TCons nm t rest => match eqb nm n with
+      | true => Some t
+      | false => tl_find n rest
+      end
+  end.
+
+Fixpoint tl_update (n : nat) (sub : tree) (ents : treelist) : treelist :=
+  match ents with
+  | TNil => TNil
+  | TCons nm t rest => match eqb nm n with
+      | true => TCons nm sub rest
+      | false => TCons nm t (tl_update n sub rest)
+      end
+  end.
+
+Definition tree_inum (t : tree) : nat :=
+  match t with
+  | TreeFile inum data => inum
+  | TreeDir inum ents => inum
+  end.
+
+Definition dir_lookup (n : nat) (t : tree) : option tree :=
+  match t with
+  | TreeFile inum data => None
+  | TreeDir inum ents => tl_find n ents
+  end.
+
+Inductive tree_names_distinct : tree -> Prop :=
+| TND_file : forall (inum : nat) (data : list valu), tree_names_distinct (TreeFile inum data)
+| TND_dir : forall (inum : nat) (ents : treelist),
+    tree_list_distinct ents -> NoDup (tl_names ents) -> tree_names_distinct (TreeDir inum ents)
+with tree_list_distinct : treelist -> Prop :=
+| TLD_nil : tree_list_distinct TNil
+| TLD_cons : forall (name : nat) (t : tree) (rest : treelist),
+    tree_names_distinct t -> tree_list_distinct rest -> tree_list_distinct (TCons name t rest).
+
+Hint Constructors tree_names_distinct.
+Hint Constructors tree_list_distinct.
+
+Lemma tl_names_length : forall (ents : treelist),
+  length (tl_names ents) = tl_length ents.
+Proof.
+  induction ents as [|nm t rest IH]; simpl.
+  - reflexivity.
+  - rewrite IH. reflexivity.
+Qed.
+
+Lemma tl_find_nil : forall (n : nat), tl_find n TNil = None.
+Proof. intros. reflexivity. Qed.
+
+Lemma tl_find_hit : forall (n : nat) (t : tree) (rest : treelist),
+  tl_find n (TCons n t rest) = Some t.
+Proof.
+  intros. simpl. rewrite eqb_refl. reflexivity.
+Qed.
+
+Lemma tl_find_miss : forall (n m : nat) (t : tree) (rest : treelist),
+  n <> m -> tl_find m (TCons n t rest) = tl_find m rest.
+Proof.
+  intros. simpl. rewrite eqb_neq_false.
+  - reflexivity.
+  - assumption.
+Qed.
+
+Lemma tl_find_in : forall (ents : treelist) (n : nat) (t : tree),
+  tl_find n ents = Some t -> In n (tl_names ents).
+Proof.
+  induction ents as [|nm tt rest IH]; intros; simpl in H.
+  - discriminate H.
+  - simpl. destruct (eqb nm n) eqn:E.
+    + left. apply eqb_eq. assumption.
+    + rewrite E in H. simpl in H. right. eapply IH.
+Qed.
+
+Lemma tl_find_not_in : forall (ents : treelist) (n : nat),
+  ~ In n (tl_names ents) -> tl_find n ents = None.
+Proof.
+  induction ents as [|nm tt rest IH]; intros; simpl.
+  - reflexivity.
+  - destruct (eqb nm n) eqn:E.
+    + exfalso. apply H. simpl. left. apply eqb_eq. assumption.
+    + apply IH. intro Hc. apply H. simpl. right. assumption.
+Qed.
+
+Lemma tl_update_names : forall (ents : treelist) (n : nat) (sub : tree),
+  tl_names (tl_update n sub ents) = tl_names ents.
+Proof.
+  induction ents as [|nm tt rest IH]; intros; simpl.
+  - reflexivity.
+  - destruct (eqb nm n) eqn:E; simpl.
+    + reflexivity.
+    + rewrite IH. reflexivity.
+Qed.
+
+Lemma tl_update_length : forall (ents : treelist) (n : nat) (sub : tree),
+  tl_length (tl_update n sub ents) = tl_length ents.
+Proof.
+  induction ents as [|nm tt rest IH]; intros; simpl.
+  - reflexivity.
+  - destruct (eqb nm n) eqn:E; simpl.
+    + reflexivity.
+    + rewrite IH. reflexivity.
+Qed.
+
+Lemma tl_update_find_hit : forall (n : nat) (sub t : tree) (ents : treelist),
+  tl_find n ents = Some t -> tl_find n (tl_update n sub ents) = Some sub.
+Proof.
+  induction ents as [|nm tt rest IH]; intros; simpl in H.
+  - discriminate H.
+  - simpl. destruct (eqb nm n) eqn:E.
+    + simpl. rewrite E. reflexivity.
+    + rewrite E in H. simpl in H. simpl. rewrite E. apply IH. assumption.
+Qed.
+
+Lemma tl_update_find_miss : forall (n m : nat) (sub : tree) (ents : treelist),
+  n <> m -> tl_find m (tl_update n sub ents) = tl_find m ents.
+Proof.
+  induction ents as [|nm tt rest IH]; intros; simpl.
+  - reflexivity.
+  - destruct (eqb nm n) eqn:E.
+    + simpl. destruct (eqb nm m) eqn:E2.
+      * apply eqb_eq in E. apply eqb_eq in E2. subst. exfalso. apply H. reflexivity.
+      * reflexivity.
+    + simpl. destruct (eqb nm m) eqn:E2.
+      * reflexivity.
+      * apply IH. assumption.
+Qed.
+
+(* Figure 2, Case C: uniqueness of names in a directory implies uniqueness
+   of names in its first sub-directory. *)
+Lemma tree_name_distinct_head : forall (inum name : nat) (t : tree) (rest : treelist),
+  tree_names_distinct (TreeDir inum (TCons name t rest)) -> tree_names_distinct t.
+Proof.
+  intros. inversion H. inversion H0. assumption.
+Qed.
+
+Lemma tree_name_distinct_rest : forall (inum name : nat) (t : tree) (rest : treelist),
+  tree_names_distinct (TreeDir inum (TCons name t rest)) ->
+  tree_names_distinct (TreeDir inum rest).
+Proof.
+  intros. inversion H. inversion H0.
+  apply TND_dir.
+  - assumption.
+  - simpl in H1. apply NoDup_cons_inv in H1. assumption.
+Qed.
+
+Lemma tld_find_distinct : forall (ents : treelist) (n : nat) (t : tree),
+  tree_list_distinct ents -> tl_find n ents = Some t -> tree_names_distinct t.
+Proof.
+  induction ents as [|nm tt rest IH]; intros; simpl in H0.
+  - discriminate H0.
+  - inversion H. destruct (eqb nm n) eqn:E.
+    + rewrite E in H0. simpl in H0. injection H0. subst. assumption.
+    + rewrite E in H0. simpl in H0. eapply IH.
+      assumption.
+Qed.
+
+Lemma dir_lookup_distinct : forall (t sub : tree) (n : nat),
+  tree_names_distinct t -> dir_lookup n t = Some sub -> tree_names_distinct sub.
+Proof.
+  intros t sub n H Hl. destruct t as [inum data|inum ents].
+  - simpl in Hl. discriminate Hl.
+  - simpl in Hl. inversion H. eapply tld_find_distinct.
+Qed.
+
+Lemma tld_update : forall (ents : treelist) (n : nat) (sub : tree),
+  tree_list_distinct ents -> tree_names_distinct sub ->
+  tree_list_distinct (tl_update n sub ents).
+Proof.
+  induction ents as [|nm tt rest IH]; intros; simpl.
+  - apply TLD_nil.
+  - inversion H. destruct (eqb nm n) eqn:E.
+    + apply TLD_cons.
+      * assumption.
+      * assumption.
+    + apply TLD_cons.
+      * assumption.
+      * apply IH.
+        -- assumption.
+        -- assumption.
+Qed.
+
+Lemma tnd_update : forall (inum n : nat) (ents : treelist) (sub : tree),
+  tree_names_distinct (TreeDir inum ents) -> tree_names_distinct sub ->
+  tree_names_distinct (TreeDir inum (tl_update n sub ents)).
+Proof.
+  intros. inversion H.
+  apply TND_dir.
+  - apply tld_update.
+    + assumption.
+    + assumption.
+  - rewrite tl_update_names. assumption.
+Qed.
+
+Lemma tl_update_same : forall (ents : treelist) (n : nat) (t : tree),
+  tl_find n ents = Some t -> tl_update n t ents = ents.
+Proof.
+  induction ents as [|nm tt rest IH]; intros; simpl in H.
+  - reflexivity.
+  - simpl. destruct (eqb nm n) eqn:E.
+    + rewrite E in H. simpl in H. injection H. subst. reflexivity.
+    + rewrite E in H. simpl in H. simpl. rewrite IH.
+      * reflexivity.
+      * assumption.
+Qed.
+
+Lemma tl_update_update : forall (ents : treelist) (n : nat) (t1 t2 : tree),
+  tl_update n t2 (tl_update n t1 ents) = tl_update n t2 ents.
+Proof.
+  induction ents as [|nm tt rest IH]; intros; simpl.
+  - reflexivity.
+  - destruct (eqb nm n) eqn:E.
+    + simpl. rewrite E. reflexivity.
+    + simpl. rewrite E. simpl. rewrite IH. reflexivity.
+Qed.
+
+Lemma dir_lookup_file : forall (inum : nat) (data : list valu) (n : nat),
+  dir_lookup n (TreeFile inum data) = None.
+Proof. intros. reflexivity. Qed.
+
+Lemma dir_lookup_update_hit : forall (inum n : nat) (ents : treelist) (t sub : tree),
+  tl_find n ents = Some t ->
+  dir_lookup n (TreeDir inum (tl_update n sub ents)) = Some sub.
+Proof.
+  intros inum n ents t sub H. simpl.
+  eapply tl_update_find_hit.
+Qed.
+
+Lemma dir_lookup_update_miss : forall (inum n m : nat) (ents : treelist) (sub : tree),
+  n <> m ->
+  dir_lookup m (TreeDir inum (tl_update n sub ents)) = dir_lookup m (TreeDir inum ents).
+Proof.
+  intros inum n m ents sub H. simpl.
+  apply tl_update_find_miss. assumption.
+Qed.
+
+Lemma tnd_update_lookup : forall (inum n : nat) (ents : treelist) (t sub : tree),
+  tree_names_distinct (TreeDir inum ents) ->
+  tree_names_distinct sub ->
+  tl_find n ents = Some t ->
+  dir_lookup n (TreeDir inum (tl_update n sub ents)) = Some sub
+  /\ tree_names_distinct (TreeDir inum (tl_update n sub ents)).
+Proof.
+  intros inum n ents t sub Hd Hs Hf.
+  split.
+  - eapply dir_lookup_update_hit.
+  - apply tnd_update.
+    + assumption.
+    + assumption.
+Qed.
+
+Lemma tl_names_in_find : forall (ents : treelist) (n : nat),
+  In n (tl_names ents) -> tl_find n ents <> None.
+Proof.
+  induction ents as [|nm tt rest IH]; intros; simpl in H.
+  - contradiction.
+  - destruct H as [H|H].
+    + subst. simpl in H0. rewrite eqb_refl in H0. simpl in H0. discriminate H0.
+    + simpl in H0. destruct (eqb nm n) eqn:E.
+      * rewrite E in H0. simpl in H0. discriminate H0.
+      * rewrite E in H0. simpl in H0. apply IH in H. contradiction.
+Qed.

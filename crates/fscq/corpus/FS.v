@@ -1,0 +1,192 @@
+(* FS: the top-level file system, composing the log, inode and directory
+   layers over the Crash Hoare Logic. *)
+
+Require Import NatUtils.
+Require Import ListUtils.
+Require Import Mem.
+Require Import Pred.
+Require Import Prog.
+Require Import Hoare.
+Require Import Log.
+Require Import Inode.
+Require Import DirTree.
+
+(* A file system state: an inode table and a directory tree. *)
+Inductive fsstate := MkFS (itable : list inode) (root : tree).
+
+Definition fs_itable (fs : fsstate) : list inode :=
+  match fs with | MkFS it r => it end.
+
+Definition fs_root (fs : fsstate) : tree :=
+  match fs with | MkFS it r => r end.
+
+Definition fs_ok (fs : fsstate) : Prop :=
+  igood_all (fs_itable fs) /\ tree_names_distinct (fs_root fs).
+
+Definition fs_init : fsstate := MkFS [] (TreeDir 0 TNil).
+
+Definition fs_update_tree (fs : fsstate) (n : nat) (sub : tree) : fsstate :=
+  match fs with
+  | MkFS it r => match r with
+      | TreeFile inum data => MkFS it r
+      | TreeDir inum ents => MkFS it (TreeDir inum (tl_update n sub ents))
+      end
+  end.
+
+Definition fs_put_inode (fs : fsstate) (n : nat) (i : inode) : fsstate :=
+  match fs with | MkFS it r => MkFS (iput it n i) r end.
+
+Lemma fs_init_ok : fs_ok fs_init.
+Proof.
+  unfold fs_ok. split.
+  - unfold fs_init. simpl. split.
+  - unfold fs_init. simpl. apply TND_dir.
+    + apply TLD_nil.
+    + simpl. apply NoDup_nil.
+Qed.
+
+Lemma fs_root_update : forall (it : list inode) (inum n : nat) (ents : treelist) (sub : tree),
+  fs_root (fs_update_tree (MkFS it (TreeDir inum ents)) n sub)
+    = TreeDir inum (tl_update n sub ents).
+Proof. intros. reflexivity. Qed.
+
+Lemma fs_itable_update : forall (fs : fsstate) (n : nat) (i : inode),
+  fs_itable (fs_put_inode fs n i) = iput (fs_itable fs) n i.
+Proof.
+  intros. destruct fs as [it r]. reflexivity.
+Qed.
+
+Lemma fs_put_inode_root : forall (fs : fsstate) (n : nat) (i : inode),
+  fs_root (fs_put_inode fs n i) = fs_root fs.
+Proof.
+  intros. destruct fs as [it r]. reflexivity.
+Qed.
+
+Lemma fs_ok_put_inode : forall (fs : fsstate) (n : nat) (i : inode),
+  fs_ok fs -> igood i -> fs_ok (fs_put_inode fs n i).
+Proof.
+  unfold fs_ok. intros fs n i H Hi. destruct H as [H1 H2]. split.
+  - rewrite fs_itable_update. apply igood_all_iput.
+    + assumption.
+    + assumption.
+  - rewrite fs_put_inode_root. assumption.
+Qed.
+
+Lemma fs_ok_update_tree : forall (it : list inode) (inum n : nat) (ents : treelist) (sub : tree),
+  fs_ok (MkFS it (TreeDir inum ents)) -> tree_names_distinct sub ->
+  fs_ok (fs_update_tree (MkFS it (TreeDir inum ents)) n sub).
+Proof.
+  unfold fs_ok. intros it inum n ents sub H Hs. destruct H as [H1 H2]. split.
+  - simpl. simpl in H1. assumption.
+  - simpl. simpl in H2. apply tnd_update.
+    + assumption.
+    + assumption.
+Qed.
+
+Lemma fs_lookup_ok : forall (fs : fsstate) (n : nat) (sub : tree),
+  fs_ok fs -> dir_lookup n (fs_root fs) = Some sub -> tree_names_distinct sub.
+Proof.
+  unfold fs_ok. intros fs n sub H Hl. destruct H as [H1 H2].
+  eapply dir_lookup_distinct.
+Qed.
+
+(* Writes shadow earlier writes to the same address. *)
+Lemma mupd_shadow : forall (d : list (prod nat valu)) (a : nat) (v w : valu),
+  meq (mupd (mupd d a v) a w) (mupd d a w).
+Proof.
+  unfold meq. intros d a v w x. destruct (eqb a x) eqn:E.
+  - apply eqb_eq in E. subst.
+    pose proof (mfind_mupd_eq (mupd d x v) x w) as H1. rewrite H1.
+    pose proof (mfind_mupd_eq d x w) as H2. rewrite H2. reflexivity.
+  - apply eqb_neq in E.
+    pose proof (mfind_mupd_ne (mupd d a v) a x w E) as H1. rewrite H1.
+    pose proof (mfind_mupd_ne d a x v E) as H2. rewrite H2.
+    pose proof (mfind_mupd_ne d a x w E) as H3. rewrite H3. reflexivity.
+Qed.
+
+(* Committing a block through the log equals writing it directly. *)
+Lemma log_commit_direct : forall (a : nat) (v : valu) (d : list (prod nat valu)),
+  replay_log (a :: []) (v :: []) d = mupd d a v.
+Proof. intros. apply replay_log_single. Qed.
+
+(* The canonical commit sequence: buffer the write, then sync. Both the
+   final state and any crash state expose the new value. *)
+Lemma fs_commit_spec : forall (a : nat) (v v0 : valu),
+  hoare (Star (Ptsto a v0) Any) (Write a v :: Sync :: [])
+        (Star (Ptsto a v) Any) (Star (Ptsto a v) Any).
+Proof. intros. apply hoare_write_sync. Qed.
+
+(* Without a sync, the durable disk is only weakly specified: the crash
+   condition degrades to Any. *)
+Lemma fs_buffered_write_spec : forall (a : nat) (v v0 : valu) (F : pred),
+  hoare (Star (Ptsto a v0) F) (Write a v :: []) (Star (Ptsto a v) F) Any.
+Proof. intros. apply hoare_write. Qed.
+
+Lemma fs_recover_noop : forall (d d2 : list (prod nat valu)),
+  crash_disk [] d d2 -> meq d2 d.
+Proof. intros. apply crash_disk_nil. assumption. Qed.
+
+Lemma fs_update_tree_itable : forall (fs : fsstate) (n : nat) (sub : tree),
+  fs_itable (fs_update_tree fs n sub) = fs_itable fs.
+Proof.
+  intros. destruct fs as [it r]. destruct r as [inum data|inum ents].
+  - reflexivity.
+  - reflexivity.
+Qed.
+
+Lemma fs_double_put : forall (fs : fsstate) (n : nat) (i j : inode),
+  lt n (length (fs_itable fs)) ->
+  fs_itable (fs_put_inode (fs_put_inode fs n i) n j) = fs_itable (fs_put_inode fs n j).
+Proof.
+  intros fs n i j H.
+  rewrite fs_itable_update.
+  rewrite fs_itable_update.
+  rewrite fs_itable_update.
+  unfold iput.
+  apply updN_twice.
+Qed.
+
+(* The end-to-end two-block commit: buffering two writes and syncing makes
+   both durable and crash-safe; reading either address from any post-crash
+   disk returns the committed value. *)
+Lemma fs_commit_two_crash_read : forall (a1 a2 : nat) (v1 v2 w1 w2 : valu)
+    (d b d2 : list (prod nat valu)),
+  psat (Star (Ptsto a1 v1) (Star (Ptsto a2 v2) Any)) (ldisk d b) ->
+  crash_disk (rsnd (run (Write a1 w1 :: Write a2 w2 :: Sync :: []) d b))
+             (rfst (run (Write a1 w1 :: Write a2 w2 :: Sync :: []) d b)) d2 ->
+  mfind d2 a1 = Some w1.
+Proof.
+  intros a1 a2 v1 v2 w1 w2 d b d2 Hpre Hc.
+  pose proof (hoare_write_two_sync a1 a2 v1 v2 w1 w2) as Hw.
+  specialize (Hw d b Hpre). destruct Hw as [Hpost Hcrash].
+  specialize (Hcrash d2 Hc).
+  eapply ptsto_valid.
+Qed.
+
+Lemma fs_ok_init_lookup : forall (n : nat),
+  dir_lookup n (fs_root fs_init) = None.
+Proof.
+  intros n. unfold fs_init. simpl. reflexivity.
+Qed.
+
+(* Updating a subtree then looking it up returns the new subtree, and the
+   file-system invariant is preserved. *)
+Lemma fs_update_lookup_roundtrip : forall (it : list inode) (inum n : nat)
+    (ents : treelist) (t sub : tree),
+  fs_ok (MkFS it (TreeDir inum ents)) ->
+  tree_names_distinct sub ->
+  tl_find n ents = Some t ->
+  dir_lookup n (fs_root (fs_update_tree (MkFS it (TreeDir inum ents)) n sub)) = Some sub
+  /\ fs_ok (fs_update_tree (MkFS it (TreeDir inum ents)) n sub).
+Proof.
+  intros it inum n ents t sub Hok Hs Hf.
+  split.
+  - rewrite fs_root_update. eapply dir_lookup_update_hit.
+  - unfold fs_ok. split.
+    + simpl. unfold fs_ok in Hok.
+      destruct Hok as [H1 H2]. simpl in H1. assumption.
+    + rewrite fs_root_update. unfold fs_ok in Hok. destruct Hok as [H1 H2].
+      simpl in H2. apply tnd_update.
+      * assumption.
+      * assumption.
+Qed.

@@ -1,0 +1,266 @@
+(* Hoare: Crash Hoare Logic triples over deferred-write programs.
+   hoare pre p post crash: from any machine state whose logical disk
+   satisfies pre, running p yields a logical disk satisfying post, and any
+   disk exposed by a crash in the final state satisfies crash. *)
+
+Require Import NatUtils.
+Require Import ListUtils.
+Require Import Mem.
+Require Import Pred.
+Require Import Prog.
+
+Definition hoare (pre : pred) (p : list op) (post : pred) (crash : pred) : Prop :=
+  forall (d b : list (prod nat valu)),
+    psat pre (ldisk d b) ->
+    psat post (ldisk (rfst (run p d b)) (rsnd (run p d b)))
+    /\ (forall (d2 : list (prod nat valu)),
+          crash_disk (rsnd (run p d b)) (rfst (run p d b)) d2 -> psat crash d2).
+
+Lemma hoare_nil : forall (F : pred), hoare F [] F Any.
+Proof.
+  unfold hoare. intros F d b Hpre. split.
+  - simpl. assumption.
+  - intros d2 Hc. apply psat_any.
+Qed.
+
+Lemma hoare_conseq : forall (pre pre2 post post2 crash crash2 : pred) (p : list op),
+  hoare pre p post crash -> pimpl pre2 pre -> pimpl post post2 -> pimpl crash crash2 ->
+  hoare pre2 p post2 crash2.
+Proof.
+  unfold hoare. intros pre pre2 post post2 crash crash2 p H Hp Hq Hc d b Hpre.
+  apply Hp in Hpre.
+  specialize (H d b Hpre). destruct H as [H1 H2].
+  split.
+  - apply Hq. assumption.
+  - intros d2 Hcr. apply Hc. apply H2. assumption.
+Qed.
+
+Lemma hoare_weaken_pre : forall (pre pre2 post crash : pred) (p : list op),
+  hoare pre p post crash -> pimpl pre2 pre -> hoare pre2 p post crash.
+Proof.
+  intros pre pre2 post crash p H Hp.
+  pose proof (hoare_conseq pre pre2 post post crash crash p H Hp) as Hx.
+  apply Hx.
+  - apply pimpl_refl.
+  - apply pimpl_refl.
+Qed.
+
+Lemma hoare_strengthen_post : forall (pre post post2 crash : pred) (p : list op),
+  hoare pre p post crash -> pimpl post post2 -> hoare pre p post2 crash.
+Proof.
+  intros pre post post2 crash p H Hq.
+  pose proof (hoare_conseq pre pre post post2 crash crash p H) as Hx.
+  apply Hx.
+  - apply pimpl_refl.
+  - assumption.
+  - apply pimpl_refl.
+Qed.
+
+Lemma hoare_seq : forall (pre mid post crash : pred) (p1 p2 : list op),
+  hoare pre p1 mid crash -> hoare mid p2 post crash ->
+  hoare pre (app p1 p2) post crash.
+Proof.
+  unfold hoare. intros pre mid post crash p1 p2 H1 H2 d b Hpre.
+  specialize (H1 d b Hpre). destruct H1 as [H1a H1b].
+  pose proof (run_app p1 p2 d b) as Hr. rewrite Hr.
+  specialize (H2 (rfst (run p1 d b)) (rsnd (run p1 d b)) H1a).
+  destruct H2 as [H2a H2b].
+  split.
+  - assumption.
+  - intros d2 Hc. apply H2b. assumption.
+Qed.
+
+Lemma hoare_write : forall (a : nat) (v v0 : valu) (F : pred),
+  hoare (Star (Ptsto a v0) F) (Write a v :: []) (Star (Ptsto a v) F) Any.
+Proof.
+  unfold hoare. intros a v v0 F d b Hpre.
+  split.
+  - pose proof (ldisk_write d b a v) as Hl. rewrite Hl.
+    eapply ptsto_upd.
+  - intros d2 Hc. apply psat_any.
+Qed.
+
+Lemma hoare_sync : forall (F : pred), hoare F (Sync :: []) F F.
+Proof.
+  unfold hoare. intros F d b Hpre.
+  split.
+  - pose proof (ldisk_sync d b) as Hl. rewrite Hl. assumption.
+  - intros d2 Hc. simpl in Hc.
+    unfold ldisk in Hpre.
+    pose proof (psat_meq F (mflush b d) d2) as Hx.
+    apply Hx.
+    + apply meq_sym. assumption.
+    + assumption.
+Qed.
+
+Lemma hoare_write_twice : forall (a : nat) (v0 v1 v2 : valu) (F : pred),
+  hoare (Star (Ptsto a v0) F) (Write a v1 :: Write a v2 :: []) (Star (Ptsto a v2) F) Any.
+Proof.
+  intros a v0 v1 v2 F.
+  pose proof (hoare_write a v1 v0 F) as H1.
+  pose proof (hoare_write a v2 v1 F) as H2.
+  pose proof (hoare_seq (Star (Ptsto a v0) F) (Star (Ptsto a v1) F) (Star (Ptsto a v2) F) Any (Write a v1 :: []) (Write a v2 :: []) H1 H2) as H3.
+  simpl in H3. exact H3.
+Qed.
+
+Lemma hoare_write_sync : forall (a : nat) (v v0 : valu),
+  hoare (Star (Ptsto a v0) Any) (Write a v :: Sync :: [])
+        (Star (Ptsto a v) Any) (Star (Ptsto a v) Any).
+Proof.
+  unfold hoare. intros a v v0 d b Hpre.
+  unfold ldisk in Hpre.
+  assert (He : ldisk (rfst (run (Write a v :: Sync :: []) d b)) (rsnd (run (Write a v :: Sync :: []) d b)) = mupd (ldisk d b) a v).
+  - unfold ldisk. simpl. rewrite mflush_app. reflexivity.
+  - split.
+    + rewrite He. unfold ldisk. eapply ptsto_upd.
+    + intros d2 Hc. simpl in Hc.
+      rewrite mflush_app in Hc. simpl in Hc.
+      pose proof (ptsto_upd a v v0 Any (mflush b d) Hpre) as Hu.
+      pose proof (meq_sym d2 (mupd (mflush b d) a v) Hc) as Hs.
+      pose proof (psat_meq (Star (Ptsto a v) Any) (mupd (mflush b d) a v) d2 Hs Hu) as Hf.
+      exact Hf.
+Qed.
+
+(* Writing two distinct locations: the specification requires reshuffling
+   the separation frame between the writes. The proof is the canonical
+   long-form chain of consequence and exchange steps. *)
+Lemma hoare_write_two : forall (a1 a2 : nat) (v1 v2 w1 w2 : valu) (F : pred),
+  hoare (Star (Ptsto a1 v1) (Star (Ptsto a2 v2) F))
+        (Write a1 w1 :: Write a2 w2 :: [])
+        (Star (Ptsto a1 w1) (Star (Ptsto a2 w2) F))
+        Any.
+Proof.
+  intros a1 a2 v1 v2 w1 w2 F.
+  pose proof (hoare_write a1 w1 v1 (Star (Ptsto a2 v2) F)) as H1.
+  pose proof (star_comm (Ptsto a1 w1) (Star (Ptsto a2 v2) F)) as C1.
+  pose proof (star_assoc_1 (Ptsto a2 v2) F (Ptsto a1 w1)) as C2.
+  pose proof (pimpl_trans (Star (Ptsto a1 w1) (Star (Ptsto a2 v2) F))
+                          (Star (Star (Ptsto a2 v2) F) (Ptsto a1 w1))
+                          (Star (Ptsto a2 v2) (Star F (Ptsto a1 w1)))
+                          C1 C2) as C3.
+  pose proof (hoare_write a2 w2 v2 (Star F (Ptsto a1 w1))) as H2.
+  pose proof (star_assoc_2 (Ptsto a2 w2) F (Ptsto a1 w1)) as D1.
+  pose proof (star_comm (Star (Ptsto a2 w2) F) (Ptsto a1 w1)) as D2.
+  pose proof (pimpl_trans (Star (Ptsto a2 w2) (Star F (Ptsto a1 w1)))
+                          (Star (Star (Ptsto a2 w2) F) (Ptsto a1 w1))
+                          (Star (Ptsto a1 w1) (Star (Ptsto a2 w2) F))
+                          D1 D2) as D3.
+  pose proof (pimpl_refl Any) as RA.
+  pose proof (hoare_conseq (Star (Ptsto a2 v2) (Star F (Ptsto a1 w1)))
+                           (Star (Ptsto a1 w1) (Star (Ptsto a2 v2) F))
+                           (Star (Ptsto a2 w2) (Star F (Ptsto a1 w1)))
+                           (Star (Ptsto a1 w1) (Star (Ptsto a2 w2) F))
+                           Any Any
+                           (Write a2 w2 :: [])
+                           H2 C3 D3 RA) as H2b.
+  pose proof (hoare_seq (Star (Ptsto a1 v1) (Star (Ptsto a2 v2) F))
+                        (Star (Ptsto a1 w1) (Star (Ptsto a2 v2) F))
+                        (Star (Ptsto a1 w1) (Star (Ptsto a2 w2) F))
+                        Any
+                        (Write a1 w1 :: [])
+                        (Write a2 w2 :: [])
+                        H1 H2b) as FIN.
+  simpl in FIN. exact FIN.
+Qed.
+
+(* Sequencing with independent crash conditions: in the deferred-write
+   model the combined program's crash states are those of the second leg's
+   final state, so only the second crash condition is required. *)
+Lemma hoare_seq_crash : forall (pre mid post c1 c2 : pred) (p1 p2 : list op),
+  hoare pre p1 mid c1 -> hoare mid p2 post c2 ->
+  hoare pre (app p1 p2) post c2.
+Proof.
+  unfold hoare. intros pre mid post c1 c2 p1 p2 H1 H2 d b Hpre.
+  specialize (H1 d b Hpre). destruct H1 as [H1a H1b].
+  pose proof (run_app p1 p2 d b) as Hr. rewrite Hr.
+  specialize (H2 (rfst (run p1 d b)) (rsnd (run p1 d b)) H1a).
+  destruct H2 as [H2a H2b].
+  split.
+  - assumption.
+  - intros d2 Hc. apply H2b. assumption.
+Qed.
+
+(* Committing two locations: buffer both writes, then a single sync makes
+   them durable; the crash condition carries both points-to facts. *)
+Lemma hoare_write_two_sync : forall (a1 a2 : nat) (v1 v2 w1 w2 : valu),
+  hoare (Star (Ptsto a1 v1) (Star (Ptsto a2 v2) Any))
+        (Write a1 w1 :: Write a2 w2 :: Sync :: [])
+        (Star (Ptsto a1 w1) (Star (Ptsto a2 w2) Any))
+        (Star (Ptsto a1 w1) (Star (Ptsto a2 w2) Any)).
+Proof.
+  intros a1 a2 v1 v2 w1 w2.
+  pose proof (hoare_write_two a1 a2 v1 v2 w1 w2 Any) as H1.
+  pose proof (hoare_sync (Star (Ptsto a1 w1) (Star (Ptsto a2 w2) Any))) as H2.
+  pose proof (hoare_seq_crash (Star (Ptsto a1 v1) (Star (Ptsto a2 v2) Any))
+                              (Star (Ptsto a1 w1) (Star (Ptsto a2 w2) Any))
+                              (Star (Ptsto a1 w1) (Star (Ptsto a2 w2) Any))
+                              Any
+                              (Star (Ptsto a1 w1) (Star (Ptsto a2 w2) Any))
+                              (Write a1 w1 :: Write a2 w2 :: [])
+                              (Sync :: [])
+                              H1 H2) as H3.
+  simpl in H3. exact H3.
+Qed.
+
+(* Three buffered writes: two frame reshuffles thread the third points-to
+   fact to the head and back. The longest proof of the corpus, written in
+   the fully explicit consequence-chain style. *)
+Lemma hoare_write_three : forall (a1 a2 a3 : nat) (v1 v2 v3 w1 w2 w3 : valu) (F : pred),
+  hoare (Star (Ptsto a1 v1) (Star (Ptsto a2 v2) (Star (Ptsto a3 v3) F)))
+        (Write a1 w1 :: Write a2 w2 :: Write a3 w3 :: [])
+        (Star (Ptsto a1 w1) (Star (Ptsto a2 w2) (Star (Ptsto a3 w3) F)))
+        Any.
+Proof.
+  intros a1 a2 a3 v1 v2 v3 w1 w2 w3 F.
+  pose proof (pimpl_refl (Ptsto a1 w1)) as RA.
+  pose proof (pimpl_refl F) as RF.
+  pose proof (pimpl_refl Any) as RAny.
+  pose proof (star_assoc_2 (Ptsto a2 w2) (Ptsto a3 v3) F) as P1.
+  pose proof (pimpl_star_mono (Ptsto a1 w1) (Ptsto a1 w1) (Star (Ptsto a2 w2) (Star (Ptsto a3 v3) F)) (Star (Star (Ptsto a2 w2) (Ptsto a3 v3)) F) RA P1) as P1m.
+  pose proof (star_assoc_2 (Ptsto a1 w1) (Star (Ptsto a2 w2) (Ptsto a3 v3)) F) as P2.
+  pose proof (star_assoc_2 (Ptsto a1 w1) (Ptsto a2 w2) (Ptsto a3 v3)) as P3.
+  pose proof (pimpl_star_mono (Star (Ptsto a1 w1) (Star (Ptsto a2 w2) (Ptsto a3 v3))) (Star (Star (Ptsto a1 w1) (Ptsto a2 w2)) (Ptsto a3 v3)) F F P3 RF) as P3m.
+  pose proof (star_comm (Star (Ptsto a1 w1) (Ptsto a2 w2)) (Ptsto a3 v3)) as P4.
+  pose proof (pimpl_star_mono (Star (Star (Ptsto a1 w1) (Ptsto a2 w2)) (Ptsto a3 v3)) (Star (Ptsto a3 v3) (Star (Ptsto a1 w1) (Ptsto a2 w2))) F F P4 RF) as P4m.
+  pose proof (star_assoc_1 (Ptsto a3 v3) (Star (Ptsto a1 w1) (Ptsto a2 w2)) F) as P5.
+  pose proof (pimpl_trans (Star (Ptsto a1 w1) (Star (Ptsto a2 w2) (Star (Ptsto a3 v3) F))) (Star (Ptsto a1 w1) (Star (Star (Ptsto a2 w2) (Ptsto a3 v3)) F)) (Star (Star (Ptsto a1 w1) (Star (Ptsto a2 w2) (Ptsto a3 v3))) F) P1m P2) as Q1.
+  pose proof (pimpl_trans (Star (Ptsto a1 w1) (Star (Ptsto a2 w2) (Star (Ptsto a3 v3) F))) (Star (Star (Ptsto a1 w1) (Star (Ptsto a2 w2) (Ptsto a3 v3))) F) (Star (Star (Star (Ptsto a1 w1) (Ptsto a2 w2)) (Ptsto a3 v3)) F) Q1 P3m) as Q2.
+  pose proof (pimpl_trans (Star (Ptsto a1 w1) (Star (Ptsto a2 w2) (Star (Ptsto a3 v3) F))) (Star (Star (Star (Ptsto a1 w1) (Ptsto a2 w2)) (Ptsto a3 v3)) F) (Star (Star (Ptsto a3 v3) (Star (Ptsto a1 w1) (Ptsto a2 w2))) F) Q2 P4m) as Q3.
+  pose proof (pimpl_trans (Star (Ptsto a1 w1) (Star (Ptsto a2 w2) (Star (Ptsto a3 v3) F))) (Star (Star (Ptsto a3 v3) (Star (Ptsto a1 w1) (Ptsto a2 w2))) F) (Star (Ptsto a3 v3) (Star (Star (Ptsto a1 w1) (Ptsto a2 w2)) F)) Q3 P5) as Q4.
+  pose proof (hoare_write a3 w3 v3 (Star (Star (Ptsto a1 w1) (Ptsto a2 w2)) F)) as HW.
+  pose proof (star_assoc_2 (Ptsto a3 w3) (Star (Ptsto a1 w1) (Ptsto a2 w2)) F) as R1.
+  pose proof (star_comm (Ptsto a3 w3) (Star (Ptsto a1 w1) (Ptsto a2 w2))) as R2.
+  pose proof (pimpl_star_mono (Star (Ptsto a3 w3) (Star (Ptsto a1 w1) (Ptsto a2 w2))) (Star (Star (Ptsto a1 w1) (Ptsto a2 w2)) (Ptsto a3 w3)) F F R2 RF) as R2m.
+  pose proof (star_assoc_1 (Ptsto a1 w1) (Ptsto a2 w2) (Ptsto a3 w3)) as R3.
+  pose proof (pimpl_star_mono (Star (Star (Ptsto a1 w1) (Ptsto a2 w2)) (Ptsto a3 w3)) (Star (Ptsto a1 w1) (Star (Ptsto a2 w2) (Ptsto a3 w3))) F F R3 RF) as R3m.
+  pose proof (star_assoc_1 (Ptsto a1 w1) (Star (Ptsto a2 w2) (Ptsto a3 w3)) F) as R4.
+  pose proof (star_assoc_1 (Ptsto a2 w2) (Ptsto a3 w3) F) as R5.
+  pose proof (pimpl_star_mono (Ptsto a1 w1) (Ptsto a1 w1) (Star (Star (Ptsto a2 w2) (Ptsto a3 w3)) F) (Star (Ptsto a2 w2) (Star (Ptsto a3 w3) F)) RA R5) as R5m.
+  pose proof (pimpl_trans (Star (Ptsto a3 w3) (Star (Star (Ptsto a1 w1) (Ptsto a2 w2)) F)) (Star (Star (Ptsto a3 w3) (Star (Ptsto a1 w1) (Ptsto a2 w2))) F) (Star (Star (Star (Ptsto a1 w1) (Ptsto a2 w2)) (Ptsto a3 w3)) F) R1 R2m) as S1.
+  pose proof (pimpl_trans (Star (Ptsto a3 w3) (Star (Star (Ptsto a1 w1) (Ptsto a2 w2)) F)) (Star (Star (Star (Ptsto a1 w1) (Ptsto a2 w2)) (Ptsto a3 w3)) F) (Star (Star (Ptsto a1 w1) (Star (Ptsto a2 w2) (Ptsto a3 w3))) F) S1 R3m) as S2.
+  pose proof (pimpl_trans (Star (Ptsto a3 w3) (Star (Star (Ptsto a1 w1) (Ptsto a2 w2)) F)) (Star (Star (Ptsto a1 w1) (Star (Ptsto a2 w2) (Ptsto a3 w3))) F) (Star (Ptsto a1 w1) (Star (Star (Ptsto a2 w2) (Ptsto a3 w3)) F)) S2 R4) as S3.
+  pose proof (pimpl_trans (Star (Ptsto a3 w3) (Star (Star (Ptsto a1 w1) (Ptsto a2 w2)) F)) (Star (Ptsto a1 w1) (Star (Star (Ptsto a2 w2) (Ptsto a3 w3)) F)) (Star (Ptsto a1 w1) (Star (Ptsto a2 w2) (Star (Ptsto a3 w3) F))) S3 R5m) as S4.
+  pose proof (hoare_conseq (Star (Ptsto a3 v3) (Star (Star (Ptsto a1 w1) (Ptsto a2 w2)) F)) (Star (Ptsto a1 w1) (Star (Ptsto a2 w2) (Star (Ptsto a3 v3) F))) (Star (Ptsto a3 w3) (Star (Star (Ptsto a1 w1) (Ptsto a2 w2)) F)) (Star (Ptsto a1 w1) (Star (Ptsto a2 w2) (Star (Ptsto a3 w3) F))) Any Any (Write a3 w3 :: []) HW Q4 S4 RAny) as HW2.
+  pose proof (hoare_write_two a1 a2 v1 v2 w1 w2 (Star (Ptsto a3 v3) F)) as H12.
+  pose proof (hoare_seq (Star (Ptsto a1 v1) (Star (Ptsto a2 v2) (Star (Ptsto a3 v3) F))) (Star (Ptsto a1 w1) (Star (Ptsto a2 w2) (Star (Ptsto a3 v3) F))) (Star (Ptsto a1 w1) (Star (Ptsto a2 w2) (Star (Ptsto a3 w3) F))) Any (Write a1 w1 :: Write a2 w2 :: []) (Write a3 w3 :: []) H12 HW2) as FIN.
+  simpl in FIN. exact FIN.
+Qed.
+
+Lemma hoare_sync_twice : forall (F : pred), hoare F (Sync :: Sync :: []) F F.
+Proof.
+  intros F.
+  pose proof (hoare_sync F) as H1.
+  pose proof (hoare_seq F F F F (Sync :: []) (Sync :: []) H1 H1) as H2.
+  simpl in H2. exact H2.
+Qed.
+
+Lemma hoare_nil_pre : forall (pre post : pred),
+  pimpl pre post -> hoare pre [] post Any.
+Proof.
+  intros pre post Hp.
+  pose proof (hoare_nil pre) as H1.
+  pose proof (pimpl_refl pre) as Rp.
+  pose proof (pimpl_refl Any) as RA.
+  pose proof (hoare_conseq pre pre pre post Any Any [] H1 Rp Hp RA) as H2.
+  exact H2.
+Qed.

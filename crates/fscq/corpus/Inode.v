@@ -1,0 +1,142 @@
+(* Inode: the inode layer. An inode records a length and a block list;
+   the inode table is a list indexed with selN/updN. *)
+
+Require Import NatUtils.
+Require Import ListUtils.
+
+Inductive inode := MkInode (len : nat) (blocks : list nat).
+
+Definition inode0 : inode := MkInode 0 [].
+
+Definition ilen (i : inode) : nat :=
+  match i with | MkInode l bs => l end.
+
+Definition iblocks (i : inode) : list nat :=
+  match i with | MkInode l bs => bs end.
+
+Definition igood (i : inode) : Prop := ilen i = length (iblocks i).
+
+Definition iget (ilist : list inode) (n : nat) : inode := selN ilist n inode0.
+
+Definition iput (ilist : list inode) (n : nat) (i : inode) : list inode := updN ilist n i.
+
+Fixpoint igood_all (ilist : list inode) : Prop :=
+  match ilist with
+  | [] => True
+  | i :: rest => igood i /\ igood_all rest
+  end.
+
+Lemma ilen_mk : forall (l : nat) (bs : list nat), ilen (MkInode l bs) = l.
+Proof. intros. reflexivity. Qed.
+
+Lemma iblocks_mk : forall (l : nat) (bs : list nat), iblocks (MkInode l bs) = bs.
+Proof. intros. reflexivity. Qed.
+
+Lemma igood_inode0 : igood inode0.
+Proof. reflexivity. Qed.
+
+Hint Resolve igood_inode0.
+
+Lemma igood_mk : forall (bs : list nat), igood (MkInode (length bs) bs).
+Proof. intros. reflexivity. Qed.
+
+Lemma iget_iput_eq : forall (ilist : list inode) (n : nat) (i : inode),
+  lt n (length ilist) -> iget (iput ilist n i) n = i.
+Proof.
+  intros. unfold iget. unfold iput. apply selN_updN_eq. assumption.
+Qed.
+
+Lemma iget_iput_ne : forall (ilist : list inode) (n m : nat) (i : inode),
+  n <> m -> iget (iput ilist n i) m = iget ilist m.
+Proof.
+  intros. unfold iget. unfold iput. apply selN_updN_ne. assumption.
+Qed.
+
+Lemma iput_length : forall (ilist : list inode) (n : nat) (i : inode),
+  length (iput ilist n i) = length ilist.
+Proof.
+  intros. unfold iput. apply length_updN.
+Qed.
+
+Lemma iget_oob : forall (ilist : list inode) (n : nat),
+  le (length ilist) n -> iget ilist n = inode0.
+Proof.
+  intros. unfold iget. apply selN_oob. assumption.
+Qed.
+
+Lemma iget_in : forall (ilist : list inode) (n : nat),
+  lt n (length ilist) -> In (iget ilist n) ilist.
+Proof.
+  intros. unfold iget. apply selN_in. assumption.
+Qed.
+
+Lemma igood_all_in : forall (ilist : list inode) (i : inode),
+  igood_all ilist -> In i ilist -> igood i.
+Proof.
+  induction ilist; intros; simpl in H0.
+  - contradiction.
+  - simpl in H. destruct H as [H1 H2]. destruct H0 as [H0|H0].
+    + subst. assumption.
+    + apply IHilist.
+      * assumption.
+      * assumption.
+Qed.
+
+Lemma igood_all_iput : forall (ilist : list inode) (n : nat) (i : inode),
+  igood_all ilist -> igood i -> igood_all (iput ilist n i).
+Proof.
+  unfold iput. induction ilist; intros; simpl.
+  - split.
+  - simpl in H. destruct H as [H1 H2]. destruct n; simpl.
+    + split.
+      * assumption.
+      * assumption.
+    + split.
+      * assumption.
+      * apply IHilist.
+        -- assumption.
+        -- assumption.
+Qed.
+
+Lemma igood_all_iget : forall (ilist : list inode) (n : nat),
+  igood_all ilist -> lt n (length ilist) -> igood (iget ilist n).
+Proof.
+  intros. eapply igood_all_in.
+  apply iget_in. assumption.
+Qed.
+
+Lemma iget_iput_same : forall (ilist : list inode) (n : nat),
+  lt n (length ilist) -> iput ilist n (iget ilist n) = ilist.
+Proof.
+  unfold iget. unfold iput. induction ilist; intros; simpl in H.
+  - exfalso. lia.
+  - destruct n; simpl.
+    + reflexivity.
+    + rewrite IHilist.
+      * reflexivity.
+      * lia.
+Qed.
+
+Lemma iput_iput_ne : forall (ilist : list inode) (n m : nat) (i j : inode),
+  n <> m -> iput (iput ilist n i) m j = iput (iput ilist m j) n i.
+Proof.
+  intros. unfold iput. apply updN_comm. assumption.
+Qed.
+
+Lemma iget_grow : forall (ilist : list inode) (i : inode) (n : nat),
+  lt n (length ilist) -> iget (app ilist (i :: [])) n = iget ilist n.
+Proof.
+  intros. unfold iget. apply selN_app1. assumption.
+Qed.
+
+Lemma igood_all_app : forall (l1 l2 : list inode),
+  igood_all l1 -> igood_all l2 -> igood_all (app l1 l2).
+Proof.
+  induction l1; intros; simpl.
+  - assumption.
+  - simpl in H. destruct H as [H1 H2]. split.
+    + assumption.
+    + apply IHl1.
+      * assumption.
+      * assumption.
+Qed.

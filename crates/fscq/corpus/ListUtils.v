@@ -1,0 +1,667 @@
+(* ListUtils: list utility lemmas.
+   Mirrors FSCQ's ListUtils.v: app/rev/selN/updN/firstn/skipn/repeat and the
+   In/incl/NoDup predicate toolbox the file system layers build on. *)
+
+Require Import NatUtils.
+
+Fixpoint length (A : Sort) (l : list A) : nat :=
+  match l with
+  | [] => 0
+  | x :: xs => S (length xs)
+  end.
+
+Fixpoint app (A : Sort) (l1 l2 : list A) : list A :=
+  match l1 with
+  | [] => l2
+  | x :: xs => x :: app xs l2
+  end.
+
+Fixpoint rev (A : Sort) (l : list A) : list A :=
+  match l with
+  | [] => []
+  | x :: xs => app (rev xs) (x :: [])
+  end.
+
+Fixpoint selN (A : Sort) (l : list A) (n : nat) (def : A) : A :=
+  match l with
+  | [] => def
+  | x :: xs => match n with | 0 => x | S p => selN xs p def end
+  end.
+
+Fixpoint updN (A : Sort) (l : list A) (n : nat) (v : A) : list A :=
+  match l with
+  | [] => []
+  | x :: xs => match n with | 0 => v :: xs | S p => x :: updN xs p v end
+  end.
+
+Fixpoint firstn (A : Sort) (n : nat) (l : list A) : list A :=
+  match n with
+  | 0 => []
+  | S p => match l with | [] => [] | x :: xs => x :: firstn p xs end
+  end.
+
+Fixpoint skipn (A : Sort) (n : nat) (l : list A) : list A :=
+  match n with
+  | 0 => l
+  | S p => match l with | [] => [] | x :: xs => skipn p xs end
+  end.
+
+Fixpoint repeat (A : Sort) (x : A) (n : nat) : list A :=
+  match n with
+  | 0 => []
+  | S p => x :: repeat x p
+  end.
+
+Fixpoint concat (A : Sort) (ls : list (list A)) : list A :=
+  match ls with
+  | [] => []
+  | l :: rest => app l (concat rest)
+  end.
+
+Fixpoint In (A : Sort) (x : A) (l : list A) : Prop :=
+  match l with
+  | [] => False
+  | y :: ys => y = x \/ In x ys
+  end.
+
+Definition incl (A : Sort) (l1 l2 : list A) : Prop :=
+  forall x : A, In x l1 -> In x l2.
+
+Inductive NoDup (A : Sort) : list A -> Prop :=
+| NoDup_nil : NoDup []
+| NoDup_cons : forall (x : A) (l : list A), ~ In x l -> NoDup l -> NoDup (x :: l).
+
+(* ----- app ----- *)
+
+Lemma app_nil_l : forall (A : Sort) (l : list A), app [] l = l.
+Proof. intros. reflexivity. Qed.
+
+Lemma app_nil_r : forall (A : Sort) (l : list A), app l [] = l.
+Proof.
+  induction l.
+  - reflexivity.
+  - simpl. rewrite IHl. reflexivity.
+Qed.
+
+Lemma app_assoc : forall (A : Sort) (l m n : list A), app l (app m n) = app (app l m) n.
+Proof.
+  induction l; intros; simpl.
+  - reflexivity.
+  - rewrite IHl. reflexivity.
+Qed.
+
+Lemma app_length : forall (A : Sort) (l m : list A), length (app l m) = add (length l) (length m).
+Proof.
+  induction l; intros; simpl.
+  - reflexivity.
+  - rewrite IHl. reflexivity.
+Qed.
+
+Lemma app_eq_nil_l : forall (A : Sort) (l m : list A), app l m = [] -> l = [].
+Proof.
+  intros A l m H. destruct l.
+  - reflexivity.
+  - simpl in H. discriminate H.
+Qed.
+
+Lemma app_eq_nil_r : forall (A : Sort) (l m : list A), app l m = [] -> m = [].
+Proof.
+  intros A l m H. destruct l.
+  - simpl in H. assumption.
+  - simpl in H. discriminate H.
+Qed.
+
+Lemma app_cons_not_nil : forall (A : Sort) (l m : list A) (x : A), app l (x :: m) <> [].
+Proof.
+  intros A l m x H. destruct l.
+  - simpl in H. discriminate H.
+  - simpl in H. discriminate H.
+Qed.
+
+(* ----- length ----- *)
+
+Lemma length_nil : forall (A : Sort), length ([] : list A) = 0.
+Proof. intros. reflexivity. Qed.
+
+Lemma length_cons : forall (A : Sort) (x : A) (l : list A), length (x :: l) = S (length l).
+Proof. intros. reflexivity. Qed.
+
+Lemma length_zero_nil : forall (A : Sort) (l : list A), length l = 0 -> l = [].
+Proof.
+  intros A l H. destruct l.
+  - reflexivity.
+  - simpl in H. discriminate H.
+Qed.
+
+(* ----- rev ----- *)
+
+Lemma rev_app_distr : forall (A : Sort) (l m : list A), rev (app l m) = app (rev m) (rev l).
+Proof.
+  induction l; intros; simpl.
+  - rewrite app_nil_r. reflexivity.
+  - rewrite IHl. rewrite app_assoc. reflexivity.
+Qed.
+
+Lemma rev_involutive : forall (A : Sort) (l : list A), rev (rev l) = l.
+Proof.
+  induction l; simpl.
+  - reflexivity.
+  - rewrite rev_app_distr. rewrite IHl. simpl. reflexivity.
+Qed.
+
+Lemma rev_length : forall (A : Sort) (l : list A), length (rev l) = length l.
+Proof.
+  induction l; simpl.
+  - reflexivity.
+  - rewrite app_length. rewrite IHl. simpl. lia.
+Qed.
+
+(* ----- In ----- *)
+
+Lemma in_eq : forall (A : Sort) (a : A) (l : list A), In a (a :: l).
+Proof. intros. simpl. left. reflexivity. Qed.
+
+Lemma in_cons : forall (A : Sort) (a b : A) (l : list A), In b l -> In b (a :: l).
+Proof. intros. simpl. right. assumption. Qed.
+
+Hint Resolve in_eq.
+Hint Resolve in_cons.
+
+Lemma in_nil : forall (A : Sort) (a : A), ~ In a [].
+Proof. intros A a H. simpl in H. assumption. Qed.
+
+Lemma in_inv : forall (A : Sort) (a b : A) (l : list A), In b (a :: l) -> a = b \/ In b l.
+Proof. intros A a b l H. simpl in H. assumption. Qed.
+
+Lemma in_app_or : forall (A : Sort) (l m : list A) (a : A),
+  In a (app l m) -> In a l \/ In a m.
+Proof.
+  induction l; intros; simpl in H.
+  - right. assumption.
+  - destruct H as [H|H].
+    + left. simpl. left. assumption.
+    + apply IHl in H. destruct H as [H|H].
+      * left. simpl. right. assumption.
+      * right. assumption.
+Qed.
+
+Lemma in_or_app : forall (A : Sort) (l m : list A) (a : A),
+  In a l \/ In a m -> In a (app l m).
+Proof.
+  induction l; intros; simpl.
+  - destruct H as [H|H].
+    + simpl in H. contradiction.
+    + assumption.
+  - destruct H as [H|H].
+    + simpl in H. destruct H as [H|H].
+      * left. assumption.
+      * right. apply IHl. left. assumption.
+    + right. apply IHl. right. assumption.
+Qed.
+
+Lemma in_app_l : forall (A : Sort) (l m : list A) (a : A), In a l -> In a (app l m).
+Proof. intros. apply in_or_app. left. assumption. Qed.
+
+Lemma in_app_r : forall (A : Sort) (l m : list A) (a : A), In a m -> In a (app l m).
+Proof. intros. apply in_or_app. right. assumption. Qed.
+
+Lemma in_rev : forall (A : Sort) (l : list A) (a : A), In a l -> In a (rev l).
+Proof.
+  induction l; intros; simpl.
+  - simpl in H. contradiction.
+  - simpl in H. destruct H as [H|H].
+    + apply in_app_r. simpl. left. assumption.
+    + apply in_app_l. apply IHl. assumption.
+Qed.
+
+(* ----- incl ----- *)
+
+Lemma incl_nil : forall (A : Sort) (l : list A), incl [] l.
+Proof. unfold incl. intros A l x H. simpl in H. contradiction. Qed.
+
+Hint Resolve incl_nil.
+
+Lemma incl_refl : forall (A : Sort) (l : list A), incl l l.
+Proof. unfold incl. intros. assumption. Qed.
+
+Hint Resolve incl_refl.
+
+Lemma incl_tl : forall (A : Sort) (a : A) (l m : list A), incl l m -> incl l (a :: m).
+Proof.
+  unfold incl. intros A a l m H x Hx.
+  simpl. right. apply H. assumption.
+Qed.
+
+Lemma incl_cons : forall (A : Sort) (a : A) (l m : list A),
+  In a m -> incl l m -> incl (a :: l) m.
+Proof.
+  unfold incl. intros A a l m Ha H x Hx.
+  simpl in Hx. destruct Hx as [Hx|Hx].
+  - subst. assumption.
+  - apply H. assumption.
+Qed.
+
+Lemma incl_cons_inv : forall (A : Sort) (a : A) (l m : list A),
+  incl (a :: l) m -> incl l m.
+Proof.
+  unfold incl. intros A a l m H x Hx.
+  apply H. simpl. right. assumption.
+Qed.
+
+Lemma incl_cons_in : forall (A : Sort) (a : A) (l m : list A),
+  incl (a :: l) m -> In a m.
+Proof.
+  intros A a l m H. apply H. apply in_eq.
+Qed.
+
+Lemma incl_appl : forall (A : Sort) (l m n : list A), incl l n -> incl l (app n m).
+Proof.
+  unfold incl. intros A l m n H x Hx.
+  apply in_app_l. apply H. assumption.
+Qed.
+
+Lemma incl_appr : forall (A : Sort) (l m n : list A), incl l n -> incl l (app m n).
+Proof.
+  unfold incl. intros A l m n H x Hx.
+  apply in_app_r. apply H. assumption.
+Qed.
+
+Lemma incl_app : forall (A : Sort) (l m n : list A),
+  incl l n -> incl m n -> incl (app l m) n.
+Proof.
+  unfold incl. intros A l m n H1 H2 x Hx.
+  apply in_app_or in Hx. destruct Hx as [Hx|Hx].
+  - apply H1. assumption.
+  - apply H2. assumption.
+Qed.
+
+Lemma incl_tran : forall (A : Sort) (l m n : list A),
+  incl l m -> incl m n -> incl l n.
+Proof.
+  unfold incl. intros A l m n H1 H2 x Hx.
+  apply H2. apply H1. assumption.
+Qed.
+
+(* Figure 2, Case A: the original human proof uses induction on l1. *)
+Lemma incl_tl_inv : forall (A : Sort) (l1 l2 : list A) (a : A),
+  incl l1 (a :: l2) -> ~ In a l1 -> incl l1 l2.
+Proof.
+  induction l1; intros.
+  - apply incl_nil.
+  - apply incl_cons.
+    + assert (Hx : In x (a :: l2)).
+      * apply H. apply in_eq.
+      * simpl in Hx. destruct Hx as [Hx|Hx].
+        -- exfalso. apply H0. simpl. left. symmetry. assumption.
+        -- assumption.
+    + apply incl_cons_inv in H. eapply IHl1.
+      intro Hc. apply H0. simpl. right. assumption.
+Qed.
+
+(* ----- NoDup ----- *)
+
+Lemma NoDup_cons_inv : forall (A : Sort) (x : A) (l : list A),
+  NoDup (x :: l) -> NoDup l.
+Proof. intros. inversion H. assumption. Qed.
+
+Lemma NoDup_cons_not_in : forall (A : Sort) (x : A) (l : list A),
+  NoDup (x :: l) -> ~ In x l.
+Proof. intros. inversion H. contradiction. Qed.
+
+Lemma NoDup_single : forall (A : Sort) (x : A), NoDup (x :: []).
+Proof.
+  intros. apply NoDup_cons.
+  - apply in_nil.
+  - apply NoDup_nil.
+Qed.
+
+Lemma NoDup_app_l : forall (A : Sort) (l m : list A), NoDup (app l m) -> NoDup l.
+Proof.
+  induction l; intros; simpl in H.
+  - apply NoDup_nil.
+  - inversion H. apply NoDup_cons.
+    + intro Hc. apply H0. apply in_app_l. assumption.
+    + eapply IHl.
+Qed.
+
+(* ----- selN / updN ----- *)
+
+Lemma length_updN : forall (A : Sort) (l : list A) (n : nat) (v : A),
+  length (updN l n v) = length l.
+Proof.
+  induction l; intros; simpl.
+  - reflexivity.
+  - destruct n; simpl.
+    + reflexivity.
+    + rewrite IHl. reflexivity.
+Qed.
+
+Lemma selN_updN_eq : forall (A : Sort) (l : list A) (n : nat) (v def : A),
+  lt n (length l) -> selN (updN l n v) n def = v.
+Proof.
+  induction l; intros; simpl in H.
+  - exfalso. lia.
+  - destruct n; simpl.
+    + reflexivity.
+    + apply IHl. lia.
+Qed.
+
+Lemma selN_updN_ne : forall (A : Sort) (l : list A) (n m : nat) (v def : A),
+  n <> m -> selN (updN l n v) m def = selN l m def.
+Proof.
+  induction l; intros; simpl.
+  - reflexivity.
+  - destruct n; destruct m; simpl.
+    + exfalso. apply H. reflexivity.
+    + reflexivity.
+    + reflexivity.
+    + apply IHl. intro Hc. apply H. rewrite Hc. reflexivity.
+Qed.
+
+Lemma updN_twice : forall (A : Sort) (l : list A) (n : nat) (v w : A),
+  updN (updN l n v) n w = updN l n w.
+Proof.
+  induction l; intros; simpl.
+  - reflexivity.
+  - destruct n; simpl.
+    + reflexivity.
+    + rewrite IHl. reflexivity.
+Qed.
+
+Lemma updN_oob : forall (A : Sort) (l : list A) (n : nat) (v : A),
+  le (length l) n -> updN l n v = l.
+Proof.
+  induction l; intros; simpl.
+  - reflexivity.
+  - destruct n; simpl in H.
+    + exfalso. lia.
+    + simpl. rewrite IHl.
+      * reflexivity.
+      * lia.
+Qed.
+
+Lemma selN_oob : forall (A : Sort) (l : list A) (n : nat) (def : A),
+  le (length l) n -> selN l n def = def.
+Proof.
+  induction l; intros; simpl.
+  - destruct n; reflexivity.
+  - destruct n; simpl in H.
+    + exfalso. lia.
+    + simpl. apply IHl. lia.
+Qed.
+
+Lemma selN_app1 : forall (A : Sort) (l m : list A) (n : nat) (def : A),
+  lt n (length l) -> selN (app l m) n def = selN l n def.
+Proof.
+  induction l; intros; simpl in H.
+  - exfalso. lia.
+  - destruct n; simpl.
+    + reflexivity.
+    + apply IHl. lia.
+Qed.
+
+Lemma updN_app1 : forall (A : Sort) (l m : list A) (n : nat) (v : A),
+  lt n (length l) -> updN (app l m) n v = app (updN l n v) m.
+Proof.
+  induction l; intros; simpl in H.
+  - exfalso. lia.
+  - destruct n; simpl.
+    + reflexivity.
+    + rewrite IHl.
+      * reflexivity.
+      * lia.
+Qed.
+
+Lemma in_updN : forall (A : Sort) (l : list A) (n : nat) (v x : A),
+  In x (updN l n v) -> In x l \/ x = v.
+Proof.
+  induction l; intros; simpl in H.
+  - contradiction.
+  - destruct n; simpl in H.
+    + destruct H as [H|H].
+      * right. symmetry. assumption.
+      * left. simpl. right. assumption.
+    + destruct H as [H|H].
+      * left. simpl. left. assumption.
+      * apply IHl in H. destruct H as [H|H].
+        -- left. simpl. right. assumption.
+        -- right. assumption.
+Qed.
+
+(* ----- firstn / skipn ----- *)
+
+Lemma firstn_nil : forall (A : Sort) (n : nat), firstn n ([] : list A) = [].
+Proof. intros. destruct n; reflexivity. Qed.
+
+Lemma skipn_nil : forall (A : Sort) (n : nat), skipn n ([] : list A) = [].
+Proof. intros. destruct n; reflexivity. Qed.
+
+Lemma firstn_O : forall (A : Sort) (l : list A), firstn 0 l = [].
+Proof. intros. reflexivity. Qed.
+
+Lemma skipn_O : forall (A : Sort) (l : list A), skipn 0 l = l.
+Proof. intros. reflexivity. Qed.
+
+Lemma firstn_skipn : forall (A : Sort) (n : nat) (l : list A),
+  app (firstn n l) (skipn n l) = l.
+Proof.
+  induction n; intros; simpl.
+  - reflexivity.
+  - destruct l; simpl.
+    + reflexivity.
+    + rewrite IHn. reflexivity.
+Qed.
+
+Lemma firstn_length : forall (A : Sort) (n : nat) (l : list A),
+  length (firstn n l) = min n (length l).
+Proof.
+  induction n; intros; simpl.
+  - reflexivity.
+  - destruct l; simpl.
+    + reflexivity.
+    + rewrite IHn. reflexivity.
+Qed.
+
+Lemma firstn_oob : forall (A : Sort) (l : list A) (n : nat),
+  le (length l) n -> firstn n l = l.
+Proof.
+  induction l; intros; simpl.
+  - destruct n; reflexivity.
+  - destruct n; simpl in H.
+    + exfalso. lia.
+    + simpl. rewrite IHl.
+      * reflexivity.
+      * lia.
+Qed.
+
+Lemma skipn_oob : forall (A : Sort) (l : list A) (n : nat),
+  le (length l) n -> skipn n l = [].
+Proof.
+  induction l; intros; simpl.
+  - destruct n; reflexivity.
+  - destruct n; simpl in H.
+    + exfalso. lia.
+    + simpl. apply IHl. lia.
+Qed.
+
+Lemma skipn_length : forall (A : Sort) (n : nat) (l : list A),
+  length (skipn n l) = sub (length l) n.
+Proof.
+  induction n; intros; simpl.
+  - destruct l; reflexivity.
+  - destruct l; simpl.
+    + reflexivity.
+    + rewrite IHn. reflexivity.
+Qed.
+
+Lemma firstn_app_l : forall (A : Sort) (l m : list A) (n : nat),
+  le n (length l) -> firstn n (app l m) = firstn n l.
+Proof.
+  induction l; intros; simpl in H.
+  - destruct n.
+    + reflexivity.
+    + exfalso. lia.
+  - destruct n; simpl.
+    + reflexivity.
+    + rewrite IHl.
+      * reflexivity.
+      * lia.
+Qed.
+
+(* ----- repeat ----- *)
+
+Lemma repeat_length : forall (A : Sort) (x : A) (n : nat), length (repeat x n) = n.
+Proof.
+  induction n; simpl.
+  - reflexivity.
+  - rewrite IHn. reflexivity.
+Qed.
+
+Lemma repeat_spec : forall (A : Sort) (x y : A) (n : nat), In y (repeat x n) -> x = y.
+Proof.
+  induction n; intros; simpl in H.
+  - contradiction.
+  - destruct H as [H|H].
+    + assumption.
+    + apply IHn. assumption.
+Qed.
+
+Lemma repeat_app : forall (A : Sort) (x : A) (n m : nat),
+  app (repeat x n) (repeat x m) = repeat x (add n m).
+Proof.
+  induction n; intros; simpl.
+  - reflexivity.
+  - rewrite IHn. reflexivity.
+Qed.
+
+Lemma repeat_updN : forall (A : Sort) (x : A) (n m : nat),
+  updN (repeat x n) m x = repeat x n.
+Proof.
+  induction n; intros; simpl.
+  - reflexivity.
+  - destruct m; simpl.
+    + reflexivity.
+    + rewrite IHn. reflexivity.
+Qed.
+
+(* ----- concat ----- *)
+
+Lemma concat_nil : forall (A : Sort), concat ([] : list (list A)) = [].
+Proof. intros. reflexivity. Qed.
+
+Lemma concat_app : forall (A : Sort) (l1 l2 : list (list A)),
+  concat (app l1 l2) = app (concat l1) (concat l2).
+Proof.
+  induction l1; intros; simpl.
+  - reflexivity.
+  - rewrite IHl1. rewrite app_assoc. reflexivity.
+Qed.
+
+Lemma in_concat : forall (A : Sort) (ls : list (list A)) (l : list A) (x : A),
+  In l ls -> In x l -> In x (concat ls).
+Proof.
+  induction ls; intros; simpl in H.
+  - contradiction.
+  - destruct H as [H|H].
+    + subst. apply in_app_l. assumption.
+    + apply in_app_r. eapply IHls. assumption.
+Qed.
+
+Lemma selN_in : forall (A : Sort) (l : list A) (n : nat) (def : A),
+  lt n (length l) -> In (selN l n def) l.
+Proof.
+  induction l; intros; simpl in H.
+  - exfalso. lia.
+  - destruct n; simpl.
+    + left. reflexivity.
+    + right. apply IHl. lia.
+Qed.
+
+Lemma incl_app_app : forall (A : Sort) (l1 l2 m1 m2 : list A),
+  incl l1 m1 -> incl l2 m2 -> incl (app l1 l2) (app m1 m2).
+Proof.
+  intros A l1 l2 m1 m2 H1 H2.
+  apply incl_app.
+  - apply incl_appl. assumption.
+  - apply incl_appr. assumption.
+Qed.
+
+Lemma updN_comm : forall (A : Sort) (l : list A) (n m : nat) (v w : A),
+  n <> m -> updN (updN l n v) m w = updN (updN l m w) n v.
+Proof.
+  induction l; intros; simpl.
+  - reflexivity.
+  - destruct n; destruct m; simpl.
+    + exfalso. apply H. reflexivity.
+    + reflexivity.
+    + reflexivity.
+    + rewrite IHl.
+      * reflexivity.
+      * intro Hc. apply H. rewrite Hc. reflexivity.
+Qed.
+
+Lemma skipn_skipn : forall (A : Sort) (n m : nat) (l : list A),
+  skipn n (skipn m l) = skipn (add m n) l.
+Proof.
+  induction m; intros; simpl.
+  - reflexivity.
+  - destruct l; simpl.
+    + destruct n; reflexivity.
+    + apply IHm.
+Qed.
+
+Lemma firstn_firstn_min : forall (A : Sort) (n m : nat) (l : list A),
+  firstn n (firstn m l) = firstn (min n m) l.
+Proof.
+  induction n; intros; simpl.
+  - reflexivity.
+  - destruct m; simpl.
+    + reflexivity.
+    + destruct l; simpl.
+      * reflexivity.
+      * rewrite IHn. reflexivity.
+Qed.
+
+Lemma selN_updN_oob : forall (A : Sort) (l : list A) (n : nat) (v def : A),
+  le (length l) n -> selN (updN l n v) n def = def.
+Proof.
+  intros A l n v def H.
+  rewrite updN_oob.
+  - apply selN_oob. assumption.
+  - assumption.
+Qed.
+
+Lemma rev_unit : forall (A : Sort) (l : list A) (x : A),
+  rev (app l (x :: [])) = x :: rev l.
+Proof.
+  intros A l x. rewrite rev_app_distr. simpl. reflexivity.
+Qed.
+
+Lemma min_l : forall (n m : nat), le n m -> min n m = n.
+Proof.
+  induction n; intros; destruct m; simpl.
+  - reflexivity.
+  - reflexivity.
+  - exfalso. lia.
+  - rewrite IHn.
+    + reflexivity.
+    + lia.
+Qed.
+
+Lemma length_firstn_le : forall (A : Sort) (n : nat) (l : list A),
+  le n (length l) -> length (firstn n l) = n.
+Proof.
+  intros A n l H. rewrite firstn_length. apply min_l. assumption.
+Qed.
+
+Lemma in_firstn : forall (A : Sort) (n : nat) (l : list A) (x : A),
+  In x (firstn n l) -> In x l.
+Proof.
+  induction n; intros; simpl in H.
+  - contradiction.
+  - destruct l; simpl in H.
+    + contradiction.
+    + destruct H as [H|H].
+      * simpl. left. assumption.
+      * simpl. right. eapply IHn. assumption.
+Qed.

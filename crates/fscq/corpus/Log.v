@@ -1,0 +1,200 @@
+(* Log: the write-ahead log layer.
+   A log is an address list and a value list; address 0 is reserved for
+   padding. Mirrors the DFSCQ log representation lemmas, including the
+   padded-log lemmas of the paper's Figure 2 (Case B). *)
+
+Require Import NatUtils.
+Require Import ListUtils.
+Require Import Mem.
+
+Fixpoint nonzero_addrs (al : list nat) : nat :=
+  match al with
+  | [] => 0
+  | a :: rest => match a with
+      | 0 => nonzero_addrs rest
+      | S p => S (nonzero_addrs rest)
+      end
+  end.
+
+Definition ndata_log (al : list nat) : nat := nonzero_addrs al.
+
+(* Pad the address list with reserved zero entries up to a block boundary. *)
+Definition padded_log (al : list nat) : list nat :=
+  app al (repeat 0 (sub 8 (length al))).
+
+Fixpoint log_valid (al : list nat) : Prop :=
+  match al with
+  | [] => True
+  | a :: rest => lt 0 a /\ log_valid rest
+  end.
+
+Fixpoint replay_log (al : list nat) (vl : list valu) (d : list (prod nat valu)) : list (prod nat valu) :=
+  match al with
+  | [] => d
+  | a :: arest => match vl with
+      | [] => d
+      | v :: vrest => replay_log arest vrest (mupd d a v)
+      end
+  end.
+
+Lemma nonzero_addrs_nil : nonzero_addrs [] = 0.
+Proof. reflexivity. Qed.
+
+Lemma nonzero_addrs_app : forall (a b : list nat),
+  nonzero_addrs (app a b) = add (nonzero_addrs a) (nonzero_addrs b).
+Proof.
+  induction a; intros; simpl.
+  - reflexivity.
+  - destruct n; simpl.
+    + apply IHa.
+    + rewrite IHa. reflexivity.
+Qed.
+
+Lemma nonzero_addrs_repeat_0 : forall (n : nat), nonzero_addrs (repeat 0 n) = 0.
+Proof.
+  induction n; simpl.
+  - reflexivity.
+  - assumption.
+Qed.
+
+Lemma nonzero_addrs_bound : forall (al : list nat), le (nonzero_addrs al) (length al).
+Proof.
+  induction al; simpl.
+  - apply le_n.
+  - destruct n; simpl.
+    + apply le_S. apply IHal.
+    + apply le_n_S. apply IHal.
+Qed.
+
+Lemma nonzero_addrs_app_zeros : forall (n : nat) (al : list nat),
+  nonzero_addrs (app al (repeat 0 n)) = nonzero_addrs al.
+Proof.
+  intros n al. rewrite nonzero_addrs_app.
+  rewrite nonzero_addrs_repeat_0.
+  rewrite add_0_r. reflexivity.
+Qed.
+
+(* Figure 2, Case B: entries in a log do not change when padded. *)
+Lemma ndata_log_padded_log : forall (al : list nat),
+  ndata_log (padded_log al) = ndata_log al.
+Proof.
+  unfold ndata_log. unfold padded_log. intros.
+  rewrite nonzero_addrs_app.
+  rewrite nonzero_addrs_repeat_0.
+  rewrite add_0_r. reflexivity.
+Qed.
+
+Lemma padded_log_length : forall (al : list nat),
+  length (padded_log al) = add (length al) (sub 8 (length al)).
+Proof.
+  intros. unfold padded_log. rewrite app_length. rewrite repeat_length. reflexivity.
+Qed.
+
+Lemma log_valid_app : forall (a b : list nat),
+  log_valid a -> log_valid b -> log_valid (app a b).
+Proof.
+  induction a; intros; simpl.
+  - assumption.
+  - simpl in H. destruct H as [H1 H2]. split.
+    + assumption.
+    + apply IHa.
+      * assumption.
+      * assumption.
+Qed.
+
+Lemma log_valid_app_l : forall (a b : list nat), log_valid (app a b) -> log_valid a.
+Proof.
+  induction a; intros; simpl.
+  - split.
+  - simpl in H. destruct H as [H1 H2]. split.
+    + assumption.
+    + eapply IHa.
+Qed.
+
+Lemma log_valid_nonzero : forall (al : list nat),
+  log_valid al -> nonzero_addrs al = length al.
+Proof.
+  induction al; intros; simpl.
+  - reflexivity.
+  - simpl in H. destruct H as [H1 H2]. destruct n.
+    + exfalso. lia.
+    + simpl. rewrite IHal.
+      * reflexivity.
+      * assumption.
+Qed.
+
+Lemma replay_log_nil : forall (vl : list valu) (d : list (prod nat valu)),
+  replay_log [] vl d = d.
+Proof. intros. reflexivity. Qed.
+
+Lemma replay_log_single : forall (a : nat) (v : valu) (d : list (prod nat valu)),
+  replay_log (a :: []) (v :: []) d = mupd d a v.
+Proof. intros. reflexivity. Qed.
+
+Lemma replay_log_miss : forall (al : list nat) (vl : list valu) (d : list (prod nat valu)) (x : nat),
+  ~ In x al -> mfind (replay_log al vl d) x = mfind d x.
+Proof.
+  induction al; intros; simpl.
+  - reflexivity.
+  - destruct vl as [|v vl]; simpl.
+    + reflexivity.
+    + rewrite IHal.
+      * apply mfind_mupd_ne. intro Hc. apply H. simpl. left. assumption.
+      * intro Hc. apply H. simpl. right. assumption.
+Qed.
+
+Lemma replay_log_app : forall (a1 a2 : list nat) (v1 v2 : list valu) (d : list (prod nat valu)),
+  length a1 = length v1 ->
+  replay_log (app a1 a2) (app v1 v2) d = replay_log a2 v2 (replay_log a1 v1 d).
+Proof.
+  induction a1; intros; simpl.
+  - simpl in H. symmetry in H. apply length_zero_nil in H. subst. reflexivity.
+  - destruct v1 as [|v v1]; simpl.
+    + simpl in H. discriminate H.
+    + apply IHa1. simpl in H. injection H. assumption.
+Qed.
+
+Lemma replay_log_hit_head : forall (a : nat) (v : valu) (al : list nat) (vl : list valu) (d : list (prod nat valu)),
+  ~ In a al -> mfind (replay_log (a :: al) (v :: vl) d) a = Some v.
+Proof.
+  intros a v al vl d H. simpl.
+  pose proof (replay_log_miss al vl (mupd d a v) a H) as H1.
+  rewrite H1. apply mfind_mupd_eq.
+Qed.
+
+Lemma log_valid_cons : forall (a : nat) (al : list nat),
+  log_valid (a :: al) -> lt 0 a.
+Proof.
+  intros a al H. simpl in H. destruct H as [H1 H2]. assumption.
+Qed.
+
+Lemma log_valid_tail : forall (a : nat) (al : list nat),
+  log_valid (a :: al) -> log_valid al.
+Proof.
+  intros a al H. simpl in H. destruct H as [H1 H2]. assumption.
+Qed.
+
+Lemma nonzero_addrs_cons_valid : forall (a : nat) (al : list nat),
+  log_valid (a :: al) -> nonzero_addrs (a :: al) = S (nonzero_addrs al).
+Proof.
+  intros a al H. simpl in H. destruct H as [H1 H2].
+  destruct a.
+  - exfalso. lia.
+  - simpl. reflexivity.
+Qed.
+
+Lemma ndata_log_valid_bound : forall (al : list nat),
+  log_valid al -> ndata_log (padded_log al) = length al.
+Proof.
+  intros al H.
+  rewrite ndata_log_padded_log.
+  unfold ndata_log.
+  apply log_valid_nonzero. assumption.
+Qed.
+
+Lemma replay_log_twice_head : forall (a : nat) (v w : valu) (d : list (prod nat valu)),
+  meq (replay_log (a :: a :: []) (v :: w :: []) d) (mupd d a w).
+Proof.
+  intros a v w d. simpl.
+  pose proof (mupd_shadow_mem d a v w) as H. exact H.
+Qed.

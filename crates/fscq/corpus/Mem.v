@@ -1,0 +1,290 @@
+(* Mem: the memory model of the Crash Hoare Logic.
+   Disks are association lists from addresses (nat) to block values (valu),
+   compared up to lookup equivalence (meq). Mirrors FSCQ's Mem.v. *)
+
+Require Import NatUtils.
+Require Import ListUtils.
+
+Sort valu.
+
+Fixpoint mfind (m : list (prod nat valu)) (a : nat) : option valu :=
+  match m with
+  | [] => None
+  | c :: rest => match c with
+      | pair a2 v => match eqb a2 a with
+          | true => Some v
+          | false => mfind rest a
+          end
+      end
+  end.
+
+Definition mupd (m : list (prod nat valu)) (a : nat) (v : valu) : list (prod nat valu) :=
+  pair a v :: m.
+
+Fixpoint mkeys (m : list (prod nat valu)) : list nat :=
+  match m with
+  | [] => []
+  | c :: rest => match c with | pair a2 v => a2 :: mkeys rest end
+  end.
+
+Definition meq (m1 m2 : list (prod nat valu)) : Prop :=
+  forall a : nat, mfind m1 a = mfind m2 a.
+
+Definition mdisj (m1 m2 : list (prod nat valu)) : Prop :=
+  forall a : nat, In a (mkeys m1) -> ~ In a (mkeys m2).
+
+Definition munion (m1 m2 : list (prod nat valu)) : list (prod nat valu) :=
+  app m1 m2.
+
+Lemma eqb_neq_false : forall (a b : nat), a <> b -> eqb a b = false.
+Proof.
+  intros a b H. destruct (eqb a b) eqn:E.
+  - exfalso. apply H. apply eqb_eq. assumption.
+  - reflexivity.
+Qed.
+
+Lemma meq_refl : forall (m : list (prod nat valu)), meq m m.
+Proof. unfold meq. intros. reflexivity. Qed.
+
+Hint Resolve meq_refl.
+
+Lemma meq_sym : forall (m1 m2 : list (prod nat valu)), meq m1 m2 -> meq m2 m1.
+Proof. unfold meq. intros. symmetry. apply H. Qed.
+
+Lemma meq_trans : forall (m1 m2 m3 : list (prod nat valu)),
+  meq m1 m2 -> meq m2 m3 -> meq m1 m3.
+Proof.
+  unfold meq. intros. rewrite H. apply H0.
+Qed.
+
+Lemma mfind_mupd_eq : forall (m : list (prod nat valu)) (a : nat) (v : valu),
+  mfind (mupd m a v) a = Some v.
+Proof.
+  intros. unfold mupd. simpl. rewrite eqb_refl. reflexivity.
+Qed.
+
+Lemma mfind_mupd_ne : forall (m : list (prod nat valu)) (a b : nat) (v : valu),
+  a <> b -> mfind (mupd m a v) b = mfind m b.
+Proof.
+  intros. unfold mupd. simpl. rewrite eqb_neq_false.
+  - reflexivity.
+  - assumption.
+Qed.
+
+Lemma mfind_nil : forall (a : nat), mfind [] a = None.
+Proof. intros. reflexivity. Qed.
+
+Lemma mkeys_mupd : forall (m : list (prod nat valu)) (a : nat) (v : valu),
+  mkeys (mupd m a v) = a :: mkeys m.
+Proof. intros. unfold mupd. reflexivity. Qed.
+
+Lemma mkeys_app : forall (m1 m2 : list (prod nat valu)),
+  mkeys (app m1 m2) = app (mkeys m1) (mkeys m2).
+Proof.
+  induction m1; intros; simpl.
+  - reflexivity.
+  - destruct p as [k w]. simpl. rewrite IHm1. reflexivity.
+Qed.
+
+Lemma mfind_some_in : forall (m : list (prod nat valu)) (a : nat) (v : valu),
+  mfind m a = Some v -> In a (mkeys m).
+Proof.
+  induction m; intros; simpl in H.
+  - discriminate H.
+  - destruct p as [k w]. simpl in H. simpl. destruct (eqb k a) eqn:E.
+    + left. apply eqb_eq. assumption.
+    + rewrite E in H. simpl in H. right. eapply IHm.
+Qed.
+
+Lemma not_in_mfind_none : forall (m : list (prod nat valu)) (a : nat),
+  ~ In a (mkeys m) -> mfind m a = None.
+Proof.
+  induction m; intros; simpl.
+  - reflexivity.
+  - destruct p as [k w]. simpl. destruct (eqb k a) eqn:E.
+    + exfalso. apply H. simpl. left. apply eqb_eq. assumption.
+    + simpl. apply IHm. intro Hc. apply H. simpl. right. assumption.
+Qed.
+
+Lemma mfind_none_not_in : forall (m : list (prod nat valu)) (a : nat),
+  mfind m a = None -> ~ In a (mkeys m).
+Proof.
+  induction m; intros; simpl in H.
+  - simpl in H0. contradiction.
+  - destruct p as [k w]. simpl in H. simpl in H0. destruct H0 as [Hc|Hc].
+    + subst. rewrite eqb_refl in H. discriminate H.
+    + destruct (eqb k a) eqn:E.
+      * rewrite E in H. simpl in H. discriminate H.
+      * rewrite E in H. simpl in H. apply IHm in H. contradiction.
+Qed.
+
+Lemma mfind_app_some : forall (m1 m2 : list (prod nat valu)) (a : nat) (v : valu),
+  mfind m1 a = Some v -> mfind (app m1 m2) a = Some v.
+Proof.
+  induction m1; intros; simpl in H.
+  - discriminate H.
+  - destruct p as [k w]. simpl in H. simpl. destruct (eqb k a) eqn:E.
+    + rewrite E in H. simpl in H. simpl. assumption.
+    + rewrite E in H. simpl in H. simpl. apply IHm1. assumption.
+Qed.
+
+Lemma mfind_app_none : forall (m1 m2 : list (prod nat valu)) (a : nat),
+  mfind m1 a = None -> mfind (app m1 m2) a = mfind m2 a.
+Proof.
+  induction m1; intros; simpl.
+  - reflexivity.
+  - destruct p as [k w]. simpl in H. simpl. destruct (eqb k a) eqn:E.
+    + rewrite E in H. simpl in H. discriminate H.
+    + rewrite E in H. simpl in H. simpl. apply IHm1. assumption.
+Qed.
+
+Lemma mdisj_nil_l : forall (m : list (prod nat valu)), mdisj [] m.
+Proof.
+  unfold mdisj. intros m a H. simpl in H. contradiction.
+Qed.
+
+Hint Resolve mdisj_nil_l.
+
+Lemma mdisj_comm : forall (m1 m2 : list (prod nat valu)), mdisj m1 m2 -> mdisj m2 m1.
+Proof.
+  unfold mdisj. intros m1 m2 H a H2 Hc.
+  apply H in Hc. contradiction.
+Qed.
+
+Lemma mdisj_nil_r : forall (m : list (prod nat valu)), mdisj m [].
+Proof.
+  intros. apply mdisj_comm. apply mdisj_nil_l.
+Qed.
+
+Hint Resolve mdisj_nil_r.
+
+Lemma munion_nil_l : forall (m : list (prod nat valu)), munion [] m = m.
+Proof. intros. unfold munion. reflexivity. Qed.
+
+Lemma munion_nil_r : forall (m : list (prod nat valu)), munion m [] = m.
+Proof. intros. unfold munion. apply app_nil_r. Qed.
+
+Lemma munion_comm : forall (m1 m2 : list (prod nat valu)),
+  mdisj m1 m2 -> meq (munion m1 m2) (munion m2 m1).
+Proof.
+  unfold meq. intros m1 m2 Hd a. unfold munion.
+  destruct (mfind m1 a) eqn:E1.
+  - pose proof (mfind_app_some m1 m2 a v E1) as H1. rewrite H1.
+    pose proof (mfind_some_in m1 a v E1) as Hin.
+    apply Hd in Hin. apply not_in_mfind_none in Hin.
+    pose proof (mfind_app_none m2 m1 a Hin) as H2. rewrite H2.
+    rewrite E1. reflexivity.
+  - pose proof (mfind_app_none m1 m2 a E1) as H1. rewrite H1.
+    destruct (mfind m2 a) eqn:E2.
+    + pose proof (mfind_app_some m2 m1 a v E2) as H2. rewrite H2. reflexivity.
+    + pose proof (mfind_app_none m2 m1 a E2) as H2. rewrite H2.
+      rewrite E1. reflexivity.
+Qed.
+
+Lemma munion_assoc : forall (m1 m2 m3 : list (prod nat valu)),
+  munion m1 (munion m2 m3) = munion (munion m1 m2) m3.
+Proof.
+  intros. unfold munion. apply app_assoc.
+Qed.
+
+Lemma mdisj_munion_l : forall (m1 m2 m3 : list (prod nat valu)),
+  mdisj (munion m1 m2) m3 -> mdisj m1 m3.
+Proof.
+  unfold mdisj. intros m1 m2 m3 H a Ha.
+  apply H. unfold munion. rewrite mkeys_app. apply in_app_l. assumption.
+Qed.
+
+Lemma mdisj_munion_r : forall (m1 m2 m3 : list (prod nat valu)),
+  mdisj (munion m1 m2) m3 -> mdisj m2 m3.
+Proof.
+  unfold mdisj. intros m1 m2 m3 H a Ha.
+  apply H. unfold munion. rewrite mkeys_app. apply in_app_r. assumption.
+Qed.
+
+Lemma mdisj_munion_intro : forall (m1 m2 m3 : list (prod nat valu)),
+  mdisj m1 m3 -> mdisj m2 m3 -> mdisj (munion m1 m2) m3.
+Proof.
+  unfold mdisj. intros m1 m2 m3 H1 H2 a Ha.
+  unfold munion in Ha. rewrite mkeys_app in Ha.
+  apply in_app_or in Ha. destruct Ha as [Ha|Ha].
+  - apply H1. assumption.
+  - apply H2. assumption.
+Qed.
+
+Lemma meq_munion_l : forall (m1 m2 m3 : list (prod nat valu)),
+  meq m1 m2 -> meq (munion m1 m3) (munion m2 m3).
+Proof.
+  unfold meq. intros m1 m2 m3 H a. unfold munion.
+  destruct (mfind m1 a) eqn:E1.
+  - pose proof (mfind_app_some m1 m3 a v E1) as H1. rewrite H1.
+    rewrite H in E1.
+    pose proof (mfind_app_some m2 m3 a v E1) as H2. rewrite H2. reflexivity.
+  - pose proof (mfind_app_none m1 m3 a E1) as H1. rewrite H1.
+    rewrite H in E1.
+    pose proof (mfind_app_none m2 m3 a E1) as H2. rewrite H2. reflexivity.
+Qed.
+
+Lemma mupd_munion_l : forall (m1 m2 : list (prod nat valu)) (a : nat) (v : valu),
+  mupd (munion m1 m2) a v = munion (mupd m1 a v) m2.
+Proof.
+  intros. unfold mupd. unfold munion. reflexivity.
+Qed.
+
+Lemma meq_munion_r : forall (m1 m2 m3 : list (prod nat valu)),
+  meq m2 m3 -> meq (munion m1 m2) (munion m1 m3).
+Proof.
+  unfold meq. intros m1 m2 m3 H a. unfold munion.
+  destruct (mfind m1 a) eqn:E1.
+  - pose proof (mfind_app_some m1 m2 a v E1) as H1. rewrite H1.
+    pose proof (mfind_app_some m1 m3 a v E1) as H2. rewrite H2. reflexivity.
+  - pose proof (mfind_app_none m1 m2 a E1) as H1. rewrite H1.
+    pose proof (mfind_app_none m1 m3 a E1) as H2. rewrite H2.
+    apply H.
+Qed.
+
+Lemma meq_munion_both : forall (m1 m2 m3 m4 : list (prod nat valu)),
+  meq m1 m3 -> meq m2 m4 -> meq (munion m1 m2) (munion m3 m4).
+Proof.
+  intros m1 m2 m3 m4 H1 H2.
+  pose proof (meq_munion_l m1 m3 m2 H1) as Ha.
+  pose proof (meq_munion_r m3 m2 m4 H2) as Hb.
+  pose proof (meq_trans (munion m1 m2) (munion m3 m2) (munion m3 m4) Ha Hb) as Hc.
+  exact Hc.
+Qed.
+
+(* Later writes to the same address shadow earlier ones. *)
+Lemma mupd_shadow_mem : forall (d : list (prod nat valu)) (a : nat) (v w : valu),
+  meq (mupd (mupd d a v) a w) (mupd d a w).
+Proof.
+  unfold meq. intros d a v w x. destruct (eqb a x) eqn:E.
+  - apply eqb_eq in E. subst.
+    pose proof (mfind_mupd_eq (mupd d x v) x w) as H1. rewrite H1.
+    pose proof (mfind_mupd_eq d x w) as H2. rewrite H2. reflexivity.
+  - apply eqb_neq in E.
+    pose proof (mfind_mupd_ne (mupd d a v) a x w E) as H1. rewrite H1.
+    pose proof (mfind_mupd_ne d a x v E) as H2. rewrite H2.
+    pose proof (mfind_mupd_ne d a x w E) as H3. rewrite H3. reflexivity.
+Qed.
+
+(* Writes to distinct addresses commute up to lookup equivalence. *)
+Lemma mupd_comm_meq : forall (d : list (prod nat valu)) (a1 a2 : nat) (v1 v2 : valu),
+  a1 <> a2 ->
+  meq (mupd (mupd d a1 v1) a2 v2) (mupd (mupd d a2 v2) a1 v1).
+Proof.
+  unfold meq. intros d a1 a2 v1 v2 Hne x.
+  destruct (eqb a2 x) eqn:E2.
+  - apply eqb_eq in E2. subst.
+    pose proof (mfind_mupd_eq (mupd d a1 v1) x v2) as H1. rewrite H1.
+    pose proof (mfind_mupd_ne (mupd d x v2) a1 x v1 Hne) as H2. rewrite H2.
+    pose proof (mfind_mupd_eq d x v2) as H3. rewrite H3. reflexivity.
+  - apply eqb_neq in E2.
+    pose proof (mfind_mupd_ne (mupd d a1 v1) a2 x v2 E2) as H1. rewrite H1.
+    destruct (eqb a1 x) eqn:E1.
+    + apply eqb_eq in E1. subst.
+      pose proof (mfind_mupd_eq d x v1) as H2. rewrite H2.
+      pose proof (mfind_mupd_eq (mupd d a2 v2) x v1) as H3. rewrite H3. reflexivity.
+    + apply eqb_neq in E1.
+      pose proof (mfind_mupd_ne d a1 x v1 E1) as H2. rewrite H2.
+      pose proof (mfind_mupd_ne (mupd d a2 v2) a1 x v1 E1) as H3. rewrite H3.
+      pose proof (mfind_mupd_ne d a2 x v2 E2) as H4. rewrite H4. reflexivity.
+Qed.

@@ -1,0 +1,374 @@
+(* NatUtils: arithmetic utility lemmas over Peano naturals.
+   Mirrors the arithmetic helper layer FSCQ builds on top of Coq's
+   standard library. *)
+
+Fixpoint min (n m : nat) : nat :=
+  match n with
+  | 0 => 0
+  | S p => match m with | 0 => 0 | S q => S (min p q) end
+  end.
+
+Fixpoint max (n m : nat) : nat :=
+  match n with
+  | 0 => m
+  | S p => match m with | 0 => n | S q => S (max p q) end
+  end.
+
+Fixpoint pow (b e : nat) : nat :=
+  match e with
+  | 0 => 1
+  | S p => mul b (pow b p)
+  end.
+
+Lemma add_0_l : forall n : nat, add 0 n = n.
+Proof. intros. reflexivity. Qed.
+
+Lemma add_0_r : forall n : nat, add n 0 = n.
+Proof.
+  induction n.
+  - reflexivity.
+  - simpl. rewrite IHn. reflexivity.
+Qed.
+
+Lemma add_succ_l : forall n m : nat, add (S n) m = S (add n m).
+Proof. intros. reflexivity. Qed.
+
+Lemma add_succ_r : forall n m : nat, add n (S m) = S (add n m).
+Proof.
+  induction n; intros.
+  - reflexivity.
+  - simpl. rewrite IHn. reflexivity.
+Qed.
+
+Lemma add_comm : forall n m : nat, add n m = add m n.
+Proof.
+  induction n; intros; simpl.
+  - rewrite add_0_r. reflexivity.
+  - rewrite IHn. rewrite add_succ_r. reflexivity.
+Qed.
+
+Lemma add_assoc : forall a b c : nat, add a (add b c) = add (add a b) c.
+Proof.
+  induction a; intros; simpl.
+  - reflexivity.
+  - rewrite IHa. reflexivity.
+Qed.
+
+Lemma add_cancel_l : forall a b c : nat, add a b = add a c -> b = c.
+Proof.
+  induction a; intros; simpl in H.
+  - assumption.
+  - injection H. apply IHa. assumption.
+Qed.
+
+Lemma add_cancel_r : forall a b c : nat, add b a = add c a -> b = c.
+Proof.
+  intros a b c H.
+  rewrite add_comm in H.
+  assert (Hc : add c a = add a c).
+  - apply add_comm.
+  - rewrite Hc in H. apply add_cancel_l in H. assumption.
+Qed.
+
+Lemma add_eq_0 : forall a b : nat, add a b = 0 -> a = 0.
+Proof.
+  intros a b H. destruct a.
+  - reflexivity.
+  - simpl in H. discriminate H.
+Qed.
+
+Lemma succ_neq_0 : forall n : nat, S n <> 0.
+Proof. intros. discriminate. Qed.
+
+Lemma succ_inj : forall n m : nat, S n = S m -> n = m.
+Proof. intros n m H. injection H. assumption. Qed.
+
+Lemma mul_0_l : forall n : nat, mul 0 n = 0.
+Proof. intros. reflexivity. Qed.
+
+Lemma mul_0_r : forall n : nat, mul n 0 = 0.
+Proof.
+  induction n.
+  - reflexivity.
+  - simpl. assumption.
+Qed.
+
+Lemma mul_1_l : forall n : nat, mul 1 n = n.
+Proof. intros. simpl. rewrite add_0_r. reflexivity. Qed.
+
+Lemma mul_succ_r : forall n m : nat, mul n (S m) = add n (mul n m).
+Proof.
+  induction n; intros; simpl.
+  - reflexivity.
+  - rewrite IHn. rewrite add_assoc. rewrite add_assoc.
+    assert (H : add m n = add n m).
+    + apply add_comm.
+    + rewrite H. reflexivity.
+Qed.
+
+Lemma mul_1_r : forall n : nat, mul n 1 = n.
+Proof.
+  intros. rewrite mul_succ_r. rewrite mul_0_r. rewrite add_0_r. reflexivity.
+Qed.
+
+Lemma mul_comm : forall n m : nat, mul n m = mul m n.
+Proof.
+  induction n; intros; simpl.
+  - rewrite mul_0_r. reflexivity.
+  - rewrite IHn. rewrite mul_succ_r. reflexivity.
+Qed.
+
+Lemma sub_0_l : forall n : nat, sub 0 n = 0.
+Proof. intros. reflexivity. Qed.
+
+Lemma sub_0_r : forall n : nat, sub n 0 = n.
+Proof. intros n. destruct n; reflexivity. Qed.
+
+Lemma sub_diag : forall n : nat, sub n n = 0.
+Proof.
+  induction n.
+  - reflexivity.
+  - simpl. assumption.
+Qed.
+
+Lemma sub_succ : forall n m : nat, sub (S n) (S m) = sub n m.
+Proof. intros. reflexivity. Qed.
+
+Lemma le_0_n : forall n : nat, le 0 n.
+Proof.
+  induction n.
+  - apply le_n.
+  - apply le_S. assumption.
+Qed.
+
+Hint Resolve le_0_n.
+
+Lemma le_refl : forall n : nat, le n n.
+Proof. intros. apply le_n. Qed.
+
+Lemma le_n_S : forall n m : nat, le n m -> le (S n) (S m).
+Proof.
+  induction m; intros H.
+  - inversion H. apply le_n.
+  - inversion H.
+    + apply le_n.
+    + apply le_S. apply IHm. assumption.
+Qed.
+
+Hint Resolve le_n_S.
+
+Lemma le_S_n : forall n m : nat, le (S n) (S m) -> le n m.
+Proof. intros. lia. Qed.
+
+Lemma le_trans : forall a b c : nat, le a b -> le b c -> le a c.
+Proof. intros. lia. Qed.
+
+Lemma le_antisym : forall a b : nat, le a b -> le b a -> a = b.
+Proof. intros. lia. Qed.
+
+Lemma lt_irrefl : forall n : nat, ~ lt n n.
+Proof. intros n H. unfold lt in H. lia. Qed.
+
+Lemma lt_le_incl : forall a b : nat, lt a b -> le a b.
+Proof. intros. lia. Qed.
+
+Lemma lt_trans : forall a b c : nat, lt a b -> lt b c -> lt a c.
+Proof. intros. lia. Qed.
+
+Lemma le_lt_trans : forall a b c : nat, le a b -> lt b c -> lt a c.
+Proof. intros. lia. Qed.
+
+Lemma lt_le_trans : forall a b c : nat, lt a b -> le b c -> lt a c.
+Proof. intros. lia. Qed.
+
+Lemma lt_0_succ : forall n : nat, lt 0 (S n).
+Proof. intros. lia. Qed.
+
+Lemma neq_0_lt : forall n : nat, n <> 0 -> lt 0 n.
+Proof. intros. lia. Qed.
+
+Lemma le_add_r : forall a b : nat, le a (add a b).
+Proof. intros. lia. Qed.
+
+Lemma le_add_l : forall a b : nat, le a (add b a).
+Proof. intros. lia. Qed.
+
+Lemma add_le_mono : forall a b c d : nat, le a b -> le c d -> le (add a c) (add b d).
+Proof. intros. lia. Qed.
+
+Lemma lt_succ_r : forall n m : nat, lt n (S m) <-> le n m.
+Proof. intros. split; intros; lia. Qed.
+
+Lemma eqb_refl : forall n : nat, eqb n n = true.
+Proof.
+  induction n.
+  - reflexivity.
+  - simpl. assumption.
+Qed.
+
+Lemma eqb_eq : forall n m : nat, eqb n m = true <-> n = m.
+Proof.
+  induction n; intros m; destruct m; simpl; split; intros H.
+  - reflexivity.
+  - reflexivity.
+  - discriminate H.
+  - discriminate H.
+  - discriminate H.
+  - discriminate H.
+  - f_equal. apply IHn. assumption.
+  - injection H. apply IHn. assumption.
+Qed.
+
+Lemma eqb_neq : forall n m : nat, eqb n m = false -> n <> m.
+Proof.
+  intros n m H He.
+  rewrite He in H.
+  rewrite eqb_refl in H.
+  discriminate H.
+Qed.
+
+Lemma leb_le : forall n m : nat, leb n m = true <-> le n m.
+Proof.
+  induction n; intros m; destruct m; simpl; split; intros H.
+  - apply le_n.
+  - reflexivity.
+  - apply le_0_n.
+  - reflexivity.
+  - discriminate H.
+  - exfalso. lia.
+  - apply le_n_S. apply IHn. assumption.
+  - apply IHn. lia.
+Qed.
+
+Lemma leb_refl : forall n : nat, leb n n = true.
+Proof.
+  induction n.
+  - reflexivity.
+  - simpl. assumption.
+Qed.
+
+Lemma min_0_l : forall n : nat, min 0 n = 0.
+Proof. intros. reflexivity. Qed.
+
+Lemma min_comm : forall n m : nat, min n m = min m n.
+Proof.
+  induction n; intros; destruct m; simpl.
+  - reflexivity.
+  - reflexivity.
+  - reflexivity.
+  - rewrite IHn. reflexivity.
+Qed.
+
+Lemma min_le_l : forall n m : nat, le (min n m) n.
+Proof.
+  induction n; intros; destruct m; simpl.
+  - apply le_n.
+  - apply le_n.
+  - apply le_0_n.
+  - apply le_n_S. apply IHn.
+Qed.
+
+Lemma max_0_l : forall n : nat, max 0 n = n.
+Proof. intros. reflexivity. Qed.
+
+Lemma max_comm : forall n m : nat, max n m = max m n.
+Proof.
+  induction n; intros; destruct m; simpl.
+  - reflexivity.
+  - reflexivity.
+  - reflexivity.
+  - rewrite IHn. reflexivity.
+Qed.
+
+Lemma le_max_l : forall n m : nat, le n (max n m).
+Proof.
+  induction n; intros; destruct m; simpl.
+  - apply le_n.
+  - apply le_0_n.
+  - apply le_n.
+  - apply le_n_S. apply IHn.
+Qed.
+
+Lemma pow_0_r : forall b : nat, pow b 0 = 1.
+Proof. intros. reflexivity. Qed.
+
+Lemma pow_1_l : forall e : nat, pow 1 e = 1.
+Proof.
+  induction e.
+  - reflexivity.
+  - simpl. rewrite IHe. reflexivity.
+Qed.
+
+Lemma mul_add_distr_r : forall (a b c : nat), mul (add a b) c = add (mul a c) (mul b c).
+Proof.
+  induction a; intros; simpl.
+  - reflexivity.
+  - rewrite IHa. rewrite add_assoc. reflexivity.
+Qed.
+
+Lemma mul_assoc : forall (a b c : nat), mul a (mul b c) = mul (mul a b) c.
+Proof.
+  induction a; intros; simpl.
+  - reflexivity.
+  - rewrite IHa. rewrite mul_add_distr_r. reflexivity.
+Qed.
+
+Lemma min_assoc : forall (a b c : nat), min a (min b c) = min (min a b) c.
+Proof.
+  induction a; intros; destruct b; destruct c; simpl.
+  - reflexivity.
+  - reflexivity.
+  - reflexivity.
+  - reflexivity.
+  - reflexivity.
+  - reflexivity.
+  - reflexivity.
+  - rewrite IHa. reflexivity.
+Qed.
+
+Lemma max_assoc : forall (a b c : nat), max a (max b c) = max (max a b) c.
+Proof.
+  induction a; intros; destruct b; destruct c; simpl.
+  - reflexivity.
+  - reflexivity.
+  - reflexivity.
+  - reflexivity.
+  - reflexivity.
+  - reflexivity.
+  - reflexivity.
+  - rewrite IHa. reflexivity.
+Qed.
+
+Lemma min_le_r : forall (n m : nat), le (min n m) m.
+Proof.
+  induction n; intros; destruct m; simpl.
+  - apply le_n.
+  - apply le_0_n.
+  - apply le_n.
+  - apply le_n_S. apply IHn.
+Qed.
+
+Lemma sub_add_le : forall (a b : nat), le (sub a b) a.
+Proof.
+  induction a; intros; simpl.
+  - apply le_n.
+  - destruct b; simpl.
+    + apply le_n.
+    + apply le_S. apply IHa.
+Qed.
+
+Lemma add_sub_cancel : forall (a b : nat), sub (add a b) a = b.
+Proof.
+  induction a; intros; simpl.
+  - apply sub_0_r.
+  - apply IHa.
+Qed.
+
+Lemma leb_false_lt : forall (n m : nat), leb n m = false -> lt m n.
+Proof.
+  induction n; intros; destruct m; simpl in H.
+  - discriminate H.
+  - discriminate H.
+  - lia.
+  - apply IHn in H. lia.
+Qed.

@@ -1,0 +1,365 @@
+(* Pred: the separation-logic predicate algebra of the Crash Hoare Logic.
+   Predicates are a deep embedding (Emp, Ptsto, Star, Any) with a recursive
+   satisfaction relation over memories; entailment is pimpl. Mirrors the
+   algebraic core of FSCQ's Pred.v. *)
+
+Require Import NatUtils.
+Require Import ListUtils.
+Require Import Mem.
+
+Inductive pred :=
+| Emp
+| Ptsto (a : nat) (v : valu)
+| Star (p : pred) (q : pred)
+| Any.
+
+Fixpoint psat (p : pred) (m : list (prod nat valu)) : Prop :=
+  match p with
+  | Emp => meq m []
+  | Ptsto a v => meq m (pair a v :: [])
+  | Star p1 p2 =>
+      exists m1 : list (prod nat valu), exists m2 : list (prod nat valu),
+        mdisj m1 m2 /\ meq m (munion m1 m2) /\ psat p1 m1 /\ psat p2 m2
+  | Any => True
+  end.
+
+Definition pimpl (p q : pred) : Prop :=
+  forall (m : list (prod nat valu)), psat p m -> psat q m.
+
+Lemma pimpl_refl : forall (p : pred), pimpl p p.
+Proof. unfold pimpl. intros. assumption. Qed.
+
+Hint Resolve pimpl_refl.
+
+Lemma pimpl_trans : forall (p q r : pred), pimpl p q -> pimpl q r -> pimpl p r.
+Proof.
+  unfold pimpl. intros p q r H1 H2 m Hm.
+  apply H2. apply H1. assumption.
+Qed.
+
+Lemma pimpl_any : forall (p : pred), pimpl p Any.
+Proof.
+  unfold pimpl. intros. simpl. split.
+Qed.
+
+Lemma psat_emp_meq : forall (m : list (prod nat valu)), psat Emp m -> meq m [].
+Proof. intros. simpl in H. assumption. Qed.
+
+Lemma psat_meq : forall (p : pred) (m m2 : list (prod nat valu)),
+  meq m m2 -> psat p m -> psat p m2.
+Proof.
+  destruct p as [|a v|q1 q2|]; intros; simpl in H0; simpl.
+  - pose proof (meq_sym m m2 H) as Hs.
+    pose proof (meq_trans m2 m [] Hs H0) as Ht. exact Ht.
+  - pose proof (meq_sym m m2 H) as Hs.
+    pose proof (meq_trans m2 m (pair a v :: []) Hs H0) as Ht. exact Ht.
+  - destruct H0 as [m1 H0]. destruct H0 as [m3 H0].
+    destruct H0 as [Hd H0]. destruct H0 as [Hm H0].
+    exists m1. exists m3.
+    split.
+    + assumption.
+    + split.
+      * pose proof (meq_sym m m2 H) as Hs.
+        pose proof (meq_trans m2 m (munion m1 m3) Hs Hm) as Ht. exact Ht.
+      * assumption.
+  - split.
+Qed.
+
+Lemma star_comm : forall (p q : pred), pimpl (Star p q) (Star q p).
+Proof.
+  unfold pimpl. intros p q m H. simpl in H. simpl.
+  destruct H as [m1 H]. destruct H as [m2 H].
+  destruct H as [Hd H]. destruct H as [Hm H]. destruct H as [Hp Hq].
+  exists m2. exists m1.
+  split.
+  - apply mdisj_comm. assumption.
+  - split.
+    + pose proof (munion_comm m1 m2 Hd) as Hc.
+      pose proof (meq_trans m (munion m1 m2) (munion m2 m1) Hm Hc) as Ht. exact Ht.
+    + split.
+      * assumption.
+      * assumption.
+Qed.
+
+Lemma star_emp_l : forall (p : pred), pimpl (Star Emp p) p.
+Proof.
+  unfold pimpl. intros p m H. simpl in H.
+  destruct H as [m1 H]. destruct H as [m2 H].
+  destruct H as [Hd H]. destruct H as [Hm H]. destruct H as [He Hp].
+  pose proof (meq_munion_l m1 [] m2 He) as H1.
+  pose proof (munion_nil_l m2) as H2. rewrite H2 in H1.
+  pose proof (meq_trans m (munion m1 m2) m2 Hm H1) as H3.
+  pose proof (meq_sym m m2 H3) as H4.
+  pose proof (psat_meq p m2 m H4 Hp) as H5. exact H5.
+Qed.
+
+Lemma emp_star_l : forall (p : pred), pimpl p (Star Emp p).
+Proof.
+  unfold pimpl. intros p m H. simpl.
+  exists []. exists m.
+  split.
+  - apply mdisj_nil_l.
+  - split.
+    + apply meq_refl.
+    + split.
+      * apply meq_refl.
+      * assumption.
+Qed.
+
+Lemma star_any_r : forall (p : pred), pimpl p (Star p Any).
+Proof.
+  unfold pimpl. intros p m H. simpl.
+  exists m. exists [].
+  split.
+  - apply mdisj_nil_r.
+  - split.
+    + pose proof (munion_nil_r m) as Hu. rewrite Hu. apply meq_refl.
+    + split.
+      * assumption.
+      * split.
+Qed.
+
+Lemma in_mkeys_some : forall (m : list (prod nat valu)) (a : nat),
+  In a (mkeys m) -> exists v : valu, mfind m a = Some v.
+Proof.
+  intros m a H. destruct (mfind m a) eqn:E.
+  - exists v. assumption.
+  - apply mfind_none_not_in in E. contradiction.
+Qed.
+
+Lemma mdisj_meq_l : forall (m1 m2 m3 : list (prod nat valu)),
+  meq m1 m2 -> mdisj m1 m3 -> mdisj m2 m3.
+Proof.
+  unfold mdisj. intros m1 m2 m3 H H0 a Ha.
+  apply in_mkeys_some in Ha. destruct Ha as [v Hv].
+  rewrite <- H in Hv.
+  apply mfind_some_in in Hv.
+  apply H0. assumption.
+Qed.
+
+Lemma mdisj_meq_r : forall (m1 m2 m3 : list (prod nat valu)),
+  meq m2 m3 -> mdisj m1 m2 -> mdisj m1 m3.
+Proof.
+  intros m1 m2 m3 H H0.
+  apply mdisj_comm. apply mdisj_comm in H0.
+  pose proof (mdisj_meq_l m2 m3 m1 H H0) as Hx. exact Hx.
+Qed.
+
+Lemma star_assoc_1 : forall (p q r : pred),
+  pimpl (Star (Star p q) r) (Star p (Star q r)).
+Proof.
+  unfold pimpl. intros p q r m H. simpl in H.
+  destruct H as [m12 H]. destruct H as [m3 H].
+  destruct H as [Hd H]. destruct H as [Hm H]. destruct H as [Hpq Hr].
+  destruct Hpq as [m1 Hpq]. destruct Hpq as [m2 Hpq].
+  destruct Hpq as [Hd2 Hpq]. destruct Hpq as [Hm2 Hpq]. destruct Hpq as [Hp Hq].
+  pose proof (mdisj_meq_l m12 (munion m1 m2) m3 Hm2 Hd) as Hd3.
+  pose proof (mdisj_munion_l m1 m2 m3 Hd3) as Hd13.
+  pose proof (mdisj_munion_r m1 m2 m3 Hd3) as Hd23.
+  simpl.
+  exists m1. exists (munion m2 m3).
+  split.
+  - apply mdisj_comm. apply mdisj_munion_intro.
+    + apply mdisj_comm. exact Hd2.
+    + apply mdisj_comm. exact Hd13.
+  - split.
+    + pose proof (meq_munion_l m12 (munion m1 m2) m3 Hm2) as Ht1.
+      pose proof (meq_trans m (munion m12 m3) (munion (munion m1 m2) m3) Hm Ht1) as Ht2.
+      pose proof (munion_assoc m1 m2 m3) as Ha.
+      rewrite <- Ha in Ht2. exact Ht2.
+    + split.
+      * assumption.
+      * simpl. exists m2. exists m3.
+        split.
+        -- exact Hd23.
+        -- split.
+           ++ apply meq_refl.
+           ++ split.
+              ** assumption.
+              ** assumption.
+Qed.
+
+Lemma pimpl_star_mono : forall (p p2 q q2 : pred),
+  pimpl p p2 -> pimpl q q2 -> pimpl (Star p q) (Star p2 q2).
+Proof.
+  unfold pimpl. intros p p2 q q2 H1 H2 m H. simpl in H. simpl.
+  destruct H as [m1 H]. destruct H as [m2 H].
+  destruct H as [Hd H]. destruct H as [Hm H]. destruct H as [Hp Hq].
+  exists m1. exists m2.
+  split.
+  - assumption.
+  - split.
+    + assumption.
+    + split.
+      * apply H1. assumption.
+      * apply H2. assumption.
+Qed.
+
+Lemma ptsto_valid : forall (a : nat) (v : valu) (q : pred) (m : list (prod nat valu)),
+  psat (Star (Ptsto a v) q) m -> mfind m a = Some v.
+Proof.
+  intros a v q m H. simpl in H.
+  destruct H as [m1 H]. destruct H as [m2 H].
+  destruct H as [Hd H]. destruct H as [Hm H]. destruct H as [Hp Hq].
+  rewrite Hm.
+  specialize (Hp a). simpl in Hp. rewrite eqb_refl in Hp. simpl in Hp.
+  unfold munion.
+  pose proof (mfind_app_some m1 m2 a v Hp) as Hx. rewrite Hx. reflexivity.
+Qed.
+
+Lemma psat_any : forall (m : list (prod nat valu)), psat Any m.
+Proof. intros. simpl. split. Qed.
+
+Hint Resolve psat_any.
+
+Lemma star_any_any : pimpl (Star Any Any) Any.
+Proof. apply pimpl_any. Qed.
+
+Lemma ptsto_ne : forall (a b : nat) (v w : valu) (q : pred) (m : list (prod nat valu)),
+  psat (Star (Ptsto a v) (Star (Ptsto b w) q)) m -> a <> b.
+Proof.
+  intros a b v w q m H He. subst.
+  simpl in H.
+  destruct H as [m1 H]. destruct H as [m2 H].
+  destruct H as [Hd H]. destruct H as [Hm H]. destruct H as [Hp Hq].
+  destruct Hq as [m3 Hq]. destruct Hq as [m4 Hq].
+  destruct Hq as [Hd2 Hq]. destruct Hq as [Hm2 Hq]. destruct Hq as [Hb Hr].
+  specialize (Hp b). simpl in Hp. rewrite eqb_refl in Hp. simpl in Hp.
+  specialize (Hb b). simpl in Hb. rewrite eqb_refl in Hb. simpl in Hb.
+  specialize (Hm2 b).
+  pose proof (mfind_app_some m3 m4 b w Hb) as H3.
+  unfold munion in Hm2. rewrite H3 in Hm2.
+  apply mfind_some_in in Hp.
+  apply mfind_some_in in Hm2.
+  apply Hd in Hp.
+  contradiction.
+Qed.
+
+Lemma mdisj_single : forall (a : nat) (v : valu) (m : list (prod nat valu)),
+  ~ In a (mkeys m) -> mdisj (pair a v :: []) m.
+Proof.
+  unfold mdisj. intros a v m H x Hx.
+  simpl in Hx. destruct Hx as [Hx|Hx].
+  - subst. assumption.
+  - contradiction.
+Qed.
+
+Lemma ptsto_upd : forall (a : nat) (v v0 : valu) (F : pred) (m : list (prod nat valu)),
+  psat (Star (Ptsto a v0) F) m -> psat (Star (Ptsto a v) F) (mupd m a v).
+Proof.
+  intros a v v0 F m H. simpl in H. simpl.
+  destruct H as [m1 H]. destruct H as [m2 H].
+  destruct H as [Hd H]. destruct H as [Hm H]. destruct H as [Hp Hq].
+  exists (pair a v :: []). exists m2.
+  split.
+  - apply mdisj_single.
+    specialize (Hp a). simpl in Hp. rewrite eqb_refl in Hp. simpl in Hp.
+    apply mfind_some_in in Hp. apply Hd in Hp. assumption.
+  - split.
+    + unfold meq. intros x. destruct (eqb a x) eqn:E.
+      * apply eqb_eq in E. subst.
+        pose proof (mfind_mupd_eq m x v) as H1. rewrite H1.
+        unfold munion. simpl. rewrite eqb_refl. reflexivity.
+      * apply eqb_neq in E.
+        pose proof (mfind_mupd_ne m a x v E) as H1. rewrite H1.
+        unfold munion. simpl. rewrite eqb_neq_false.
+        -- specialize (Hm x). rewrite Hm. unfold munion.
+           specialize (Hp x). simpl in Hp.
+           rewrite eqb_neq_false in Hp.
+           ++ simpl in Hp.
+              pose proof (mfind_app_none m1 m2 x Hp) as H2. rewrite H2. reflexivity.
+           ++ assumption.
+        -- assumption.
+    + split.
+      * apply meq_refl.
+      * assumption.
+Qed.
+
+Lemma star_assoc_2 : forall (p q r : pred),
+  pimpl (Star p (Star q r)) (Star (Star p q) r).
+Proof.
+  intros p q r.
+  pose proof (star_comm p (Star q r)) as H1.
+  pose proof (star_assoc_1 q r p) as H2.
+  pose proof (star_comm q (Star r p)) as H3.
+  pose proof (star_assoc_1 r p q) as H4.
+  pose proof (star_comm r (Star p q)) as H5.
+  pose proof (pimpl_trans (Star p (Star q r)) (Star (Star q r) p) (Star q (Star r p)) H1 H2) as T1.
+  pose proof (pimpl_trans (Star p (Star q r)) (Star q (Star r p)) (Star (Star r p) q) T1 H3) as T2.
+  pose proof (pimpl_trans (Star p (Star q r)) (Star (Star r p) q) (Star r (Star p q)) T2 H4) as T3.
+  pose proof (pimpl_trans (Star p (Star q r)) (Star r (Star p q)) (Star (Star p q) r) T3 H5) as T4.
+  exact T4.
+Qed.
+
+(* The four-component exchange law: the workhorse of separation-logic frame
+   reshuffling in the file-system proofs. The proof is a long but fully
+   explicit chain of associativity, commutativity and monotonicity steps. *)
+Lemma star_exchange : forall (p q r s : pred),
+  pimpl (Star (Star p q) (Star r s)) (Star (Star p r) (Star q s)).
+Proof.
+  intros p q r s.
+  pose proof (star_assoc_1 p q (Star r s)) as H1.
+  pose proof (star_assoc_2 q r s) as I2.
+  pose proof (star_comm q r) as I3.
+  pose proof (pimpl_refl s) as Rs.
+  pose proof (pimpl_star_mono (Star q r) (Star r q) s s I3 Rs) as I4.
+  pose proof (star_assoc_1 r q s) as I5.
+  pose proof (pimpl_trans (Star q (Star r s)) (Star (Star q r) s) (Star (Star r q) s) I2 I4) as J1.
+  pose proof (pimpl_trans (Star q (Star r s)) (Star (Star r q) s) (Star r (Star q s)) J1 I5) as J2.
+  pose proof (pimpl_refl p) as Rp.
+  pose proof (pimpl_star_mono p p (Star q (Star r s)) (Star r (Star q s)) Rp J2) as K.
+  pose proof (star_assoc_2 p r (Star q s)) as L.
+  pose proof (pimpl_trans (Star (Star p q) (Star r s)) (Star p (Star q (Star r s))) (Star p (Star r (Star q s))) H1 K) as M1.
+  pose proof (pimpl_trans (Star (Star p q) (Star r s)) (Star p (Star r (Star q s))) (Star (Star p r) (Star q s)) M1 L) as M2.
+  exact M2.
+Qed.
+
+Lemma star_comm_frame : forall (p q f : pred),
+  pimpl (Star (Star p q) f) (Star (Star q p) f).
+Proof.
+  intros p q f.
+  pose proof (star_comm p q) as H1.
+  pose proof (pimpl_refl f) as Hf.
+  pose proof (pimpl_star_mono (Star p q) (Star q p) f f H1 Hf) as H2.
+  exact H2.
+Qed.
+
+Lemma ptsto_any : forall (a : nat) (v : valu), pimpl (Ptsto a v) (Star (Ptsto a v) Emp).
+Proof.
+  unfold pimpl. intros a v m H. simpl.
+  exists m. exists [].
+  split.
+  - apply mdisj_nil_r.
+  - split.
+    + pose proof (munion_nil_r m) as Hu. rewrite Hu. apply meq_refl.
+    + split.
+      * simpl in H. assumption.
+      * apply meq_refl.
+Qed.
+
+Lemma star_rotate : forall (p q r : pred),
+  pimpl (Star p (Star q r)) (Star q (Star r p)).
+Proof.
+  intros p q r.
+  pose proof (star_comm p (Star q r)) as H1.
+  pose proof (star_assoc_1 q r p) as H2.
+  pose proof (pimpl_trans (Star p (Star q r)) (Star (Star q r) p) (Star q (Star r p)) H1 H2) as H3.
+  exact H3.
+Qed.
+
+Lemma star_exchange_rev : forall (p q r s : pred),
+  pimpl (Star (Star p r) (Star q s)) (Star (Star p q) (Star r s)).
+Proof.
+  intros p q r s.
+  pose proof (star_exchange p r q s) as H. exact H.
+Qed.
+
+Lemma pimpl_star_any_absorb : forall (p : pred),
+  pimpl (Star p (Star Any Any)) (Star p Any).
+Proof.
+  intros p.
+  pose proof (star_any_any) as H1.
+  pose proof (pimpl_refl p) as Hp.
+  pose proof (pimpl_star_mono p p (Star Any Any) Any Hp H1) as H2.
+  exact H2.
+Qed.

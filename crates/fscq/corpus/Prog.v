@@ -1,0 +1,141 @@
+(* Prog: programs and their crash semantics.
+   Programs are sequences of disk operations. Writes are buffered (deferred
+   writes, as in DFSCQ); Sync flushes the buffer to the durable disk. A
+   crash exposes the durable disk with an arbitrary prefix-closed subset of
+   the buffered writes applied, modelled by the recursive crash_disk
+   relation. *)
+
+Require Import NatUtils.
+Require Import ListUtils.
+Require Import Mem.
+
+Inductive op :=
+| Write (a : nat) (v : valu)
+| Sync.
+
+Fixpoint mflush (b : list (prod nat valu)) (d : list (prod nat valu)) : list (prod nat valu) :=
+  match b with
+  | [] => d
+  | c :: rest => match c with
+      | pair a v => mflush rest (mupd d a v)
+      end
+  end.
+
+Fixpoint run (p : list op) (d : list (prod nat valu)) (b : list (prod nat valu)) : prod (list (prod nat valu)) (list (prod nat valu)) :=
+  match p with
+  | [] => pair d b
+  | o :: rest => match o with
+      | Write a v => run rest d (app b (pair a v :: []))
+      | Sync => run rest (mflush b d) []
+      end
+  end.
+
+Definition rfst (s : prod (list (prod nat valu)) (list (prod nat valu))) : list (prod nat valu) :=
+  match s with | pair d b => d end.
+
+Definition rsnd (s : prod (list (prod nat valu)) (list (prod nat valu))) : list (prod nat valu) :=
+  match s with | pair d b => b end.
+
+(* The logical (all-writes-applied) view of a machine state. *)
+Definition ldisk (d : list (prod nat valu)) (b : list (prod nat valu)) : list (prod nat valu) :=
+  mflush b d.
+
+Fixpoint crash_disk (b : list (prod nat valu)) (d : list (prod nat valu)) (d2 : list (prod nat valu)) : Prop :=
+  match b with
+  | [] => meq d2 d
+  | c :: rest => match c with
+      | pair a v => crash_disk rest d d2 \/ crash_disk rest (mupd d a v) d2
+      end
+  end.
+
+Lemma run_nil : forall (d b : list (prod nat valu)), run [] d b = pair d b.
+Proof. intros. reflexivity. Qed.
+
+Lemma run_app : forall (p1 p2 : list op) (d b : list (prod nat valu)),
+  run (app p1 p2) d b = run p2 (rfst (run p1 d b)) (rsnd (run p1 d b)).
+Proof.
+  induction p1; intros; simpl.
+  - reflexivity.
+  - destruct x as [a v|]; simpl.
+    + rewrite IHp1. reflexivity.
+    + rewrite IHp1. reflexivity.
+Qed.
+
+Lemma mflush_nil : forall (d : list (prod nat valu)), mflush [] d = d.
+Proof. intros. reflexivity. Qed.
+
+Lemma mflush_app : forall (b1 b2 d : list (prod nat valu)),
+  mflush (app b1 b2) d = mflush b2 (mflush b1 d).
+Proof.
+  induction b1; intros; simpl.
+  - reflexivity.
+  - destruct p as [a v]. simpl. rewrite IHb1. reflexivity.
+Qed.
+
+Lemma mflush_one : forall (d : list (prod nat valu)) (a : nat) (v : valu),
+  mflush (pair a v :: []) d = mupd d a v.
+Proof. intros. reflexivity. Qed.
+
+Lemma write_buffers : forall (d b : list (prod nat valu)) (a : nat) (v : valu),
+  run (Write a v :: []) d b = pair d (app b (pair a v :: [])).
+Proof. intros. reflexivity. Qed.
+
+Lemma sync_flushes : forall (d b : list (prod nat valu)),
+  run (Sync :: []) d b = pair (mflush b d) [].
+Proof. intros. reflexivity. Qed.
+
+Lemma ldisk_write : forall (d b : list (prod nat valu)) (a : nat) (v : valu),
+  ldisk (rfst (run (Write a v :: []) d b)) (rsnd (run (Write a v :: []) d b))
+    = mupd (ldisk d b) a v.
+Proof.
+  intros. unfold ldisk. simpl. rewrite mflush_app. reflexivity.
+Qed.
+
+Lemma ldisk_sync : forall (d b : list (prod nat valu)),
+  ldisk (rfst (run (Sync :: []) d b)) (rsnd (run (Sync :: []) d b)) = ldisk d b.
+Proof.
+  intros. unfold ldisk. simpl. reflexivity.
+Qed.
+
+Lemma crash_disk_none : forall (b d : list (prod nat valu)), crash_disk b d d.
+Proof.
+  induction b; intros; simpl.
+  - apply meq_refl.
+  - destruct p as [a v]. simpl. left. apply IHb.
+Qed.
+
+Hint Resolve crash_disk_none.
+
+Lemma crash_disk_all : forall (b d : list (prod nat valu)),
+  crash_disk b d (mflush b d).
+Proof.
+  induction b; intros; simpl.
+  - apply meq_refl.
+  - destruct p as [a v]. simpl. right. apply IHb.
+Qed.
+
+Hint Resolve crash_disk_all.
+
+Lemma crash_disk_nil : forall (d d2 : list (prod nat valu)),
+  crash_disk [] d d2 -> meq d2 d.
+Proof. intros. simpl in H. assumption. Qed.
+
+Lemma crash_disk_meq : forall (b d d2 d3 : list (prod nat valu)),
+  meq d2 d3 -> crash_disk b d d2 -> crash_disk b d d3.
+Proof.
+  induction b; intros; simpl in H0; simpl.
+  - pose proof (meq_sym d2 d3 H) as Hs.
+    pose proof (meq_trans d3 d2 d Hs H0) as Ht. exact Ht.
+  - destruct p as [a v]. simpl. simpl in H0. destruct H0 as [H0|H0].
+    + left. eapply IHb.
+      assumption.
+    + right. eapply IHb.
+      assumption.
+Qed.
+
+Lemma sync_crash_safe : forall (d b d2 : list (prod nat valu)),
+  crash_disk (rsnd (run (Sync :: []) d b)) (rfst (run (Sync :: []) d b)) d2 ->
+  meq d2 (mflush b d).
+Proof.
+  intros. simpl in H. assumption.
+Qed.

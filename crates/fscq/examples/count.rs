@@ -1,0 +1,13 @@
+//! Developer tool: per-module theorem counts of the corpus.
+
+fn main() {
+    let dev = fscq_corpus::load_corpus(false).unwrap();
+    let mut by_file = std::collections::BTreeMap::new();
+    for t in &dev.theorems {
+        *by_file.entry(t.file.clone()).or_insert(0) += 1;
+    }
+    for (f, c) in &by_file {
+        println!("{f}: {c}");
+    }
+    println!("TOTAL: {}", dev.theorems.len());
+}

@@ -1,0 +1,38 @@
+//! Developer tool: replay a corpus theorem's human proof sentence by
+//! sentence, printing the proof state after each step (and the failing
+//! state on error).
+//!
+//! ```sh
+//! cargo run -p fscq-corpus --example replay_trace <lemma_name>
+//! ```
+
+use minicoq::fuel::Fuel;
+use minicoq::goal::ProofState;
+use minicoq::parse::{parse_tactic, split_sentences};
+use minicoq::tactic::apply_tactic;
+
+fn main() {
+    let name = std::env::args().nth(1).expect("lemma name");
+    let dev = fscq_corpus::load_corpus(false).unwrap();
+    let t = dev.theorem(&name).expect("theorem");
+    let env = dev.env_before(t);
+    let mut st = ProofState::new(t.stmt.clone());
+    for s in split_sentences(&t.proof_text) {
+        let tac = match parse_tactic(env, st.goals.first(), &s) {
+            Ok(t) => t,
+            Err(e) => {
+                println!("PARSE FAIL `{s}`: {e}\nstate:\n{}", st.display());
+                return;
+            }
+        };
+        match apply_tactic(env, &st, &tac, &mut Fuel::new(20_000_000)) {
+            Ok(n) => st = n,
+            Err(e) => {
+                println!("APPLY FAIL `{s}`: {e}\nstate:\n{}", st.display());
+                return;
+            }
+        }
+        println!("== {s}\n{}", st.display());
+    }
+    println!("complete: {}", st.is_complete());
+}

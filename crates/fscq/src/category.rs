@@ -1,0 +1,90 @@
+//! Theorem categories, mirroring Table 1 of the paper.
+
+use std::fmt;
+
+/// The three categories used by the paper's Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Category {
+    /// Helper lemmas generally useful in any development (`ListUtils`,
+    /// `NatUtils`).
+    Utilities = 0,
+    /// Crash Hoare Logic: the memory model, predicate algebra, program
+    /// semantics and Hoare rules (`Mem`, `Pred`, `Prog`, `Hoare`).
+    Chl = 1,
+    /// File-system components (`Log`, `Inode`, `DirTree`, `FS`).
+    FileSystem = 2,
+}
+
+impl Category {
+    /// Derives a category from a module name.
+    pub fn of_module(module: &str) -> Category {
+        match module {
+            "NatUtils" | "ListUtils" => Category::Utilities,
+            "Mem" | "Pred" | "Prog" | "Hoare" => Category::Chl,
+            _ => Category::FileSystem,
+        }
+    }
+
+    /// All categories, in Table 1 order.
+    pub fn all() -> [Category; 3] {
+        [Category::Utilities, Category::Chl, Category::FileSystem]
+    }
+
+    /// The label used in the paper's tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Category::Utilities => "Utilities",
+            Category::Chl => "CHL",
+            Category::FileSystem => "File System",
+        }
+    }
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn module_mapping() {
+        assert_eq!(Category::of_module("ListUtils"), Category::Utilities);
+        assert_eq!(Category::of_module("Hoare"), Category::Chl);
+        assert_eq!(Category::of_module("DirTree"), Category::FileSystem);
+    }
+}
+
+#[cfg(test)]
+mod full_mapping_tests {
+    use super::*;
+
+    #[test]
+    fn every_corpus_module_has_a_category() {
+        let expect = [
+            ("NatUtils", Category::Utilities),
+            ("ListUtils", Category::Utilities),
+            ("Mem", Category::Chl),
+            ("Pred", Category::Chl),
+            ("Prog", Category::Chl),
+            ("Hoare", Category::Chl),
+            ("Log", Category::FileSystem),
+            ("Inode", Category::FileSystem),
+            ("DirTree", Category::FileSystem),
+            ("FS", Category::FileSystem),
+        ];
+        for (m, c) in expect {
+            assert_eq!(Category::of_module(m), c, "{m}");
+        }
+    }
+
+    #[test]
+    fn labels_match_the_papers_table1_headers() {
+        assert_eq!(Category::Utilities.label(), "Utilities");
+        assert_eq!(Category::Chl.label(), "CHL");
+        assert_eq!(Category::FileSystem.label(), "File System");
+    }
+}

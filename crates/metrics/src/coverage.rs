@@ -1,0 +1,204 @@
+//! Coverage analyses: Figure 1 bins and Table 1 categories.
+
+use serde::{Deserialize, Serialize};
+
+use crate::experiment::CellResult;
+use proof_oracle::tokenizer::LENGTH_BINS;
+
+/// Per-bin coverage for one cell (a Figure 1 series).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BinCoverage {
+    /// Cell label.
+    pub label: String,
+    /// Theorems per bin.
+    pub totals: Vec<usize>,
+    /// Proved theorems per bin.
+    pub proved: Vec<usize>,
+}
+
+impl BinCoverage {
+    /// Coverage fraction per bin (`None` for empty bins).
+    pub fn rates(&self) -> Vec<Option<f64>> {
+        self.totals
+            .iter()
+            .zip(&self.proved)
+            .map(|(t, p)| {
+                if *t == 0 {
+                    None
+                } else {
+                    Some(*p as f64 / *t as f64)
+                }
+            })
+            .collect()
+    }
+
+    /// Overall coverage across all bins.
+    pub fn overall(&self) -> f64 {
+        let t: usize = self.totals.iter().sum();
+        let p: usize = self.proved.iter().sum();
+        if t == 0 {
+            0.0
+        } else {
+            p as f64 / t as f64
+        }
+    }
+}
+
+/// Computes a cell's per-bin coverage.
+pub fn bin_coverage(cell: &CellResult) -> BinCoverage {
+    let nbins = LENGTH_BINS.len() + 1;
+    let mut totals = vec![0usize; nbins];
+    let mut proved = vec![0usize; nbins];
+    for o in &cell.outcomes {
+        totals[o.bin] += 1;
+        if o.outcome == "proved" {
+            proved[o.bin] += 1;
+        }
+    }
+    BinCoverage {
+        label: cell.label.clone(),
+        totals,
+        proved,
+    }
+}
+
+/// The coverage of theorems whose human proofs are under `max_tokens`, and
+/// the share of such theorems (the headline "57% of theorems under 64
+/// tokens, which make up 60% of the corpus").
+pub fn coverage_under(cell: &CellResult, max_tokens: usize) -> (f64, f64) {
+    let short: Vec<_> = cell
+        .outcomes
+        .iter()
+        .filter(|o| o.human_tokens < max_tokens)
+        .collect();
+    let share = if cell.outcomes.is_empty() {
+        0.0
+    } else {
+        short.len() as f64 / cell.outcomes.len() as f64
+    };
+    let proved = short.iter().filter(|o| o.outcome == "proved").count();
+    let rate = if short.is_empty() {
+        0.0
+    } else {
+        proved as f64 / short.len() as f64
+    };
+    (rate, share)
+}
+
+/// One Table 1 row: actual and expected coverage for a category.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CategoryCoverage {
+    /// Category label.
+    pub category: String,
+    /// Theorems evaluated in the category.
+    pub total: usize,
+    /// Fraction of the category proved.
+    pub actual: f64,
+    /// Category-agnostic expectation: for each lemma, the cell's Figure 1
+    /// coverage of the lemma's length bin (§4.1).
+    pub expected: f64,
+}
+
+/// Computes Table 1 for one cell.
+pub fn category_coverage(cell: &CellResult) -> Vec<CategoryCoverage> {
+    let bins = bin_coverage(cell);
+    let rates = bins.rates();
+    let mut out = Vec::new();
+    for cat in ["Utilities", "CHL", "File System"] {
+        let members: Vec<_> = cell.outcomes.iter().filter(|o| o.category == cat).collect();
+        if members.is_empty() {
+            out.push(CategoryCoverage {
+                category: cat.to_string(),
+                total: 0,
+                actual: 0.0,
+                expected: 0.0,
+            });
+            continue;
+        }
+        let proved = members.iter().filter(|o| o.outcome == "proved").count();
+        let actual = proved as f64 / members.len() as f64;
+        let expected = members
+            .iter()
+            .map(|o| rates[o.bin].unwrap_or(0.0))
+            .sum::<f64>()
+            / members.len() as f64;
+        out.push(CategoryCoverage {
+            category: cat.to_string(),
+            total: members.len(),
+            actual,
+            expected,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::TheoremOutcome;
+
+    fn outcome(cat: &str, tokens: usize, proved: bool) -> TheoremOutcome {
+        TheoremOutcome {
+            name: "t".into(),
+            file: "f".into(),
+            category: cat.into(),
+            human_tokens: tokens,
+            bin: proof_oracle::tokenizer::bin_of(tokens),
+            outcome: if proved { "proved" } else { "stuck" }.into(),
+            script: None,
+            gen_tokens: None,
+            similarity: None,
+            queries: 1,
+        }
+    }
+
+    fn cell(outcomes: Vec<TheoremOutcome>) -> CellResult {
+        CellResult {
+            label: "test".into(),
+            setting: "hints".into(),
+            outcomes,
+        }
+    }
+
+    #[test]
+    fn bins_and_overall() {
+        let c = cell(vec![
+            outcome("Utilities", 10, true),
+            outcome("Utilities", 10, false),
+            outcome("CHL", 100, true),
+        ]);
+        let b = bin_coverage(&c);
+        assert_eq!(b.totals.iter().sum::<usize>(), 3);
+        assert!((b.overall() - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(b.rates()[0], Some(0.5));
+    }
+
+    #[test]
+    fn expected_coverage_is_bin_weighted() {
+        // Utilities: both short (bin0), one proved => bin0 rate 0.5.
+        // CHL: one long proved (bin4 rate 1.0).
+        let c = cell(vec![
+            outcome("Utilities", 10, true),
+            outcome("Utilities", 12, false),
+            outcome("CHL", 200, true),
+        ]);
+        let cats = category_coverage(&c);
+        let util = cats.iter().find(|c| c.category == "Utilities").unwrap();
+        assert!((util.actual - 0.5).abs() < 1e-9);
+        assert!((util.expected - 0.5).abs() < 1e-9);
+        let chl = cats.iter().find(|c| c.category == "CHL").unwrap();
+        assert!((chl.actual - 1.0).abs() < 1e-9);
+        assert!((chl.expected - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn coverage_under_counts_share() {
+        let c = cell(vec![
+            outcome("Utilities", 10, true),
+            outcome("Utilities", 100, false),
+        ]);
+        let (rate, share) = coverage_under(&c, 64);
+        assert_eq!(rate, 1.0);
+        assert_eq!(share, 0.5);
+    }
+}

@@ -1,0 +1,234 @@
+//! The experiment runner: one *cell* is a (model configuration, prompt
+//! setting) pair evaluated over a set of theorems.
+
+use fscq_corpus::{Category, Corpus};
+use proof_oracle::profiles::ModelProfile;
+use proof_oracle::prompt::{build_prompt, PromptConfig, PromptSetting};
+use proof_oracle::split::{eval_set, eval_set_small, hint_set};
+use proof_oracle::tokenizer::{bin_of, count_tokens};
+use proof_oracle::SimulatedModel;
+use proof_search::{search, Outcome, SearchConfig};
+use serde::{Deserialize, Serialize};
+
+use crate::levenshtein::{canonical_script, similarity};
+
+/// Which theorems a cell evaluates (§4 "Data").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EvalScope {
+    /// All theorems outside the hint split (smaller models).
+    Full,
+    /// The reduced deterministic sample (larger models).
+    Sampled,
+}
+
+/// One experiment cell.
+#[derive(Debug, Clone)]
+pub struct CellConfig {
+    /// Model capability profile.
+    pub profile: ModelProfile,
+    /// Vanilla or hints.
+    pub setting: PromptSetting,
+    /// Evaluation scope.
+    pub scope: EvalScope,
+    /// Search hyper-parameters.
+    pub search: SearchConfig,
+    /// Simulator shape parameters (calibration sweeps).
+    pub tuning: proof_oracle::sim::Tuning,
+    /// Automated premise selection: keep only the top-k retrieved lemmas
+    /// in the prompt (`None` = the paper's full-context protocol).
+    pub retrieval: Option<usize>,
+}
+
+impl CellConfig {
+    /// The standard cell for a profile and setting, with the paper's scope
+    /// rule (larger models on the 10% sample).
+    pub fn standard(profile: ModelProfile, setting: PromptSetting) -> CellConfig {
+        let scope = if profile.is_large() {
+            EvalScope::Sampled
+        } else {
+            EvalScope::Full
+        };
+        CellConfig {
+            profile,
+            setting,
+            scope,
+            search: SearchConfig::default(),
+            tuning: proof_oracle::sim::Tuning::default(),
+            retrieval: None,
+        }
+    }
+
+    /// Display label, e.g. `GPT-4o (w/ hints)`.
+    pub fn label(&self) -> String {
+        match self.setting {
+            PromptSetting::Vanilla => self.profile.name.to_string(),
+            PromptSetting::Hints => format!("{} (w/ hints)", self.profile.name),
+        }
+    }
+}
+
+/// The per-theorem record a cell produces.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TheoremOutcome {
+    /// Theorem name.
+    pub name: String,
+    /// Module name.
+    pub file: String,
+    /// Category label (Table 1).
+    pub category: String,
+    /// Token length of the human proof.
+    pub human_tokens: usize,
+    /// Figure 1 length bin.
+    pub bin: usize,
+    /// `proved` / `stuck` / `fuelout`.
+    pub outcome: String,
+    /// The found script, when proved.
+    pub script: Option<String>,
+    /// Token length of the found script.
+    pub gen_tokens: Option<usize>,
+    /// Normalized similarity to the human proof.
+    pub similarity: Option<f64>,
+    /// Model queries issued.
+    pub queries: u32,
+}
+
+/// A completed experiment cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CellResult {
+    /// Display label.
+    pub label: String,
+    /// Prompt setting (`vanilla` / `hints`).
+    pub setting: String,
+    /// Per-theorem outcomes.
+    pub outcomes: Vec<TheoremOutcome>,
+}
+
+impl CellResult {
+    /// Fraction of theorems proved.
+    pub fn proved_rate(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.outcomes
+            .iter()
+            .filter(|o| o.outcome == "proved")
+            .count() as f64
+            / self.outcomes.len() as f64
+    }
+
+    /// Fraction with the given outcome string.
+    pub fn rate_of(&self, outcome: &str) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.outcomes
+            .iter()
+            .filter(|o| o.outcome == outcome)
+            .count() as f64
+            / self.outcomes.len() as f64
+    }
+
+    /// Average similarity of generated proofs to human proofs.
+    pub fn avg_similarity(&self) -> f64 {
+        let vals: Vec<f64> = self.outcomes.iter().filter_map(|o| o.similarity).collect();
+        if vals.is_empty() {
+            return 0.0;
+        }
+        vals.iter().sum::<f64>() / vals.len() as f64
+    }
+
+    /// Average generated length as a percentage of the human length.
+    pub fn avg_length_ratio(&self) -> f64 {
+        let vals: Vec<f64> = self
+            .outcomes
+            .iter()
+            .filter(|o| o.outcome == "proved")
+            .filter_map(|o| {
+                o.gen_tokens
+                    .map(|g| g as f64 / o.human_tokens.max(1) as f64)
+            })
+            .collect();
+        if vals.is_empty() {
+            return 0.0;
+        }
+        100.0 * vals.iter().sum::<f64>() / vals.len() as f64
+    }
+}
+
+/// Runs one experiment cell over the corpus.
+pub fn run_cell(corpus: &Corpus, cell: &CellConfig) -> CellResult {
+    let dev = &corpus.dev;
+    let hints = hint_set(dev);
+    let indices = match cell.scope {
+        EvalScope::Full => eval_set(dev),
+        EvalScope::Sampled => eval_set_small(dev),
+    };
+    let prompt_cfg = PromptConfig {
+        setting: cell.setting,
+        window: Some(cell.profile.window),
+        minimal: false,
+        retrieval: cell.retrieval,
+    };
+    let mut model = SimulatedModel::new(cell.profile.clone()).with_tuning(cell.tuning.clone());
+    let mut outcomes = Vec::new();
+    for &i in &indices {
+        let thm = &dev.theorems[i];
+        let env = dev.env_before(thm);
+        let prompt = build_prompt(dev, thm, &hints, &prompt_cfg);
+        let result = search(env, &thm.stmt, &thm.name, &mut model, &prompt, &cell.search);
+        let human = canonical_script(&thm.proof_text);
+        let human_tokens = count_tokens(&thm.proof_text);
+        let (outcome, script) = match &result.outcome {
+            Outcome::Proved { .. } => ("proved", result.script_text()),
+            Outcome::Stuck => ("stuck", None),
+            Outcome::Fuelout => ("fuelout", None),
+        };
+        let (gen_tokens, sim) = match &script {
+            Some(s) => {
+                let c = canonical_script(s);
+                (Some(count_tokens(&c)), Some(similarity(&c, &human)))
+            }
+            None => (None, None),
+        };
+        outcomes.push(TheoremOutcome {
+            name: thm.name.clone(),
+            file: thm.file.clone(),
+            category: Category::of_module(&thm.file).label().to_string(),
+            human_tokens,
+            bin: bin_of(human_tokens),
+            outcome: outcome.to_string(),
+            script,
+            gen_tokens,
+            similarity: sim,
+            queries: result.stats.queries,
+        });
+    }
+    CellResult {
+        label: cell.label(),
+        setting: match cell.setting {
+            PromptSetting::Vanilla => "vanilla".into(),
+            PromptSetting::Hints => "hints".into(),
+        },
+        outcomes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_runs_on_a_slice() {
+        // A fast smoke test: tiny query budget over the sampled scope.
+        let corpus = Corpus::load();
+        let mut cell = CellConfig::standard(ModelProfile::gpt4o(), PromptSetting::Hints);
+        cell.search.query_limit = 4;
+        let r = run_cell(&corpus, &cell);
+        assert!(!r.outcomes.is_empty());
+        assert!(r.label.contains("hints"));
+        for o in &r.outcomes {
+            assert!(o.queries <= 4);
+            assert!(["proved", "stuck", "fuelout"].contains(&o.outcome.as_str()));
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Evaluation harness: experiments, metrics and report data (§4).
+//!
+//! * [`levenshtein`] — normalized similarity between generated and human
+//!   proofs (Table 2's qualitative metric);
+//! * [`experiment`] — the per-(model, setting) experiment runner producing
+//!   per-theorem outcomes;
+//! * [`coverage`] — proof coverage by human-proof-length bin (Figure 1)
+//!   and by category with expected-coverage correction (Table 1);
+//! * [`report`] — plain-text renderers for every table and figure, plus
+//!   JSON serialization so the bench binaries and EXPERIMENTS.md share one
+//!   artifact format.
+
+pub mod coverage;
+pub mod experiment;
+pub mod levenshtein;
+pub mod report;
+
+pub use experiment::{run_cell, CellConfig, CellResult, EvalScope, TheoremOutcome};

@@ -1,0 +1,189 @@
+//! Plain-text renderers for the paper's tables and figures, plus JSON
+//! persistence shared by the bench binaries and EXPERIMENTS.md.
+
+use std::fmt::Write as _;
+
+use serde::{Deserialize, Serialize};
+
+use crate::coverage::{bin_coverage, category_coverage, BinCoverage};
+use crate::experiment::CellResult;
+use proof_oracle::tokenizer::bin_labels;
+
+/// A bundle of cells, serializable to JSON for reuse across binaries.
+#[derive(Debug, Clone, Serialize, Deserialize, Default)]
+pub struct ResultSet {
+    /// All completed cells.
+    pub cells: Vec<CellResult>,
+}
+
+impl ResultSet {
+    /// Finds a cell by label.
+    pub fn cell(&self, label: &str) -> Option<&CellResult> {
+        self.cells.iter().find(|c| c.label == label)
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("serializable")
+    }
+
+    /// Parses from JSON.
+    pub fn from_json(s: &str) -> Result<ResultSet, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+/// Renders a Figure 1 panel: per-bin coverage for the given cells, as an
+/// aligned text table with bar sparklines.
+pub fn render_fig1(cells: &[&CellResult], title: &str) -> String {
+    let mut out = String::new();
+    let labels = bin_labels();
+    let _ = writeln!(out, "{title}");
+    let _ = write!(out, "{:38}", "model \\ human-proof tokens");
+    for l in &labels {
+        let _ = write!(out, "{l:>11}");
+    }
+    let _ = writeln!(out, "{:>9}", "overall");
+    for cell in cells {
+        let cov: BinCoverage = bin_coverage(cell);
+        let rates = cov.rates();
+        let _ = write!(out, "{:38}", cell.label);
+        for (i, r) in rates.iter().enumerate() {
+            match r {
+                Some(r) => {
+                    let _ = write!(out, "{:>7.0}% {:3}", r * 100.0, bar(*r));
+                }
+                None => {
+                    let _ = write!(out, "{:>11}", format!("-/{}", cov.totals[i]));
+                }
+            }
+        }
+        let _ = writeln!(out, "{:>8.1}%", cov.overall() * 100.0);
+    }
+    out
+}
+
+fn bar(r: f64) -> &'static str {
+    match (r * 4.0).round() as u32 {
+        0 => "   ",
+        1 => "#  ",
+        2 => "## ",
+        _ => "###",
+    }
+}
+
+/// Renders Table 1: category coverage, actual / expected.
+pub fn render_table1(cells: &[&CellResult]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table 1: proof coverage across categories (actual / expected)"
+    );
+    let _ = writeln!(
+        out,
+        "{:28} {:>17} {:>17} {:>17}",
+        "Model", "Utilities", "CHL", "File System"
+    );
+    for cell in cells {
+        let cats = category_coverage(cell);
+        let _ = write!(out, "{:28}", cell.label);
+        for c in cats {
+            let _ = write!(
+                out,
+                " {:>7.1}% / {:>6.1}%",
+                c.actual * 100.0,
+                c.expected * 100.0
+            );
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Renders Table 2: proved / stuck / fuelout percentages and the
+/// qualitative metrics, as `vanilla -> hints` pairs.
+pub fn render_table2(pairs: &[(&CellResult, &CellResult)], baseline: f64) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table 2: outcomes and qualitative metrics (vanilla -> with hints)"
+    );
+    let _ = writeln!(
+        out,
+        "{:32} {:>16} {:>16} {:>14} {:>16} {:>18}",
+        "Model", "Proved", "Stuck", "Fuelout", "Similarity", "Length"
+    );
+    for (vanilla, hints) in pairs {
+        let name = vanilla.label.clone();
+        let _ = writeln!(
+            out,
+            "{:32} {:>6.1}% -> {:<5.1}% {:>6.1}% -> {:<5.1}% {:>5.1}% -> {:<4.1}% {:>6.3} -> {:<6.3} {:>7.1}% -> {:<6.1}%",
+            name,
+            vanilla.proved_rate() * 100.0,
+            hints.proved_rate() * 100.0,
+            vanilla.rate_of("stuck") * 100.0,
+            hints.rate_of("stuck") * 100.0,
+            vanilla.rate_of("fuelout") * 100.0,
+            hints.rate_of("fuelout") * 100.0,
+            vanilla.avg_similarity(),
+            hints.avg_similarity(),
+            vanilla.avg_length_ratio(),
+            hints.avg_length_ratio(),
+        );
+    }
+    let _ = writeln!(
+        out,
+        "(random-pair proof similarity baseline: {baseline:.3})"
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::TheoremOutcome;
+
+    fn mini_cell(label: &str) -> CellResult {
+        CellResult {
+            label: label.into(),
+            setting: "hints".into(),
+            outcomes: vec![TheoremOutcome {
+                name: "t".into(),
+                file: "NatUtils".into(),
+                category: "Utilities".into(),
+                human_tokens: 10,
+                bin: 0,
+                outcome: "proved".into(),
+                script: Some("intros. auto.".into()),
+                gen_tokens: Some(5),
+                similarity: Some(0.8),
+                queries: 3,
+            }],
+        }
+    }
+
+    #[test]
+    fn renderers_produce_text() {
+        let a = mini_cell("A");
+        let b = mini_cell("B");
+        let f = render_fig1(&[&a, &b], "Figure 1a");
+        assert!(f.contains("Figure 1a") && f.contains('A') && f.contains("overall"));
+        let t1 = render_table1(&[&a]);
+        assert!(t1.contains("Utilities"));
+        let t2 = render_table2(&[(&a, &b)], 0.36);
+        assert!(t2.contains("->") && t2.contains("0.360"));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let rs = ResultSet {
+            cells: vec![mini_cell("A")],
+        };
+        let s = rs.to_json();
+        let back = ResultSet::from_json(&s).unwrap();
+        assert_eq!(back.cells.len(), 1);
+        assert_eq!(back.cells[0].label, "A");
+        assert!(back.cell("A").is_some());
+        assert!(back.cell("Z").is_none());
+    }
+}

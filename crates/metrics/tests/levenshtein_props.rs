@@ -1,0 +1,30 @@
+//! Property tests for the similarity metric.
+
+use proof_metrics::levenshtein::{canonical_script, levenshtein, similarity};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn distance_is_a_metric(a in ".{0,24}", b in ".{0,24}", c in ".{0,24}") {
+        // Identity and symmetry.
+        prop_assert_eq!(levenshtein(&a, &a), 0);
+        prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+        // Triangle inequality.
+        prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+    }
+
+    #[test]
+    fn similarity_is_normalized(a in ".{0,32}", b in ".{0,32}") {
+        let s = similarity(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&s));
+        prop_assert_eq!(similarity(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn canonicalization_is_idempotent(a in "[a-z;,\\. \\-\\+\\*]{0,48}") {
+        let once = canonical_script(&a);
+        prop_assert_eq!(canonical_script(&once), once.clone());
+        // Canonical scripts never start with a bullet.
+        prop_assert!(!once.starts_with(['-', '+', '*']));
+    }
+}

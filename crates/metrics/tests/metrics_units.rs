@@ -1,0 +1,289 @@
+//! Unit tests for the evaluation metrics: similarity normalization,
+//! script canonicalization, bin/category coverage arithmetic (including
+//! the expected-coverage correction behind Table 1), aggregate statistics
+//! on synthetic cells, and the JSON round-trip the grid cache relies on.
+
+use proof_metrics::coverage::{bin_coverage, category_coverage, coverage_under};
+use proof_metrics::experiment::{CellResult, TheoremOutcome};
+use proof_metrics::levenshtein::{canonical_script, levenshtein, random_pair_baseline, similarity};
+use proof_metrics::report::ResultSet;
+use proof_oracle::tokenizer::bin_of;
+
+// ------------------------------------------------------------- levenshtein
+
+#[test]
+fn edit_distance_basics() {
+    assert_eq!(levenshtein("", ""), 0);
+    assert_eq!(levenshtein("abc", "abc"), 0);
+    assert_eq!(levenshtein("abc", ""), 3);
+    assert_eq!(levenshtein("kitten", "sitting"), 3);
+    assert_eq!(levenshtein("intros", "intro"), 1);
+}
+
+#[test]
+fn similarity_is_normalized_and_symmetric() {
+    assert_eq!(similarity("", ""), 1.0);
+    assert_eq!(similarity("same", "same"), 1.0);
+    for (a, b) in [("intros. auto.", "intros. lia."), ("x", ""), ("ab", "ba")] {
+        let s = similarity(a, b);
+        assert!((0.0..=1.0).contains(&s), "{a} / {b} -> {s}");
+        assert_eq!(s, similarity(b, a));
+    }
+    assert!(similarity("intros. reflexivity.", "intros. reflexivity.") > 0.99);
+    assert!(similarity("abcdef", "uvwxyz") < 0.2);
+}
+
+#[test]
+fn canonical_script_drops_bullets_and_whitespace_noise() {
+    let a = canonical_script("intros n.  - reflexivity. - simpl.\n  auto.");
+    let b = canonical_script("intros n. reflexivity. simpl. auto.");
+    assert_eq!(a, b);
+    // Bullets of any depth are focus bookkeeping, not content.
+    let c = canonical_script("+ * - intros.");
+    assert_eq!(c, canonical_script("intros."));
+}
+
+#[test]
+fn canonical_script_preserves_tactic_content() {
+    let s = canonical_script("apply foo. rewrite <- bar in H.");
+    assert!(s.contains("apply foo"));
+    assert!(s.contains("rewrite <- bar in H"));
+}
+
+#[test]
+fn random_pair_baseline_is_deterministic_and_sane() {
+    let proofs: Vec<String> = (0..40)
+        .map(|i| format!("intros x{i}. apply lemma_{i}. reflexivity."))
+        .collect();
+    let b1 = random_pair_baseline(&proofs, 200);
+    let b2 = random_pair_baseline(&proofs, 200);
+    assert_eq!(b1, b2, "baseline must be seeded");
+    assert!((0.0..1.0).contains(&b1));
+    // Identical corpora pin the baseline at 1.
+    let same: Vec<String> = vec!["auto.".into(); 10];
+    assert!(random_pair_baseline(&same, 50) > 0.99);
+}
+
+// ----------------------------------------------------------- synthetic cells
+
+fn outcome(
+    name: &str,
+    category: &str,
+    human: usize,
+    out: &str,
+    gen: Option<usize>,
+) -> TheoremOutcome {
+    TheoremOutcome {
+        name: name.to_string(),
+        file: "T".to_string(),
+        category: category.to_string(),
+        human_tokens: human,
+        bin: bin_of(human),
+        outcome: out.to_string(),
+        script: (out == "proved").then(|| "auto.".to_string()),
+        gen_tokens: gen,
+        similarity: (out == "proved").then_some(0.5),
+        queries: 3,
+    }
+}
+
+fn cell(outcomes: Vec<TheoremOutcome>) -> CellResult {
+    CellResult {
+        label: "synthetic".to_string(),
+        setting: "hints".to_string(),
+        outcomes,
+    }
+}
+
+#[test]
+fn rates_count_outcomes() {
+    let c = cell(vec![
+        outcome("a", "Utilities", 10, "proved", Some(8)),
+        outcome("b", "Utilities", 20, "stuck", None),
+        outcome("c", "CHL", 40, "fuelout", None),
+        outcome("d", "CHL", 80, "proved", Some(120)),
+    ]);
+    assert_eq!(c.proved_rate(), 0.5);
+    assert_eq!(c.rate_of("stuck"), 0.25);
+    assert_eq!(c.rate_of("fuelout"), 0.25);
+    assert_eq!(c.rate_of("nonsense"), 0.0);
+}
+
+#[test]
+fn empty_cells_do_not_divide_by_zero() {
+    let c = cell(vec![]);
+    assert_eq!(c.proved_rate(), 0.0);
+    assert_eq!(c.avg_similarity(), 0.0);
+    assert_eq!(c.avg_length_ratio(), 0.0);
+}
+
+#[test]
+fn length_ratio_uses_only_proved_theorems() {
+    let c = cell(vec![
+        outcome("a", "Utilities", 10, "proved", Some(5)), // 50%
+        outcome("b", "Utilities", 10, "proved", Some(15)), // 150%
+        outcome("c", "CHL", 10, "stuck", None),
+    ]);
+    assert!((c.avg_length_ratio() - 100.0).abs() < 1e-9);
+}
+
+#[test]
+fn bin_coverage_tracks_per_bin_rates() {
+    let c = cell(vec![
+        outcome("a", "U", 8, "proved", Some(8)),   // bin 0
+        outcome("b", "U", 8, "stuck", None),       // bin 0
+        outcome("c", "U", 20, "proved", Some(20)), // bin 1
+        outcome("d", "U", 600, "stuck", None),     // bin 6
+    ]);
+    let bc = bin_coverage(&c);
+    let rates = bc.rates();
+    assert_eq!(rates[0], Some(0.5));
+    assert_eq!(rates[1], Some(1.0));
+    assert_eq!(rates[2], None, "empty bin must be None, not 0%");
+    assert_eq!(rates[6], Some(0.0));
+    assert_eq!(bc.overall(), 0.5);
+}
+
+#[test]
+fn coverage_under_reports_share_and_rate() {
+    let c = cell(vec![
+        outcome("a", "U", 8, "proved", Some(8)),
+        outcome("b", "U", 20, "stuck", None),
+        outcome("c", "U", 500, "stuck", None),
+    ]);
+    let (rate, share) = coverage_under(&c, 64);
+    assert!((rate - 0.5).abs() < 1e-9);
+    assert!((share - 2.0 / 3.0).abs() < 1e-9);
+}
+
+#[test]
+fn category_expectation_corrects_for_length_mix() {
+    // Two categories with identical *actual* coverage but different length
+    // mixes: the long-proof category must get a lower expectation.
+    let mut outs = Vec::new();
+    // Short category: ten theorems in bin 0, half proved.
+    for i in 0..10 {
+        outs.push(outcome(
+            &format!("s{i}"),
+            "Utilities",
+            8,
+            if i < 5 { "proved" } else { "stuck" },
+            Some(8),
+        ));
+    }
+    // Long category: ten theorems in bin 3, half proved.
+    for i in 0..10 {
+        outs.push(outcome(
+            &format!("l{i}"),
+            "CHL",
+            100,
+            if i < 5 { "proved" } else { "stuck" },
+            Some(100),
+        ));
+    }
+    let c = cell(outs);
+    let cats = category_coverage(&c);
+    let find = |n: &str| cats.iter().find(|x| x.category == n).unwrap();
+    let short = find("Utilities");
+    let long = find("CHL");
+    assert!((short.actual - 0.5).abs() < 1e-9);
+    assert!((long.actual - 0.5).abs() < 1e-9);
+    // The model proves 50% of bin-0 and 50% of bin-3 overall, so each
+    // category's expectation equals its own bin mix folded over the global
+    // curve — here both bins have global rate 0.5, hence expectation 0.5.
+    assert!((short.expected - 0.5).abs() < 1e-9);
+    assert!((long.expected - 0.5).abs() < 1e-9);
+}
+
+#[test]
+fn category_expectation_follows_the_global_curve() {
+    // Global curve: bin 0 proves at 100%, bin 3 at 0%. A category living
+    // in bin 3 must be *expected* to fail, one in bin 0 to succeed.
+    let mut outs = Vec::new();
+    for i in 0..6 {
+        outs.push(outcome(&format!("e{i}"), "Utilities", 8, "proved", Some(8)));
+    }
+    for i in 0..6 {
+        outs.push(outcome(&format!("h{i}"), "CHL", 100, "stuck", None));
+    }
+    let c = cell(outs);
+    let cats = category_coverage(&c);
+    let find = |n: &str| cats.iter().find(|x| x.category == n).unwrap();
+    assert!((find("Utilities").expected - 1.0).abs() < 1e-9);
+    assert!(find("CHL").expected.abs() < 1e-9);
+}
+
+// ------------------------------------------------------------------ report
+
+#[test]
+fn result_sets_round_trip_through_json() {
+    let rs = ResultSet {
+        cells: vec![cell(vec![
+            outcome("a", "Utilities", 10, "proved", Some(12)),
+            outcome("b", "CHL", 90, "stuck", None),
+        ])],
+    };
+    let json = rs.to_json();
+    let back = ResultSet::from_json(&json).unwrap();
+    assert_eq!(back.cells.len(), 1);
+    assert_eq!(back.cells[0].outcomes.len(), 2);
+    assert_eq!(back.cells[0].outcomes[0].name, "a");
+    assert_eq!(back.cells[0].outcomes[0].gen_tokens, Some(12));
+    assert!(back.cell("synthetic").is_some());
+    assert!(back.cell("missing").is_none());
+}
+
+#[test]
+fn malformed_json_is_an_error_not_a_panic() {
+    assert!(ResultSet::from_json("{").is_err());
+    assert!(ResultSet::from_json("{\"cells\": 3}").is_err());
+}
+
+// --------------------------------------------------------------- rendering
+
+#[test]
+fn fig1_render_contains_bins_and_rates() {
+    use proof_metrics::report::render_fig1;
+    let c = cell(vec![
+        outcome("a", "Utilities", 8, "proved", Some(8)),
+        outcome("b", "Utilities", 8, "proved", Some(9)),
+        outcome("c", "CHL", 20, "stuck", None),
+        outcome("d", "File System", 600, "stuck", None),
+    ]);
+    let s = render_fig1(&[&c], "Figure 1a");
+    assert!(s.contains("Figure 1a"));
+    assert!(s.contains("[0,16)"), "{s}");
+    assert!(s.contains("100%"), "bin-0 rate missing: {s}");
+    assert!(s.contains("50.0%"), "overall missing: {s}");
+    // Empty bins render as a dash with their count, never as 0%.
+    assert!(s.contains("-/0"), "{s}");
+}
+
+#[test]
+fn table1_render_lists_all_three_categories() {
+    use proof_metrics::report::render_table1;
+    let c = cell(vec![
+        outcome("a", "Utilities", 8, "proved", Some(8)),
+        outcome("b", "CHL", 8, "stuck", None),
+        outcome("c", "File System", 8, "stuck", None),
+    ]);
+    let s = render_table1(&[&c]);
+    for col in ["Utilities", "CHL", "File System"] {
+        assert!(s.contains(col), "{s}");
+    }
+    assert!(s.contains("100.0%"), "{s}");
+}
+
+#[test]
+fn table2_render_pairs_vanilla_with_hints() {
+    use proof_metrics::report::render_table2;
+    let vanilla = cell(vec![outcome("a", "Utilities", 8, "stuck", None)]);
+    let mut hints = cell(vec![outcome("a", "Utilities", 8, "proved", Some(8))]);
+    hints.label = "synthetic (w/ hints)".into();
+    let s = render_table2(&[(&vanilla, &hints)], 0.25);
+    assert!(
+        s.contains("0.0% -> 100.0%") || s.contains("0.0% -> 100.0"),
+        "{s}"
+    );
+    assert!(s.contains("baseline: 0.250"), "{s}");
+}

@@ -1,0 +1,81 @@
+//! Error types for the kernel and tactic engine.
+
+use std::fmt;
+
+/// Errors arising from environment manipulation and elaboration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KernelError {
+    /// A name was declared twice.
+    Redeclared(String),
+    /// A referenced name is unknown.
+    Unknown(String),
+    /// A sort mismatch was detected.
+    SortMismatch(String),
+    /// A malformed declaration.
+    Malformed(String),
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::Redeclared(n) => write!(f, "name already declared: {n}"),
+            KernelError::Unknown(n) => write!(f, "unknown name: {n}"),
+            KernelError::SortMismatch(m) => write!(f, "sort mismatch: {m}"),
+            KernelError::Malformed(m) => write!(f, "malformed declaration: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+/// Errors produced when a tactic fails to apply.
+///
+/// The variants mirror the invalid-tactic taxonomy of the paper's search
+/// (§3): a tactic is invalid if it is rejected by the proof assistant or if
+/// it exceeds its execution budget; duplicate-state detection happens one
+/// level up, in the state-transition machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TacticError {
+    /// The tactic was rejected (does not apply to the goal, unknown name,
+    /// wrong shape, ...). The string is a human-readable reason.
+    Rejected(String),
+    /// The tactic exhausted its fuel budget — the deterministic analogue of
+    /// the paper's 5-second wall-clock timeout.
+    Timeout,
+    /// The tactic script could not be parsed.
+    Parse(String),
+    /// There are no goals left to apply the tactic to.
+    NoGoals,
+}
+
+impl TacticError {
+    /// Convenience constructor for [`TacticError::Rejected`].
+    pub fn rejected(msg: impl Into<String>) -> TacticError {
+        TacticError::Rejected(msg.into())
+    }
+}
+
+impl fmt::Display for TacticError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TacticError::Rejected(m) => write!(f, "tactic rejected: {m}"),
+            TacticError::Timeout => write!(f, "tactic timed out (fuel exhausted)"),
+            TacticError::Parse(m) => write!(f, "parse error: {m}"),
+            TacticError::NoGoals => write!(f, "no goals"),
+        }
+    }
+}
+
+impl std::error::Error for TacticError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(TacticError::rejected("nope").to_string().contains("nope"));
+        assert!(TacticError::Timeout.to_string().contains("fuel"));
+        assert!(KernelError::Unknown("f".into()).to_string().contains("f"));
+    }
+}

@@ -1,0 +1,176 @@
+//! Sequents (goals) and in-progress proof states.
+
+use std::collections::BTreeSet;
+
+use crate::formula::Formula;
+use crate::sort::Sort;
+use crate::subst::fresh_name;
+use crate::Ident;
+
+/// A single proof obligation: a context of rigid sort variables, sorted term
+/// variables and named hypotheses, and a conclusion to prove.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Goal {
+    /// Rigid sort variables introduced by `intros` on `forall (A : Sort)`.
+    pub sort_vars: Vec<Ident>,
+    /// Term variables in scope, in introduction order.
+    pub vars: Vec<(Ident, Sort)>,
+    /// Named hypotheses, in introduction order.
+    pub hyps: Vec<(Ident, Formula)>,
+    /// The conclusion.
+    pub concl: Formula,
+}
+
+impl Goal {
+    /// A goal with an empty context.
+    pub fn new(concl: Formula) -> Goal {
+        Goal {
+            sort_vars: Vec::new(),
+            vars: Vec::new(),
+            hyps: Vec::new(),
+            concl,
+        }
+    }
+
+    /// All identifiers in scope (variables and hypothesis names), for fresh
+    /// name generation.
+    pub fn names_in_scope(&self) -> BTreeSet<Ident> {
+        let mut out: BTreeSet<Ident> = self.sort_vars.iter().cloned().collect();
+        out.extend(self.vars.iter().map(|(v, _)| v.clone()));
+        out.extend(self.hyps.iter().map(|(h, _)| h.clone()));
+        // Also avoid free variables of all formulas, so renamings stay sane.
+        for (_, f) in &self.hyps {
+            f.free_vars(&mut out);
+        }
+        self.concl.free_vars(&mut out);
+        out
+    }
+
+    /// A fresh identifier derived from `base` that is unused in this goal.
+    pub fn fresh(&self, base: &str) -> Ident {
+        fresh_name(base, &self.names_in_scope())
+    }
+
+    /// Looks up a hypothesis by name.
+    pub fn hyp(&self, name: &str) -> Option<&Formula> {
+        self.hyps.iter().find(|(h, _)| h == name).map(|(_, f)| f)
+    }
+
+    /// Looks up a context variable's sort by name.
+    pub fn var_sort(&self, name: &str) -> Option<&Sort> {
+        self.vars.iter().find(|(v, _)| v == name).map(|(_, s)| s)
+    }
+
+    /// Replaces the hypothesis `name` with `f`, keeping its position.
+    /// Returns false if the hypothesis does not exist.
+    pub fn set_hyp(&mut self, name: &str, f: Formula) -> bool {
+        for (h, g) in &mut self.hyps {
+            if h == name {
+                *g = f;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Removes the hypothesis `name`. Returns false if it does not exist.
+    pub fn remove_hyp(&mut self, name: &str) -> bool {
+        let before = self.hyps.len();
+        self.hyps.retain(|(h, _)| h != name);
+        self.hyps.len() != before
+    }
+
+    /// Removes the context variable `name`. Returns false if it does not
+    /// exist.
+    pub fn remove_var(&mut self, name: &str) -> bool {
+        let before = self.vars.len();
+        self.vars.retain(|(v, _)| v != name);
+        self.vars.len() != before
+    }
+
+    /// Renders the goal in the conventional hypotheses-bar-conclusion form.
+    pub fn display(&self) -> String {
+        crate::pretty::goal_to_string(self)
+    }
+}
+
+/// An in-progress proof: a stack of goals, the first being focused.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ProofState {
+    /// Open goals; tactics apply to `goals[0]`.
+    pub goals: Vec<Goal>,
+}
+
+impl ProofState {
+    /// Starts a proof of a closed statement.
+    pub fn new(stmt: Formula) -> ProofState {
+        ProofState {
+            goals: vec![Goal::new(stmt)],
+        }
+    }
+
+    /// True when no goals remain: the proof is complete.
+    pub fn is_complete(&self) -> bool {
+        self.goals.is_empty()
+    }
+
+    /// The focused goal, if any.
+    pub fn focused(&self) -> Option<&Goal> {
+        self.goals.first()
+    }
+
+    /// Replaces the focused goal by `replacement` goals (possibly none),
+    /// keeping the rest.
+    pub fn replace_focused(&self, replacement: Vec<Goal>) -> ProofState {
+        let mut goals = replacement;
+        goals.extend(self.goals.iter().skip(1).cloned());
+        ProofState { goals }
+    }
+
+    /// Renders all goals for display.
+    pub fn display(&self) -> String {
+        crate::pretty::state_to_string(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Term;
+
+    fn trivial() -> Formula {
+        Formula::Eq(Sort::nat(), Term::nat(1), Term::nat(1))
+    }
+
+    #[test]
+    fn fresh_names_avoid_scope() {
+        let mut g = Goal::new(trivial());
+        g.vars.push(("x".into(), Sort::nat()));
+        g.hyps.push(("H".into(), trivial()));
+        assert_eq!(g.fresh("x"), "x0");
+        assert_eq!(g.fresh("H"), "H0");
+        assert_eq!(g.fresh("y"), "y");
+    }
+
+    #[test]
+    fn replace_focused_keeps_rest() {
+        let st = ProofState {
+            goals: vec![Goal::new(trivial()), Goal::new(Formula::True)],
+        };
+        let st2 = st.replace_focused(vec![]);
+        assert_eq!(st2.goals.len(), 1);
+        assert_eq!(st2.goals[0].concl, Formula::True);
+        let st3 = st.replace_focused(vec![Goal::new(Formula::False), Goal::new(Formula::True)]);
+        assert_eq!(st3.goals.len(), 3);
+    }
+
+    #[test]
+    fn hyp_management() {
+        let mut g = Goal::new(trivial());
+        g.hyps.push(("H".into(), Formula::True));
+        assert!(g.set_hyp("H", Formula::False));
+        assert_eq!(g.hyp("H"), Some(&Formula::False));
+        assert!(g.remove_hyp("H"));
+        assert!(!g.remove_hyp("H"));
+    }
+}

@@ -1,0 +1,403 @@
+//! Pretty-printing of sorts, terms, formulas and goals.
+//!
+//! The output follows Coq conventions: `f x y` application, `/\`, `\/`,
+//! `->`, `<->`, `~`, `forall`/`exists` binders, numerals for Peano naturals
+//! and `[a; b]` sugar for list literals. Prompts shown to the tactic model
+//! are built from this rendering, so it must be stable.
+
+use std::fmt;
+
+use crate::formula::Formula;
+use crate::goal::{Goal, ProofState};
+use crate::term::{Pat, Term};
+
+// Precedence levels, higher binds tighter.
+const PREC_FORALL: u8 = 0;
+const PREC_IFF: u8 = 1;
+const PREC_IMPLIES: u8 = 2;
+const PREC_OR: u8 = 3;
+const PREC_AND: u8 = 4;
+const PREC_NOT: u8 = 5;
+const PREC_EQ: u8 = 6;
+const PREC_APP: u8 = 10;
+
+/// Formats a term at top-level precedence.
+pub fn fmt_term(t: &Term, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    write!(f, "{}", term_to_string(t))
+}
+
+/// Formats a formula at top-level precedence.
+pub fn fmt_formula(fla: &Formula, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    write!(f, "{}", formula_to_string(fla))
+}
+
+/// Renders a term to a string.
+pub fn term_to_string(t: &Term) -> String {
+    let mut s = String::new();
+    term_prec(t, PREC_FORALL, &mut s);
+    s
+}
+
+/// Renders a formula to a string.
+pub fn formula_to_string(f: &Formula) -> String {
+    let mut s = String::new();
+    formula_prec(f, PREC_FORALL, &mut s);
+    s
+}
+
+fn list_literal(t: &Term) -> Option<Vec<&Term>> {
+    let mut items = Vec::new();
+    let mut cur = t;
+    loop {
+        match cur {
+            Term::App(c, args) if c == "nil" && args.is_empty() => return Some(items),
+            Term::App(c, args) if c == "cons" && args.len() == 2 => {
+                items.push(&args[0]);
+                cur = &args[1];
+            }
+            _ => return None,
+        }
+    }
+}
+
+fn term_prec(t: &Term, prec: u8, out: &mut String) {
+    match t {
+        Term::Var(v) => out.push_str(v),
+        Term::Meta(m) => {
+            out.push('?');
+            out.push_str(&m.to_string());
+        }
+        Term::App(fname, args) => {
+            if let Some(n) = t.as_nat() {
+                out.push_str(&n.to_string());
+                return;
+            }
+            if let Some(items) = list_literal(t) {
+                out.push('[');
+                for (i, it) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str("; ");
+                    }
+                    term_prec(it, PREC_FORALL, out);
+                }
+                out.push(']');
+                return;
+            }
+            if fname == "cons" && args.len() == 2 {
+                // Infix `::` like Coq's list notation.
+                let need = prec > PREC_EQ;
+                if need {
+                    out.push('(');
+                }
+                term_prec(&args[0], PREC_APP, out);
+                out.push_str(" :: ");
+                term_prec(&args[1], PREC_EQ, out);
+                if need {
+                    out.push(')');
+                }
+                return;
+            }
+            if args.is_empty() {
+                out.push_str(fname);
+                return;
+            }
+            let need = prec >= PREC_APP;
+            if need {
+                out.push('(');
+            }
+            out.push_str(fname);
+            for a in args {
+                out.push(' ');
+                term_prec(a, PREC_APP, out);
+            }
+            if need {
+                out.push(')');
+            }
+        }
+        Term::Match(scrut, arms) => {
+            out.push_str("match ");
+            term_prec(scrut, PREC_FORALL, out);
+            out.push_str(" with");
+            for (pat, rhs) in arms {
+                out.push_str(" | ");
+                pat_to(pat, out);
+                out.push_str(" => ");
+                term_prec(rhs, PREC_FORALL, out);
+            }
+            out.push_str(" end");
+        }
+    }
+}
+
+fn pat_to(p: &Pat, out: &mut String) {
+    match p {
+        Pat::Wild => out.push('_'),
+        Pat::Var(v) => out.push_str(v),
+        Pat::Ctor(c, vs) => {
+            out.push_str(c);
+            for v in vs {
+                out.push(' ');
+                out.push_str(v);
+            }
+        }
+    }
+}
+
+fn formula_prec(f: &Formula, prec: u8, out: &mut String) {
+    match f {
+        Formula::True => out.push_str("True"),
+        Formula::False => out.push_str("False"),
+        Formula::Eq(_, a, b) => {
+            let need = prec > PREC_EQ;
+            if need {
+                out.push('(');
+            }
+            term_prec(a, PREC_EQ + 1, out);
+            out.push_str(" = ");
+            term_prec(b, PREC_EQ + 1, out);
+            if need {
+                out.push(')');
+            }
+        }
+        Formula::Pred(p, _, args) => {
+            if args.is_empty() {
+                out.push_str(p);
+                return;
+            }
+            let need = prec >= PREC_APP;
+            if need {
+                out.push('(');
+            }
+            out.push_str(p);
+            for a in args {
+                out.push(' ');
+                term_prec(a, PREC_APP, out);
+            }
+            if need {
+                out.push(')');
+            }
+        }
+        Formula::Not(g) => {
+            let need = prec > PREC_NOT;
+            if need {
+                out.push('(');
+            }
+            out.push_str("~ ");
+            formula_prec(g, PREC_NOT, out);
+            if need {
+                out.push(')');
+            }
+        }
+        Formula::And(a, b) => {
+            let need = prec > PREC_AND;
+            if need {
+                out.push('(');
+            }
+            formula_prec(a, PREC_AND + 1, out);
+            out.push_str(" /\\ ");
+            formula_prec(b, PREC_AND, out);
+            if need {
+                out.push(')');
+            }
+        }
+        Formula::Or(a, b) => {
+            let need = prec > PREC_OR;
+            if need {
+                out.push('(');
+            }
+            formula_prec(a, PREC_OR + 1, out);
+            out.push_str(" \\/ ");
+            formula_prec(b, PREC_OR, out);
+            if need {
+                out.push(')');
+            }
+        }
+        Formula::Implies(a, b) => {
+            let need = prec > PREC_IMPLIES;
+            if need {
+                out.push('(');
+            }
+            formula_prec(a, PREC_IMPLIES + 1, out);
+            out.push_str(" -> ");
+            formula_prec(b, PREC_IMPLIES, out);
+            if need {
+                out.push(')');
+            }
+        }
+        Formula::Iff(a, b) => {
+            let need = prec > PREC_IFF;
+            if need {
+                out.push('(');
+            }
+            formula_prec(a, PREC_IFF + 1, out);
+            out.push_str(" <-> ");
+            formula_prec(b, PREC_IFF + 1, out);
+            if need {
+                out.push(')');
+            }
+        }
+        Formula::Forall(v, s, body) => {
+            let need = prec > PREC_FORALL;
+            if need {
+                out.push('(');
+            }
+            out.push_str("forall ");
+            out.push_str(v);
+            out.push_str(" : ");
+            out.push_str(&s.to_string());
+            out.push_str(", ");
+            formula_prec(body, PREC_FORALL, out);
+            if need {
+                out.push(')');
+            }
+        }
+        Formula::Exists(v, s, body) => {
+            let need = prec > PREC_FORALL;
+            if need {
+                out.push('(');
+            }
+            out.push_str("exists ");
+            out.push_str(v);
+            out.push_str(" : ");
+            out.push_str(&s.to_string());
+            out.push_str(", ");
+            formula_prec(body, PREC_FORALL, out);
+            if need {
+                out.push(')');
+            }
+        }
+        Formula::ForallSort(v, body) => {
+            let need = prec > PREC_FORALL;
+            if need {
+                out.push('(');
+            }
+            out.push_str("forall (");
+            out.push_str(v);
+            out.push_str(" : Sort), ");
+            formula_prec(body, PREC_FORALL, out);
+            if need {
+                out.push(')');
+            }
+        }
+        Formula::FMatch(scrut, arms) => {
+            out.push_str("match ");
+            term_prec(scrut, PREC_FORALL, out);
+            out.push_str(" with");
+            for (pat, rhs) in arms {
+                out.push_str(" | ");
+                pat_to(pat, out);
+                out.push_str(" => ");
+                formula_prec(rhs, PREC_FORALL, out);
+            }
+            out.push_str(" end");
+        }
+    }
+}
+
+/// Renders a goal in the conventional form:
+///
+/// ```text
+/// A : Sort
+/// x : nat
+/// H : x = 0
+/// ============================
+/// x + 0 = 0
+/// ```
+pub fn goal_to_string(g: &Goal) -> String {
+    let mut out = String::new();
+    for sv in &g.sort_vars {
+        out.push_str(sv);
+        out.push_str(" : Sort\n");
+    }
+    for (v, s) in &g.vars {
+        out.push_str(v);
+        out.push_str(" : ");
+        out.push_str(&s.to_string());
+        out.push('\n');
+    }
+    for (h, f) in &g.hyps {
+        out.push_str(h);
+        out.push_str(" : ");
+        out.push_str(&formula_to_string(f));
+        out.push('\n');
+    }
+    out.push_str("============================\n");
+    out.push_str(&formula_to_string(&g.concl));
+    out
+}
+
+/// Renders a proof state: goal count and every goal.
+pub fn state_to_string(st: &ProofState) -> String {
+    if st.goals.is_empty() {
+        return "No more goals.".to_string();
+    }
+    let mut out = String::new();
+    for (i, g) in st.goals.iter().enumerate() {
+        if i == 0 {
+            out.push_str(&format!("goal 1 of {}:\n", st.goals.len()));
+            out.push_str(&goal_to_string(g));
+            out.push('\n');
+        } else {
+            out.push_str(&format!(
+                "goal {} of {}: {}\n",
+                i + 1,
+                st.goals.len(),
+                formula_to_string(&g.concl)
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sort::Sort;
+
+    #[test]
+    fn numerals_and_lists() {
+        assert_eq!(term_to_string(&Term::nat(3)), "3");
+        let l = Term::App(
+            "cons".into(),
+            vec![
+                Term::nat(1),
+                Term::App("cons".into(), vec![Term::nat(2), Term::cst("nil")]),
+            ],
+        );
+        assert_eq!(term_to_string(&l), "[1; 2]");
+    }
+
+    #[test]
+    fn cons_infix_when_not_literal() {
+        let l = Term::App("cons".into(), vec![Term::var("x"), Term::var("l")]);
+        assert_eq!(term_to_string(&l), "x :: l");
+    }
+
+    #[test]
+    fn connective_precedence() {
+        let f = Formula::implies(
+            Formula::and(Formula::True, Formula::False),
+            Formula::or(Formula::True, Formula::False),
+        );
+        assert_eq!(formula_to_string(&f), "True /\\ False -> True \\/ False");
+    }
+
+    #[test]
+    fn forall_renders_with_sort() {
+        let f = Formula::forall(
+            "x",
+            Sort::nat(),
+            Formula::Eq(Sort::nat(), Term::var("x"), Term::var("x")),
+        );
+        assert_eq!(formula_to_string(&f), "forall x : nat, x = x");
+    }
+
+    #[test]
+    fn nested_application_parenthesized() {
+        let t = Term::App(
+            "f".into(),
+            vec![Term::App("g".into(), vec![Term::var("x")])],
+        );
+        assert_eq!(term_to_string(&t), "f (g x)");
+    }
+}

@@ -1,0 +1,312 @@
+//! Canonical keys and hashes for proof states.
+//!
+//! The paper's search rejects a tactic whose resulting proof state was
+//! already encountered in the search tree (§3). Proof states are compared
+//! up to alpha-renaming of context variables, hypothesis names and bound
+//! variables, so `intros x` and `intros y` lead to the same canonical key.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
+
+use crate::formula::Formula;
+use crate::goal::{Goal, ProofState};
+use crate::sort::Sort;
+use crate::term::{Pat, Term};
+
+/// Scoped renaming from source names to canonical indices.
+#[derive(Default)]
+struct Scope {
+    map: BTreeMap<String, usize>,
+    next: usize,
+}
+
+impl Scope {
+    fn bind(&mut self, name: &str) -> usize {
+        let id = self.next;
+        self.next += 1;
+        self.map.insert(name.to_string(), id);
+        id
+    }
+
+    fn lookup(&self, name: &str) -> Option<usize> {
+        self.map.get(name).copied()
+    }
+}
+
+fn term_key_rec(t: &Term, scope: &Scope, out: &mut String) {
+    match t {
+        Term::Var(v) => match scope.lookup(v) {
+            Some(i) => {
+                out.push('v');
+                out.push_str(&i.to_string());
+            }
+            None => {
+                // Free variable not bound in this state; keep its name.
+                out.push('f');
+                out.push_str(v);
+            }
+        },
+        Term::Meta(m) => {
+            out.push('?');
+            out.push_str(&m.to_string());
+        }
+        Term::App(f, args) => {
+            out.push('(');
+            out.push_str(f);
+            for a in args {
+                out.push(' ');
+                term_key_rec(a, scope, out);
+            }
+            out.push(')');
+        }
+        Term::Match(scrut, arms) => {
+            out.push_str("(match ");
+            term_key_rec(scrut, scope, out);
+            for (pat, rhs) in arms {
+                out.push('|');
+                let mut inner = Scope {
+                    map: scope.map.clone(),
+                    next: scope.next,
+                };
+                pat_key(pat, &mut inner, out);
+                out.push_str("=>");
+                term_key_rec(rhs, &inner, out);
+            }
+            out.push(')');
+        }
+    }
+}
+
+fn pat_key(pat: &Pat, scope: &mut Scope, out: &mut String) {
+    match pat {
+        Pat::Wild => out.push('_'),
+        Pat::Var(v) => {
+            let i = scope.bind(v);
+            out.push('v');
+            out.push_str(&i.to_string());
+        }
+        Pat::Ctor(c, vs) => {
+            out.push_str(c);
+            for v in vs {
+                let i = scope.bind(v);
+                out.push(' ');
+                out.push('v');
+                out.push_str(&i.to_string());
+            }
+        }
+    }
+}
+
+fn sort_key(s: &Sort, out: &mut String) {
+    out.push_str(&s.to_string());
+}
+
+fn formula_key_rec(f: &Formula, scope: &Scope, out: &mut String) {
+    match f {
+        Formula::True => out.push('T'),
+        Formula::False => out.push('F'),
+        Formula::Eq(s, a, b) => {
+            out.push_str("(= ");
+            sort_key(s, out);
+            out.push(' ');
+            term_key_rec(a, scope, out);
+            out.push(' ');
+            term_key_rec(b, scope, out);
+            out.push(')');
+        }
+        Formula::Pred(p, sorts, args) => {
+            out.push('(');
+            out.push_str(p);
+            for s in sorts {
+                out.push('@');
+                sort_key(s, out);
+            }
+            for a in args {
+                out.push(' ');
+                term_key_rec(a, scope, out);
+            }
+            out.push(')');
+        }
+        Formula::Not(g) => {
+            out.push_str("(~ ");
+            formula_key_rec(g, scope, out);
+            out.push(')');
+        }
+        Formula::And(a, b) | Formula::Or(a, b) | Formula::Implies(a, b) | Formula::Iff(a, b) => {
+            out.push('(');
+            out.push_str(match f {
+                Formula::And(..) => "&",
+                Formula::Or(..) => "|",
+                Formula::Implies(..) => ">",
+                _ => "<>",
+            });
+            out.push(' ');
+            formula_key_rec(a, scope, out);
+            out.push(' ');
+            formula_key_rec(b, scope, out);
+            out.push(')');
+        }
+        Formula::Forall(v, s, body) | Formula::Exists(v, s, body) => {
+            out.push('(');
+            out.push_str(if matches!(f, Formula::Forall(..)) {
+                "all"
+            } else {
+                "ex"
+            });
+            out.push(' ');
+            sort_key(s, out);
+            let mut inner = Scope {
+                map: scope.map.clone(),
+                next: scope.next,
+            };
+            let i = inner.bind(v);
+            out.push_str(&format!(" v{i} "));
+            formula_key_rec(body, &inner, out);
+            out.push(')');
+        }
+        Formula::ForallSort(v, body) => {
+            // Sort variables are kept by name: they are rigid and rarely
+            // shadowed; renaming them would require threading a sort scope.
+            out.push_str("(allS ");
+            out.push_str(v);
+            out.push(' ');
+            formula_key_rec(body, scope, out);
+            out.push(')');
+        }
+        Formula::FMatch(scrut, arms) => {
+            out.push_str("(fmatch ");
+            term_key_rec(scrut, scope, out);
+            for (pat, rhs) in arms {
+                out.push('|');
+                let mut inner = Scope {
+                    map: scope.map.clone(),
+                    next: scope.next,
+                };
+                pat_key(pat, &mut inner, out);
+                out.push_str("=>");
+                formula_key_rec(rhs, &inner, out);
+            }
+            out.push(')');
+        }
+    }
+}
+
+/// Canonical key for a term (free variables keep their names).
+pub fn term_key(t: &Term) -> String {
+    let mut out = String::new();
+    term_key_rec(t, &Scope::default(), &mut out);
+    out
+}
+
+/// Canonical key for a formula (free variables keep their names; bound
+/// variables are numbered).
+pub fn formula_key(f: &Formula) -> String {
+    let mut out = String::new();
+    formula_key_rec(f, &Scope::default(), &mut out);
+    out
+}
+
+/// Canonical key for a goal: context variables and hypothesis formulas are
+/// numbered in order of appearance; hypothesis *names* do not contribute.
+pub fn goal_key(g: &Goal) -> String {
+    let mut out = String::new();
+    let mut scope = Scope::default();
+    for sv in &g.sort_vars {
+        out.push_str("S:");
+        out.push_str(sv);
+        out.push(';');
+    }
+    for (v, s) in &g.vars {
+        let i = scope.bind(v);
+        out.push_str(&format!("v{i}:"));
+        sort_key(s, &mut out);
+        out.push(';');
+    }
+    // Hypotheses are order-sensitive but name-insensitive.
+    for (_, f) in &g.hyps {
+        out.push_str("H:");
+        formula_key_rec(f, &scope, &mut out);
+        out.push(';');
+    }
+    out.push_str("|-");
+    formula_key_rec(&g.concl, &scope, &mut out);
+    out
+}
+
+/// Canonical key for a proof state.
+pub fn state_key(st: &ProofState) -> String {
+    let mut out = String::new();
+    for g in &st.goals {
+        out.push_str(&goal_key(g));
+        out.push('\n');
+    }
+    out
+}
+
+/// A 64-bit hash of the canonical state key, used by the search layer for
+/// duplicate-state detection.
+pub fn state_hash(st: &ProofState) -> u64 {
+    let mut h = DefaultHasher::new();
+    state_key(st).hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sort::Sort;
+
+    fn eq_goal(v: &str) -> Goal {
+        let mut g = Goal::new(Formula::Eq(Sort::nat(), Term::var(v), Term::var(v)));
+        g.vars.push((v.to_string(), Sort::nat()));
+        g
+    }
+
+    #[test]
+    fn alpha_renamed_goals_collide() {
+        let a = eq_goal("x");
+        let b = eq_goal("y");
+        assert_eq!(goal_key(&a), goal_key(&b));
+    }
+
+    #[test]
+    fn hypothesis_names_ignored() {
+        let mut a = eq_goal("x");
+        a.hyps.push(("H".into(), Formula::True));
+        let mut b = eq_goal("x");
+        b.hyps.push(("Hfoo".into(), Formula::True));
+        assert_eq!(goal_key(&a), goal_key(&b));
+    }
+
+    #[test]
+    fn different_conclusions_differ() {
+        let a = eq_goal("x");
+        let mut b = eq_goal("x");
+        b.concl = Formula::True;
+        assert_ne!(goal_key(&a), goal_key(&b));
+    }
+
+    #[test]
+    fn quantifier_alpha_equivalence() {
+        let f1 = Formula::forall(
+            "x",
+            Sort::nat(),
+            Formula::Eq(Sort::nat(), Term::var("x"), Term::var("x")),
+        );
+        let f2 = Formula::forall(
+            "z",
+            Sort::nat(),
+            Formula::Eq(Sort::nat(), Term::var("z"), Term::var("z")),
+        );
+        assert_eq!(formula_key(&f1), formula_key(&f2));
+    }
+
+    #[test]
+    fn state_hash_stable() {
+        let st = ProofState {
+            goals: vec![eq_goal("x")],
+        };
+        assert_eq!(state_hash(&st), state_hash(&st.clone()));
+    }
+}

@@ -1,0 +1,610 @@
+//! The `auto`/`eauto` backchaining engine.
+//!
+//! A bounded, Prolog-style backward search over hypotheses and hint
+//! lemmas. `auto` requires every instantiation to be determined by the
+//! conclusion; `eauto` threads metavariables through premises (existential
+//! search). `eapply` reuses [`backchain`] to discharge premises whose
+//! instantiation the conclusion did not determine.
+
+use crate::env::Env;
+use crate::error::TacticError;
+use crate::eval::conv_eq_term;
+use crate::formula::Formula;
+use crate::fuel::Fuel;
+use crate::goal::Goal;
+use crate::subst::subst_formula1;
+use crate::term::Term;
+use crate::unify::{instantiate_rule, Unifier};
+use crate::Ident;
+
+/// Default search depth, matching Coq's `auto` default of 5.
+pub const AUTO_DEFAULT_DEPTH: u32 = 5;
+
+/// Attempts to prove `target` (which may contain metavariables) by bounded
+/// backchaining; returns the extended unifier on success.
+///
+/// Exposed within the tactic engine so `eapply` can discharge premises.
+pub(crate) fn backchain(
+    env: &Env,
+    goal: &Goal,
+    target: &Formula,
+    uni: Unifier,
+    depth: u32,
+    extra_hints: &[Ident],
+    fuel: &mut Fuel,
+) -> Option<Unifier> {
+    // Metavariables below the watermark belong to the caller; the search
+    // must not bind them to search-local (`#bc`-prefixed) variables, which
+    // would leak out of scope. The check runs at every success point so the
+    // search backtracks over leaky branches.
+    let watermark = uni.meta_watermark();
+    solve(
+        env,
+        goal,
+        target,
+        uni,
+        depth,
+        extra_hints,
+        true,
+        watermark,
+        fuel,
+    )
+    .unwrap_or_default()
+}
+
+/// True when a caller-owned metavariable (id below the watermark) is bound
+/// to a term mentioning a search-local variable.
+fn leaks(u: &Unifier, watermark: u32) -> bool {
+    u.term_metas.keys().any(|m| {
+        if *m >= watermark {
+            return false;
+        }
+        let t = u.resolve_term(&Term::Meta(*m));
+        let mut fv = std::collections::BTreeSet::new();
+        t.free_vars(&mut fv);
+        fv.iter().any(|v| v.starts_with("#bc"))
+    })
+}
+
+/// `auto [using ...]` / `eauto [using ...]` as a goal-closing tactic.
+pub fn auto_tactic(
+    env: &Env,
+    goal: &Goal,
+    using: &[Ident],
+    e_mode: bool,
+    fuel: &mut Fuel,
+) -> Result<Vec<Goal>, TacticError> {
+    let uni = Unifier::new();
+    match solve(
+        env,
+        goal,
+        &goal.concl.clone(),
+        uni,
+        AUTO_DEFAULT_DEPTH,
+        using,
+        e_mode,
+        0,
+        fuel,
+    )? {
+        Some(_) => Ok(vec![]),
+        None => Err(TacticError::rejected(if e_mode {
+            "eauto cannot solve the goal"
+        } else {
+            "auto cannot solve the goal"
+        })),
+    }
+}
+
+/// `trivial`: depth-1 `auto`.
+pub fn trivial(env: &Env, goal: &Goal, fuel: &mut Fuel) -> Result<Vec<Goal>, TacticError> {
+    let uni = Unifier::new();
+    match solve(env, goal, &goal.concl.clone(), uni, 1, &[], false, 0, fuel)? {
+        Some(_) => Ok(vec![]),
+        None => Err(TacticError::rejected("trivial cannot solve the goal")),
+    }
+}
+
+/// The recursive search. Returns `Ok(Some(uni))` on success, `Ok(None)` on
+/// exhausted search, and `Err(Timeout)` when fuel runs out.
+#[allow(clippy::too_many_arguments)]
+fn solve(
+    env: &Env,
+    goal: &Goal,
+    target: &Formula,
+    mut uni: Unifier,
+    depth: u32,
+    extra_hints: &[Ident],
+    e_mode: bool,
+    watermark: u32,
+    fuel: &mut Fuel,
+) -> Result<Option<Unifier>, TacticError> {
+    fuel.charge(4)?;
+    let target = uni.resolve_formula(target);
+    // For a defined-predicate target, try candidates against the *folded*
+    // form first (hint lemmas and hypotheses state things about `incl`, not
+    // its unfolding), then fall back to the unfolded form.
+    if let Formula::Pred(..) = &target {
+        if let Some(u) = search_candidates(
+            env,
+            goal,
+            &target,
+            uni.clone(),
+            depth,
+            extra_hints,
+            e_mode,
+            watermark,
+            fuel,
+        )? {
+            return Ok(Some(u));
+        }
+        let unfolded = super::basic::whnf_prop(env, &target);
+        if unfolded != target {
+            return solve(
+                env,
+                goal,
+                &unfolded,
+                uni,
+                depth,
+                extra_hints,
+                e_mode,
+                watermark,
+                fuel,
+            );
+        }
+        return Ok(None);
+    }
+    let target = super::basic::whnf_prop(env, &target);
+    match &target {
+        Formula::True => Ok(Some(uni)),
+        Formula::False => search_candidates(
+            env,
+            goal,
+            &target,
+            uni,
+            depth,
+            extra_hints,
+            e_mode,
+            watermark,
+            fuel,
+        ),
+        Formula::And(a, b) => {
+            let Some(u1) = solve(
+                env,
+                goal,
+                a,
+                uni,
+                depth,
+                extra_hints,
+                e_mode,
+                watermark,
+                fuel,
+            )?
+            else {
+                return Ok(None);
+            };
+            solve(
+                env,
+                goal,
+                b,
+                u1,
+                depth,
+                extra_hints,
+                e_mode,
+                watermark,
+                fuel,
+            )
+        }
+        Formula::Or(a, b) => {
+            if let Some(u) = solve(
+                env,
+                goal,
+                a,
+                uni.clone(),
+                depth,
+                extra_hints,
+                e_mode,
+                watermark,
+                fuel,
+            )? {
+                return Ok(Some(u));
+            }
+            solve(
+                env,
+                goal,
+                b,
+                uni,
+                depth,
+                extra_hints,
+                e_mode,
+                watermark,
+                fuel,
+            )
+        }
+        Formula::Iff(a, b) => {
+            let fwd = Formula::implies((**a).clone(), (**b).clone());
+            let bwd = Formula::implies((**b).clone(), (**a).clone());
+            let Some(u1) = solve(
+                env,
+                goal,
+                &fwd,
+                uni,
+                depth,
+                extra_hints,
+                e_mode,
+                watermark,
+                fuel,
+            )?
+            else {
+                return Ok(None);
+            };
+            solve(
+                env,
+                goal,
+                &bwd,
+                u1,
+                depth,
+                extra_hints,
+                e_mode,
+                watermark,
+                fuel,
+            )
+        }
+        Formula::Forall(v, s, body) => {
+            // The `#bc` prefix marks search-local variables so the backchain
+            // wrapper can reject solutions that would leak them.
+            let mut g = goal.clone();
+            let fresh = g.fresh(&format!("#bc{v}"));
+            g.vars.push((fresh.clone(), s.clone()));
+            let body = subst_formula1(body, v, &Term::var(fresh));
+            solve(
+                env,
+                &g,
+                &body,
+                uni,
+                depth,
+                extra_hints,
+                e_mode,
+                watermark,
+                fuel,
+            )
+        }
+        Formula::Implies(p, q) => {
+            let mut g = goal.clone();
+            let h = g.fresh("H");
+            g.hyps.push((h, (**p).clone()));
+            solve(env, &g, q, uni, depth, extra_hints, e_mode, watermark, fuel)
+        }
+        Formula::Not(p) => {
+            let mut g = goal.clone();
+            let h = g.fresh("H");
+            g.hyps.push((h, (**p).clone()));
+            solve(
+                env,
+                &g,
+                &Formula::False,
+                uni,
+                depth,
+                extra_hints,
+                e_mode,
+                watermark,
+                fuel,
+            )
+        }
+        Formula::Exists(v, _, body) => {
+            if !e_mode {
+                return Ok(None);
+            }
+            let m = uni.fresh_term_meta();
+            let body = subst_formula1(body, v, &m);
+            solve(
+                env,
+                goal,
+                &body,
+                uni,
+                depth,
+                extra_hints,
+                e_mode,
+                watermark,
+                fuel,
+            )
+        }
+        Formula::Eq(_, a, b) => {
+            // Reflexivity attempt (unification handles metavariables; when
+            // ground, fall back to conversion).
+            let mut u2 = uni.clone();
+            if u2.unify_terms(a, b, fuel).is_ok() && !leaks(&u2, watermark) {
+                return Ok(Some(u2));
+            }
+            if a.is_ground() && b.is_ground() && conv_eq_term(env, a, b, fuel)? {
+                return Ok(Some(uni));
+            }
+            search_candidates(
+                env,
+                goal,
+                &target,
+                uni,
+                depth,
+                extra_hints,
+                e_mode,
+                watermark,
+                fuel,
+            )
+        }
+        _ => search_candidates(
+            env,
+            goal,
+            &target,
+            uni,
+            depth,
+            extra_hints,
+            e_mode,
+            watermark,
+            fuel,
+        ),
+    }
+}
+
+/// Tries hypotheses and hint lemmas against an atomic target.
+#[allow(clippy::too_many_arguments)]
+fn search_candidates(
+    env: &Env,
+    goal: &Goal,
+    target: &Formula,
+    uni: Unifier,
+    depth: u32,
+    extra_hints: &[Ident],
+    e_mode: bool,
+    watermark: u32,
+    fuel: &mut Fuel,
+) -> Result<Option<Unifier>, TacticError> {
+    // Hypotheses first: direct match, then as rules.
+    for (_, hf) in &goal.hyps {
+        fuel.charge(2)?;
+        let mut u2 = uni.clone();
+        if u2.unify_formulas(hf, target, fuel).is_ok() && !leaks(&u2, watermark) {
+            return Ok(Some(u2));
+        }
+    }
+    if depth == 0 {
+        return Ok(None);
+    }
+    // Hypotheses as backchaining rules (defined predicates such as `incl`
+    // expose their rule structure inside try_rule).
+    let hyp_stmts: Vec<Formula> = goal.hyps.iter().map(|(_, f)| f.clone()).collect();
+    for stmt in &hyp_stmts {
+        if let Some(u) = try_rule(
+            env,
+            goal,
+            stmt,
+            target,
+            &uni,
+            depth,
+            extra_hints,
+            e_mode,
+            watermark,
+            fuel,
+        )? {
+            return Ok(Some(u));
+        }
+    }
+    // Hint databases: `core` plus `using` extras.
+    let mut names: Vec<Ident> = extra_hints.to_vec();
+    names.extend(env.hint_db("core").iter().cloned());
+    for name in names {
+        let Some(stmt) = env.rule_or_lemma(&name) else {
+            continue;
+        };
+        if let Some(u) = try_rule(
+            env,
+            goal,
+            &stmt,
+            target,
+            &uni,
+            depth,
+            extra_hints,
+            e_mode,
+            watermark,
+            fuel,
+        )? {
+            return Ok(Some(u));
+        }
+    }
+    Ok(None)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn try_rule(
+    env: &Env,
+    goal: &Goal,
+    stmt: &Formula,
+    target: &Formula,
+    uni: &Unifier,
+    depth: u32,
+    extra_hints: &[Ident],
+    e_mode: bool,
+    watermark: u32,
+    fuel: &mut Fuel,
+) -> Result<Option<Unifier>, TacticError> {
+    fuel.charge(4)?;
+    if let Some(u) = try_rule_exact(
+        env,
+        goal,
+        stmt,
+        target,
+        uni,
+        depth,
+        extra_hints,
+        e_mode,
+        watermark,
+        fuel,
+    )? {
+        return Ok(Some(u));
+    }
+    let exposed = super::apply::expose_rule(env, stmt);
+    if exposed != *stmt {
+        return try_rule_exact(
+            env,
+            goal,
+            &exposed,
+            target,
+            uni,
+            depth,
+            extra_hints,
+            e_mode,
+            watermark,
+            fuel,
+        );
+    }
+    Ok(None)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn try_rule_exact(
+    env: &Env,
+    goal: &Goal,
+    stmt: &Formula,
+    target: &Formula,
+    uni: &Unifier,
+    depth: u32,
+    extra_hints: &[Ident],
+    e_mode: bool,
+    watermark: u32,
+    fuel: &mut Fuel,
+) -> Result<Option<Unifier>, TacticError> {
+    let mut u2 = uni.clone();
+    let inst = instantiate_rule(stmt, &mut u2);
+    let mut premises = inst.premises.clone();
+    if u2.unify_formulas(&inst.conclusion, target, fuel).is_err() {
+        // A rule concluding `~P` proves a `False` target with premise `P`.
+        if let (Formula::Not(p), Formula::False) = (&inst.conclusion, target) {
+            u2 = uni.clone();
+            let inst2 = instantiate_rule(stmt, &mut u2);
+            premises = inst2.premises.clone();
+            if let Formula::Not(p2) = inst2.conclusion {
+                premises.push(*p2);
+            } else {
+                let _ = p;
+                return Ok(None);
+            }
+        } else {
+            return Ok(None);
+        }
+    }
+    if leaks(&u2, watermark) {
+        return Ok(None);
+    }
+    if !e_mode {
+        // `auto`: all premises must be fully determined by the conclusion.
+        for p in &premises {
+            if !u2.resolve_formula(p).is_ground() {
+                return Ok(None);
+            }
+        }
+    }
+    let mut cur = u2;
+    for p in &premises {
+        match solve(
+            env,
+            goal,
+            p,
+            cur,
+            depth - 1,
+            extra_hints,
+            e_mode,
+            watermark,
+            fuel,
+        )? {
+            Some(next) => cur = next,
+            None => return Ok(None),
+        }
+    }
+    if leaks(&cur, watermark) {
+        return Ok(None);
+    }
+    Ok(Some(cur))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sort::Sort;
+
+    fn goal_of(env: &Env, f: Formula) -> Goal {
+        let _ = env;
+        Goal::new(f)
+    }
+
+    #[test]
+    fn auto_solves_le_chain() {
+        let env = Env::with_prelude();
+        // le 2 4 via le_S (le_S (le_n 2)).
+        let g = goal_of(
+            &env,
+            Formula::Pred("le".into(), vec![], vec![Term::nat(2), Term::nat(4)]),
+        );
+        let r = auto_tactic(&env, &g, &[], false, &mut Fuel::unlimited()).unwrap();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn auto_respects_depth() {
+        let env = Env::with_prelude();
+        // le 0 10 needs depth 11 — out of reach for depth-5 auto.
+        let g = goal_of(
+            &env,
+            Formula::Pred("le".into(), vec![], vec![Term::nat(0), Term::nat(10)]),
+        );
+        assert!(auto_tactic(&env, &g, &[], false, &mut Fuel::unlimited()).is_err());
+    }
+
+    #[test]
+    fn eauto_finds_existential_witness() {
+        let env = Env::with_prelude();
+        // exists x : nat, x = 3.
+        let g = goal_of(
+            &env,
+            Formula::Exists(
+                "x".into(),
+                Sort::nat(),
+                Box::new(Formula::Eq(Sort::nat(), Term::var("x"), Term::nat(3))),
+            ),
+        );
+        assert!(auto_tactic(&env, &g, &[], false, &mut Fuel::unlimited()).is_err());
+        let r = auto_tactic(&env, &g, &[], true, &mut Fuel::unlimited()).unwrap();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn auto_uses_hypotheses() {
+        let env = Env::with_prelude();
+        let p = Formula::Pred("le".into(), vec![], vec![Term::var("a"), Term::var("b")]);
+        let mut g = goal_of(
+            &env,
+            Formula::Pred(
+                "le".into(),
+                vec![],
+                vec![Term::var("a"), Term::App("S".into(), vec![Term::var("b")])],
+            ),
+        );
+        g.vars.push(("a".into(), Sort::nat()));
+        g.vars.push(("b".into(), Sort::nat()));
+        g.hyps.push(("H".into(), p));
+        let r = auto_tactic(&env, &g, &[], false, &mut Fuel::unlimited()).unwrap();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn trivial_is_shallow() {
+        let env = Env::with_prelude();
+        let g = goal_of(
+            &env,
+            Formula::Pred("le".into(), vec![], vec![Term::nat(3), Term::nat(3)]),
+        );
+        assert!(trivial(&env, &g, &mut Fuel::unlimited()).is_ok());
+        let g2 = goal_of(
+            &env,
+            Formula::Pred("le".into(), vec![], vec![Term::nat(2), Term::nat(4)]),
+        );
+        assert!(trivial(&env, &g2, &mut Fuel::unlimited()).is_err());
+    }
+}

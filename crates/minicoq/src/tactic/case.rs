@@ -1,0 +1,723 @@
+//! Case analysis: `destruct`, `induction`, `inversion`, `injection`,
+//! `discriminate`, `subst`.
+
+use crate::env::{Env, PredDef};
+use crate::error::TacticError;
+use crate::eval::{ctor_head, normalize_term, EvalMode};
+use crate::formula::Formula;
+use crate::fuel::Fuel;
+use crate::goal::Goal;
+use crate::sort::Sort;
+use crate::subst::{fresh_name, subst_formula1};
+use crate::term::Term;
+use crate::typing::infer_sort;
+use crate::unify::{instantiate_rule, Unifier};
+
+use super::basic::whnf_prop;
+use super::rewrite::replace_in_formula;
+use super::{DestructPattern, DestructTarget};
+
+/// Derives a variable base name from a sort (`nat` → `n`, `list _` → `l`).
+fn base_name_for(sort: &Sort) -> &str {
+    match sort {
+        Sort::Atom(n) | Sort::App(n, _) => match n.as_str() {
+            "nat" => "n",
+            "bool" => "b",
+            "list" => "l",
+            "prod" => "p",
+            "option" => "o",
+            other => {
+                let c = other.chars().next().unwrap_or('x');
+                match c.to_ascii_lowercase() {
+                    'a' => "a",
+                    'd' => "d",
+                    't' => "t",
+                    'i' => "i",
+                    'v' => "v",
+                    'w' => "w",
+                    's' => "s",
+                    'p' => "p",
+                    _ => "x",
+                }
+            }
+        },
+        _ => "x",
+    }
+}
+
+/// Introduces leading binders until `x` is a context variable (Coq's
+/// `induction`/`destruct` intro up to the named variable automatically).
+fn intro_until_var(env: &Env, goal: &Goal, x: &str) -> Result<Goal, TacticError> {
+    let mut g = goal.clone();
+    let mut steps = 0;
+    while g.var_sort(x).is_none() {
+        steps += 1;
+        if steps > 256 {
+            return Err(TacticError::rejected(format!("{x} is not a variable")));
+        }
+        let concl = whnf_prop(env, &g.concl);
+        let name = match &concl {
+            Formula::Forall(v, _, _) => Some(v.clone()),
+            Formula::ForallSort(_, _) | Formula::Implies(..) | Formula::Not(_) => None,
+            _ => return Err(TacticError::rejected(format!("{x} is not a variable"))),
+        };
+        let want = name.as_deref().filter(|v| *v == x);
+        let mut gs = super::basic::intro(env, &g, want)?;
+        g = gs.pop().expect("intro returns one goal");
+    }
+    Ok(g)
+}
+
+/// `destruct`.
+pub fn destruct(
+    env: &Env,
+    goal: &Goal,
+    target: &DestructTarget,
+    pattern: Option<&DestructPattern>,
+    eqn: Option<&str>,
+    fuel: &mut Fuel,
+) -> Result<Vec<Goal>, TacticError> {
+    match target {
+        DestructTarget::Name(n) => {
+            if goal.hyp(n).is_some() {
+                destruct_hyp(env, goal, n, pattern, fuel)
+            } else if goal.var_sort(n).is_some() {
+                destruct_var(env, goal, n, pattern, eqn)
+            } else {
+                let g = intro_until_var(env, goal, n)
+                    .map_err(|_| TacticError::rejected(format!("no such name: {n}")))?;
+                destruct_var(env, &g, n, pattern, eqn)
+            }
+        }
+        DestructTarget::Term(t) => destruct_term(env, goal, t, pattern, eqn, fuel),
+    }
+}
+
+fn pattern_names(pattern: Option<&DestructPattern>, case: usize) -> &[String] {
+    match pattern {
+        Some(p) if case < p.len() => p[case].as_slice(),
+        _ => &[],
+    }
+}
+
+/// `destruct H` on a hypothesis.
+fn destruct_hyp(
+    env: &Env,
+    goal: &Goal,
+    h: &str,
+    pattern: Option<&DestructPattern>,
+    fuel: &mut Fuel,
+) -> Result<Vec<Goal>, TacticError> {
+    let hf = goal.hyp(h).cloned().expect("checked by caller");
+    let hf = whnf_prop(env, &hf);
+    let pos = goal
+        .hyps
+        .iter()
+        .position(|(n, _)| n == h)
+        .expect("hypothesis exists");
+    match hf {
+        Formula::And(a, b) => {
+            let mut g = goal.clone();
+            g.hyps.remove(pos);
+            let names = pattern_names(pattern, 0);
+            let n1 = names.first().cloned().unwrap_or_else(|| g.fresh("H"));
+            g.hyps.insert(pos, (n1, (*a).clone()));
+            let n2 = names.get(1).cloned().unwrap_or_else(|| g.fresh("H"));
+            g.hyps.insert(pos + 1, (n2, (*b).clone()));
+            Ok(vec![g])
+        }
+        Formula::Or(a, b) => {
+            let mut g1 = goal.clone();
+            let n1 = pattern_names(pattern, 0)
+                .first()
+                .cloned()
+                .unwrap_or_else(|| h.to_string());
+            g1.hyps[pos] = (n1, (*a).clone());
+            let mut g2 = goal.clone();
+            let n2 = pattern_names(pattern, 1)
+                .first()
+                .cloned()
+                .unwrap_or_else(|| h.to_string());
+            g2.hyps[pos] = (n2, (*b).clone());
+            Ok(vec![g1, g2])
+        }
+        Formula::Exists(v, s, body) => {
+            let mut g = goal.clone();
+            let names = pattern_names(pattern, 0);
+            let vname = names.first().cloned().unwrap_or_else(|| g.fresh(&v));
+            if g.names_in_scope().contains(&vname) {
+                return Err(TacticError::rejected(format!("name {vname} already used")));
+            }
+            g.vars.push((vname.clone(), s));
+            let hname = names.get(1).cloned().unwrap_or_else(|| h.to_string());
+            g.hyps[pos] = (hname, subst_formula1(&body, &v, &Term::var(vname)));
+            Ok(vec![g])
+        }
+        Formula::Iff(a, b) => {
+            let mut g = goal.clone();
+            g.hyps.remove(pos);
+            let names = pattern_names(pattern, 0);
+            let n1 = names.first().cloned().unwrap_or_else(|| g.fresh("H"));
+            g.hyps
+                .insert(pos, (n1, Formula::implies((*a).clone(), (*b).clone())));
+            let n2 = names.get(1).cloned().unwrap_or_else(|| g.fresh("H"));
+            g.hyps
+                .insert(pos + 1, (n2, Formula::implies((*b).clone(), (*a).clone())));
+            Ok(vec![g])
+        }
+        Formula::True => {
+            let mut g = goal.clone();
+            g.hyps.remove(pos);
+            Ok(vec![g])
+        }
+        Formula::False => Ok(vec![]),
+        Formula::Pred(ref p, _, _)
+            if matches!(env.preds.get(p.as_str()), Some(PredDef::Inductive(_))) =>
+        {
+            // Case analysis on an inductive-predicate hypothesis is routed
+            // through inversion (a mild strengthening of Coq's destruct).
+            inversion(env, goal, h, fuel)
+        }
+        _ => Err(TacticError::rejected("hypothesis cannot be destructed")),
+    }
+}
+
+/// `destruct x [eqn:E]` on a context variable: one goal per constructor.
+fn destruct_var(
+    env: &Env,
+    goal: &Goal,
+    x: &str,
+    pattern: Option<&DestructPattern>,
+    eqn: Option<&str>,
+) -> Result<Vec<Goal>, TacticError> {
+    let sort = goal.var_sort(x).cloned().expect("checked by caller");
+    let Some((ind, _)) = env.sort_inductive(&sort) else {
+        return Err(TacticError::rejected(format!(
+            "{x} is not of an inductive datatype sort"
+        )));
+    };
+    let ctor_names: Vec<String> = ind.ctors.iter().map(|c| c.name.clone()).collect();
+    let mut out = Vec::new();
+    for (ci, cname) in ctor_names.iter().enumerate() {
+        let arg_sorts = env
+            .ctor_arg_sorts(cname, &sort)
+            .expect("constructor of the matched inductive");
+        let mut g = goal.clone();
+        let mut avoid = g.names_in_scope();
+        let names = pattern_names(pattern, ci);
+        let mut args = Vec::new();
+        for (ai, asort) in arg_sorts.iter().enumerate() {
+            let name = names
+                .get(ai)
+                .cloned()
+                .unwrap_or_else(|| fresh_name(base_name_for(asort), &avoid));
+            avoid.insert(name.clone());
+            args.push((name, asort.clone()));
+        }
+        let cterm = Term::App(
+            cname.clone(),
+            args.iter().map(|(n, _)| Term::var(n.clone())).collect(),
+        );
+        if eqn.is_none() {
+            g.remove_var(x);
+        }
+        g.vars.extend(args.iter().cloned());
+        // Full capture-avoiding substitution: the variable is being
+        // replaced, so every occurrence (also under binders) is rewritten.
+        for (_, f) in g.hyps.iter_mut() {
+            *f = subst_formula1(f, x, &cterm);
+        }
+        g.concl = subst_formula1(&g.concl, x, &cterm);
+        if let Some(e) = eqn {
+            let ename = if e.is_empty() {
+                fresh_name("Heq", &avoid)
+            } else {
+                e.to_string()
+            };
+            g.hyps
+                .push((ename, Formula::Eq(sort.clone(), Term::var(x), cterm)));
+        }
+        out.push(g);
+    }
+    Ok(out)
+}
+
+/// `destruct (f x) [eqn:E]` on an arbitrary term.
+fn destruct_term(
+    env: &Env,
+    goal: &Goal,
+    t: &Term,
+    pattern: Option<&DestructPattern>,
+    eqn: Option<&str>,
+    fuel: &mut Fuel,
+) -> Result<Vec<Goal>, TacticError> {
+    if let Term::Var(v) = t {
+        if goal.hyp(v).is_some() || goal.var_sort(v).is_some() {
+            return destruct(
+                env,
+                goal,
+                &DestructTarget::Name(v.clone()),
+                pattern,
+                eqn,
+                fuel,
+            );
+        }
+    }
+    let mut uni = Unifier::new();
+    let sort = infer_sort(env, goal, t, &mut uni)?;
+    let sort = sort.subst_metas(&uni.sort_metas);
+    if !sort.is_ground_or_var() {
+        return Err(TacticError::rejected("cannot infer the sort of the term"));
+    }
+    let Some((ind, _)) = env.sort_inductive(&sort) else {
+        return Err(TacticError::rejected(
+            "the term is not of an inductive datatype sort",
+        ));
+    };
+    let ctor_names: Vec<String> = ind.ctors.iter().map(|c| c.name.clone()).collect();
+    let mut out = Vec::new();
+    for (ci, cname) in ctor_names.iter().enumerate() {
+        let arg_sorts = env
+            .ctor_arg_sorts(cname, &sort)
+            .expect("constructor of the matched inductive");
+        let mut g = goal.clone();
+        let mut avoid = g.names_in_scope();
+        let names = pattern_names(pattern, ci);
+        let mut args = Vec::new();
+        for (ai, asort) in arg_sorts.iter().enumerate() {
+            let name = names
+                .get(ai)
+                .cloned()
+                .unwrap_or_else(|| fresh_name(base_name_for(asort), &avoid));
+            avoid.insert(name.clone());
+            args.push((name, asort.clone()));
+        }
+        let cterm = Term::App(
+            cname.clone(),
+            args.iter().map(|(n, _)| Term::var(n.clone())).collect(),
+        );
+        g.vars.extend(args.iter().cloned());
+        // Like Coq, only the goal is abstracted; hypotheses keep the
+        // original term (use `rewrite E in H` to propagate).
+        g.concl = replace_in_formula(&g.concl, t, &cterm);
+        if let Some(e) = eqn {
+            let ename = if e.is_empty() {
+                fresh_name("Heq", &avoid)
+            } else {
+                e.to_string()
+            };
+            g.hyps
+                .push((ename, Formula::Eq(sort.clone(), t.clone(), cterm)));
+        }
+        out.push(g);
+    }
+    Ok(out)
+}
+
+/// `induction x [as pattern]`.
+pub fn induction(
+    env: &Env,
+    goal: &Goal,
+    x: &str,
+    pattern: Option<&DestructPattern>,
+) -> Result<Vec<Goal>, TacticError> {
+    let goal = &intro_until_var(env, goal, x)?;
+    let Some(sort) = goal.var_sort(x).cloned() else {
+        return Err(TacticError::rejected(format!("{x} is not a variable")));
+    };
+    let Some((ind, _)) = env.sort_inductive(&sort) else {
+        return Err(TacticError::rejected(format!(
+            "{x} is not of an inductive datatype sort"
+        )));
+    };
+    let ctor_names: Vec<String> = ind.ctors.iter().map(|c| c.name.clone()).collect();
+
+    // Revert hypotheses that mention x into the motive.
+    let deps: Vec<(String, Formula)> = goal
+        .hyps
+        .iter()
+        .filter(|(_, f)| f.mentions(x))
+        .cloned()
+        .collect();
+    let mut motive = goal.concl.clone();
+    for (_, f) in deps.iter().rev() {
+        motive = Formula::implies(f.clone(), motive);
+    }
+    let mut base = goal.clone();
+    for (n, _) in &deps {
+        base.remove_hyp(n);
+    }
+    base.remove_var(x);
+
+    let mut out = Vec::new();
+    for (ci, cname) in ctor_names.iter().enumerate() {
+        let arg_sorts = env
+            .ctor_arg_sorts(cname, &sort)
+            .expect("constructor of the matched inductive");
+        let mut g = base.clone();
+        // `x` itself is cleared, so constructor arguments may reuse its
+        // name (Coq names the recursive argument of `S` after the variable
+        // being inducted on). The motive mentions `x`, so names_in_scope
+        // would otherwise reserve it.
+        let mut avoid = g.names_in_scope();
+        let mut motive_names = std::collections::BTreeSet::new();
+        motive.free_vars(&mut motive_names);
+        avoid.extend(motive_names);
+        avoid.remove(x);
+        let names = pattern_names(pattern, ci);
+        let rec_count = arg_sorts.iter().filter(|s| **s == sort).count();
+        let arg_count = arg_sorts.len();
+        let mut args = Vec::new();
+        for (ai, asort) in arg_sorts.iter().enumerate() {
+            // Recursive arguments reuse the inducted variable's name, like
+            // Coq (`induction l1` names the tail l1).
+            let base = if *asort == sort {
+                x
+            } else {
+                base_name_for(asort)
+            };
+            let name = names
+                .get(ai)
+                .cloned()
+                .unwrap_or_else(|| fresh_name(base, &avoid));
+            avoid.insert(name.clone());
+            args.push((name, asort.clone()));
+        }
+        g.vars.extend(args.iter().cloned());
+        // Induction hypotheses for recursive arguments.
+        let mut ih_index = 0usize;
+        for (ai, asort) in arg_sorts.iter().enumerate() {
+            if *asort != sort {
+                continue;
+            }
+            let default = if rec_count == 1 {
+                format!("IH{x}")
+            } else {
+                format!("IH{x}{ih_index}")
+            };
+            let name = names
+                .get(arg_count + ih_index)
+                .cloned()
+                .unwrap_or_else(|| fresh_name(&default, &avoid));
+            avoid.insert(name.clone());
+            let ih = subst_formula1(&motive, x, &Term::var(args[ai].0.clone()));
+            g.hyps.push((name, ih));
+            ih_index += 1;
+        }
+        let cterm = Term::App(
+            cname.clone(),
+            args.iter().map(|(n, _)| Term::var(n.clone())).collect(),
+        );
+        g.concl = subst_formula1(&motive, x, &cterm);
+        out.push(g);
+    }
+    Ok(out)
+}
+
+/// `inversion H` on an inductive-predicate hypothesis.
+pub fn inversion(
+    env: &Env,
+    goal: &Goal,
+    h: &str,
+    fuel: &mut Fuel,
+) -> Result<Vec<Goal>, TacticError> {
+    let Some(hf) = goal.hyp(h) else {
+        return Err(TacticError::rejected(format!("no hypothesis {h}")));
+    };
+    let hf = whnf_prop(env, hf);
+    let Formula::Pred(p, sorts, args) = &hf else {
+        return Err(TacticError::rejected(
+            "hypothesis is not an inductive predicate application",
+        ));
+    };
+    let Some(PredDef::Inductive(ip)) = env.preds.get(p.as_str()) else {
+        return Err(TacticError::rejected(format!(
+            "{p} is not an inductive predicate"
+        )));
+    };
+    let rule_names: Vec<String> = ip.rules.iter().map(|(n, _)| n.clone()).collect();
+    let mut out = Vec::new();
+    for rn in &rule_names {
+        let stmt = env.rule_or_lemma(rn).expect("registered rule");
+        let mut uni = Unifier::new();
+        let inst = instantiate_rule(&stmt, &mut uni);
+        let Formula::Pred(cp, csorts, cargs) = &inst.conclusion else {
+            continue;
+        };
+        if cp != p || csorts.len() != sorts.len() || cargs.len() != args.len() {
+            continue;
+        }
+        let mut ok = true;
+        for (a, b) in csorts.iter().zip(sorts) {
+            if uni.unify_sorts(a, b).is_err() {
+                ok = false;
+                break;
+            }
+        }
+        if !ok {
+            continue;
+        }
+        // Simplify the equations between rule conclusion args and the
+        // hypothesis args.
+        let mut work: Vec<(Term, Term)> = cargs.iter().cloned().zip(args.iter().cloned()).collect();
+        let mut residual: Vec<(Term, Term)> = Vec::new();
+        let mut possible = true;
+        let mut iterations = 0;
+        while let Some((l, r)) = work.pop() {
+            iterations += 1;
+            if iterations > 10_000 || fuel.tick().is_err() {
+                return Err(TacticError::Timeout);
+            }
+            let l = uni.resolve_term(&l);
+            let r = uni.resolve_term(&r);
+            if l == r {
+                continue;
+            }
+            match (&l, &r) {
+                (Term::Meta(_), _) | (_, Term::Meta(_)) => {
+                    if uni.unify_terms(&l, &r, fuel).is_err() {
+                        possible = false;
+                        break;
+                    }
+                    // Re-examine residuals under the new solution.
+                    work.append(&mut residual);
+                }
+                _ => {
+                    let lh = ctor_head(env, &l);
+                    let rh = ctor_head(env, &r);
+                    match (lh, rh) {
+                        (Some(a), Some(b)) if a == b => {
+                            let (Term::App(_, la), Term::App(_, ra)) = (&l, &r) else {
+                                unreachable!("ctor_head implies App");
+                            };
+                            work.extend(la.iter().cloned().zip(ra.iter().cloned()));
+                        }
+                        (Some(_), Some(_)) => {
+                            possible = false;
+                            break;
+                        }
+                        _ => residual.push((l, r)),
+                    }
+                }
+            }
+        }
+        if !possible {
+            continue;
+        }
+        // Build the case goal.
+        let mut g = goal.clone();
+        let mut avoid = g.names_in_scope();
+        // Introduce leftover rule variables as fresh context variables.
+        for (mid, base, msort) in &inst.metas {
+            if uni.term_metas.contains_key(mid) {
+                continue;
+            }
+            let name = fresh_name(base, &avoid);
+            avoid.insert(name.clone());
+            let s = msort.subst_metas(&uni.sort_metas);
+            if !s.is_ground_or_var() {
+                possible = false;
+                break;
+            }
+            g.vars.push((name.clone(), s));
+            uni.term_metas.insert(*mid, Term::var(name));
+        }
+        if !possible {
+            continue;
+        }
+        // Premises of the rule become hypotheses.
+        for prem in &inst.premises {
+            let f = uni.resolve_formula(prem);
+            if !f.is_ground() {
+                possible = false;
+                break;
+            }
+            let name = fresh_name("H", &avoid);
+            avoid.insert(name.clone());
+            g.hyps.push((name, f));
+        }
+        if !possible {
+            continue;
+        }
+        // Residual equations: substitute variable equations away (as Coq's
+        // inversion does), keep the rest as hypotheses.
+        for (l, r) in &residual {
+            let l = uni.resolve_term(l);
+            let r = uni.resolve_term(r);
+            if l == r {
+                continue;
+            }
+            let auto_subst = match (&l, &r) {
+                (Term::Var(v), t) if g.var_sort(v).is_some() && !t.mentions(v) => {
+                    Some((v.clone(), t.clone()))
+                }
+                (t, Term::Var(v)) if g.var_sort(v).is_some() && !t.mentions(v) => {
+                    Some((v.clone(), t.clone()))
+                }
+                _ => None,
+            };
+            if let Some((v, t)) = auto_subst {
+                for (_, f) in g.hyps.iter_mut() {
+                    *f = subst_formula1(f, &v, &t);
+                }
+                g.concl = subst_formula1(&g.concl, &v, &t);
+                g.remove_var(&v);
+                continue;
+            }
+            let mut u2 = Unifier::new();
+            let s =
+                infer_sort(env, &g, &l, &mut u2).or_else(|_| infer_sort(env, &g, &r, &mut u2))?;
+            let s = s.subst_metas(&u2.sort_metas);
+            let name = fresh_name("Heq", &avoid);
+            avoid.insert(name.clone());
+            g.hyps.push((name, Formula::Eq(s, l, r)));
+        }
+        out.push(g);
+    }
+    Ok(out)
+}
+
+/// `injection H`.
+pub fn injection(
+    env: &Env,
+    goal: &Goal,
+    h: &str,
+    fuel: &mut Fuel,
+) -> Result<Vec<Goal>, TacticError> {
+    let Some(hf) = goal.hyp(h) else {
+        return Err(TacticError::rejected(format!("no hypothesis {h}")));
+    };
+    let Formula::Eq(s, a, b) = whnf_prop(env, hf) else {
+        return Err(TacticError::rejected("hypothesis is not an equality"));
+    };
+    let a = normalize_term(env, &a, EvalMode::simpl(), fuel)?;
+    let b = normalize_term(env, &b, EvalMode::simpl(), fuel)?;
+    let (Some(ha), Some(hb)) = (ctor_head(env, &a), ctor_head(env, &b)) else {
+        return Err(TacticError::rejected(
+            "both sides must be constructor applications",
+        ));
+    };
+    if ha != hb {
+        return Err(TacticError::rejected(
+            "sides have different constructors (use discriminate)",
+        ));
+    }
+    let arg_sorts = env
+        .ctor_arg_sorts(ha, &s)
+        .ok_or_else(|| TacticError::rejected("sort does not match the constructor"))?;
+    let (Term::App(_, aargs), Term::App(_, bargs)) = (&a, &b) else {
+        unreachable!("ctor_head implies App");
+    };
+    let mut g = goal.clone();
+    let mut avoid = g.names_in_scope();
+    let mut added = false;
+    for ((x, y), asort) in aargs.iter().zip(bargs).zip(arg_sorts) {
+        if x == y {
+            continue;
+        }
+        let name = fresh_name("H", &avoid);
+        avoid.insert(name.clone());
+        g.hyps
+            .push((name, Formula::Eq(asort, x.clone(), y.clone())));
+        added = true;
+    }
+    if !added {
+        return Err(TacticError::rejected("nothing to inject"));
+    }
+    Ok(vec![g])
+}
+
+/// Recursive constructor-clash check.
+fn clashes(env: &Env, a: &Term, b: &Term) -> bool {
+    match (ctor_head(env, a), ctor_head(env, b)) {
+        (Some(x), Some(y)) if x != y => true,
+        (Some(x), Some(y)) if x == y => {
+            let (Term::App(_, aa), Term::App(_, ba)) = (a, b) else {
+                return false;
+            };
+            aa.len() == ba.len() && aa.iter().zip(ba).any(|(u, v)| clashes(env, u, v))
+        }
+        _ => false,
+    }
+}
+
+/// `discriminate [H]`.
+pub fn discriminate(
+    env: &Env,
+    goal: &Goal,
+    h: Option<&str>,
+    fuel: &mut Fuel,
+) -> Result<Vec<Goal>, TacticError> {
+    let check = |f: &Formula, fuel: &mut Fuel| -> Result<bool, TacticError> {
+        if let Formula::Eq(_, a, b) = whnf_prop(env, f) {
+            let a = normalize_term(env, &a, EvalMode::simpl(), fuel)?;
+            let b = normalize_term(env, &b, EvalMode::simpl(), fuel)?;
+            return Ok(clashes(env, &a, &b));
+        }
+        Ok(false)
+    };
+    match h {
+        Some(h) => {
+            let Some(hf) = goal.hyp(h) else {
+                return Err(TacticError::rejected(format!("no hypothesis {h}")));
+            };
+            if check(&hf.clone(), fuel)? {
+                return Ok(vec![]);
+            }
+        }
+        None => {
+            let hyps: Vec<Formula> = goal.hyps.iter().map(|(_, f)| f.clone()).collect();
+            for f in hyps {
+                if check(&f, fuel)? {
+                    return Ok(vec![]);
+                }
+            }
+            // Goal of the shape `a <> b` with clashing sides.
+            if let Formula::Not(inner) = whnf_prop(env, &goal.concl) {
+                if let Formula::Eq(_, a, b) = &*inner {
+                    let a = normalize_term(env, a, EvalMode::simpl(), fuel)?;
+                    let b = normalize_term(env, b, EvalMode::simpl(), fuel)?;
+                    if clashes(env, &a, &b) {
+                        return Ok(vec![]);
+                    }
+                }
+            }
+        }
+    }
+    Err(TacticError::rejected("no discriminable equality"))
+}
+
+/// `subst`.
+pub fn subst_tac(env: &Env, goal: &Goal, fuel: &mut Fuel) -> Result<Vec<Goal>, TacticError> {
+    let _ = env;
+    let mut g = goal.clone();
+    loop {
+        fuel.tick()?;
+        let mut found: Option<(String, String, Term)> = None;
+        for (hn, f) in &g.hyps {
+            if let Formula::Eq(_, a, b) = f {
+                let cand = match (a, b) {
+                    (Term::Var(v), t) if g.var_sort(v).is_some() && !t.mentions(v) => {
+                        Some((v.clone(), t.clone()))
+                    }
+                    (t, Term::Var(v)) if g.var_sort(v).is_some() && !t.mentions(v) => {
+                        Some((v.clone(), t.clone()))
+                    }
+                    _ => None,
+                };
+                if let Some((v, t)) = cand {
+                    found = Some((hn.clone(), v, t));
+                    break;
+                }
+            }
+        }
+        let Some((hn, v, t)) = found else { break };
+        g.remove_hyp(&hn);
+        for (_, f) in g.hyps.iter_mut() {
+            *f = subst_formula1(f, &v, &t);
+        }
+        g.concl = subst_formula1(&g.concl, &v, &t);
+        g.remove_var(&v);
+    }
+    Ok(vec![g])
+}

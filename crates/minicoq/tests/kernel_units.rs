@@ -1,0 +1,198 @@
+//! Kernel-level unit tests through the public evaluation and unification
+//! API: reduction modes, conversion, alpha-equivalence, unifier
+//! bookkeeping (metas, watermark, resolution) and rule instantiation —
+//! the primitives every tactic builds on.
+
+use minicoq::env::Env;
+use minicoq::eval::{
+    alpha_eq_formula, alpha_eq_term, conv_eq_term, ctor_head, normalize_term, EvalMode,
+};
+use minicoq::fuel::Fuel;
+use minicoq::parse::{parse_formula, parse_term_in_goal};
+use minicoq::term::Term;
+use minicoq::unify::{instantiate_rule, Unifier};
+
+fn term(env: &Env, src: &str) -> Term {
+    let f =
+        parse_formula(env, &format!("{src} = {src}")).unwrap_or_else(|e| panic!("`{src}`: {e}"));
+    match f {
+        minicoq::formula::Formula::Eq(_, t, _) => t,
+        other => panic!("expected an equation, got {other:?}"),
+    }
+}
+
+// --------------------------------------------------------------- reduction
+
+#[test]
+fn simpl_reduces_closed_applications() {
+    let env = Env::with_prelude();
+    let t = term(&env, "add 2 2");
+    let n = normalize_term(&env, &t, EvalMode::simpl(), &mut Fuel::unlimited()).unwrap();
+    assert!(alpha_eq_term(&n, &term(&env, "4")), "{n:?}");
+}
+
+#[test]
+fn simpl_unfolds_fixpoints_only_on_constructor_arguments() {
+    let env = Env::with_prelude();
+    // `add n 0` is stuck on the variable scrutinee: simpl must not unfold.
+    let t = term(&env, "add 2 2");
+    let stuck = Term::App("add".into(), vec![Term::var("n"), term(&env, "0")]);
+    let n = normalize_term(&env, &stuck, EvalMode::simpl(), &mut Fuel::unlimited()).unwrap();
+    assert!(alpha_eq_term(&n, &stuck), "{n:?}");
+    let done = normalize_term(&env, &t, EvalMode::simpl(), &mut Fuel::unlimited()).unwrap();
+    assert!(alpha_eq_term(&done, &term(&env, "4")));
+}
+
+#[test]
+fn iota_mode_reduces_matches_without_unfolding_defs() {
+    let env = Env::with_prelude();
+    let t = term(&env, "add 1 1");
+    let n = normalize_term(&env, &t, EvalMode::iota(), &mut Fuel::unlimited()).unwrap();
+    // iota alone does not unfold `add`.
+    assert!(alpha_eq_term(&n, &t), "{n:?}");
+}
+
+#[test]
+fn normalization_is_idempotent_on_prelude_terms() {
+    let env = Env::with_prelude();
+    for src in ["add 3 4", "mul 2 3", "eqb 2 2", "leb 1 2", "sub 5 2"] {
+        let t = term(&env, src);
+        let once =
+            normalize_term(&env, &t, EvalMode::conversion(), &mut Fuel::unlimited()).unwrap();
+        let twice =
+            normalize_term(&env, &once, EvalMode::conversion(), &mut Fuel::unlimited()).unwrap();
+        assert!(alpha_eq_term(&once, &twice), "{src}");
+    }
+}
+
+#[test]
+fn conversion_decides_definitional_equality() {
+    let env = Env::with_prelude();
+    let mut fuel = Fuel::unlimited();
+    assert!(conv_eq_term(&env, &term(&env, "add 2 2"), &term(&env, "4"), &mut fuel).unwrap());
+    assert!(conv_eq_term(
+        &env,
+        &term(&env, "mul 2 3"),
+        &term(&env, "add 3 3"),
+        &mut fuel
+    )
+    .unwrap());
+    assert!(!conv_eq_term(&env, &term(&env, "add 2 2"), &term(&env, "5"), &mut fuel).unwrap());
+}
+
+#[test]
+fn conversion_respects_fuel() {
+    let env = Env::with_prelude();
+    let mut fuel = Fuel::new(3);
+    let r = conv_eq_term(&env, &term(&env, "mul 9 9"), &term(&env, "81"), &mut fuel);
+    assert!(r.is_err(), "a 3-unit budget cannot normalize 9*9");
+}
+
+#[test]
+fn ctor_head_sees_through_numerals() {
+    let env = Env::with_prelude();
+    assert_eq!(ctor_head(&env, &term(&env, "3")), Some("S"));
+    assert_eq!(ctor_head(&env, &term(&env, "0")), Some("O"));
+    assert_eq!(ctor_head(&env, &Term::var("n")), None);
+}
+
+// --------------------------------------------------------- alpha-equality
+
+#[test]
+fn alpha_equality_ignores_binder_names() {
+    let env = Env::with_prelude();
+    let a = parse_formula(&env, "forall n : nat, n = n").unwrap();
+    let b = parse_formula(&env, "forall m : nat, m = m").unwrap();
+    assert!(alpha_eq_formula(&a, &b));
+    let c = parse_formula(&env, "forall n : nat, n = 0").unwrap();
+    assert!(!alpha_eq_formula(&a, &c));
+}
+
+#[test]
+fn alpha_equality_distinguishes_binder_structure() {
+    let env = Env::with_prelude();
+    let a = parse_formula(&env, "forall n m : nat, n = m").unwrap();
+    let b = parse_formula(&env, "forall n m : nat, m = n").unwrap();
+    assert!(!alpha_eq_formula(&a, &b));
+}
+
+// --------------------------------------------------------------- unifier
+
+#[test]
+fn metas_unify_and_resolve() {
+    let env = Env::with_prelude();
+    let mut u = Unifier::new();
+    let m = u.fresh_term_meta();
+    let four = term(&env, "4");
+    u.unify_terms(&m, &four, &mut Fuel::unlimited()).unwrap();
+    assert!(alpha_eq_term(&u.resolve_term(&m), &four));
+}
+
+#[test]
+fn clashing_constructors_fail_to_unify() {
+    let env = Env::with_prelude();
+    let mut u = Unifier::new();
+    assert!(u
+        .unify_terms(&term(&env, "1"), &term(&env, "2"), &mut Fuel::unlimited())
+        .is_err());
+}
+
+#[test]
+fn unification_decomposes_applications() {
+    let env = Env::with_prelude();
+    let mut u = Unifier::new();
+    let m = u.fresh_term_meta();
+    let lhs = Term::App("S".into(), vec![m.clone()]);
+    u.unify_terms(&lhs, &term(&env, "3"), &mut Fuel::unlimited())
+        .unwrap();
+    assert!(alpha_eq_term(&u.resolve_term(&m), &term(&env, "2")));
+}
+
+#[test]
+fn watermark_marks_the_meta_frontier() {
+    let mut u = Unifier::new();
+    let w0 = u.meta_watermark();
+    let _ = u.fresh_term_meta();
+    let _ = u.fresh_sort_meta();
+    assert!(u.meta_watermark() > w0);
+}
+
+#[test]
+fn instantiate_rule_splits_premises_from_conclusion() {
+    let env = Env::with_prelude();
+    let mut u = Unifier::new();
+    let stmt = parse_formula(&env, "forall a b c : nat, le a b -> le b c -> le a c").unwrap();
+    let rule = instantiate_rule(&stmt, &mut u);
+    assert_eq!(rule.premises.len(), 2);
+    assert_eq!(rule.metas.len(), 3);
+    // The conclusion must mention fresh metas, not the bound names.
+    let shown = format!("{:?}", rule.conclusion);
+    assert!(shown.contains("Meta"), "{shown}");
+}
+
+#[test]
+fn instantiate_rule_on_a_fact_has_no_premises() {
+    let env = Env::with_prelude();
+    let mut u = Unifier::new();
+    let stmt = parse_formula(&env, "forall n : nat, le n n").unwrap();
+    let rule = instantiate_rule(&stmt, &mut u);
+    assert!(rule.premises.is_empty());
+    assert_eq!(rule.metas.len(), 1);
+}
+
+// -------------------------------------------------- goal-directed parsing
+
+#[test]
+fn parse_term_in_goal_uses_context_sorts() {
+    let env = Env::with_prelude();
+    let f = parse_formula(&env, "forall l : list nat, l = l").unwrap();
+    let st = minicoq::goal::ProofState::new(f);
+    let mut st2 = st.clone();
+    // Introduce l so the goal context knows its sort.
+    let tac = minicoq::parse::parse_tactic(&env, st.goals.first(), "intros l").unwrap();
+    st2 = minicoq::tactic::apply_tactic(&env, &st2, &tac, &mut Fuel::unlimited()).unwrap();
+    let g = st2.focused().unwrap();
+    let t = parse_term_in_goal(&env, g, "l", None).unwrap();
+    assert!(matches!(t, Term::Var(_)));
+    assert!(parse_term_in_goal(&env, g, "unknown_name_q", None).is_err());
+}

@@ -1,0 +1,291 @@
+//! Unit tests for the surface syntax: sentence splitting, formula
+//! elaboration (notation, sort inference, error reporting) and the
+//! pretty-printer round-trip. These pin the parser behaviours the corpus
+//! and the tactic oracle rely on.
+
+use minicoq::env::Env;
+use minicoq::parse::{parse_formula, split_sentences};
+use minicoq::pretty::formula_to_string;
+
+// ---------------------------------------------------------- split_sentences
+
+#[test]
+fn splits_on_toplevel_dots_only() {
+    let s = split_sentences("intros n. destruct n as [|k]. reflexivity.");
+    assert_eq!(s, vec!["intros n", "destruct n as [|k]", "reflexivity"]);
+}
+
+#[test]
+fn dot_must_be_followed_by_whitespace() {
+    // `1.5`-style embedded dots never occur, but qualified-looking names
+    // must not split a sentence.
+    let s = split_sentences("apply lt.le_incl. auto.");
+    assert_eq!(s, vec!["apply lt.le_incl", "auto"]);
+}
+
+#[test]
+fn drops_proof_qed_markers_and_comments() {
+    let s = split_sentences("Proof. (* by induction *) intros. Qed.");
+    assert_eq!(s, vec!["intros"]);
+}
+
+#[test]
+fn comment_only_script_is_empty() {
+    assert!(split_sentences("(* nothing (* nested *) here *)").is_empty());
+}
+
+#[test]
+fn final_sentence_without_dot_is_kept() {
+    let s = split_sentences("intros. auto");
+    assert_eq!(s, vec!["intros", "auto"]);
+}
+
+#[test]
+fn dots_inside_comments_do_not_split() {
+    let s = split_sentences("intros. (* first. second. *) reflexivity.");
+    assert_eq!(s, vec!["intros", "reflexivity"]);
+}
+
+// ------------------------------------------------------- formula elaboration
+
+#[test]
+fn parses_quantifiers_and_connectives() {
+    let env = Env::with_prelude();
+    for src in [
+        "forall n : nat, n = n",
+        "forall (n m : nat), n = m -> m = n",
+        "forall n : nat, n = 0 \\/ (exists m : nat, n = S m)",
+        "True /\\ ~ False",
+        "forall a b : nat, a = b <-> b = a",
+        "forall (A : Sort) (l : list A), l = l",
+    ] {
+        parse_formula(&env, src).unwrap_or_else(|e| panic!("`{src}`: {e}"));
+    }
+}
+
+#[test]
+fn list_notation_desugars_to_constructors() {
+    let env = Env::with_prelude();
+    let f = parse_formula(&env, "1 :: [] = [1]").unwrap();
+    let s = formula_to_string(&f);
+    // Both sides elaborate to the same constructor spine.
+    assert!(s.contains('='), "{s}");
+    let g = parse_formula(&env, "cons 1 nil = cons 1 nil").unwrap();
+    assert_eq!(
+        minicoq::statehash::formula_key(&f),
+        minicoq::statehash::formula_key(&g)
+    );
+}
+
+#[test]
+fn numerals_become_successor_towers() {
+    let env = Env::with_prelude();
+    let f = parse_formula(&env, "2 = S (S 0)").unwrap();
+    let g = parse_formula(&env, "S (S O) = S (S O)").unwrap();
+    assert_eq!(
+        minicoq::statehash::formula_key(&f),
+        minicoq::statehash::formula_key(&g)
+    );
+}
+
+#[test]
+fn comparison_notation_maps_to_predicates() {
+    let env = Env::with_prelude();
+    for (src, pred) in [
+        ("forall n : nat, n <= S n", "le"),
+        ("forall n : nat, n < S n", "lt"),
+        ("forall n : nat, S n > n", "gt"),
+        ("forall n : nat, S n >= n", "ge"),
+    ] {
+        let f = parse_formula(&env, src).unwrap_or_else(|e| panic!("`{src}`: {e}"));
+        assert!(
+            formula_to_string(&f).contains(pred) || formula_to_string(&f).contains('<'),
+            "`{src}` -> {}",
+            formula_to_string(&f)
+        );
+    }
+}
+
+#[test]
+fn neq_notation_is_negated_equality() {
+    let env = Env::with_prelude();
+    let f = parse_formula(&env, "forall n : nat, S n <> 0").unwrap();
+    assert!(
+        formula_to_string(&f).contains('~'),
+        "{}",
+        formula_to_string(&f)
+    );
+}
+
+#[test]
+fn sort_ascription_disambiguates_polymorphism() {
+    let env = Env::with_prelude();
+    // nil alone is ambiguous; an ascription fixes the element sort.
+    let f = parse_formula(&env, "(nil : list nat) = []").unwrap();
+    parse_formula(&env, "forall l : list nat, l = l").unwrap();
+    let s = formula_to_string(&f);
+    assert!(s.contains('='), "{s}");
+}
+
+#[test]
+fn unknown_identifier_is_an_error() {
+    let env = Env::with_prelude();
+    let e = parse_formula(&env, "frob 1 = 1").unwrap_err();
+    assert!(e.to_string().contains("frob"), "{e}");
+}
+
+#[test]
+fn arity_mismatch_is_an_error() {
+    let env = Env::with_prelude();
+    assert!(
+        parse_formula(&env, "add 1 = 1").is_err() || {
+            // Partial application is not a term former in this logic.
+            false
+        }
+    );
+    assert!(parse_formula(&env, "S 1 2 = 1").is_err());
+}
+
+#[test]
+fn sort_mismatch_is_an_error() {
+    let env = Env::with_prelude();
+    // Comparing a nat with a list must be rejected by sort inference.
+    assert!(parse_formula(&env, "forall l : list nat, l = 0").is_err());
+    // A bool where a nat is expected.
+    assert!(parse_formula(&env, "add true 1 = 1").is_err());
+}
+
+#[test]
+fn unbound_sort_variable_is_an_error() {
+    let env = Env::with_prelude();
+    assert!(parse_formula(&env, "forall l : list A, l = l").is_err());
+}
+
+#[test]
+fn trailing_tokens_are_an_error() {
+    let env = Env::with_prelude();
+    assert!(parse_formula(&env, "0 = 0 0").is_err());
+}
+
+#[test]
+fn match_expressions_elaborate_in_formulas() {
+    let env = Env::with_prelude();
+    let f = parse_formula(
+        &env,
+        "forall n : nat, (match n with | O => 0 | S p => p end) <= n",
+    )
+    .unwrap();
+    assert!(
+        formula_to_string(&f).contains("match"),
+        "{}",
+        formula_to_string(&f)
+    );
+}
+
+#[test]
+fn implication_is_right_associative() {
+    let env = Env::with_prelude();
+    let a = parse_formula(&env, "0 = 0 -> 1 = 1 -> 2 = 2").unwrap();
+    let b = parse_formula(&env, "0 = 0 -> (1 = 1 -> 2 = 2)").unwrap();
+    assert_eq!(
+        minicoq::statehash::formula_key(&a),
+        minicoq::statehash::formula_key(&b)
+    );
+    let c = parse_formula(&env, "(0 = 0 -> 1 = 1) -> 2 = 2").unwrap();
+    assert_ne!(
+        minicoq::statehash::formula_key(&a),
+        minicoq::statehash::formula_key(&c)
+    );
+}
+
+#[test]
+fn conjunction_binds_tighter_than_disjunction() {
+    let env = Env::with_prelude();
+    let a = parse_formula(&env, "True /\\ False \\/ True").unwrap();
+    let b = parse_formula(&env, "(True /\\ False) \\/ True").unwrap();
+    assert_eq!(
+        minicoq::statehash::formula_key(&a),
+        minicoq::statehash::formula_key(&b)
+    );
+}
+
+#[test]
+fn negation_binds_tighter_than_conjunction() {
+    let env = Env::with_prelude();
+    let a = parse_formula(&env, "~ False /\\ True").unwrap();
+    let b = parse_formula(&env, "(~ False) /\\ True").unwrap();
+    assert_eq!(
+        minicoq::statehash::formula_key(&a),
+        minicoq::statehash::formula_key(&b)
+    );
+}
+
+// --------------------------------------------------------------- round-trip
+
+#[test]
+fn pretty_printed_formulas_reparse_to_the_same_key() {
+    let env = Env::with_prelude();
+    for src in [
+        "forall n : nat, add n 0 = n",
+        "forall (n m : nat), n <= m -> n < S m",
+        "forall (A : Sort) (l : list A) (x : A), x :: l = x :: l",
+        "exists n : nat, n = 0 /\\ (True \\/ ~ False)",
+        "forall b : bool, b = true \\/ b = false",
+        "forall n : nat, ~ S n = 0",
+        "forall (n : nat), (match n with | O => true | S p => false end) = eqb n 0",
+    ] {
+        let f = parse_formula(&env, src).unwrap_or_else(|e| panic!("`{src}`: {e}"));
+        let printed = formula_to_string(&f);
+        let g =
+            parse_formula(&env, &printed).unwrap_or_else(|e| panic!("reparse `{printed}`: {e}"));
+        assert_eq!(
+            minicoq::statehash::formula_key(&f),
+            minicoq::statehash::formula_key(&g),
+            "round-trip changed `{src}` -> `{printed}`"
+        );
+    }
+}
+
+#[test]
+fn printer_parenthesizes_precedence_correctly() {
+    let env = Env::with_prelude();
+    // For each pair, the printed form of `a` must NOT parse equal to `b`:
+    // parentheses have to survive printing wherever they matter.
+    let pairs = [
+        ("(0 = 0 -> 1 = 1) -> 2 = 2", "0 = 0 -> 1 = 1 -> 2 = 2"),
+        ("True /\\ (False \\/ True)", "True /\\ False \\/ True"),
+        ("~ (True /\\ False)", "~ True /\\ False"),
+        ("(True <-> True) <-> True", "True <-> (True <-> True)"),
+    ];
+    for (a_src, b_src) in pairs {
+        let a = parse_formula(&env, a_src).unwrap();
+        let b = parse_formula(&env, b_src).unwrap();
+        let a_round = parse_formula(&env, &formula_to_string(&a)).unwrap();
+        assert_eq!(
+            minicoq::statehash::formula_key(&a),
+            minicoq::statehash::formula_key(&a_round),
+            "round-trip broke `{a_src}`"
+        );
+        assert_ne!(
+            minicoq::statehash::formula_key(&a_round),
+            minicoq::statehash::formula_key(&b),
+            "printing `{a_src}` collapsed it into `{b_src}`"
+        );
+    }
+}
+
+#[test]
+fn goal_display_shows_hypotheses_above_the_line() {
+    use minicoq::goal::ProofState;
+    let env = Env::with_prelude();
+    let f = parse_formula(&env, "forall n : nat, le 0 n -> n = n").unwrap();
+    let mut st = ProofState::new(f);
+    let tac = minicoq::parse::parse_tactic(&env, st.goals.first(), "intros n H").unwrap();
+    st = minicoq::tactic::apply_tactic(&env, &st, &tac, &mut minicoq::fuel::Fuel::unlimited())
+        .unwrap();
+    let shown = st.display();
+    let bar = shown.find("=====").expect("separator line");
+    let hyp = shown.find("H : ").expect("hypothesis shown");
+    let concl = shown.find("n = n").expect("conclusion shown");
+    assert!(hyp < bar && bar < concl, "{shown}");
+}

@@ -1,0 +1,150 @@
+//! Property-based tests for the kernel's core invariants.
+
+use proptest::prelude::*;
+
+use minicoq::env::Env;
+use minicoq::eval::{conv_eq_term, normalize_term, EvalMode};
+use minicoq::formula::Formula;
+use minicoq::fuel::Fuel;
+use minicoq::sort::Sort;
+use minicoq::statehash::{formula_key, term_key};
+use minicoq::subst::{subst_formula1, subst_term1};
+use minicoq::term::Term;
+
+/// A generator for closed arithmetic terms over `nat`.
+fn arb_nat_term() -> impl Strategy<Value = Term> {
+    let leaf = prop_oneof![
+        (0u64..6).prop_map(Term::nat),
+        Just(Term::var("x")),
+        Just(Term::var("y")),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Term::App("add".into(), vec![a, b])),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Term::App("mul".into(), vec![a, b])),
+            inner.prop_map(|a| Term::App("S".into(), vec![a])),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn normalization_is_idempotent(t in arb_nat_term()) {
+        let env = Env::with_prelude();
+        let mut fuel = Fuel::unlimited();
+        let n1 = normalize_term(&env, &t, EvalMode::simpl(), &mut fuel).unwrap();
+        let n2 = normalize_term(&env, &n1, EvalMode::simpl(), &mut fuel).unwrap();
+        prop_assert_eq!(n1, n2);
+    }
+
+    #[test]
+    fn closed_arithmetic_evaluates_to_numerals(a in 0u64..30, b in 0u64..30) {
+        let env = Env::with_prelude();
+        let t = Term::App("add".into(), vec![Term::nat(a), Term::nat(b)]);
+        let n = normalize_term(&env, &t, EvalMode::simpl(), &mut Fuel::unlimited()).unwrap();
+        prop_assert_eq!(n.as_nat(), Some(a + b));
+        let t = Term::App("mul".into(), vec![Term::nat(a % 12), Term::nat(b % 12)]);
+        let n = normalize_term(&env, &t, EvalMode::simpl(), &mut Fuel::unlimited()).unwrap();
+        prop_assert_eq!(n.as_nat(), Some((a % 12) * (b % 12)));
+    }
+
+    #[test]
+    fn conversion_is_an_equivalence(t in arb_nat_term(), u in arb_nat_term()) {
+        let env = Env::with_prelude();
+        let mut fuel = Fuel::unlimited();
+        // Reflexivity.
+        prop_assert!(conv_eq_term(&env, &t, &t, &mut fuel).unwrap());
+        // Symmetry.
+        let tu = conv_eq_term(&env, &t, &u, &mut fuel).unwrap();
+        let ut = conv_eq_term(&env, &u, &t, &mut fuel).unwrap();
+        prop_assert_eq!(tu, ut);
+    }
+
+    #[test]
+    fn substitution_eliminates_the_variable(t in arb_nat_term(), v in 0u64..5) {
+        let r = Term::nat(v);
+        let s = subst_term1(&t, "x", &r);
+        prop_assert!(!s.mentions("x"));
+        // And is stable: substituting again changes nothing.
+        prop_assert_eq!(subst_term1(&s, "x", &r), s);
+    }
+
+    #[test]
+    fn alpha_renaming_preserves_canonical_keys(t in arb_nat_term()) {
+        // forall x, t = t   vs   forall z, t[x:=z] = t[x:=z].
+        let f1 = Formula::forall(
+            "x",
+            Sort::nat(),
+            Formula::Eq(Sort::nat(), t.clone(), t.clone()),
+        );
+        let renamed = subst_term1(&t, "x", &Term::var("zz"));
+        let f2 = Formula::forall(
+            "zz",
+            Sort::nat(),
+            Formula::Eq(Sort::nat(), renamed.clone(), renamed),
+        );
+        prop_assert_eq!(formula_key(&f1), formula_key(&f2));
+    }
+
+    #[test]
+    fn term_keys_separate_distinct_numerals(a in 0u64..40, b in 0u64..40) {
+        prop_assert_eq!(term_key(&Term::nat(a)) == term_key(&Term::nat(b)), a == b);
+    }
+
+    #[test]
+    fn capture_avoidance_under_quantifiers(v in 0u64..5) {
+        // (forall x, x = y)[y := x] must not capture.
+        let f = Formula::forall(
+            "x",
+            Sort::nat(),
+            Formula::Eq(Sort::nat(), Term::var("x"), Term::var("y")),
+        );
+        let g = subst_formula1(&f, "y", &Term::var("x"));
+        let _ = v;
+        // The canonical keys of the result and of the intended formula
+        // (forall w, w = x) agree.
+        let want = Formula::forall(
+            "w",
+            Sort::nat(),
+            Formula::Eq(Sort::nat(), Term::var("w"), Term::var("x")),
+        );
+        prop_assert_eq!(formula_key(&g), formula_key(&want));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lia_decides_random_linear_facts(
+        a in 0u64..50, b in 0u64..50, c in 0u64..50
+    ) {
+        use minicoq::goal::ProofState;
+        use minicoq::parse::{parse_formula, parse_tactic};
+        use minicoq::tactic::apply_tactic;
+        let env = Env::with_prelude();
+        // a <= a + b, and a + b <= c is refutable when it is false.
+        let stmt = format!("le {a} (add {a} {b})");
+        let f = parse_formula(&env, &stmt).unwrap();
+        let st = ProofState::new(f);
+        let tac = parse_tactic(&env, st.goals.first(), "lia").unwrap();
+        let r = apply_tactic(&env, &st, &tac, &mut Fuel::unlimited());
+        prop_assert!(r.is_ok(), "lia failed on {stmt}");
+
+        let stmt = format!("le (add {a} {b}) {c}");
+        let f = parse_formula(&env, &stmt).unwrap();
+        let st = ProofState::new(f);
+        let tac = parse_tactic(&env, st.goals.first(), "lia").unwrap();
+        let r = apply_tactic(&env, &st, &tac, &mut Fuel::unlimited());
+        prop_assert_eq!(r.is_ok(), a + b <= c, "lia wrong on {}", stmt);
+    }
+
+    #[test]
+    fn eqb_agrees_with_equality(a in 0u64..30, b in 0u64..30) {
+        let env = Env::with_prelude();
+        let t = Term::App("eqb".into(), vec![Term::nat(a), Term::nat(b)]);
+        let n = normalize_term(&env, &t, EvalMode::simpl(), &mut Fuel::unlimited()).unwrap();
+        let want = if a == b { "true" } else { "false" };
+        prop_assert_eq!(n, Term::cst(want));
+    }
+}

@@ -1,0 +1,135 @@
+//! Capability profiles for the evaluated model configurations.
+//!
+//! The paper evaluates GPT-4o mini, GPT-4o, Gemini 1.5 Flash and Gemini
+//! 1.5 Pro (the latter additionally with a 128k-token window). A profile
+//! captures what the evaluation depends on: how reliably the model surfaces
+//! the *relevant* candidate tactics (skill), how noisy its ranking is, how
+//! much context it can actually exploit (effective attention, which is why
+//! 1M and 128k windows score alike), and its nominal window.
+
+use serde::Serialize;
+
+/// A model capability profile.
+#[derive(Debug, Clone, Serialize)]
+pub struct ModelProfile {
+    /// Display name.
+    pub name: &'static str,
+    /// Probability that a relevant (goal-directed) candidate survives into
+    /// the proposal pool; the dominant capability knob.
+    pub skill: f64,
+    /// Standard deviation of the ranking noise.
+    pub noise: f64,
+    /// Tokens of context the model exploits well; lemmas further than this
+    /// from the goal are increasingly likely to be overlooked
+    /// ("lost in the middle").
+    pub effective_context: usize,
+    /// Nominal context window in tokens (prompt truncation).
+    pub window: usize,
+}
+
+impl ModelProfile {
+    /// GPT-4o mini.
+    pub fn gpt4o_mini() -> ModelProfile {
+        ModelProfile {
+            name: "GPT-4o mini",
+            skill: 0.27,
+            noise: 0.8,
+            effective_context: 6_000,
+            window: 128_000,
+        }
+    }
+
+    /// GPT-4o.
+    pub fn gpt4o() -> ModelProfile {
+        ModelProfile {
+            name: "GPT-4o",
+            skill: 0.88,
+            noise: 0.3,
+            effective_context: 24_000,
+            window: 128_000,
+        }
+    }
+
+    /// Gemini 1.5 Flash.
+    pub fn gemini_flash() -> ModelProfile {
+        ModelProfile {
+            name: "Gemini 1.5 Flash",
+            skill: 0.42,
+            noise: 0.68,
+            effective_context: 10_000,
+            window: 1_000_000,
+        }
+    }
+
+    /// Gemini 1.5 Pro (1M-token window).
+    pub fn gemini_pro() -> ModelProfile {
+        ModelProfile {
+            name: "Gemini 1.5 Pro",
+            skill: 0.58,
+            noise: 0.5,
+            effective_context: 16_000,
+            window: 1_000_000,
+        }
+    }
+
+    /// Gemini 1.5 Pro restricted to a 128k-token window (Figure 1b): the
+    /// same model, so the same skill and effective attention — which is the
+    /// paper's observation that the smaller window does not hurt.
+    pub fn gemini_pro_128k() -> ModelProfile {
+        ModelProfile {
+            name: "Gemini 1.5 Pro (128k context)",
+            window: 128_000,
+            ..ModelProfile::gemini_pro()
+        }
+    }
+
+    /// The four main configurations of Figure 1a / Table 2, in paper order.
+    pub fn main_four() -> Vec<ModelProfile> {
+        vec![
+            ModelProfile::gpt4o_mini(),
+            ModelProfile::gpt4o(),
+            ModelProfile::gemini_flash(),
+            ModelProfile::gemini_pro(),
+        ]
+    }
+
+    /// All five evaluated configurations (Table 2 rows).
+    pub fn all_five() -> Vec<ModelProfile> {
+        let mut v = ModelProfile::main_four();
+        v.push(ModelProfile::gemini_pro_128k());
+        v
+    }
+
+    /// True for the "larger" models evaluated on the reduced 10% sample.
+    pub fn is_large(&self) -> bool {
+        matches!(
+            self.name,
+            "GPT-4o" | "Gemini 1.5 Pro" | "Gemini 1.5 Pro (128k context)"
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_are_ordered_by_capability() {
+        let mini = ModelProfile::gpt4o_mini();
+        let flash = ModelProfile::gemini_flash();
+        let pro = ModelProfile::gemini_pro();
+        let gpt4o = ModelProfile::gpt4o();
+        assert!(mini.skill < flash.skill);
+        assert!(flash.skill < pro.skill);
+        assert!(pro.skill < gpt4o.skill);
+    }
+
+    #[test]
+    fn pro_128k_differs_only_in_window() {
+        let a = ModelProfile::gemini_pro();
+        let b = ModelProfile::gemini_pro_128k();
+        assert_eq!(a.skill, b.skill);
+        assert_eq!(a.effective_context, b.effective_context);
+        assert_ne!(a.window, b.window);
+    }
+}

@@ -1,0 +1,180 @@
+//! Automated premise selection.
+//!
+//! §4.3 of the paper shows that hand-crafted *minimal* prompts — only the
+//! definitions and lemmas a proof actually needs — rescue many failures,
+//! and §5 points at automated context selection as the way to get that
+//! effect without knowing the proof in advance. This module implements the
+//! standard retrieval baseline: rank every lemma visible to the theorem by
+//! rarity-weighted symbol overlap with the goal statement and keep the
+//! top-k. Unlike [`proof_dependencies`](crate::prompt::proof_dependencies)
+//! it uses no information about the human proof, so it is a legitimate
+//! prover-side technique rather than an oracle.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use minicoq_vernac::{Development, TheoremInfo};
+
+/// Words that appear in statements but carry no retrieval signal.
+const STOPWORDS: &[&str] = &[
+    "Lemma",
+    "Theorem",
+    "Corollary",
+    "Remark",
+    "forall",
+    "exists",
+    "Sort",
+    "Prop",
+    "nat",
+    "bool",
+    "list",
+    "option",
+    "prod",
+    "True",
+    "False",
+    "with",
+    "match",
+    "end",
+    "fun",
+    "in",
+];
+
+/// Splits a statement into its identifier tokens.
+fn idents(text: &str) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let mut cur = String::new();
+    for c in text.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == '\'' {
+            cur.push(c);
+        } else if !cur.is_empty() {
+            out.insert(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        out.insert(cur);
+    }
+    out.retain(|w| {
+        w.len() > 1
+            && !w.chars().next().unwrap().is_ascii_digit()
+            && !STOPWORDS.contains(&w.as_str())
+    });
+    out
+}
+
+/// A scored lemma candidate.
+#[derive(Debug, Clone)]
+pub struct RankedLemma {
+    /// Lemma name.
+    pub name: String,
+    /// Rarity-weighted overlap with the goal statement (higher = more
+    /// relevant).
+    pub score: f64,
+}
+
+/// Ranks every lemma visible to `thm` (all earlier theorems, per the
+/// prompt's visibility rule) by rarity-weighted symbol overlap with the
+/// goal statement. Deterministic; ties break toward the more recent lemma.
+pub fn rank_lemmas(dev: &Development, thm: &TheoremInfo) -> Vec<RankedLemma> {
+    let visible: Vec<&TheoremInfo> = dev
+        .theorems
+        .iter()
+        .filter(|t| t.global_index < thm.global_index)
+        .collect();
+
+    // Document frequency of each identifier across the visible statements:
+    // a symbol shared with few lemmas is a strong signal, `eq`-like
+    // symbols shared with everything are worth almost nothing.
+    let mut df: BTreeMap<String, usize> = BTreeMap::new();
+    let sets: Vec<BTreeSet<String>> = visible.iter().map(|t| idents(&t.statement_text)).collect();
+    for set in &sets {
+        for w in set {
+            *df.entry(w.clone()).or_insert(0) += 1;
+        }
+    }
+
+    let goal = idents(&thm.statement_text);
+    let mut ranked: Vec<RankedLemma> = visible
+        .iter()
+        .zip(&sets)
+        .map(|(t, set)| {
+            let score: f64 = set
+                .intersection(&goal)
+                .map(|w| 1.0 / (1.0 + df.get(w).copied().unwrap_or(0) as f64).ln().max(1.0))
+                .sum();
+            RankedLemma {
+                name: t.name.clone(),
+                score,
+            }
+        })
+        .collect();
+    // Stable ordering: score desc, then recency desc (later lemmas first —
+    // they tend to be the layer the theorem belongs to).
+    let index: BTreeMap<&str, usize> = visible
+        .iter()
+        .map(|t| (t.name.as_str(), t.global_index))
+        .collect();
+    ranked.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| index[b.name.as_str()].cmp(&index[a.name.as_str()]))
+    });
+    ranked
+}
+
+/// The top-`k` retrieval set for `thm`: the lemma names a retrieval-pruned
+/// prompt keeps. Lemmas with zero overlap are never selected, so the
+/// result may be smaller than `k`.
+pub fn retrieval_set(dev: &Development, thm: &TheoremInfo, k: usize) -> BTreeSet<String> {
+    rank_lemmas(dev, thm)
+        .into_iter()
+        .filter(|r| r.score > 0.0)
+        .take(k)
+        .map(|r| r.name)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idents_skip_stopwords_numbers_and_singletons() {
+        let set = idents("Lemma add_0_r : forall n : nat, add n 0 = n.");
+        assert!(set.contains("add_0_r"));
+        assert!(set.contains("add"));
+        assert!(!set.contains("n"), "single letters carry no signal");
+        assert!(!set.contains("forall"));
+        assert!(!set.contains("nat"));
+        assert!(!set.contains("0"));
+    }
+
+    #[test]
+    fn retrieval_prefers_shared_rare_symbols() {
+        let c = fscq_corpus::load_corpus(false).unwrap();
+        // Pick a late theorem; its module's own lemmas should dominate.
+        let thm = c.theorems.last().unwrap();
+        let ranked = rank_lemmas(&c, thm);
+        assert!(!ranked.is_empty());
+        assert!(ranked[0].score >= ranked[ranked.len() - 1].score);
+        let top = retrieval_set(&c, thm, 16);
+        assert!(top.len() <= 16);
+        assert!(!top.is_empty());
+        // Everything selected must share at least one symbol with the goal.
+        let goal = idents(&thm.statement_text);
+        for name in &top {
+            let t = c.theorem(name).unwrap();
+            assert!(
+                !idents(&t.statement_text).is_disjoint(&goal),
+                "{name} shares nothing with {}",
+                thm.name
+            );
+        }
+    }
+
+    #[test]
+    fn retrieval_is_deterministic() {
+        let c = fscq_corpus::load_corpus(false).unwrap();
+        let thm = &c.theorems[200];
+        assert_eq!(retrieval_set(&c, thm, 8), retrieval_set(&c, thm, 8));
+    }
+}

@@ -1,0 +1,86 @@
+//! The deterministic 50% hint split.
+//!
+//! The paper augments the hint-setting prompts with the human proofs of
+//! 50% of the theorems, "selected at random and remaining consistent
+//! across all experiments"; the remaining theorems form the evaluation
+//! set. This module fixes that split with a seeded shuffle.
+
+use std::collections::BTreeSet;
+
+use minicoq_vernac::Development;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// The seed fixing the hint split across every experiment.
+pub const SPLIT_SEED: u64 = 0xF5C9;
+
+/// Returns the names of the theorems whose human proofs may appear in
+/// hint-setting prompts (50% of the corpus, deterministic).
+pub fn hint_set(dev: &Development) -> BTreeSet<String> {
+    let mut names: Vec<&str> = dev.theorems.iter().map(|t| t.name.as_str()).collect();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(SPLIT_SEED);
+    names.shuffle(&mut rng);
+    names
+        .iter()
+        .take(names.len() / 2)
+        .map(|s| s.to_string())
+        .collect()
+}
+
+/// The evaluation set: theorems not in the hint set, in corpus order.
+pub fn eval_set(dev: &Development) -> Vec<usize> {
+    let hints = hint_set(dev);
+    dev.theorems
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| !hints.contains(&t.name))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// The reduced evaluation set used for the larger models, deterministic
+/// and a subset of the small-model evaluation set (as in the paper, which
+/// sampled 10% of the non-hint theorems from a corpus an order of
+/// magnitude larger; we keep 40% so per-category statistics stay
+/// meaningful at this corpus size).
+pub fn eval_set_small(dev: &Development) -> Vec<usize> {
+    let full = eval_set(dev);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(SPLIT_SEED ^ 0xA5A5);
+    let mut idx = full.clone();
+    idx.shuffle(&mut rng);
+    let take = (full.len() * 2 / 5).max(10).min(full.len());
+    let mut out: Vec<usize> = idx.into_iter().take(take).collect();
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_is_half_deterministic_and_disjoint() {
+        let dev = fscq_corpus::load_corpus(false).unwrap();
+        let h1 = hint_set(&dev);
+        let h2 = hint_set(&dev);
+        assert_eq!(h1, h2);
+        assert_eq!(h1.len(), dev.theorems.len() / 2);
+        let eval = eval_set(&dev);
+        for i in &eval {
+            assert!(!h1.contains(&dev.theorems[*i].name));
+        }
+        assert_eq!(eval.len() + h1.len(), dev.theorems.len());
+    }
+
+    #[test]
+    fn small_eval_is_subset() {
+        let dev = fscq_corpus::load_corpus(false).unwrap();
+        let full = eval_set(&dev);
+        let small = eval_set_small(&dev);
+        assert!(small.len() < full.len());
+        for i in &small {
+            assert!(full.contains(i));
+        }
+        assert_eq!(small, eval_set_small(&dev));
+    }
+}

@@ -1,0 +1,31 @@
+//! Property tests for the tokenizer and prompt machinery.
+
+use proof_oracle::tokenizer::{bin_of, count_tokens, LENGTH_BINS};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn whitespace_is_free(a in "[a-z\\.;() ]{0,48}") {
+        let spaced = a.replace(' ', "\n  \t ");
+        prop_assert_eq!(count_tokens(&a), count_tokens(&spaced));
+    }
+
+    #[test]
+    fn concatenation_is_superadditive(a in "[a-z \\.]{0,32}", b in "[a-z \\.]{0,32}") {
+        // Joining with a space never decreases the count and never exceeds
+        // the sum (a space never merges punctuation, only identifiers at
+        // the boundary never split).
+        let joined = format!("{a} {b}");
+        let sum = count_tokens(&a) + count_tokens(&b);
+        prop_assert!(count_tokens(&joined) <= sum);
+    }
+
+    #[test]
+    fn bins_are_monotone(t in 0usize..2000) {
+        let b = bin_of(t);
+        prop_assert!(b <= LENGTH_BINS.len());
+        if t > 0 {
+            prop_assert!(bin_of(t - 1) <= b);
+        }
+    }
+}

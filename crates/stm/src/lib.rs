@@ -1,0 +1,18 @@
+//! A SerAPI-like state-transition machine over the minicoq proof assistant.
+//!
+//! The paper builds its proof checker on Coq's low-level state transition
+//! machine interface and SerAPI (§3). This crate reproduces that shape:
+//!
+//! * a [`session::ProofSession`] holds the tree of proof states for one
+//!   theorem; `add` runs a tactic sentence against a state and returns a new
+//!   state id, an error (rejected / timeout), or a duplicate-state notice;
+//! * [`protocol`] provides the s-expression wire protocol
+//!   (`Add`/`Cancel`/`Goals`/`Script`) for out-of-process clients;
+//! * timeouts are deterministic fuel budgets, mirroring the paper's
+//!   5-second wall-clock limit per tactic.
+
+pub mod protocol;
+pub mod session;
+pub mod sexp;
+
+pub use session::{AddError, AddOutcome, ProofSession, SessionConfig, StateId};

@@ -1,0 +1,340 @@
+//! Proof sessions: the state-transition machine proper.
+
+use std::collections::HashMap;
+
+use minicoq::env::Env;
+use minicoq::error::TacticError;
+use minicoq::formula::Formula;
+use minicoq::fuel::Fuel;
+use minicoq::goal::ProofState;
+use minicoq::parse::parse_tactic;
+use minicoq::statehash::state_hash;
+use minicoq::tactic::apply_tactic;
+
+/// Identifier of a proof state within a session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StateId(pub u64);
+
+/// Configuration of a session.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Fuel budget per tactic — the deterministic analogue of the paper's
+    /// 5-second timeout.
+    pub tactic_fuel: u64,
+    /// Reject tactics that lead to a proof state already present in the
+    /// session (the paper's duplicate-state rule). Disable for linear
+    /// replay of known-good scripts.
+    pub dedupe_states: bool,
+}
+
+impl Default for SessionConfig {
+    fn default() -> SessionConfig {
+        SessionConfig {
+            tactic_fuel: minicoq::fuel::DEFAULT_TACTIC_FUEL,
+            dedupe_states: true,
+        }
+    }
+}
+
+/// Why an `add` failed, mirroring the paper's invalid-tactic taxonomy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AddError {
+    /// The proof assistant rejected the tactic.
+    Rejected(String),
+    /// The tactic could not be parsed (also a rejection, kept separate for
+    /// diagnostics).
+    Parse(String),
+    /// The tactic exceeded its execution budget.
+    Timeout,
+    /// The resulting proof state was already in the session; the id of the
+    /// earlier equal state is attached.
+    DuplicateState(StateId),
+    /// The referenced state id does not exist (or was cancelled).
+    NoSuchState,
+}
+
+impl std::fmt::Display for AddError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AddError::Rejected(m) => write!(f, "rejected: {m}"),
+            AddError::Parse(m) => write!(f, "parse error: {m}"),
+            AddError::Timeout => write!(f, "timeout"),
+            AddError::DuplicateState(id) => write!(f, "duplicate of state {}", id.0),
+            AddError::NoSuchState => write!(f, "no such state"),
+        }
+    }
+}
+
+impl std::error::Error for AddError {}
+
+/// The successful result of an `add`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AddOutcome {
+    /// The new state's id.
+    pub id: StateId,
+    /// True when the new state has no goals left (proof complete).
+    pub proved: bool,
+}
+
+#[derive(Debug, Clone)]
+struct StateEntry {
+    parent: Option<StateId>,
+    tactic: String,
+    state: ProofState,
+    alive: bool,
+}
+
+/// A proof session for a single theorem: a tree of proof states rooted at
+/// the initial goal.
+#[derive(Debug, Clone)]
+pub struct ProofSession {
+    env: Env,
+    config: SessionConfig,
+    entries: Vec<StateEntry>,
+    hashes: HashMap<u64, StateId>,
+    fuel_spent: u64,
+}
+
+impl ProofSession {
+    /// Opens a session on `stmt`; the root state has id 0.
+    pub fn new(env: Env, stmt: Formula, config: SessionConfig) -> ProofSession {
+        let root = ProofState::new(stmt);
+        let mut hashes = HashMap::new();
+        hashes.insert(state_hash(&root), StateId(0));
+        ProofSession {
+            env,
+            config,
+            entries: vec![StateEntry {
+                parent: None,
+                tactic: String::new(),
+                state: root,
+                alive: true,
+            }],
+            hashes,
+            fuel_spent: 0,
+        }
+    }
+
+    /// The root state id.
+    pub fn root(&self) -> StateId {
+        StateId(0)
+    }
+
+    /// The environment the session checks against.
+    pub fn env(&self) -> &Env {
+        &self.env
+    }
+
+    /// Total fuel charged across all tactics so far.
+    pub fn fuel_spent(&self) -> u64 {
+        self.fuel_spent
+    }
+
+    fn entry(&self, id: StateId) -> Option<&StateEntry> {
+        self.entries.get(id.0 as usize).filter(|e| e.alive)
+    }
+
+    /// The proof state at `id`.
+    pub fn state(&self, id: StateId) -> Option<&ProofState> {
+        self.entry(id).map(|e| &e.state)
+    }
+
+    /// True when the state at `id` has no open goals.
+    pub fn is_proved(&self, id: StateId) -> bool {
+        self.entry(id)
+            .map(|e| e.state.is_complete())
+            .unwrap_or(false)
+    }
+
+    /// The tactic sentence that produced `id` (empty for the root).
+    pub fn tactic_of(&self, id: StateId) -> Option<&str> {
+        self.entry(id).map(|e| e.tactic.as_str())
+    }
+
+    /// The parent of `id`.
+    pub fn parent_of(&self, id: StateId) -> Option<StateId> {
+        self.entry(id).and_then(|e| e.parent)
+    }
+
+    /// The chain of tactic sentences from the root to `id`, in order.
+    pub fn script_to(&self, id: StateId) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut cur = Some(id);
+        while let Some(c) = cur {
+            let Some(e) = self.entry(c) else { break };
+            if e.parent.is_some() {
+                out.push(e.tactic.clone());
+            }
+            cur = e.parent;
+        }
+        out.reverse();
+        out
+    }
+
+    /// Runs a tactic sentence against the state `at`.
+    pub fn add(&mut self, at: StateId, tactic_src: &str) -> Result<AddOutcome, AddError> {
+        let Some(entry) = self.entry(at) else {
+            return Err(AddError::NoSuchState);
+        };
+        let base = entry.state.clone();
+        let tac = parse_tactic(&self.env, base.goals.first(), tactic_src).map_err(|e| match e {
+            TacticError::Parse(m) => AddError::Parse(m),
+            other => AddError::Rejected(other.to_string()),
+        })?;
+        let mut fuel = Fuel::new(self.config.tactic_fuel);
+        let result = apply_tactic(&self.env, &base, &tac, &mut fuel);
+        self.fuel_spent += fuel.spent();
+        let new_state = match result {
+            Ok(s) => s,
+            Err(TacticError::Timeout) => return Err(AddError::Timeout),
+            Err(TacticError::Parse(m)) => return Err(AddError::Parse(m)),
+            Err(other) => return Err(AddError::Rejected(other.to_string())),
+        };
+        let h = state_hash(&new_state);
+        if self.config.dedupe_states {
+            if let Some(&prev) = self.hashes.get(&h) {
+                // Hash collision check: compare canonical keys via equality
+                // of the stored state.
+                if let Some(prev_entry) = self.entry(prev) {
+                    if minicoq::statehash::state_key(&prev_entry.state)
+                        == minicoq::statehash::state_key(&new_state)
+                    {
+                        return Err(AddError::DuplicateState(prev));
+                    }
+                }
+            }
+        }
+        let id = StateId(self.entries.len() as u64);
+        let proved = new_state.is_complete();
+        self.hashes.entry(h).or_insert(id);
+        self.entries.push(StateEntry {
+            parent: Some(at),
+            tactic: tactic_src.to_string(),
+            state: new_state,
+            alive: true,
+        });
+        Ok(AddOutcome { id, proved })
+    }
+
+    /// Cancels a state and its descendants (SerAPI `Cancel`).
+    pub fn cancel(&mut self, id: StateId) {
+        if id.0 == 0 {
+            return; // The root cannot be cancelled.
+        }
+        let mut dead = vec![id];
+        while let Some(d) = dead.pop() {
+            if let Some(e) = self.entries.get_mut(d.0 as usize) {
+                e.alive = false;
+            }
+            for (i, e) in self.entries.iter().enumerate() {
+                if e.alive && e.parent == Some(d) {
+                    dead.push(StateId(i as u64));
+                }
+            }
+        }
+        self.hashes.retain(|_, v| {
+            self.entries
+                .get(v.0 as usize)
+                .map(|e| e.alive)
+                .unwrap_or(false)
+        });
+    }
+
+    /// Renders the goals at `id` as the proof assistant would display them.
+    pub fn display(&self, id: StateId) -> Option<String> {
+        self.state(id).map(|s| s.display())
+    }
+
+    /// Number of live states.
+    pub fn live_states(&self) -> usize {
+        self.entries.iter().filter(|e| e.alive).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minicoq::parse::parse_formula;
+
+    fn session(stmt: &str, dedupe: bool) -> ProofSession {
+        let env = Env::with_prelude();
+        let f = parse_formula(&env, stmt).unwrap();
+        ProofSession::new(
+            env,
+            f,
+            SessionConfig {
+                dedupe_states: dedupe,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn linear_proof_through_session() {
+        let mut s = session("forall n : nat, add 0 n = n", true);
+        let a = s.add(s.root(), "intros n").unwrap();
+        assert!(!a.proved);
+        let b = s.add(a.id, "simpl").unwrap();
+        let c = s.add(b.id, "reflexivity").unwrap();
+        assert!(c.proved);
+        assert!(s.is_proved(c.id));
+        assert_eq!(s.script_to(c.id), vec!["intros n", "simpl", "reflexivity"]);
+    }
+
+    #[test]
+    fn duplicate_states_are_rejected() {
+        let mut s = session("forall n : nat, n = n", true);
+        let a = s.add(s.root(), "intros x").unwrap();
+        // An alpha-variant introduction reaches the same canonical state.
+        let err = s.add(s.root(), "intros y").unwrap_err();
+        assert_eq!(err, AddError::DuplicateState(a.id));
+        // A no-op tactic duplicates its own source state.
+        let err = s.add(a.id, "idtac").unwrap_err();
+        assert_eq!(err, AddError::DuplicateState(a.id));
+    }
+
+    #[test]
+    fn dedupe_can_be_disabled_for_replay() {
+        let mut s = session("forall n : nat, n = n", false);
+        let a = s.add(s.root(), "intros x").unwrap();
+        assert!(s.add(a.id, "idtac").is_ok());
+    }
+
+    #[test]
+    fn rejection_and_timeout_taxonomy() {
+        let env = Env::with_prelude();
+        let f = parse_formula(&env, "forall n : nat, n = n").unwrap();
+        let mut s = ProofSession::new(
+            env,
+            f,
+            SessionConfig {
+                tactic_fuel: 5,
+                dedupe_states: true,
+            },
+        );
+        assert!(matches!(
+            s.add(s.root(), "garbage___"),
+            Err(AddError::Parse(_))
+        ));
+        assert!(matches!(
+            s.add(s.root(), "assumption"),
+            Err(AddError::Rejected(_))
+        ));
+        assert!(matches!(s.add(s.root(), "auto"), Err(AddError::Timeout)));
+        assert!(s.fuel_spent() > 0);
+    }
+
+    #[test]
+    fn cancel_removes_subtree() {
+        let mut s = session("forall n : nat, n = n", true);
+        let a = s.add(s.root(), "intros n").unwrap();
+        let b = s.add(a.id, "reflexivity").unwrap();
+        assert_eq!(s.live_states(), 3);
+        s.cancel(a.id);
+        assert_eq!(s.live_states(), 1);
+        assert!(s.state(b.id).is_none());
+        assert!(matches!(s.add(a.id, "simpl"), Err(AddError::NoSuchState)));
+        // After cancel, the state can be re-derived (hash was purged).
+        assert!(s.add(s.root(), "intros n").is_ok());
+    }
+}

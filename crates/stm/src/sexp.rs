@@ -1,0 +1,199 @@
+//! A minimal s-expression representation for the wire protocol.
+
+use std::fmt;
+
+/// An s-expression: an atom or a list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Sexp {
+    /// An atom; rendered quoted when it contains spaces or parentheses.
+    Atom(String),
+    /// A list of s-expressions.
+    List(Vec<Sexp>),
+}
+
+impl Sexp {
+    /// Convenience atom constructor.
+    pub fn atom(s: impl Into<String>) -> Sexp {
+        Sexp::Atom(s.into())
+    }
+
+    /// Convenience list constructor.
+    pub fn list(items: Vec<Sexp>) -> Sexp {
+        Sexp::List(items)
+    }
+
+    /// The atom's text, if this is an atom.
+    pub fn as_atom(&self) -> Option<&str> {
+        match self {
+            Sexp::Atom(s) => Some(s),
+            Sexp::List(_) => None,
+        }
+    }
+
+    /// The list's items, if this is a list.
+    pub fn as_list(&self) -> Option<&[Sexp]> {
+        match self {
+            Sexp::Atom(_) => None,
+            Sexp::List(v) => Some(v),
+        }
+    }
+}
+
+fn needs_quoting(s: &str) -> bool {
+    s.is_empty()
+        || s.chars()
+            .any(|c| c.is_whitespace() || matches!(c, '(' | ')' | '"' | '\\'))
+}
+
+impl fmt::Display for Sexp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sexp::Atom(s) => {
+                if needs_quoting(s) {
+                    write!(f, "\"")?;
+                    for c in s.chars() {
+                        match c {
+                            '"' => write!(f, "\\\"")?,
+                            '\\' => write!(f, "\\\\")?,
+                            '\n' => write!(f, "\\n")?,
+                            c => write!(f, "{c}")?,
+                        }
+                    }
+                    write!(f, "\"")
+                } else {
+                    write!(f, "{s}")
+                }
+            }
+            Sexp::List(items) => {
+                write!(f, "(")?;
+                for (i, it) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "{it}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// A parse error with a message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SexpError(pub String);
+
+/// Parses one s-expression from the input.
+pub fn parse(src: &str) -> Result<Sexp, SexpError> {
+    let mut chars: Vec<char> = src.chars().collect();
+    chars.push(' ');
+    let mut pos = 0usize;
+    let out = parse_at(&chars, &mut pos)?;
+    while pos < chars.len() {
+        if !chars[pos].is_whitespace() {
+            return Err(SexpError(format!("trailing input at {pos}")));
+        }
+        pos += 1;
+    }
+    Ok(out)
+}
+
+fn parse_at(chars: &[char], pos: &mut usize) -> Result<Sexp, SexpError> {
+    while *pos < chars.len() && chars[*pos].is_whitespace() {
+        *pos += 1;
+    }
+    if *pos >= chars.len() {
+        return Err(SexpError("unexpected end of input".into()));
+    }
+    match chars[*pos] {
+        '(' => {
+            *pos += 1;
+            let mut items = Vec::new();
+            loop {
+                while *pos < chars.len() && chars[*pos].is_whitespace() {
+                    *pos += 1;
+                }
+                if *pos >= chars.len() {
+                    return Err(SexpError("unterminated list".into()));
+                }
+                if chars[*pos] == ')' {
+                    *pos += 1;
+                    return Ok(Sexp::List(items));
+                }
+                items.push(parse_at(chars, pos)?);
+            }
+        }
+        ')' => Err(SexpError("unexpected )".into())),
+        '"' => {
+            *pos += 1;
+            let mut s = String::new();
+            while *pos < chars.len() {
+                match chars[*pos] {
+                    '"' => {
+                        *pos += 1;
+                        return Ok(Sexp::Atom(s));
+                    }
+                    '\\' => {
+                        *pos += 1;
+                        if *pos >= chars.len() {
+                            return Err(SexpError("bad escape".into()));
+                        }
+                        match chars[*pos] {
+                            'n' => s.push('\n'),
+                            c => s.push(c),
+                        }
+                        *pos += 1;
+                    }
+                    c => {
+                        s.push(c);
+                        *pos += 1;
+                    }
+                }
+            }
+            Err(SexpError("unterminated string".into()))
+        }
+        _ => {
+            let start = *pos;
+            while *pos < chars.len()
+                && !chars[*pos].is_whitespace()
+                && !matches!(chars[*pos], '(' | ')' | '"')
+            {
+                *pos += 1;
+            }
+            Ok(Sexp::Atom(chars[start..*pos].iter().collect()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let cases = [
+            "(Add (at 3) (tactic \"intros n.\"))",
+            "(Goals 4)",
+            "atom",
+            "(a (b c) \"with space\")",
+        ];
+        for c in cases {
+            let s = parse(c).unwrap();
+            let printed = s.to_string();
+            assert_eq!(parse(&printed).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn quoting_and_escapes() {
+        let s = Sexp::atom("has \"quotes\" and\nnewline");
+        let printed = s.to_string();
+        assert_eq!(parse(&printed).unwrap(), s);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse("(unclosed").is_err());
+        assert!(parse("a b").is_err());
+        assert!(parse(")").is_err());
+    }
+}

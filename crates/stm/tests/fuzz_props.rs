@@ -1,0 +1,105 @@
+//! Fuzz-style properties: the session layer must be total — arbitrary
+//! tactic text and arbitrary interleavings of add/cancel can never panic,
+//! corrupt the tree, or forge a proof.
+
+use minicoq::env::Env;
+use minicoq::parse::parse_formula;
+use minicoq_stm::{ProofSession, SessionConfig, StateId};
+use proptest::prelude::*;
+
+fn session(stmt: &str) -> ProofSession {
+    let env = Env::with_prelude();
+    let f = parse_formula(&env, stmt).unwrap();
+    ProofSession::new(
+        env,
+        f,
+        SessionConfig {
+            tactic_fuel: 50_000,
+            dedupe_states: true,
+        },
+    )
+}
+
+/// Plausible-looking but mostly broken tactic text.
+fn tactic_soup() -> impl Strategy<Value = String> {
+    prop_oneof![
+        // Real tactics (some apply, most need context).
+        Just("intros".to_string()),
+        Just("reflexivity".to_string()),
+        Just("split".to_string()),
+        Just("constructor".to_string()),
+        Just("assumption".to_string()),
+        Just("simpl".to_string()),
+        Just("lia".to_string()),
+        // Near-miss garbage.
+        "[a-z]{1,10} [a-zA-Z0-9_]{1,10}",
+        "(apply|rewrite|destruct|exact) [A-Za-z_]{1,12}",
+        // Outright noise.
+        "\\PC{0,40}",
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random walks over add/cancel never panic and never mark an
+    /// unproved state as proved.
+    #[test]
+    fn random_session_walks_are_safe(
+        ops in proptest::collection::vec((tactic_soup(), 0u64..12, proptest::bool::ANY), 0..40),
+    ) {
+        let mut s = session("forall n : nat, le 0 n /\\ n = n");
+        let mut known: Vec<StateId> = vec![s.root()];
+        for (tactic, pick, do_cancel) in ops {
+            let at = known[(pick as usize) % known.len()];
+            if do_cancel && at != s.root() {
+                s.cancel(at);
+                known.retain(|id| s.state(*id).is_some());
+                if known.is_empty() {
+                    known.push(s.root());
+                }
+                continue;
+            }
+            if let Ok(out) = s.add(at, &tactic) {
+                // A state reported proved must really have zero goals.
+                if out.proved {
+                    prop_assert!(s.state(out.id).unwrap().is_complete());
+                }
+                known.push(out.id);
+            }
+        }
+        // The root always survives, and every live id resolves.
+        prop_assert!(s.state(s.root()).is_some());
+        for id in &known {
+            if s.state(*id).is_some() {
+                let script = s.script_to(*id);
+                prop_assert!(script.len() <= 64);
+            }
+        }
+    }
+
+    /// Scripts reported by the session replay to the same state: walking
+    /// `script_to` from the root reaches an equal state key.
+    #[test]
+    fn reported_scripts_replay(
+        ops in proptest::collection::vec(tactic_soup(), 1..12),
+    ) {
+        let mut s = session("forall n m : nat, n = m -> m = n");
+        let mut at = s.root();
+        for t in ops {
+            if let Ok(out) = s.add(at, &t) {
+                at = out.id;
+            }
+        }
+        let script = s.script_to(at);
+        let mut r = session("forall n m : nat, n = m -> m = n");
+        let mut rat = r.root();
+        for t in &script {
+            rat = r.add(rat, t).expect("recorded script must replay").id;
+        }
+        prop_assert_eq!(
+            minicoq::statehash::state_key(r.state(rat).unwrap()),
+            minicoq::statehash::state_key(s.state(at).unwrap())
+        );
+    }
+}

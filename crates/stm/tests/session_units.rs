@@ -1,0 +1,239 @@
+//! Unit tests for the state-transition machine: session tree bookkeeping
+//! (ids, parents, cancellation, duplicate detection, fuel accounting) and
+//! the s-expression protocol layer that mirrors the SerAPI interface the
+//! paper drove.
+
+use minicoq::env::Env;
+use minicoq::parse::parse_formula;
+use minicoq_stm::protocol::{handle_line, parse_request, Request};
+use minicoq_stm::{AddError, ProofSession, SessionConfig, StateId};
+
+fn session(stmt: &str, dedupe: bool) -> ProofSession {
+    let env = Env::with_prelude();
+    let f = parse_formula(&env, stmt).unwrap();
+    ProofSession::new(
+        env,
+        f,
+        SessionConfig {
+            tactic_fuel: 200_000,
+            dedupe_states: dedupe,
+        },
+    )
+}
+
+// ------------------------------------------------------------------ session
+
+#[test]
+fn add_builds_a_tree_with_scripts() {
+    let mut s = session("forall n : nat, n = n", true);
+    let root = s.root();
+    let a = s.add(root, "intros n").unwrap();
+    assert!(!a.proved);
+    let b = s.add(a.id, "reflexivity").unwrap();
+    assert!(b.proved);
+    assert!(s.is_proved(b.id));
+    assert_eq!(s.parent_of(b.id), Some(a.id));
+    assert_eq!(s.tactic_of(b.id), Some("reflexivity"));
+    assert_eq!(s.script_to(b.id), vec!["intros n", "reflexivity"]);
+    assert_eq!(s.script_to(root), Vec::<String>::new());
+}
+
+#[test]
+fn sibling_branches_are_independent() {
+    let mut s = session("forall n m : nat, n = n", true);
+    let root = s.root();
+    // Two continuations from the same node reaching different states.
+    let one = s.add(root, "intros n").unwrap();
+    let two = s.add(root, "intros n m").unwrap();
+    assert_ne!(one.id, two.id);
+    assert_eq!(s.parent_of(one.id), Some(root));
+    assert_eq!(s.parent_of(two.id), Some(root));
+}
+
+#[test]
+fn rejection_reports_the_engine_error() {
+    let mut s = session("0 = 0", true);
+    let root = s.root();
+    match s.add(root, "apply no_such_lemma") {
+        Err(AddError::Rejected(m)) => assert!(!m.is_empty()),
+        other => panic!("expected rejection, got {other:?}"),
+    }
+    match s.add(root, "((((") {
+        Err(AddError::Parse(_)) => {}
+        other => panic!("expected parse error, got {other:?}"),
+    }
+}
+
+#[test]
+fn unknown_state_ids_are_rejected() {
+    let mut s = session("0 = 0", true);
+    assert!(matches!(
+        s.add(StateId(9999), "reflexivity"),
+        Err(AddError::NoSuchState)
+    ));
+    assert!(s.state(StateId(9999)).is_none());
+    assert!(!s.is_proved(StateId(9999)));
+}
+
+#[test]
+fn duplicate_states_point_at_the_original() {
+    let mut s = session("0 = 0 -> 0 = 0", true);
+    let root = s.root();
+    let first = s.add(root, "intros H").unwrap();
+    // A differently-spelled intro reaches an alpha-equivalent state.
+    match s.add(root, "intros G") {
+        Err(AddError::DuplicateState(id)) => assert_eq!(id, first.id),
+        other => panic!("expected duplicate, got {other:?}"),
+    }
+}
+
+#[test]
+fn dedupe_off_accepts_equal_states() {
+    let mut s = session("0 = 0 -> 0 = 0", false);
+    let root = s.root();
+    let a = s.add(root, "intros H").unwrap();
+    let b = s.add(root, "intros G").unwrap();
+    assert_ne!(a.id, b.id);
+}
+
+#[test]
+fn cancel_removes_the_subtree() {
+    let mut s = session("forall n : nat, n = n", true);
+    let root = s.root();
+    let a = s.add(root, "intros n").unwrap();
+    let b = s.add(a.id, "reflexivity").unwrap();
+    let before = s.live_states();
+    s.cancel(a.id);
+    assert!(s.state(a.id).is_none());
+    assert!(
+        s.state(b.id).is_none(),
+        "descendants must die with the parent"
+    );
+    assert!(s.state(root).is_some());
+    assert!(s.live_states() < before);
+    // The cancelled branch can be re-explored.
+    let again = s.add(root, "intros n").unwrap();
+    assert!(s.add(again.id, "reflexivity").unwrap().proved);
+}
+
+#[test]
+fn cancelling_the_root_is_ignored() {
+    let mut s = session("0 = 0", true);
+    let root = s.root();
+    s.cancel(root);
+    assert!(s.state(root).is_some());
+    assert!(s.add(root, "reflexivity").unwrap().proved);
+}
+
+#[test]
+fn fuel_is_accounted_across_adds() {
+    let mut s = session("add 3 4 = 7", true);
+    let root = s.root();
+    assert_eq!(s.fuel_spent(), 0);
+    s.add(root, "reflexivity").unwrap();
+    let after_one = s.fuel_spent();
+    assert!(after_one > 0);
+    // Even failing tactics consume fuel.
+    let _ = s.add(root, "apply nope");
+    assert!(s.fuel_spent() >= after_one);
+}
+
+#[test]
+fn timeouts_surface_as_timeout_errors() {
+    let env = Env::with_prelude();
+    let f = parse_formula(&env, "add 9 9 = 18").unwrap();
+    let mut s = ProofSession::new(
+        env,
+        f,
+        SessionConfig {
+            tactic_fuel: 2,
+            dedupe_states: true,
+        },
+    );
+    let root = s.root();
+    assert!(matches!(s.add(root, "reflexivity"), Err(AddError::Timeout)));
+}
+
+#[test]
+fn display_renders_the_goals() {
+    let mut s = session("forall n : nat, n = n", true);
+    let root = s.root();
+    let shown = s.display(root).unwrap();
+    assert!(shown.contains("forall"));
+    let a = s.add(root, "intros n").unwrap();
+    assert!(s.display(a.id).unwrap().contains("n : nat"));
+    assert!(s.display(StateId(777)).is_none());
+}
+
+// ----------------------------------------------------------------- protocol
+
+#[test]
+fn requests_parse_from_sexps() {
+    assert_eq!(
+        parse_request(r#"(Add (at 0) (tactic "intros n"))"#).unwrap(),
+        Request::Add {
+            at: StateId(0),
+            tactic: "intros n".into()
+        }
+    );
+    assert_eq!(
+        parse_request("(Cancel 3)").unwrap(),
+        Request::Cancel(StateId(3))
+    );
+    assert_eq!(
+        parse_request("(Goals 0)").unwrap(),
+        Request::Goals(StateId(0))
+    );
+    assert_eq!(
+        parse_request("(Script 2)").unwrap(),
+        Request::Script(StateId(2))
+    );
+}
+
+#[test]
+fn malformed_requests_are_errors() {
+    for bad in [
+        "",
+        "Add",
+        "(Frobnicate 1)",
+        "(Add (tactic \"x\"))",
+        "(Add (at notanumber) (tactic \"x\"))",
+        "(Cancel)",
+        "(Goals (nested list))",
+    ] {
+        assert!(parse_request(bad).is_err(), "`{bad}` should not parse");
+    }
+}
+
+#[test]
+fn protocol_drives_a_proof_end_to_end() {
+    let mut s = session("forall n : nat, n = n", true);
+    let r1 = handle_line(&mut s, r#"(Add (at 0) (tactic "intros n"))"#);
+    assert!(r1.contains("Added"), "{r1}");
+    let r2 = handle_line(&mut s, r#"(Add (at 1) (tactic "reflexivity"))"#);
+    assert!(r2.contains("Proved") || r2.contains("proved"), "{r2}");
+    let script = handle_line(&mut s, "(Script 2)");
+    assert!(
+        script.contains("intros n") && script.contains("reflexivity"),
+        "{script}"
+    );
+    let goals = handle_line(&mut s, "(Goals 1)");
+    assert!(goals.contains("n : nat"), "{goals}");
+}
+
+#[test]
+fn protocol_errors_are_responses_not_panics() {
+    let mut s = session("0 = 0", true);
+    let bad_tactic = handle_line(&mut s, r#"(Add (at 0) (tactic "explode"))"#);
+    assert!(
+        bad_tactic.contains("Error") || bad_tactic.contains("Rejected"),
+        "{bad_tactic}"
+    );
+    let bad_state = handle_line(&mut s, r#"(Add (at 42) (tactic "reflexivity"))"#);
+    assert!(
+        bad_state.contains("Error") || bad_state.contains("NoSuchState"),
+        "{bad_state}"
+    );
+    let unparseable = handle_line(&mut s, "((");
+    assert!(unparseable.contains("Error"), "{unparseable}");
+}

@@ -1,0 +1,29 @@
+//! Property tests for the s-expression wire format.
+
+use minicoq_stm::sexp::{parse, Sexp};
+use proptest::prelude::*;
+
+fn arb_sexp() -> impl Strategy<Value = Sexp> {
+    let atom = prop_oneof![
+        "[a-zA-Z0-9_]{1,12}".prop_map(Sexp::Atom),
+        // Atoms requiring quoting.
+        ".{0,20}".prop_map(Sexp::Atom),
+    ];
+    atom.prop_recursive(3, 32, 4, |inner| {
+        prop::collection::vec(inner, 0..4).prop_map(Sexp::List)
+    })
+}
+
+proptest! {
+    #[test]
+    fn print_parse_round_trip(s in arb_sexp()) {
+        let printed = s.to_string();
+        let back = parse(&printed).unwrap();
+        prop_assert_eq!(back, s);
+    }
+
+    #[test]
+    fn parse_never_panics(input in ".{0,64}") {
+        let _ = parse(&input);
+    }
+}

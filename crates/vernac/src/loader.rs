@@ -1,0 +1,399 @@
+//! Loading a development: import resolution, elaboration, proof replay.
+
+use std::collections::BTreeMap;
+
+use minicoq::env::Env;
+use minicoq::formula::Formula;
+use minicoq::fuel::Fuel;
+use minicoq::goal::ProofState;
+use minicoq::parse::{parse_tactic, split_sentences};
+use minicoq::tactic::apply_tactic;
+
+use crate::item::{group_items, Item, ItemKind};
+use crate::parser::{apply_decl, parse_item, Decl};
+
+/// Fuel budget per proof sentence during replay: generous, but bounded so a
+/// diverging corpus proof is caught during development.
+const REPLAY_FUEL_PER_SENTENCE: u64 = 20_000_000;
+
+/// A loaded source file.
+#[derive(Debug, Clone)]
+pub struct LoadedFile {
+    /// Module name (e.g. `ListUtils`).
+    pub name: String,
+    /// Direct imports.
+    pub imports: Vec<String>,
+    /// Items in source order.
+    pub items: Vec<Item>,
+}
+
+/// Metadata about one theorem of the development.
+#[derive(Debug, Clone)]
+pub struct TheoremInfo {
+    /// Lemma name.
+    pub name: String,
+    /// Module the lemma lives in.
+    pub file: String,
+    /// Index of the item within its file.
+    pub item_index: usize,
+    /// Global theorem index (load order).
+    pub global_index: usize,
+    /// The statement sentence, e.g. `Lemma foo : ...` (no final `.`).
+    pub statement_text: String,
+    /// The human proof script.
+    pub proof_text: String,
+    /// The elaborated statement.
+    pub stmt: Formula,
+}
+
+/// A fully loaded development.
+#[derive(Debug, Clone)]
+pub struct Development {
+    /// Files in load (topological) order.
+    pub files: Vec<LoadedFile>,
+    /// The final environment with every declaration and lemma.
+    pub env: Env,
+    /// Environment snapshots taken *before* each theorem, indexed by
+    /// `TheoremInfo::global_index`.
+    envs: Vec<Env>,
+    /// All theorems in load order.
+    pub theorems: Vec<TheoremInfo>,
+}
+
+impl Development {
+    /// The environment visible to a prover attempting this theorem: every
+    /// earlier declaration, but not the theorem itself or later ones.
+    pub fn env_before(&self, thm: &TheoremInfo) -> &Env {
+        &self.envs[thm.global_index]
+    }
+
+    /// Looks up a theorem by name.
+    pub fn theorem(&self, name: &str) -> Option<&TheoremInfo> {
+        self.theorems.iter().find(|t| t.name == name)
+    }
+
+    /// Looks up a loaded file by module name.
+    pub fn file(&self, name: &str) -> Option<&LoadedFile> {
+        self.files.iter().find(|f| f.name == name)
+    }
+
+    /// The transitive import closure of a module, in load order, excluding
+    /// the module itself.
+    pub fn import_closure(&self, name: &str) -> Vec<&LoadedFile> {
+        let mut wanted: Vec<&str> = vec![name];
+        let mut i = 0;
+        while i < wanted.len() {
+            if let Some(f) = self.file(wanted[i]) {
+                for imp in &f.imports {
+                    if !wanted.contains(&imp.as_str()) {
+                        wanted.push(imp);
+                    }
+                }
+            }
+            i += 1;
+        }
+        self.files
+            .iter()
+            .filter(|f| f.name != name && wanted.contains(&f.name.as_str()))
+            .collect()
+    }
+}
+
+/// An error produced while loading a development.
+#[derive(Debug, Clone)]
+pub struct LoadError {
+    /// Module the error occurred in.
+    pub file: String,
+    /// Item name, when known.
+    pub item: String,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: {}", self.file, self.item, self.message)
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+/// Replays a proof script against a statement in the given environment.
+/// Returns the intermediate goal counts on success (useful for metrics) or
+/// a message describing the first failure.
+pub fn replay_proof(env: &Env, stmt: &Formula, script: &str) -> Result<usize, String> {
+    let mut st = ProofState::new(stmt.clone());
+    let mut steps = 0usize;
+    for sentence in split_sentences(script) {
+        let tac = parse_tactic(env, st.goals.first(), &sentence)
+            .map_err(|e| format!("parse `{sentence}`: {e}"))?;
+        let mut fuel = Fuel::new(REPLAY_FUEL_PER_SENTENCE);
+        st = apply_tactic(env, &st, &tac, &mut fuel)
+            .map_err(|e| format!("`{sentence}`: {e}\nstate:\n{}", st.display()))?;
+        steps += 1;
+    }
+    if !st.is_complete() {
+        return Err(format!(
+            "proof ends with {} open goal(s):\n{}",
+            st.goals.len(),
+            st.display()
+        ));
+    }
+    Ok(steps)
+}
+
+/// Loads developments from in-memory sources.
+#[derive(Debug, Default)]
+pub struct Loader {
+    sources: Vec<(String, String)>,
+    check_proofs: bool,
+}
+
+impl Loader {
+    /// Creates a loader that replays and checks all proofs.
+    pub fn new() -> Loader {
+        Loader {
+            sources: Vec::new(),
+            check_proofs: true,
+        }
+    }
+
+    /// Controls whether human proofs are replayed during loading. Disabling
+    /// speeds up loading when only statements and source text are needed;
+    /// lemmas are then trusted.
+    pub fn check_proofs(mut self, yes: bool) -> Loader {
+        self.check_proofs = yes;
+        self
+    }
+
+    /// Adds a source file (module name, source text).
+    pub fn add_source(&mut self, name: impl Into<String>, text: impl Into<String>) -> &mut Loader {
+        self.sources.push((name.into(), text.into()));
+        self
+    }
+
+    /// Loads everything: groups items, topologically sorts files by their
+    /// imports, elaborates declarations and replays proofs.
+    pub fn load(&self) -> Result<Development, LoadError> {
+        // Group items per file.
+        let mut files: Vec<LoadedFile> = Vec::new();
+        for (name, text) in &self.sources {
+            let items = group_items(text).map_err(|e| LoadError {
+                file: name.clone(),
+                item: String::new(),
+                message: e.to_string(),
+            })?;
+            let imports = items
+                .iter()
+                .filter(|i| i.kind == ItemKind::Import)
+                .map(|i| i.name.clone())
+                .collect();
+            files.push(LoadedFile {
+                name: name.clone(),
+                imports,
+                items,
+            });
+        }
+        // Topological sort (stable w.r.t. insertion order).
+        let order = topo_order(&files)?;
+        let files: Vec<LoadedFile> = order.into_iter().map(|i| files[i].clone()).collect();
+
+        let mut env = Env::with_prelude();
+        let mut envs: Vec<Env> = Vec::new();
+        let mut theorems: Vec<TheoremInfo> = Vec::new();
+        for file in &files {
+            for (item_index, item) in file.items.iter().enumerate() {
+                let decl = parse_item(&env, item).map_err(|e| LoadError {
+                    file: file.name.clone(),
+                    item: item.name.clone(),
+                    message: e.to_string(),
+                })?;
+                if let Decl::LemmaStmt { name, stmt } = &decl {
+                    let proof = item.proof.clone().unwrap_or_default();
+                    if self.check_proofs {
+                        replay_proof(&env, stmt, &proof).map_err(|e| LoadError {
+                            file: file.name.clone(),
+                            item: name.clone(),
+                            message: e,
+                        })?;
+                    }
+                    envs.push(env.clone());
+                    theorems.push(TheoremInfo {
+                        name: name.clone(),
+                        file: file.name.clone(),
+                        item_index,
+                        global_index: theorems.len(),
+                        statement_text: item.text.clone(),
+                        proof_text: proof,
+                        stmt: stmt.clone(),
+                    });
+                    env.add_lemma(name.clone(), stmt.clone())
+                        .map_err(|e| LoadError {
+                            file: file.name.clone(),
+                            item: name.clone(),
+                            message: e.to_string(),
+                        })?;
+                } else {
+                    apply_decl(&mut env, &decl).map_err(|e| LoadError {
+                        file: file.name.clone(),
+                        item: item.name.clone(),
+                        message: e.to_string(),
+                    })?;
+                }
+            }
+        }
+        Ok(Development {
+            files,
+            env,
+            envs,
+            theorems,
+        })
+    }
+}
+
+fn topo_order(files: &[LoadedFile]) -> Result<Vec<usize>, LoadError> {
+    let index: BTreeMap<&str, usize> = files
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (f.name.as_str(), i))
+        .collect();
+    let mut state = vec![0u8; files.len()]; // 0 unvisited, 1 visiting, 2 done.
+    let mut out = Vec::new();
+    fn visit(
+        i: usize,
+        files: &[LoadedFile],
+        index: &BTreeMap<&str, usize>,
+        state: &mut [u8],
+        out: &mut Vec<usize>,
+    ) -> Result<(), LoadError> {
+        match state[i] {
+            1 => {
+                return Err(LoadError {
+                    file: files[i].name.clone(),
+                    item: String::new(),
+                    message: "import cycle".into(),
+                })
+            }
+            2 => return Ok(()),
+            _ => {}
+        }
+        state[i] = 1;
+        for imp in &files[i].imports {
+            let Some(&j) = index.get(imp.as_str()) else {
+                return Err(LoadError {
+                    file: files[i].name.clone(),
+                    item: String::new(),
+                    message: format!("unknown import {imp}"),
+                });
+            };
+            visit(j, files, index, state, out)?;
+        }
+        state[i] = 2;
+        out.push(i);
+        Ok(())
+    }
+    for i in 0..files.len() {
+        visit(i, files, &index, &mut state, &mut out)?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loads_a_small_development() {
+        let mut loader = Loader::new();
+        loader.add_source(
+            "Basics",
+            r#"
+Fixpoint double (n : nat) : nat := match n with | 0 => 0 | S p => S (S (double p)) end.
+
+Lemma double_2 : double 2 = 4.
+Proof. reflexivity. Qed.
+
+Lemma double_add : forall n : nat, double n = add n n.
+Proof.
+  induction n.
+  - reflexivity.
+  - simpl. rewrite IHn.
+    assert (H : forall a b : nat, add a (S b) = S (add a b)).
+    + induction a; intros. * reflexivity. * simpl. rewrite IHa. reflexivity.
+    + rewrite H. reflexivity.
+Qed.
+
+Hint Resolve double_add.
+"#,
+        );
+        loader.add_source(
+            "Client",
+            r#"
+Require Import Basics.
+
+Lemma double_0 : double 0 = 0.
+Proof. reflexivity. Qed.
+"#,
+        );
+        let dev = loader.load().expect("loads");
+        assert_eq!(dev.files[0].name, "Basics");
+        assert_eq!(dev.theorems.len(), 3);
+        let t = dev.theorem("double_add").unwrap();
+        // The env before double_add has double_2 but not double_add.
+        let env = dev.env_before(t);
+        assert!(env.lemma("double_2").is_some());
+        assert!(env.lemma("double_add").is_none());
+        assert!(dev.env.lemma("double_add").is_some());
+        assert!(dev.env.hint_db("core").contains(&"double_add".to_string()));
+    }
+
+    #[test]
+    fn inductive_predicate_roundtrip() {
+        let mut loader = Loader::new();
+        loader.add_source(
+            "Ev",
+            r#"
+Inductive even : nat -> Prop :=
+| even_O : even 0
+| even_SS : forall n : nat, even n -> even (S (S n)).
+
+Hint Constructors even.
+
+Lemma even_4 : even 4.
+Proof. auto. Qed.
+
+Lemma even_inv : forall n : nat, even (S (S n)) -> even n.
+Proof. intros n H. inversion H. assumption. Qed.
+"#,
+        );
+        let dev = loader.load().expect("loads");
+        assert_eq!(dev.theorems.len(), 2);
+    }
+
+    #[test]
+    fn broken_proof_is_rejected() {
+        let mut loader = Loader::new();
+        loader.add_source("Bad", "Lemma nope : 1 = 2.\nProof. reflexivity. Qed.");
+        let err = loader.load().unwrap_err();
+        assert_eq!(err.item, "nope");
+    }
+
+    #[test]
+    fn unknown_import_is_rejected() {
+        let mut loader = Loader::new();
+        loader.add_source("A", "Require Import Missing.\nSort T.");
+        assert!(loader.load().is_err());
+    }
+
+    #[test]
+    fn import_closure_is_transitive() {
+        let mut loader = Loader::new();
+        loader.add_source("A", "Sort TA.");
+        loader.add_source("B", "Require Import A.\nSort TB.");
+        loader.add_source("C", "Require Import B.\nSort TC.");
+        let dev = loader.load().unwrap();
+        let closure = dev.import_closure("C");
+        let names: Vec<&str> = closure.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["A", "B"]);
+    }
+}

@@ -1,0 +1,126 @@
+//! Splitting source files into sentences, keeping source text.
+
+/// A sentence: its text (without the terminating `.`) and its byte span in
+/// the original source (including the `.`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sentence {
+    /// Trimmed sentence text, comments preserved.
+    pub text: String,
+    /// Start byte offset in the source.
+    pub start: usize,
+    /// End byte offset (exclusive, past the `.`).
+    pub end: usize,
+}
+
+/// Splits a source file into sentences terminated by `.` followed by
+/// whitespace or end of input. `(* *)` comments never terminate sentences
+/// and are preserved in the text.
+pub fn split_with_spans(src: &str) -> Vec<Sentence> {
+    let b = src.as_bytes();
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut start = 0usize;
+    let mut i = 0usize;
+    while i < b.len() {
+        let c = b[i] as char;
+        if c == '(' && i + 1 < b.len() && b[i + 1] == b'*' {
+            depth += 1;
+            i += 2;
+            continue;
+        }
+        if depth > 0 {
+            if c == '*' && i + 1 < b.len() && b[i + 1] == b')' {
+                depth -= 1;
+                i += 2;
+                continue;
+            }
+            i += 1;
+            continue;
+        }
+        if c == '.' && (i + 1 >= b.len() || (b[i + 1] as char).is_whitespace()) {
+            let text = src[start..i].trim().to_string();
+            if !text.is_empty() {
+                out.push(Sentence {
+                    text,
+                    start,
+                    end: i + 1,
+                });
+            }
+            i += 1;
+            start = i;
+            continue;
+        }
+        i += 1;
+    }
+    let tail = src[start..].trim();
+    if !tail.is_empty() {
+        out.push(Sentence {
+            text: tail.to_string(),
+            start,
+            end: src.len(),
+        });
+    }
+    out
+}
+
+/// The first word of a sentence (skipping leading comments).
+pub fn head_word(text: &str) -> &str {
+    let mut rest = text.trim_start();
+    // Skip leading comments.
+    while rest.starts_with("(*") {
+        let mut depth = 0i32;
+        let b = rest.as_bytes();
+        let mut i = 0usize;
+        while i < b.len() {
+            if b[i] == b'(' && i + 1 < b.len() && b[i + 1] == b'*' {
+                depth += 1;
+                i += 2;
+                continue;
+            }
+            if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b')' {
+                depth -= 1;
+                i += 2;
+                if depth == 0 {
+                    break;
+                }
+                continue;
+            }
+            i += 1;
+        }
+        rest = rest[i..].trim_start();
+    }
+    let end = rest
+        .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+        .unwrap_or(rest.len());
+    &rest[..end]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_and_spans() {
+        let src = "Sort T. Lemma a : 1 = 1.\nProof. auto. Qed.";
+        let s = split_with_spans(src);
+        let texts: Vec<&str> = s.iter().map(|x| x.text.as_str()).collect();
+        assert_eq!(
+            texts,
+            vec!["Sort T", "Lemma a : 1 = 1", "Proof", "auto", "Qed"]
+        );
+        assert_eq!(&src[s[0].start..s[0].end], "Sort T.");
+    }
+
+    #[test]
+    fn comments_do_not_split() {
+        let s = split_with_spans("Lemma x (* a. b. *) : True.");
+        assert_eq!(s.len(), 1);
+        assert!(s[0].text.contains("(*"));
+    }
+
+    #[test]
+    fn head_word_skips_comments() {
+        assert_eq!(head_word("(* doc *) Lemma foo : True"), "Lemma");
+        assert_eq!(head_word("Fixpoint f"), "Fixpoint");
+    }
+}

@@ -1,0 +1,69 @@
+//! Property-based totality tests for the vernacular front end: arbitrary
+//! (even adversarial) source text must produce errors, never panics, and
+//! well-formed developments must load regardless of declaration count.
+
+use minicoq_vernac::item::group_items;
+use minicoq_vernac::Loader;
+use proptest::prelude::*;
+
+proptest! {
+    /// Grouping never panics on arbitrary text.
+    #[test]
+    fn group_items_is_total(src in "\\PC{0,400}") {
+        let _ = group_items(&src);
+    }
+
+    /// Grouping never panics on text assembled from Gallina-ish fragments
+    /// (higher keyword density than uniform noise).
+    #[test]
+    fn group_items_survives_keyword_soup(
+        words in proptest::collection::vec(
+            prop_oneof![
+                Just("Lemma".to_string()),
+                Just("Proof.".to_string()),
+                Just("Qed.".to_string()),
+                Just("Inductive".to_string()),
+                Just("Definition".to_string()),
+                Just("Fixpoint".to_string()),
+                Just(":=".to_string()),
+                Just(":".to_string()),
+                Just(".".to_string()),
+                Just("(*".to_string()),
+                Just("*)".to_string()),
+                "[a-z]{1,8}",
+            ],
+            0..40,
+        ),
+    ) {
+        let _ = group_items(&words.join(" "));
+    }
+
+    /// The loader is total on arbitrary single-file sources: it returns
+    /// Ok or Err, never panics, and on Ok every theorem replayed.
+    #[test]
+    fn loader_is_total(src in "\\PC{0,300}") {
+        let mut l = Loader::new();
+        l.add_source("Fuzz", src);
+        let _ = l.load();
+    }
+
+    /// A development of n trivial lemmas loads with n theorems, each
+    /// seeing exactly the ones before it.
+    #[test]
+    fn scales_with_lemma_count(n in 1usize..20) {
+        let mut src = String::new();
+        for i in 0..n {
+            src.push_str(&format!("Lemma triv{i} : 0 = 0.\nProof. reflexivity. Qed.\n"));
+        }
+        let mut l = Loader::new();
+        l.add_source("Gen", src);
+        let dev = l.load().unwrap();
+        prop_assert_eq!(dev.theorems.len(), n);
+        for (i, t) in dev.theorems.iter().enumerate() {
+            let env = dev.env_before(t);
+            for j in 0..n {
+                prop_assert_eq!(env.lemma(&format!("triv{j}")).is_some(), j < i);
+            }
+        }
+    }
+}

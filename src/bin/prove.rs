@@ -1,0 +1,192 @@
+//! `prove` — run the LLM-guided best-first search on one corpus theorem.
+//!
+//! ```sh
+//! prove <theorem> [--model mini|gpt4o|flash|pro|pro128k] [--vanilla]
+//!       [--retrieval K] [--limit N] [--width W] [--strategy best|greedy|bfs]
+//!       [--show-query]
+//! ```
+//!
+//! Prints the outcome, the search statistics, and (when proved) the found
+//! script together with its kernel replay check.
+
+use llm_fscq::corpus::Corpus;
+use llm_fscq::oracle::profiles::ModelProfile;
+use llm_fscq::oracle::prompt::{build_prompt, PromptConfig, PromptSetting};
+use llm_fscq::oracle::split::hint_set;
+use llm_fscq::oracle::SimulatedModel;
+use llm_fscq::search::{search, SearchConfig, Strategy};
+use std::process::ExitCode;
+
+struct Args {
+    theorem: String,
+    profile: ModelProfile,
+    setting: PromptSetting,
+    retrieval: Option<usize>,
+    cfg: SearchConfig,
+    show_query: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: prove <theorem> [--model mini|gpt4o|flash|pro|pro128k] [--vanilla]\n\
+         \x20             [--retrieval K] [--limit N] [--width W] [--strategy best|greedy|bfs]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = std::env::args().skip(1);
+    let mut theorem = None;
+    let mut profile = ModelProfile::gpt4o();
+    let mut setting = PromptSetting::Hints;
+    let mut retrieval = None;
+    let mut cfg = SearchConfig::default();
+    let mut show_query = false;
+    while let Some(a) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match a.as_str() {
+            "--model" => {
+                profile = match value("--model").as_str() {
+                    "mini" => ModelProfile::gpt4o_mini(),
+                    "gpt4o" => ModelProfile::gpt4o(),
+                    "flash" => ModelProfile::gemini_flash(),
+                    "pro" => ModelProfile::gemini_pro(),
+                    "pro128k" => ModelProfile::gemini_pro_128k(),
+                    other => {
+                        eprintln!("unknown model {other}");
+                        usage()
+                    }
+                }
+            }
+            "--vanilla" => setting = PromptSetting::Vanilla,
+            "--show-query" => show_query = true,
+            "--retrieval" => retrieval = value("--retrieval").parse().ok(),
+            "--limit" => cfg.query_limit = value("--limit").parse().unwrap_or_else(|_| usage()),
+            "--width" => cfg.width = value("--width").parse().unwrap_or_else(|_| usage()),
+            "--strategy" => {
+                cfg.strategy = match value("--strategy").as_str() {
+                    "best" => Strategy::BestFirst,
+                    "greedy" => Strategy::Greedy,
+                    "bfs" => Strategy::BreadthFirst,
+                    other => {
+                        eprintln!("unknown strategy {other}");
+                        usage()
+                    }
+                }
+            }
+            "--help" | "-h" => usage(),
+            other if theorem.is_none() && !other.starts_with('-') => {
+                theorem = Some(other.to_string())
+            }
+            other => {
+                eprintln!("unexpected argument {other}");
+                usage()
+            }
+        }
+    }
+    Args {
+        theorem: theorem.unwrap_or_else(|| usage()),
+        profile,
+        setting,
+        retrieval,
+        cfg,
+        show_query,
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let corpus = Corpus::load();
+    let Some(thm) = corpus.dev.theorem(&args.theorem) else {
+        eprintln!("unknown theorem `{}`; try one of:", args.theorem);
+        for t in corpus.dev.theorems.iter().take(10) {
+            eprintln!("  {}", t.name);
+        }
+        eprintln!("  ... ({} total)", corpus.dev.theorems.len());
+        return ExitCode::FAILURE;
+    };
+    let env = corpus.dev.env_before(thm);
+    let hints = hint_set(&corpus.dev);
+    let prompt_cfg = PromptConfig {
+        setting: args.setting,
+        window: Some(args.profile.window),
+        minimal: false,
+        retrieval: args.retrieval,
+    };
+    let prompt = build_prompt(&corpus.dev, thm, &hints, &prompt_cfg);
+    println!("theorem : {}", thm.statement_text.replace('\n', " "));
+    println!(
+        "model   : {} ({}), prompt {} tokens / {} lemmas{}",
+        args.profile.name,
+        match args.setting {
+            PromptSetting::Hints => "w/ hints",
+            PromptSetting::Vanilla => "vanilla",
+        },
+        prompt.tokens,
+        prompt.visible_lemmas.len(),
+        if prompt.truncated { " (truncated)" } else { "" },
+    );
+
+    if args.show_query {
+        // The exact first-query payload a real LLM client would send.
+        let st = llm_fscq::minicoq::goal::ProofState::new(thm.stmt.clone());
+        let ctx = llm_fscq::oracle::model::QueryCtx {
+            prompt: &prompt,
+            state: &st,
+            env,
+            path: &[],
+            theorem: &thm.name,
+            query_index: 0,
+        };
+        println!("--- query payload ---");
+        println!("{}", llm_fscq::oracle::model::render_query(&ctx));
+        println!("--- end payload ---");
+    }
+
+    let mut model = SimulatedModel::new(args.profile.clone());
+    let r = search(env, &thm.stmt, &thm.name, &mut model, &prompt, &args.cfg);
+    let outcome_name = match &r.outcome {
+        llm_fscq::search::Outcome::Proved { .. } => "Proved",
+        llm_fscq::search::Outcome::Stuck => "Stuck",
+        llm_fscq::search::Outcome::Fuelout => "Fuelout",
+    };
+    println!(
+        "search  : {outcome_name} — {} queries, {} valid / {} rejected / {} duplicate / {} timeout",
+        r.stats.queries,
+        r.stats.valid_tactics,
+        r.stats.rejected,
+        r.stats.duplicates,
+        r.stats.timeouts,
+    );
+    match r.script_text() {
+        Some(script) => {
+            println!("proof   : {script}");
+            match llm_fscq::vernac::loader::replay_proof(env, &thm.stmt, &script) {
+                Ok(_) => {
+                    println!("replay  : QED (kernel-checked)");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    println!("replay  : FAILED — {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        None => {
+            println!(
+                "outcome : not proved ({})",
+                if r.stats.queries >= args.cfg.query_limit {
+                    "query limit exhausted"
+                } else {
+                    "search stuck"
+                }
+            );
+            ExitCode::FAILURE
+        }
+    }
+}

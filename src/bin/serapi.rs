@@ -1,0 +1,80 @@
+//! `serapi` — a SerAPI-style s-expression server over stdin/stdout.
+//!
+//! The paper drives Coq through SerAPI as a subprocess; this binary makes
+//! the reproduction drivable the same way. Start it with a theorem name
+//! (or a `--stmt` formula), then write one request per line:
+//!
+//! ```text
+//! (Add (at 0) (tactic "intros n"))   ->  (Added 1 ...)
+//! (Goals 1)                          ->  (Goals "...")
+//! (Cancel 1)                         ->  (Cancelled 1)
+//! (Script 2)                         ->  (Script "intros n" ...)
+//! ```
+//!
+//! ```sh
+//! serapi add_0_r
+//! serapi --stmt "forall n : nat, n = n"
+//! echo '(Add (at 0) (tactic "reflexivity"))' | serapi --stmt "0 = 0"
+//! ```
+
+use llm_fscq::corpus::Corpus;
+use llm_fscq::minicoq::env::Env;
+use llm_fscq::minicoq::parse::parse_formula;
+use llm_fscq::stm::protocol::handle_line;
+use llm_fscq::stm::{ProofSession, SessionConfig};
+use std::io::{BufRead, Write};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut session = match args.first().map(String::as_str) {
+        Some("--stmt") => {
+            let Some(src) = args.get(1) else {
+                eprintln!("--stmt needs a formula");
+                return ExitCode::from(2);
+            };
+            let env = Env::with_prelude();
+            match parse_formula(&env, src) {
+                Ok(f) => ProofSession::new(env, f, SessionConfig::default()),
+                Err(e) => {
+                    eprintln!("bad statement: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        Some(name) if !name.starts_with('-') => {
+            let corpus = Corpus::load();
+            let Some(thm) = corpus.dev.theorem(name) else {
+                eprintln!("unknown theorem `{name}`");
+                return ExitCode::FAILURE;
+            };
+            ProofSession::new(
+                corpus.dev.env_before(thm).clone(),
+                thm.stmt.clone(),
+                SessionConfig::default(),
+            )
+        }
+        _ => {
+            eprintln!("usage: serapi <theorem> | serapi --stmt \"<formula>\"");
+            return ExitCode::from(2);
+        }
+    };
+
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout().lock();
+    // One request per line, one response per line; EOF ends the session.
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = handle_line(&mut session, &line);
+        if writeln!(stdout, "{response}")
+            .and_then(|()| stdout.flush())
+            .is_err()
+        {
+            break;
+        }
+    }
+    ExitCode::SUCCESS
+}

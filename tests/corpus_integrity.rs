@@ -1,0 +1,175 @@
+//! Corpus integrity: every human proof checks, and the corpus has the
+//! structural properties the evaluation depends on.
+
+use llm_fscq::corpus::{Category, Corpus};
+use llm_fscq::oracle::split::{eval_set, eval_set_small, hint_set};
+use llm_fscq::oracle::tokenizer::{bin_of, count_tokens};
+
+#[test]
+fn every_human_proof_replays() {
+    // The strictest corpus test: replay all 238 proofs through the kernel.
+    let corpus = Corpus::load_checked().unwrap_or_else(|e| panic!("corpus broken: {e}"));
+    assert!(corpus.len() >= 200, "corpus shrank to {}", corpus.len());
+}
+
+#[test]
+fn corpus_has_the_papers_shape() {
+    let corpus = Corpus::load();
+    let n = corpus.len();
+
+    // All three categories are populated, with Utilities the largest (as
+    // in FSCQ).
+    let mut by_cat = [0usize; 3];
+    for t in &corpus.dev.theorems {
+        by_cat[corpus.category_of(t) as usize] += 1;
+    }
+    assert!(by_cat.iter().all(|c| *c >= 20), "{by_cat:?}");
+    assert!(by_cat[Category::Utilities as usize] >= by_cat[Category::FileSystem as usize]);
+
+    // A long-tailed length distribution: most proofs are short, but the
+    // upper bins are inhabited.
+    let mut bins = [0usize; 7];
+    for t in &corpus.dev.theorems {
+        bins[bin_of(count_tokens(&t.proof_text))] += 1;
+    }
+    assert!(bins[0] > 0 && bins[1] > 0 && bins[2] > 0 && bins[3] > 0);
+    assert!(bins[4] + bins[5] + bins[6] > 0, "no long proofs: {bins:?}");
+    let under64: usize = bins[..3].iter().sum();
+    let share = under64 as f64 / n as f64;
+    assert!(
+        (0.5..0.95).contains(&share),
+        "under-64-token share {share:.2} out of range"
+    );
+}
+
+#[test]
+fn hint_split_and_samples_are_consistent() {
+    let corpus = Corpus::load();
+    let hints = hint_set(&corpus.dev);
+    let eval = eval_set(&corpus.dev);
+    let small = eval_set_small(&corpus.dev);
+    assert_eq!(hints.len() + eval.len(), corpus.len());
+    assert!(small.len() < eval.len());
+    for i in &small {
+        assert!(eval.contains(i), "sampled theorem outside the eval set");
+    }
+    // Stability: the same split on a fresh load.
+    let again = Corpus::load();
+    assert_eq!(hints, hint_set(&again.dev));
+    assert_eq!(eval, eval_set(&again.dev));
+}
+
+#[test]
+fn env_before_hides_the_future() {
+    let corpus = Corpus::load();
+    // For a mid-corpus theorem, earlier lemmas are visible and later ones
+    // are not — the environment a prover legitimately has.
+    let t = corpus.dev.theorem("incl_tl_inv").unwrap();
+    let env = corpus.dev.env_before(t);
+    assert!(env.lemma("incl_cons_inv").is_some());
+    assert!(env.lemma("in_eq").is_some());
+    assert!(env.lemma("incl_tl_inv").is_none());
+    assert!(env.lemma("ptsto_valid").is_none());
+    // The final environment has everything.
+    assert!(corpus.dev.env.lemma("incl_tl_inv").is_some());
+    assert!(corpus.dev.env.lemma("ptsto_valid").is_some());
+}
+
+#[test]
+fn figure2_case_lemmas_exist() {
+    let corpus = Corpus::load();
+    for name in [
+        "incl_tl_inv",
+        "ndata_log_padded_log",
+        "tree_name_distinct_head",
+    ] {
+        assert!(corpus.dev.theorem(name).is_some(), "{name} missing");
+    }
+}
+
+#[test]
+fn cached_grid_if_present_parses_and_matches_the_corpus() {
+    // The experiment cache must stay readable by the current schema; a
+    // fresh clone (no cache) skips this check.
+    let path = std::path::Path::new("target/experiments/main_grid.json");
+    let Ok(json) = std::fs::read_to_string(path) else {
+        return;
+    };
+    let rs = llm_fscq::metrics::report::ResultSet::from_json(&json)
+        .expect("stale cache: delete target/experiments/main_grid.json");
+    let corpus = Corpus::load();
+    for cell in &rs.cells {
+        assert!(!cell.outcomes.is_empty(), "{}", cell.label);
+        for o in &cell.outcomes {
+            assert!(
+                corpus.dev.theorem(&o.name).is_some(),
+                "cached outcome for unknown theorem {}",
+                o.name
+            );
+        }
+    }
+}
+
+#[test]
+fn every_statement_pretty_prints_and_reparses() {
+    // Corpus-scale printer round-trip: the rendered form of every theorem
+    // statement must reparse to an alpha-equal formula in its own
+    // environment. The prompt builder and the goal display both lean on
+    // this.
+    let corpus = Corpus::load();
+    let mut ok = 0usize;
+    for thm in &corpus.dev.theorems {
+        let env = corpus.dev.env_before(thm);
+        let printed = llm_fscq::minicoq::pretty::formula_to_string(&thm.stmt);
+        match llm_fscq::minicoq::parse::parse_formula(env, &printed) {
+            Ok(back) => {
+                assert_eq!(
+                    llm_fscq::minicoq::statehash::formula_key(&thm.stmt),
+                    llm_fscq::minicoq::statehash::formula_key(&back),
+                    "{}: round-trip changed the statement",
+                    thm.name
+                );
+                ok += 1;
+            }
+            Err(e) => {
+                // The one information the printer cannot reconstruct is a
+                // sort ascription on an empty-list literal (the source
+                // wrote `(nil : list A)`); anything else is a bug.
+                assert!(
+                    printed.contains("[]") || printed.contains("nil"),
+                    "{}: `{printed}`: {e}",
+                    thm.name
+                );
+            }
+        }
+    }
+    assert!(
+        ok * 100 >= corpus.len() * 95,
+        "only {ok}/{} statements round-trip",
+        corpus.len()
+    );
+}
+
+#[test]
+fn every_proof_splits_into_parseable_first_sentences() {
+    // The first sentence of each human proof must parse against the fresh
+    // goal — the property hint-script head-word statistics rely on.
+    let corpus = Corpus::load();
+    let mut checked = 0;
+    for thm in &corpus.dev.theorems {
+        let env = corpus.dev.env_before(thm);
+        let sents = llm_fscq::minicoq::parse::split_sentences(&thm.proof_text);
+        assert!(!sents.is_empty(), "{} has an empty proof", thm.name);
+        let st = llm_fscq::minicoq::goal::ProofState::new(thm.stmt.clone());
+        if llm_fscq::minicoq::parse::parse_tactic(env, st.goals.first(), &sents[0]).is_ok() {
+            checked += 1;
+        }
+    }
+    // Virtually all first sentences parse standalone (a handful use
+    // notations that need the post-intro context).
+    assert!(
+        checked * 100 >= corpus.len() * 95,
+        "only {checked}/{} first sentences parse",
+        corpus.len()
+    );
+}

@@ -1,0 +1,78 @@
+//! Drives the `prove` binary end to end: exit codes, output shape, and the
+//! kernel-replay line a downstream user would script against.
+
+use std::process::Command;
+
+fn prove(args: &[&str]) -> (bool, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_prove"))
+        .args(args)
+        .output()
+        .expect("spawn prove");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (out.status.success(), text)
+}
+
+#[test]
+fn proves_a_theorem_and_replays_it() {
+    let (ok, text) = prove(&["ndata_log_padded_log", "--model", "gpt4o"]);
+    assert!(ok, "{text}");
+    assert!(text.contains("proof   :"), "{text}");
+    assert!(text.contains("QED (kernel-checked)"), "{text}");
+}
+
+#[test]
+fn failure_exits_nonzero_with_the_outcome() {
+    // A one-query budget cannot prove anything beyond a lucky root close.
+    let (ok, text) = prove(&["incl_tl_inv", "--model", "mini", "--limit", "1"]);
+    assert!(!ok, "{text}");
+    assert!(text.contains("not proved"), "{text}");
+}
+
+#[test]
+fn unknown_theorem_is_a_clean_error() {
+    let (ok, text) = prove(&["definitely_not_a_theorem"]);
+    assert!(!ok);
+    assert!(text.contains("unknown theorem"), "{text}");
+}
+
+#[test]
+fn bad_flags_print_usage() {
+    let (ok, text) = prove(&["add_0_l", "--model", "gpt5"]);
+    assert!(!ok);
+    assert!(text.contains("usage:"), "{text}");
+}
+
+#[test]
+fn retrieval_flag_prunes_the_prompt() {
+    let (_, full) = prove(&["write_buffers", "--model", "gpt4o"]);
+    let (ok, pruned) = prove(&["write_buffers", "--model", "gpt4o", "--retrieval", "16"]);
+    let lemmas = |s: &str| {
+        s.lines()
+            .find(|l| l.contains("lemmas"))
+            .and_then(|l| {
+                l.split("tokens / ")
+                    .nth(1)?
+                    .split_whitespace()
+                    .next()?
+                    .parse::<usize>()
+                    .ok()
+            })
+            .unwrap_or(usize::MAX)
+    };
+    assert!(lemmas(&pruned) <= 16, "{pruned}");
+    assert!(lemmas(&pruned) < lemmas(&full), "{pruned}\n{full}");
+    // This particular theorem is the motivating case: retrieval wins.
+    assert!(ok, "{pruned}");
+}
+
+#[test]
+fn show_query_prints_the_payload() {
+    let (_, text) = prove(&["add_0_l", "--show-query", "--limit", "2"]);
+    assert!(text.contains("--- query payload ---"), "{text}");
+    assert!(text.contains("Next tactic:"), "{text}");
+    assert!(text.contains("Current proof state"), "{text}");
+}

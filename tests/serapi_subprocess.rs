@@ -1,0 +1,111 @@
+//! Drives the `serapi` binary as a subprocess over stdin/stdout — the
+//! interaction mode the paper uses against the real Coq (SerAPI). This is
+//! the deployment-shaped test: a client that only speaks s-expressions
+//! over pipes can add tactics, read goals, cancel, and extract scripts.
+
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Command, Stdio};
+
+fn run_session(args: &[&str], requests: &[&str]) -> Vec<String> {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_serapi"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn serapi");
+    {
+        let stdin = child.stdin.as_mut().expect("stdin");
+        for r in requests {
+            writeln!(stdin, "{r}").expect("write request");
+        }
+    }
+    drop(child.stdin.take());
+    let stdout = child.stdout.take().expect("stdout");
+    let lines: Vec<String> = BufReader::new(stdout)
+        .lines()
+        .map(|l| l.expect("read response"))
+        .collect();
+    let status = child.wait().expect("wait");
+    assert!(status.success(), "serapi exited with {status}");
+    assert_eq!(
+        lines.len(),
+        requests.len(),
+        "one response per request: {lines:?}"
+    );
+    lines
+}
+
+#[test]
+fn proves_an_ad_hoc_statement_over_pipes() {
+    let out = run_session(
+        &["--stmt", "forall n : nat, n = n"],
+        &[
+            r#"(Add (at 0) (tactic "intros n"))"#,
+            r#"(Add (at 1) (tactic "reflexivity"))"#,
+            "(Script 2)",
+        ],
+    );
+    assert!(out[0].contains("Added"), "{}", out[0]);
+    assert!(out[1].contains("Proved"), "{}", out[1]);
+    assert!(
+        out[2].contains("intros n") && out[2].contains("reflexivity"),
+        "{}",
+        out[2]
+    );
+}
+
+#[test]
+fn proves_a_corpus_theorem_with_its_human_script() {
+    // add_0_l's human proof is a simple reflexivity after intros.
+    let out = run_session(
+        &["add_0_l"],
+        &[
+            r#"(Add (at 0) (tactic "intros n"))"#,
+            r#"(Add (at 1) (tactic "reflexivity"))"#,
+        ],
+    );
+    assert!(out[1].contains("Proved"), "{}", out[1]);
+}
+
+#[test]
+fn rejections_cancellation_and_goals_round_trip() {
+    let out = run_session(
+        &["--stmt", "0 = 0 /\\ 1 = 1"],
+        &[
+            r#"(Add (at 0) (tactic "apply bogus"))"#,
+            r#"(Add (at 0) (tactic "split"))"#,
+            "(Goals 1)",
+            "(Cancel 1)",
+            r#"(Add (at 1) (tactic "reflexivity"))"#,
+            "(nonsense request)",
+        ],
+    );
+    assert!(
+        out[0].contains("Error") || out[0].contains("Rejected"),
+        "{}",
+        out[0]
+    );
+    assert!(out[1].contains("Added"), "{}", out[1]);
+    assert!(out[2].contains("0 = 0"), "{}", out[2]);
+    assert!(out[3].contains("Cancel"), "{}", out[3]);
+    // State 1 was cancelled; extending it must fail.
+    assert!(
+        out[4].contains("Error") || out[4].contains("NoSuchState"),
+        "{}",
+        out[4]
+    );
+    assert!(out[5].contains("Error"), "{}", out[5]);
+}
+
+#[test]
+fn bad_invocation_fails_cleanly() {
+    let status = Command::new(env!("CARGO_BIN_EXE_serapi"))
+        .arg("no_such_theorem_xyz")
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .status()
+        .expect("spawn");
+    assert!(!status.success());
+}

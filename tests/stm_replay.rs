@@ -1,0 +1,41 @@
+//! Replays every corpus proof through the state-transition machine — the
+//! same interface the search uses — rather than through the tactic engine
+//! directly. Exercises session bookkeeping (ids, scripts, fuel accounting)
+//! at corpus scale.
+
+use llm_fscq::corpus::Corpus;
+use llm_fscq::minicoq::parse::split_sentences;
+use llm_fscq::stm::{ProofSession, SessionConfig, StateId};
+
+#[test]
+fn full_corpus_replays_through_sessions() {
+    let corpus = Corpus::load();
+    let mut replayed = 0usize;
+    for thm in &corpus.dev.theorems {
+        let env = corpus.dev.env_before(thm);
+        // Linear replay: duplicate detection off (idempotent steps such as
+        // a no-op `intros` are legal in scripts), generous fuel.
+        let mut session = ProofSession::new(
+            env.clone(),
+            thm.stmt.clone(),
+            SessionConfig {
+                tactic_fuel: 50_000_000,
+                dedupe_states: false,
+            },
+        );
+        let mut at: StateId = session.root();
+        let mut expected_script = Vec::new();
+        for sentence in split_sentences(&thm.proof_text) {
+            let out = session
+                .add(at, &sentence)
+                .unwrap_or_else(|e| panic!("{}: `{sentence}`: {e}", thm.name));
+            at = out.id;
+            expected_script.push(sentence);
+        }
+        assert!(session.is_proved(at), "{} did not finish", thm.name);
+        assert_eq!(session.script_to(at), expected_script, "{}", thm.name);
+        assert!(session.fuel_spent() > 0);
+        replayed += 1;
+    }
+    assert!(replayed >= 280, "only {replayed} theorems replayed");
+}
