@@ -1,9 +1,12 @@
 //! Search benchmarks: full best-first runs per theorem difficulty class,
-//! and the strategy comparison at a fixed budget.
+//! the strategy comparison at a fixed budget, and the parallel runner's
+//! scaling over a fixed theorem slice.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use proof_metrics::runner::run_indices_jobs;
+use proof_metrics::CellConfig;
 use proof_oracle::profiles::ModelProfile;
-use proof_oracle::prompt::{build_prompt, PromptConfig};
+use proof_oracle::prompt::{build_prompt, PromptConfig, PromptSetting};
 use proof_oracle::split::hint_set;
 use proof_oracle::SimulatedModel;
 use proof_search::{search, SearchConfig, Strategy};
@@ -60,9 +63,29 @@ fn bench_strategies(c: &mut Criterion) {
     }
 }
 
+fn bench_runner_scaling(c: &mut Criterion) {
+    // A fixed slice of the sampled eval set at a small query budget, so the
+    // 1/2/4-worker comparison measures pool overhead and scaling rather
+    // than simulator variance. On a single-core host the higher worker
+    // counts show overhead only; on >= 4 cores they show the speedup.
+    let corpus = fscq_corpus::Corpus::load();
+    let mut cell = CellConfig::standard(ModelProfile::gpt4o(), PromptSetting::Hints);
+    cell.search.query_limit = 8;
+    let indices: Vec<usize> = cell
+        .eval_indices(&corpus.dev)
+        .into_iter()
+        .take(12)
+        .collect();
+    for jobs in [1usize, 2, 4] {
+        c.bench_function(&format!("runner/12 theorems, jobs={jobs}"), |b| {
+            b.iter(|| run_indices_jobs(&corpus, &cell, &indices, jobs))
+        });
+    }
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_search_cases, bench_strategies
+    targets = bench_search_cases, bench_strategies, bench_runner_scaling
 }
 criterion_main!(benches);

@@ -2,13 +2,14 @@
 //! detection, at equal query budgets.
 
 use fscq_corpus::Corpus;
-use proof_metrics::{run_cell, CellConfig};
+use proof_metrics::CellConfig;
 use proof_oracle::profiles::ModelProfile;
 use proof_oracle::prompt::PromptSetting;
 use proof_search::Strategy;
 
 fn main() {
     let corpus = Corpus::load();
+    let runner = llm_fscq_bench::runner(llm_fscq_bench::fresh_flag());
     println!("== Search-strategy ablation (GPT-4o w/ hints, query limit 128) ==");
     for strategy in [
         Strategy::BestFirst,
@@ -17,7 +18,7 @@ fn main() {
     ] {
         let mut cell = CellConfig::standard(ModelProfile::gpt4o(), PromptSetting::Hints);
         cell.search.strategy = strategy;
-        let r = run_cell(&corpus, &cell);
+        let r = runner.run_cell(&corpus, &cell);
         let avg_q: f64 = r.outcomes.iter().map(|o| o.queries as f64).sum::<f64>()
             / r.outcomes.len().max(1) as f64;
         println!(
@@ -31,7 +32,7 @@ fn main() {
     for dedupe in [true, false] {
         let mut cell = CellConfig::standard(ModelProfile::gpt4o(), PromptSetting::Hints);
         cell.search.dedupe_states = dedupe;
-        let r = run_cell(&corpus, &cell);
+        let r = runner.run_cell(&corpus, &cell);
         let avg_q: f64 = r.outcomes.iter().map(|o| o.queries as f64).sum::<f64>()
             / r.outcomes.len().max(1) as f64;
         println!(
@@ -51,7 +52,7 @@ fn main() {
     ] {
         let mut cell = CellConfig::standard(ModelProfile::gpt4o(), PromptSetting::Hints);
         cell.retrieval = retrieval;
-        let r = run_cell(&corpus, &cell);
+        let r = runner.run_cell(&corpus, &cell);
         println!(
             "  {label:16}: proved {:5.1}%  stuck {:5.1}%  fuelout {:5.1}%",
             r.proved_rate() * 100.0,
@@ -59,4 +60,5 @@ fn main() {
             r.rate_of("fuelout") * 100.0,
         );
     }
+    let _ = runner.write_bench(llm_fscq_bench::BENCH_EVAL_PATH, "ablation cells");
 }

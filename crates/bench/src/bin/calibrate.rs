@@ -2,7 +2,7 @@
 //! paper's Table 2 proved-rates and prints the loss per configuration.
 
 use fscq_corpus::Corpus;
-use proof_metrics::{run_cell, CellConfig};
+use proof_metrics::CellConfig;
 use proof_oracle::profiles::ModelProfile;
 use proof_oracle::prompt::PromptSetting;
 use proof_oracle::sim::Tuning;
@@ -25,6 +25,7 @@ fn profile_of(name: &str) -> ModelProfile {
 
 fn main() {
     let corpus = Corpus::load();
+    let runner = llm_fscq_bench::runner(llm_fscq_bench::fresh_flag());
     let mut results = Vec::new();
     for distractor_slope in [1.2, 1.9, 2.6] {
         for vanilla_skill in [0.6, 0.75] {
@@ -40,7 +41,7 @@ fn main() {
                 for setting in [PromptSetting::Vanilla, PromptSetting::Hints] {
                     let mut cell = CellConfig::standard(profile_of(name), setting);
                     cell.tuning = tuning.clone();
-                    let r = run_cell(&corpus, &cell);
+                    let r = runner.run_cell(&corpus, &cell);
                     got.push(r.proved_rate() * 100.0);
                 }
                 loss += (got[0] - tv).powi(2) + (got[1] - th).powi(2);
@@ -52,4 +53,5 @@ fn main() {
     }
     results.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
     println!("best: {:?}", results.first());
+    let _ = runner.write_bench(llm_fscq_bench::BENCH_EVAL_PATH, "calibration sweep cells");
 }

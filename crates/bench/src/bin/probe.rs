@@ -4,7 +4,7 @@
 
 use fscq_corpus::Corpus;
 use proof_metrics::coverage::{bin_coverage, coverage_under};
-use proof_metrics::{run_cell, CellConfig};
+use proof_metrics::CellConfig;
 use proof_oracle::profiles::ModelProfile;
 use proof_oracle::prompt::PromptSetting;
 use proof_oracle::tokenizer::{bin_of, count_tokens};
@@ -26,7 +26,9 @@ fn main() {
 
     let t0 = std::time::Instant::now();
     let cell = CellConfig::standard(ModelProfile::gpt4o(), PromptSetting::Hints);
-    let r = run_cell(&corpus, &cell);
+    // Probes always recompute (no cell cache) but do use the pool.
+    let runner = llm_fscq_bench::runner(true);
+    let r = runner.run_cell(&corpus, &cell);
     println!("GPT-4o hints sampled: {} theorems, proved {:.1}%, stuck {:.1}%, fuelout {:.1}%, sim {:.3}, len {:.1}%  [{:?}]",
         r.outcomes.len(), r.proved_rate()*100.0, r.rate_of("stuck")*100.0, r.rate_of("fuelout")*100.0,
         r.avg_similarity(), r.avg_length_ratio(), t0.elapsed());

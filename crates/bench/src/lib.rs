@@ -1,13 +1,16 @@
 //! Shared harness for the table/figure binaries.
 //!
-//! Experiments are deterministic, so results are cached as JSON under
-//! `target/experiments/`; delete the file (or pass `--fresh`) to recompute.
+//! Experiments are deterministic, so results are cached at two levels:
+//! whole grids as JSON under `target/experiments/`, and individual cells
+//! under `target/cells/` (content-hashed by the runner). Delete the files
+//! (or pass `--fresh`) to recompute. Cells evaluate on the parallel runner;
+//! override the worker count with `--jobs N` or `JOBS=N`.
 
 use std::path::PathBuf;
 
 use fscq_corpus::Corpus;
 use proof_metrics::report::ResultSet;
-use proof_metrics::{run_cell, CellConfig};
+use proof_metrics::{CellConfig, Runner};
 use proof_oracle::profiles::ModelProfile;
 use proof_oracle::prompt::PromptSetting;
 
@@ -15,6 +18,20 @@ use proof_oracle::prompt::PromptSetting;
 pub fn artifact_dir() -> PathBuf {
     PathBuf::from("target/experiments")
 }
+
+/// The evaluation engine the bench binaries share: worker count from
+/// `--jobs`/`JOBS`, cell cache under `target/cells/`. `fresh` disables the
+/// cell cache so `--fresh` really recomputes.
+pub fn runner(fresh: bool) -> Runner {
+    if fresh {
+        Runner::from_env().without_cache()
+    } else {
+        Runner::from_env()
+    }
+}
+
+/// Where the runner's timing log goes.
+pub const BENCH_EVAL_PATH: &str = "BENCH_eval.json";
 
 /// Runs (or loads) the main experiment grid: the five model configurations
 /// of Table 2, each in the vanilla and hint settings.
@@ -28,16 +45,18 @@ pub fn main_grid(fresh: bool) -> ResultSet {
         }
     }
     let corpus = Corpus::load();
+    let runner = runner(fresh);
     let mut rs = ResultSet::default();
     for profile in ModelProfile::all_five() {
         for setting in [PromptSetting::Vanilla, PromptSetting::Hints] {
             let cell = CellConfig::standard(profile.clone(), setting);
-            eprintln!("running cell: {}", cell.label());
-            rs.cells.push(run_cell(&corpus, &cell));
+            eprintln!("running cell: {} ({} jobs)", cell.label(), runner.jobs());
+            rs.cells.push(runner.run_cell(&corpus, &cell));
         }
     }
     let _ = std::fs::create_dir_all(artifact_dir());
     let _ = std::fs::write(&path, rs.to_json());
+    let _ = runner.write_bench(BENCH_EVAL_PATH, "main grid (Table 2 cells)");
     rs
 }
 

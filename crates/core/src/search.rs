@@ -1,7 +1,8 @@
 //! The best-first tactic tree search.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::Arc;
 
 use minicoq::env::Env;
 use minicoq::formula::Formula;
@@ -109,6 +110,7 @@ impl SearchResult {
 
 /// A frontier entry: ordered by score, tie-broken by insertion order for
 /// determinism.
+#[derive(Clone)]
 struct Entry {
     score: f64,
     seq: u64,
@@ -137,9 +139,92 @@ impl Ord for Entry {
     }
 }
 
-/// Runs the search for `stmt` against `model`.
+/// An entry under the greedy discipline: deepest first, then best score,
+/// then oldest. `seq` is unique per entry, so the order is total and the
+/// maximum unambiguous.
+#[derive(Clone)]
+struct GreedyEntry(Entry);
+
+impl PartialEq for GreedyEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.seq == other.0.seq
+    }
+}
+impl Eq for GreedyEntry {}
+impl PartialOrd for GreedyEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for GreedyEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0
+            .depth
+            .cmp(&other.0.depth)
+            .then_with(|| {
+                self.0
+                    .score
+                    .partial_cmp(&other.0.score)
+                    .unwrap_or(Ordering::Equal)
+            })
+            .then_with(|| other.0.seq.cmp(&self.0.seq))
+    }
+}
+
+/// The search frontier, one priority structure per discipline.
+///
+/// Earlier versions kept a best-first-ordered `BinaryHeap` for every
+/// strategy and emulated Greedy/BreadthFirst by draining and rebuilding
+/// the whole heap on each pop — O(n) per pop, O(n²) per search. Each
+/// discipline now pops in O(log n) or O(1); the expansion order is
+/// unchanged (each discipline's order is total thanks to the unique `seq`,
+/// so the selected maximum is the same — asserted against a reference
+/// implementation in `frontier_matches_drain_and_scan_reference`).
+enum Frontier {
+    /// Max-heap on cumulative score.
+    BestFirst(BinaryHeap<Entry>),
+    /// Max-heap on (depth, score, oldest): a linear dive with backtracking
+    /// only when a branch dies.
+    Greedy(BinaryHeap<GreedyEntry>),
+    /// FIFO. Entries are pushed in increasing `seq` order, so the front is
+    /// always the minimum-`seq` entry.
+    BreadthFirst(VecDeque<Entry>),
+}
+
+impl Frontier {
+    fn new(strategy: Strategy) -> Frontier {
+        match strategy {
+            Strategy::BestFirst => Frontier::BestFirst(BinaryHeap::new()),
+            Strategy::Greedy => Frontier::Greedy(BinaryHeap::new()),
+            Strategy::BreadthFirst => Frontier::BreadthFirst(VecDeque::new()),
+        }
+    }
+
+    fn push(&mut self, entry: Entry) {
+        match self {
+            Frontier::BestFirst(heap) => heap.push(entry),
+            Frontier::Greedy(heap) => heap.push(GreedyEntry(entry)),
+            Frontier::BreadthFirst(queue) => {
+                debug_assert!(queue.back().map(|b| b.seq < entry.seq).unwrap_or(true));
+                queue.push_back(entry);
+            }
+        }
+    }
+
+    fn pop(&mut self) -> Option<Entry> {
+        match self {
+            Frontier::BestFirst(heap) => heap.pop(),
+            Frontier::Greedy(heap) => heap.pop().map(|g| g.0),
+            Frontier::BreadthFirst(queue) => queue.pop_front(),
+        }
+    }
+}
+
+/// Runs the search for `stmt` against `model`. The environment is shared
+/// with the session (no copy), so concurrent searches over the same
+/// snapshot are cheap.
 pub fn search(
-    env: &Env,
+    env: &Arc<Env>,
     stmt: &Formula,
     theorem: &str,
     model: &mut dyn TacticModel,
@@ -147,7 +232,7 @@ pub fn search(
     cfg: &SearchConfig,
 ) -> SearchResult {
     let mut session = ProofSession::new(
-        env.clone(),
+        Arc::clone(env),
         stmt.clone(),
         SessionConfig {
             tactic_fuel: cfg.tactic_fuel,
@@ -155,7 +240,7 @@ pub fn search(
         },
     );
     let mut stats = SearchStats::default();
-    let mut frontier: BinaryHeap<Entry> = BinaryHeap::new();
+    let mut frontier = Frontier::new(cfg.strategy);
     let mut seq = 0u64;
     frontier.push(Entry {
         score: 0.0,
@@ -164,7 +249,7 @@ pub fn search(
         depth: 0,
     });
 
-    while let Some(entry) = pop(&mut frontier, cfg.strategy) {
+    while let Some(entry) = frontier.pop() {
         if stats.queries >= cfg.query_limit {
             stats.fuel_spent = session.fuel_spent();
             stats.tree_size = session.live_states();
@@ -180,7 +265,7 @@ pub fn search(
         let ctx = QueryCtx {
             prompt,
             state: &state,
-            env,
+            env: env.as_ref(),
             path: &path,
             theorem,
             query_index: stats.queries,
@@ -222,54 +307,101 @@ pub fn search(
     }
 }
 
-/// Pops the next state to expand under the given discipline.
-fn pop(frontier: &mut BinaryHeap<Entry>, strategy: Strategy) -> Option<Entry> {
-    match strategy {
-        Strategy::BestFirst => frontier.pop(),
-        Strategy::Greedy => {
-            // Deepest first, best score among equally deep: a linear dive
-            // with backtracking only when a branch dies.
-            let mut items: Vec<Entry> = std::mem::take(frontier).into_vec();
-            if items.is_empty() {
-                return None;
-            }
-            let mut best = 0usize;
-            for (i, e) in items.iter().enumerate() {
-                let b = &items[best];
-                if (e.depth, e.score, std::cmp::Reverse(e.seq))
-                    .partial_cmp(&(b.depth, b.score, std::cmp::Reverse(b.seq)))
-                    .map(|o| o == Ordering::Greater)
-                    .unwrap_or(false)
-                {
-                    best = i;
-                }
-            }
-            let out = items.swap_remove(best);
-            *frontier = items.into();
-            Some(out)
-        }
-        Strategy::BreadthFirst => {
-            // FIFO: smallest sequence number.
-            let mut items: Vec<Entry> = std::mem::take(frontier).into_vec();
-            if items.is_empty() {
-                return None;
-            }
-            let mut best = 0usize;
-            for (i, e) in items.iter().enumerate() {
-                if e.seq < items[best].seq {
-                    best = i;
-                }
-            }
-            let out = items.swap_remove(best);
-            *frontier = items.into();
-            Some(out)
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The original drain-and-scan pop, kept verbatim as the order oracle
+    /// for the indexed frontier.
+    fn reference_pop(frontier: &mut BinaryHeap<Entry>, strategy: Strategy) -> Option<Entry> {
+        match strategy {
+            Strategy::BestFirst => frontier.pop(),
+            Strategy::Greedy => {
+                let mut items: Vec<Entry> = std::mem::take(frontier).into_vec();
+                if items.is_empty() {
+                    return None;
+                }
+                let mut best = 0usize;
+                for (i, e) in items.iter().enumerate() {
+                    let b = &items[best];
+                    if (e.depth, e.score, std::cmp::Reverse(e.seq))
+                        .partial_cmp(&(b.depth, b.score, std::cmp::Reverse(b.seq)))
+                        .map(|o| o == Ordering::Greater)
+                        .unwrap_or(false)
+                    {
+                        best = i;
+                    }
+                }
+                let out = items.swap_remove(best);
+                *frontier = items.into();
+                Some(out)
+            }
+            Strategy::BreadthFirst => {
+                let mut items: Vec<Entry> = std::mem::take(frontier).into_vec();
+                if items.is_empty() {
+                    return None;
+                }
+                let mut best = 0usize;
+                for (i, e) in items.iter().enumerate() {
+                    if e.seq < items[best].seq {
+                        best = i;
+                    }
+                }
+                let out = items.swap_remove(best);
+                *frontier = items.into();
+                Some(out)
+            }
+        }
+    }
+
+    #[test]
+    fn frontier_matches_drain_and_scan_reference() {
+        // A deterministic jumble of scores/depths with interleaved pushes
+        // and pops, checked under every discipline.
+        let mut state = 0x5EEDu64;
+        let mut rng = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state >> 33
+        };
+        for strategy in [
+            Strategy::BestFirst,
+            Strategy::Greedy,
+            Strategy::BreadthFirst,
+        ] {
+            let mut fast = Frontier::new(strategy);
+            let mut slow: BinaryHeap<Entry> = BinaryHeap::new();
+            let mut seq = 0u64;
+            for round in 0..50 {
+                // Push a small burst (as `search` does after each query).
+                for _ in 0..(rng() % 4 + 1) {
+                    let e = Entry {
+                        score: -((rng() % 1000) as f64) / 100.0,
+                        seq,
+                        id: StateId(seq),
+                        depth: (rng() % 6) as u32,
+                    };
+                    seq += 1;
+                    fast.push(e.clone());
+                    slow.push(e);
+                }
+                // Pop one or two.
+                for _ in 0..(round % 2 + 1) {
+                    let a = fast.pop().map(|e| e.seq);
+                    let b = reference_pop(&mut slow, strategy).map(|e| e.seq);
+                    assert_eq!(a, b, "strategy {strategy:?} diverged");
+                }
+            }
+            // Drain the rest.
+            loop {
+                let a = fast.pop().map(|e| e.seq);
+                let b = reference_pop(&mut slow, strategy).map(|e| e.seq);
+                assert_eq!(a, b, "strategy {strategy:?} diverged in drain");
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
+    }
     use proof_oracle::profiles::ModelProfile;
     use proof_oracle::prompt::{build_prompt, PromptConfig};
     use proof_oracle::SimulatedModel;

@@ -68,7 +68,7 @@ fn run(
     let env = Env::with_prelude();
     let f = parse_formula(&env, stmt).unwrap();
     let prompt = empty_prompt();
-    search(&env, &f, "t", model, &prompt, cfg)
+    search(&std::sync::Arc::new(env), &f, "t", model, &prompt, cfg)
 }
 
 // ------------------------------------------------------------------ outcomes

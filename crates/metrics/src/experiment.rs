@@ -1,9 +1,12 @@
 //! The experiment runner: one *cell* is a (model configuration, prompt
 //! setting) pair evaluated over a set of theorems.
 
+use std::collections::BTreeSet;
+
 use fscq_corpus::{Category, Corpus};
+use minicoq_vernac::Development;
 use proof_oracle::profiles::ModelProfile;
-use proof_oracle::prompt::{build_prompt, PromptConfig, PromptSetting};
+use proof_oracle::prompt::{build_prompt_cached, PromptCache, PromptConfig, PromptSetting};
 use proof_oracle::split::{eval_set, eval_set_small, hint_set};
 use proof_oracle::tokenizer::{bin_of, count_tokens};
 use proof_oracle::SimulatedModel;
@@ -64,6 +67,31 @@ impl CellConfig {
             PromptSetting::Vanilla => self.profile.name.to_string(),
             PromptSetting::Hints => format!("{} (w/ hints)", self.profile.name),
         }
+    }
+
+    /// The theorem indices this cell evaluates, in corpus order.
+    pub fn eval_indices(&self, dev: &Development) -> Vec<usize> {
+        match self.scope {
+            EvalScope::Full => eval_set(dev),
+            EvalScope::Sampled => eval_set_small(dev),
+        }
+    }
+
+    /// The prompt configuration this cell evaluates under.
+    pub fn prompt_config(&self) -> PromptConfig {
+        PromptConfig {
+            setting: self.setting,
+            window: Some(self.profile.window),
+            minimal: false,
+            retrieval: self.retrieval,
+        }
+    }
+
+    /// A fresh simulated model for this cell. The simulator's randomness is
+    /// a pure hash of (model, theorem, query, candidate), so every worker's
+    /// clone behaves identically — parallel evaluation is bit-reproducible.
+    pub fn model(&self) -> SimulatedModel {
+        SimulatedModel::new(self.profile.clone()).with_tuning(self.tuning.clone())
     }
 }
 
@@ -155,54 +183,52 @@ impl CellResult {
     }
 }
 
-/// Runs one experiment cell over the corpus.
-pub fn run_cell(corpus: &Corpus, cell: &CellConfig) -> CellResult {
-    let dev = &corpus.dev;
-    let hints = hint_set(dev);
-    let indices = match cell.scope {
-        EvalScope::Full => eval_set(dev),
-        EvalScope::Sampled => eval_set_small(dev),
+/// Evaluates one theorem under a cell's configuration: build the prompt,
+/// search, and classify. This is the unit of work shared by the serial
+/// [`run_cell`] and the parallel [`runner`](crate::runner).
+pub fn eval_theorem(
+    dev: &Development,
+    index: usize,
+    hints: &BTreeSet<String>,
+    prompt_cfg: &PromptConfig,
+    search_cfg: &SearchConfig,
+    model: &mut SimulatedModel,
+    prompt_cache: &PromptCache,
+) -> TheoremOutcome {
+    let thm = &dev.theorems[index];
+    let env = dev.env_before(thm);
+    let prompt = build_prompt_cached(dev, thm, hints, prompt_cfg, prompt_cache);
+    let result = search(env, &thm.stmt, &thm.name, model, &prompt, search_cfg);
+    let human = canonical_script(&thm.proof_text);
+    let human_tokens = count_tokens(&thm.proof_text);
+    let (outcome, script) = match &result.outcome {
+        Outcome::Proved { .. } => ("proved", result.script_text()),
+        Outcome::Stuck => ("stuck", None),
+        Outcome::Fuelout => ("fuelout", None),
     };
-    let prompt_cfg = PromptConfig {
-        setting: cell.setting,
-        window: Some(cell.profile.window),
-        minimal: false,
-        retrieval: cell.retrieval,
+    let (gen_tokens, sim) = match &script {
+        Some(s) => {
+            let c = canonical_script(s);
+            (Some(count_tokens(&c)), Some(similarity(&c, &human)))
+        }
+        None => (None, None),
     };
-    let mut model = SimulatedModel::new(cell.profile.clone()).with_tuning(cell.tuning.clone());
-    let mut outcomes = Vec::new();
-    for &i in &indices {
-        let thm = &dev.theorems[i];
-        let env = dev.env_before(thm);
-        let prompt = build_prompt(dev, thm, &hints, &prompt_cfg);
-        let result = search(env, &thm.stmt, &thm.name, &mut model, &prompt, &cell.search);
-        let human = canonical_script(&thm.proof_text);
-        let human_tokens = count_tokens(&thm.proof_text);
-        let (outcome, script) = match &result.outcome {
-            Outcome::Proved { .. } => ("proved", result.script_text()),
-            Outcome::Stuck => ("stuck", None),
-            Outcome::Fuelout => ("fuelout", None),
-        };
-        let (gen_tokens, sim) = match &script {
-            Some(s) => {
-                let c = canonical_script(s);
-                (Some(count_tokens(&c)), Some(similarity(&c, &human)))
-            }
-            None => (None, None),
-        };
-        outcomes.push(TheoremOutcome {
-            name: thm.name.clone(),
-            file: thm.file.clone(),
-            category: Category::of_module(&thm.file).label().to_string(),
-            human_tokens,
-            bin: bin_of(human_tokens),
-            outcome: outcome.to_string(),
-            script,
-            gen_tokens,
-            similarity: sim,
-            queries: result.stats.queries,
-        });
+    TheoremOutcome {
+        name: thm.name.clone(),
+        file: thm.file.clone(),
+        category: Category::of_module(&thm.file).label().to_string(),
+        human_tokens,
+        bin: bin_of(human_tokens),
+        outcome: outcome.to_string(),
+        script,
+        gen_tokens,
+        similarity: sim,
+        queries: result.stats.queries,
     }
+}
+
+/// Wraps a cell's outcomes into a [`CellResult`].
+pub(crate) fn finish_cell(cell: &CellConfig, outcomes: Vec<TheoremOutcome>) -> CellResult {
     CellResult {
         label: cell.label(),
         setting: match cell.setting {
@@ -211,6 +237,33 @@ pub fn run_cell(corpus: &Corpus, cell: &CellConfig) -> CellResult {
         },
         outcomes,
     }
+}
+
+/// Runs one experiment cell over the corpus, serially. The parallel
+/// equivalent is [`runner::run_cell_jobs`](crate::runner::run_cell_jobs),
+/// which is bit-identical by construction (and by test).
+pub fn run_cell(corpus: &Corpus, cell: &CellConfig) -> CellResult {
+    let dev = &corpus.dev;
+    let hints = hint_set(dev);
+    let indices = cell.eval_indices(dev);
+    let prompt_cfg = cell.prompt_config();
+    let prompt_cache = PromptCache::new();
+    let mut model = cell.model();
+    let outcomes = indices
+        .iter()
+        .map(|&i| {
+            eval_theorem(
+                dev,
+                i,
+                &hints,
+                &prompt_cfg,
+                &cell.search,
+                &mut model,
+                &prompt_cache,
+            )
+        })
+        .collect();
+    finish_cell(cell, outcomes)
 }
 
 #[cfg(test)]

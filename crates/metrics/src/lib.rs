@@ -4,6 +4,9 @@
 //!   proofs (Table 2's qualitative metric);
 //! * [`experiment`] — the per-(model, setting) experiment runner producing
 //!   per-theorem outcomes;
+//! * [`runner`] — the parallel, cache-aware engine the bench binaries use:
+//!   a work-stealing pool (bit-identical to the serial loop) plus a
+//!   content-hashed on-disk cell cache and `BENCH_eval.json` timing log;
 //! * [`coverage`] — proof coverage by human-proof-length bin (Figure 1)
 //!   and by category with expected-coverage correction (Table 1);
 //! * [`report`] — plain-text renderers for every table and figure, plus
@@ -14,5 +17,7 @@ pub mod coverage;
 pub mod experiment;
 pub mod levenshtein;
 pub mod report;
+pub mod runner;
 
 pub use experiment::{run_cell, CellConfig, CellResult, EvalScope, TheoremOutcome};
+pub use runner::{run_cell_jobs, Runner};

@@ -1,0 +1,343 @@
+//! The parallel, cache-aware evaluation engine.
+//!
+//! A cell's theorems are independent: the simulator's randomness is a pure
+//! hash of (model, theorem, query, candidate) and every worker holds its
+//! own [`SimulatedModel`] clone and an [`Arc`]-shared environment snapshot,
+//! so evaluating them on a work-stealing pool is *bit-identical* to the
+//! serial loop (enforced by `tests/runner_tests.rs`). On top of the pool
+//! sits a content-hashed on-disk cell cache: a completed [`CellResult`] is
+//! stored under `target/cells/<hash>.json`, keyed by every input that
+//! affects the outcomes (profile, setting, scope, search configuration,
+//! tuning, retrieval), so re-running a bench binary with an unchanged
+//! configuration loads instead of recomputing — and *changing* any knob
+//! changes the hash, which is the cache-invalidation story.
+//!
+//! Worker count: `--jobs N` on the command line beats a `JOBS=N`
+//! environment variable beats [`std::thread::available_parallelism`].
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use fscq_corpus::Corpus;
+use proof_oracle::prompt::PromptCache;
+use proof_oracle::split::hint_set;
+use serde::{Deserialize, Serialize};
+
+use crate::experiment::{eval_theorem, finish_cell, CellConfig, CellResult, TheoremOutcome};
+
+/// Bump when the cached [`CellResult`] layout or the evaluation semantics
+/// change; old cache files then simply stop matching.
+const CACHE_SCHEMA: u32 = 1;
+
+/// Where cell caches live by default.
+pub fn default_cache_dir() -> PathBuf {
+    PathBuf::from("target/cells")
+}
+
+/// Resolves the worker count: `--jobs N` (or `--jobs=N`), then `JOBS=N`,
+/// then the machine's available parallelism.
+pub fn resolve_jobs() -> usize {
+    if let Some(n) = jobs_arg(std::env::args().skip(1)) {
+        return n.max(1);
+    }
+    if let Ok(v) = std::env::var("JOBS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+fn jobs_arg(args: impl Iterator<Item = String>) -> Option<usize> {
+    let mut args = args.peekable();
+    while let Some(a) = args.next() {
+        if a == "--jobs" {
+            if let Some(v) = args.peek() {
+                if let Ok(n) = v.parse::<usize>() {
+                    return Some(n);
+                }
+            }
+        } else if let Some(v) = a.strip_prefix("--jobs=") {
+            if let Ok(n) = v.parse::<usize>() {
+                return Some(n);
+            }
+        }
+    }
+    None
+}
+
+/// The content hash a cell caches under: FNV-1a over a stable rendering of
+/// every outcome-affecting field, plus the schema version.
+pub fn cell_cache_key(cell: &CellConfig) -> String {
+    // `Debug` of the config is a stable function of its fields (floats
+    // render shortest-roundtrip), which is exactly the keying we want.
+    let repr = format!("v{CACHE_SCHEMA}:{cell:?}");
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in repr.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    format!("{h:016x}")
+}
+
+/// Evaluates the given theorem indices under `cell` on `jobs` workers and
+/// returns the outcomes in the order of `indices` (corpus order when the
+/// caller passes a sorted eval set). Bit-identical to a serial loop.
+pub fn run_indices_jobs(
+    corpus: &Corpus,
+    cell: &CellConfig,
+    indices: &[usize],
+    jobs: usize,
+) -> Vec<TheoremOutcome> {
+    let dev = &corpus.dev;
+    let hints = hint_set(dev);
+    let prompt_cfg = cell.prompt_config();
+    let prompt_cache = PromptCache::new();
+    if jobs <= 1 || indices.len() <= 1 {
+        let mut model = cell.model();
+        return indices
+            .iter()
+            .map(|&i| {
+                eval_theorem(
+                    dev,
+                    i,
+                    &hints,
+                    &prompt_cfg,
+                    &cell.search,
+                    &mut model,
+                    &prompt_cache,
+                )
+            })
+            .collect();
+    }
+    let next = AtomicUsize::new(0);
+    let workers = jobs.min(indices.len());
+    let parts: Vec<Vec<(usize, TheoremOutcome)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut model = cell.model();
+                    let mut out = Vec::new();
+                    loop {
+                        let k = next.fetch_add(1, Ordering::Relaxed);
+                        if k >= indices.len() {
+                            break;
+                        }
+                        out.push((
+                            k,
+                            eval_theorem(
+                                dev,
+                                indices[k],
+                                &hints,
+                                &prompt_cfg,
+                                &cell.search,
+                                &mut model,
+                                &prompt_cache,
+                            ),
+                        ));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("runner worker panicked"))
+            .collect()
+    });
+    let mut slots: Vec<Option<TheoremOutcome>> = indices.iter().map(|_| None).collect();
+    for part in parts {
+        for (k, o) in part {
+            slots[k] = Some(o);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|o| o.expect("every stolen index produced an outcome"))
+        .collect()
+}
+
+/// Runs one cell on `jobs` workers (no disk cache).
+pub fn run_cell_jobs(corpus: &Corpus, cell: &CellConfig, jobs: usize) -> CellResult {
+    let indices = cell.eval_indices(&corpus.dev);
+    let outcomes = run_indices_jobs(corpus, cell, &indices, jobs);
+    finish_cell(cell, outcomes)
+}
+
+/// Per-cell timing record, persisted to `BENCH_eval.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CellBench {
+    /// Cell display label.
+    pub label: String,
+    /// Number of theorems evaluated (or loaded).
+    pub theorems: usize,
+    /// Wall-clock milliseconds for this cell.
+    pub wall_ms: f64,
+    /// Theorems per second.
+    pub thm_per_sec: f64,
+    /// Worker count used.
+    pub jobs: usize,
+    /// True when the cell was served from the disk cache.
+    pub cache_hit: bool,
+}
+
+/// The `BENCH_eval.json` artifact.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchEval {
+    /// Worker count the runner resolved to.
+    pub jobs: usize,
+    /// Free-form context (host core count, caveats).
+    pub notes: String,
+    /// Per-cell records, in execution order.
+    pub cells: Vec<CellBench>,
+}
+
+/// The evaluation engine: a work-stealing pool plus the on-disk cell cache
+/// and a timing log. Every bench binary funnels its cells through one of
+/// these.
+pub struct Runner {
+    jobs: usize,
+    cache_dir: Option<PathBuf>,
+    bench: Mutex<Vec<CellBench>>,
+}
+
+impl Runner {
+    /// A runner with the environment-resolved worker count and the default
+    /// cache directory.
+    pub fn from_env() -> Runner {
+        Runner {
+            jobs: resolve_jobs(),
+            cache_dir: Some(default_cache_dir()),
+            bench: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Overrides the worker count.
+    pub fn with_jobs(mut self, jobs: usize) -> Runner {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Overrides the cache directory.
+    pub fn with_cache_dir(mut self, dir: impl Into<PathBuf>) -> Runner {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Disables the disk cache (always recompute).
+    pub fn without_cache(mut self) -> Runner {
+        self.cache_dir = None;
+        self
+    }
+
+    /// The resolved worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Runs (or loads) one cell: consult the content-hashed cache, else
+    /// evaluate on the pool and populate it. Records a timing entry either
+    /// way.
+    pub fn run_cell(&self, corpus: &Corpus, cell: &CellConfig) -> CellResult {
+        let start = Instant::now();
+        if let Some(path) = self.cache_path(cell) {
+            if let Some(hit) = load_cell(&path) {
+                self.record(cell.label(), hit.outcomes.len(), start, true);
+                return hit;
+            }
+        }
+        let result = run_cell_jobs(corpus, cell, self.jobs);
+        if let Some(path) = self.cache_path(cell) {
+            store_cell(&path, &result);
+        }
+        self.record(cell.label(), result.outcomes.len(), start, false);
+        result
+    }
+
+    fn cache_path(&self, cell: &CellConfig) -> Option<PathBuf> {
+        self.cache_dir
+            .as_ref()
+            .map(|d| d.join(format!("{}.json", cell_cache_key(cell))))
+    }
+
+    fn record(&self, label: String, theorems: usize, start: Instant, cache_hit: bool) {
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        self.bench.lock().unwrap().push(CellBench {
+            label,
+            theorems,
+            wall_ms,
+            thm_per_sec: if wall_ms > 0.0 {
+                theorems as f64 / (wall_ms / 1e3)
+            } else {
+                0.0
+            },
+            jobs: self.jobs,
+            cache_hit,
+        });
+    }
+
+    /// The timing records accumulated so far.
+    pub fn bench_records(&self) -> Vec<CellBench> {
+        self.bench.lock().unwrap().clone()
+    }
+
+    /// Writes the accumulated records as `BENCH_eval.json`-style JSON.
+    pub fn write_bench(&self, path: impl AsRef<Path>, notes: &str) -> std::io::Result<()> {
+        let eval = BenchEval {
+            jobs: self.jobs,
+            notes: notes.to_string(),
+            cells: self.bench_records(),
+        };
+        let text = serde_json::to_string_pretty(&eval)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        std::fs::write(path, text)
+    }
+}
+
+fn load_cell(path: &Path) -> Option<CellResult> {
+    let text = std::fs::read_to_string(path).ok()?;
+    serde_json::from_str(&text).ok()
+}
+
+fn store_cell(path: &Path, result: &CellResult) {
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    // Best-effort: a failed write only costs a recompute next run.
+    if let Ok(text) = serde_json::to_string_pretty(result) {
+        let _ = std::fs::write(path, text);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proof_oracle::profiles::ModelProfile;
+    use proof_oracle::prompt::PromptSetting;
+
+    #[test]
+    fn jobs_flag_parsing() {
+        let v = |xs: &[&str]| jobs_arg(xs.iter().map(|s| s.to_string()));
+        assert_eq!(v(&["--jobs", "4"]), Some(4));
+        assert_eq!(v(&["--fresh", "--jobs=2"]), Some(2));
+        assert_eq!(v(&["--jobs"]), None);
+        assert_eq!(v(&["--jobs", "xyz"]), None);
+        assert_eq!(v(&["--fresh"]), None);
+    }
+
+    #[test]
+    fn cache_key_separates_configurations() {
+        let base = CellConfig::standard(ModelProfile::gpt4o(), PromptSetting::Hints);
+        let mut other = base.clone();
+        other.search.query_limit += 1;
+        assert_ne!(cell_cache_key(&base), cell_cache_key(&other));
+        let mut tuned = base.clone();
+        tuned.tuning.noise_mult += 0.01;
+        assert_ne!(cell_cache_key(&base), cell_cache_key(&tuned));
+        assert_eq!(cell_cache_key(&base), cell_cache_key(&base.clone()));
+    }
+}

@@ -2,6 +2,7 @@
 //! predicates, lemmas and hint databases.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 use crate::error::KernelError;
 use crate::formula::Formula;
@@ -142,26 +143,34 @@ pub struct CtorInfo {
 }
 
 /// The global environment of a development.
+///
+/// Every collection is behind an `Arc`, so cloning an environment is a
+/// handful of reference-count bumps and snapshots share storage with the
+/// original (copy-on-write: mutating methods use [`Arc::make_mut`], which
+/// only copies a collection when some snapshot still aliases it). This is
+/// what makes per-theorem environment snapshots and per-worker environment
+/// hand-off in the parallel runner cheap. Readers are unaffected: all
+/// lookup methods auto-deref through the `Arc`s.
 #[derive(Debug, Clone, Default)]
 pub struct Env {
     /// Declared atomic sorts (`nat`, `bool`, opaque sorts).
-    pub sorts: BTreeSet<Ident>,
+    pub sorts: Arc<BTreeSet<Ident>>,
     /// Declared sort constructors with arities (`list/1`, `prod/2`).
-    pub sort_ctors: BTreeMap<Ident, usize>,
+    pub sort_ctors: Arc<BTreeMap<Ident, usize>>,
     /// Inductive datatypes by name.
-    pub inductives: BTreeMap<Ident, Inductive>,
+    pub inductives: Arc<BTreeMap<Ident, Inductive>>,
     /// Constructor name to inductive lookup.
-    pub ctors: BTreeMap<Ident, CtorInfo>,
+    pub ctors: Arc<BTreeMap<Ident, CtorInfo>>,
     /// Function definitions by name.
-    pub funcs: BTreeMap<Ident, FuncDef>,
+    pub funcs: Arc<BTreeMap<Ident, FuncDef>>,
     /// Predicate declarations by name.
-    pub preds: BTreeMap<Ident, PredDef>,
+    pub preds: Arc<BTreeMap<Ident, PredDef>>,
     /// Lemmas in declaration order.
-    pub lemmas: Vec<Lemma>,
+    pub lemmas: Arc<Vec<Lemma>>,
     /// Lemma name to index lookup.
-    pub lemma_index: BTreeMap<Ident, usize>,
+    pub lemma_index: Arc<BTreeMap<Ident, usize>>,
     /// Hint databases (`core` is used by `auto`/`eauto`).
-    pub hints: BTreeMap<String, Vec<Ident>>,
+    pub hints: Arc<BTreeMap<String, Vec<Ident>>>,
 }
 
 impl Env {
@@ -181,7 +190,12 @@ impl Env {
 
     /// Declares an opaque atomic sort.
     pub fn declare_sort(&mut self, name: impl Into<Ident>) {
-        self.sorts.insert(name.into());
+        Arc::make_mut(&mut self.sorts).insert(name.into());
+    }
+
+    /// Declares a sort constructor of the given arity (e.g. `list/1`).
+    pub fn declare_sort_ctor(&mut self, name: impl Into<Ident>, arity: usize) {
+        Arc::make_mut(&mut self.sort_ctors).insert(name.into(), arity);
     }
 
     /// Returns true if `name` is a declared atomic sort.
@@ -199,7 +213,7 @@ impl Env {
             if self.ctors.contains_key(&c.name) {
                 return Err(KernelError::Redeclared(c.name.clone()));
             }
-            self.ctors.insert(
+            Arc::make_mut(&mut self.ctors).insert(
                 c.name.clone(),
                 CtorInfo {
                     ind: ind.name.clone(),
@@ -208,11 +222,11 @@ impl Env {
             );
         }
         if ind.params.is_empty() {
-            self.sorts.insert(ind.name.clone());
+            Arc::make_mut(&mut self.sorts).insert(ind.name.clone());
         } else {
-            self.sort_ctors.insert(ind.name.clone(), ind.params.len());
+            Arc::make_mut(&mut self.sort_ctors).insert(ind.name.clone(), ind.params.len());
         }
-        self.inductives.insert(ind.name.clone(), ind);
+        Arc::make_mut(&mut self.inductives).insert(ind.name.clone(), ind);
         Ok(())
     }
 
@@ -221,7 +235,7 @@ impl Env {
         if self.funcs.contains_key(&f.name) || self.ctors.contains_key(&f.name) {
             return Err(KernelError::Redeclared(f.name.clone()));
         }
-        self.funcs.insert(f.name.clone(), f);
+        Arc::make_mut(&mut self.funcs).insert(f.name.clone(), f);
         Ok(())
     }
 
@@ -231,7 +245,7 @@ impl Env {
         if self.preds.contains_key(&name) {
             return Err(KernelError::Redeclared(name));
         }
-        self.preds.insert(name, p);
+        Arc::make_mut(&mut self.preds).insert(name, p);
         Ok(())
     }
 
@@ -241,8 +255,8 @@ impl Env {
         if self.lemma_index.contains_key(&name) {
             return Err(KernelError::Redeclared(name));
         }
-        self.lemma_index.insert(name.clone(), self.lemmas.len());
-        self.lemmas.push(Lemma { name, stmt });
+        Arc::make_mut(&mut self.lemma_index).insert(name.clone(), self.lemmas.len());
+        Arc::make_mut(&mut self.lemmas).push(Lemma { name, stmt });
         Ok(())
     }
 
@@ -254,7 +268,9 @@ impl Env {
     /// Adds a lemma (or inductive-predicate rule) name to a hint database.
     pub fn add_hint(&mut self, db: &str, name: impl Into<Ident>) {
         let name = name.into();
-        let v = self.hints.entry(db.to_string()).or_default();
+        let v = Arc::make_mut(&mut self.hints)
+            .entry(db.to_string())
+            .or_default();
         if !v.contains(&name) {
             v.push(name);
         }

@@ -7,7 +7,8 @@
 //! exceeds the model's context window, the portions closest to the goal
 //! are retained (the paper truncates the same way).
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::{Arc, Mutex};
 
 use minicoq_vernac::{Development, ItemKind, TheoremInfo};
 
@@ -81,19 +82,80 @@ pub struct PromptInfo {
     pub truncated: bool,
 }
 
+/// Memoizes rendered items and their token counts across the theorems of a
+/// cell. Rendering and tokenizing an item depends only on the item itself
+/// and on whether its proof is included, so one cache entry per
+/// `(file, item index, with_proof)` serves every theorem that sees the
+/// item — which in a full-corpus cell is nearly all of them. The cache is
+/// internally synchronized so parallel runner workers can share one.
+#[derive(Debug, Default)]
+pub struct PromptCache {
+    rendered: Mutex<HashMap<RenderKey, Rendered>>,
+}
+
+/// `(file, item index, with_proof)`.
+type RenderKey = (String, usize, bool);
+/// Shared `(text, token count)` of one rendered item.
+type Rendered = Arc<(String, usize)>;
+
+impl PromptCache {
+    /// An empty cache.
+    pub fn new() -> PromptCache {
+        PromptCache::default()
+    }
+
+    /// Rendered text and token count of `item`, computed at most once.
+    fn rendered(
+        &self,
+        file: &str,
+        index: usize,
+        with_proof: bool,
+        item: &minicoq_vernac::Item,
+    ) -> Arc<(String, usize)> {
+        let key = (file.to_string(), index, with_proof);
+        if let Some(hit) = self.rendered.lock().unwrap().get(&key) {
+            return Arc::clone(hit);
+        }
+        // Render outside the lock: misses are the expensive path and two
+        // workers racing on the same item produce identical values.
+        let text = item.render(with_proof);
+        let tokens = count_tokens(&text);
+        let entry = Arc::new((text, tokens));
+        self.rendered
+            .lock()
+            .unwrap()
+            .entry(key)
+            .or_insert_with(|| Arc::clone(&entry));
+        entry
+    }
+}
+
 struct Segment {
-    text: String,
-    tokens: usize,
+    rendered: Arc<(String, usize)>,
     lemma: Option<String>,
     hint: Option<(String, String)>,
 }
 
-/// Builds the prompt for a theorem.
+/// Builds the prompt for a theorem (uncached convenience wrapper around
+/// [`build_prompt_cached`]).
 pub fn build_prompt(
     dev: &Development,
     thm: &TheoremInfo,
     hint_set: &BTreeSet<String>,
     cfg: &PromptConfig,
+) -> PromptInfo {
+    build_prompt_cached(dev, thm, hint_set, cfg, &PromptCache::new())
+}
+
+/// Builds the prompt for a theorem, memoizing per-item rendering and token
+/// counts in `cache`. Callers evaluating many theorems under one setting
+/// (the experiment runner) share a cache across the whole cell.
+pub fn build_prompt_cached(
+    dev: &Development,
+    thm: &TheoremInfo,
+    hint_set: &BTreeSet<String>,
+    cfg: &PromptConfig,
+    cache: &PromptCache,
 ) -> PromptInfo {
     let deps: Option<BTreeSet<String>> = if cfg.minimal {
         Some(proof_dependencies(dev, thm))
@@ -103,44 +165,43 @@ pub fn build_prompt(
     };
 
     let mut segments: Vec<Segment> = Vec::new();
-    let push_item = |item: &minicoq_vernac::Item, segments: &mut Vec<Segment>| {
-        if let Some(deps) = &deps {
-            // Minimal prompts keep only the proof's dependencies (and all
-            // non-lemma declarations, which define the vocabulary).
-            if item.kind == ItemKind::Lemma && !deps.contains(&item.name) {
-                return;
+    let push_item =
+        |file: &str, index: usize, item: &minicoq_vernac::Item, segments: &mut Vec<Segment>| {
+            if let Some(deps) = &deps {
+                // Minimal prompts keep only the proof's dependencies (and all
+                // non-lemma declarations, which define the vocabulary).
+                if item.kind == ItemKind::Lemma && !deps.contains(&item.name) {
+                    return;
+                }
             }
-        }
-        let with_proof = cfg.setting == PromptSetting::Hints
-            && item.kind == ItemKind::Lemma
-            && hint_set.contains(&item.name);
-        let text = item.render(with_proof);
-        let tokens = count_tokens(&text);
-        let lemma = (item.kind == ItemKind::Lemma).then(|| item.name.clone());
-        let hint =
-            (with_proof).then(|| (item.name.clone(), item.proof.clone().unwrap_or_default()));
-        segments.push(Segment {
-            text,
-            tokens,
-            lemma,
-            hint,
-        });
-    };
+            let with_proof = cfg.setting == PromptSetting::Hints
+                && item.kind == ItemKind::Lemma
+                && hint_set.contains(&item.name);
+            let rendered = cache.rendered(file, index, with_proof, item);
+            let lemma = (item.kind == ItemKind::Lemma).then(|| item.name.clone());
+            let hint =
+                (with_proof).then(|| (item.name.clone(), item.proof.clone().unwrap_or_default()));
+            segments.push(Segment {
+                rendered,
+                lemma,
+                hint,
+            });
+        };
 
     for file in dev.import_closure(&thm.file) {
-        for item in &file.items {
+        for (index, item) in file.items.iter().enumerate() {
             if item.kind == ItemKind::Import {
                 continue;
             }
-            push_item(item, &mut segments);
+            push_item(&file.name, index, item, &mut segments);
         }
     }
     if let Some(file) = dev.file(&thm.file) {
-        for item in file.items.iter().take(thm.item_index) {
+        for (index, item) in file.items.iter().take(thm.item_index).enumerate() {
             if item.kind == ItemKind::Import {
                 continue;
             }
-            push_item(item, &mut segments);
+            push_item(&file.name, index, item, &mut segments);
         }
     }
 
@@ -159,10 +220,10 @@ pub fn build_prompt(
         let mut used = 0usize;
         let mut keep_from = segments.len();
         for (i, seg) in segments.iter().enumerate().rev() {
-            if used + seg.tokens > budget {
+            if used + seg.rendered.1 > budget {
                 break;
             }
-            used += seg.tokens;
+            used += seg.rendered.1;
             keep_from = i;
         }
         start = keep_from;
@@ -173,7 +234,7 @@ pub fn build_prompt(
     let mut visible_lemmas = Vec::new();
     let mut hint_scripts = Vec::new();
     for seg in &segments[start..] {
-        text.push_str(&seg.text);
+        text.push_str(&seg.rendered.0);
         text.push_str("\n\n");
         if let Some(l) = &seg.lemma {
             visible_lemmas.push(l.clone());
@@ -268,6 +329,33 @@ mod tests {
         assert!(cut.visible_lemmas.len() < full.visible_lemmas.len());
         assert_eq!(full.visible_lemmas.last(), cut.visible_lemmas.last());
         assert!(cut.text.contains("Prove the following theorem"));
+    }
+
+    #[test]
+    fn shared_cache_changes_nothing() {
+        // A cache shared across theorems and settings must be invisible:
+        // identical text, tokens, lemma lists, hints, truncation.
+        let dev = fscq_corpus::load_corpus(false).unwrap();
+        let hints = hint_set(&dev);
+        let cache = PromptCache::new();
+        let mut windowed = PromptConfig::hints();
+        windowed.window = Some(4_000);
+        for name in ["incl_tl_inv", "NoDup_app_l", "tnd_update"] {
+            let thm = dev.theorem(name).unwrap();
+            for cfg in [
+                PromptConfig::vanilla(),
+                PromptConfig::hints(),
+                windowed.clone(),
+            ] {
+                let cold = build_prompt(&dev, thm, &hints, &cfg);
+                let warm = build_prompt_cached(&dev, thm, &hints, &cfg, &cache);
+                assert_eq!(cold.text, warm.text, "{name}");
+                assert_eq!(cold.tokens, warm.tokens);
+                assert_eq!(cold.visible_lemmas, warm.visible_lemmas);
+                assert_eq!(cold.hint_scripts, warm.hint_scripts);
+                assert_eq!(cold.truncated, warm.truncated);
+            }
+        }
     }
 
     #[test]

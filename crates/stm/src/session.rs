@@ -1,6 +1,7 @@
 //! Proof sessions: the state-transition machine proper.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use minicoq::env::Env;
 use minicoq::error::TacticError;
@@ -88,7 +89,7 @@ struct StateEntry {
 /// the initial goal.
 #[derive(Debug, Clone)]
 pub struct ProofSession {
-    env: Env,
+    env: Arc<Env>,
     config: SessionConfig,
     entries: Vec<StateEntry>,
     hashes: HashMap<u64, StateId>,
@@ -96,8 +97,11 @@ pub struct ProofSession {
 }
 
 impl ProofSession {
-    /// Opens a session on `stmt`; the root state has id 0.
-    pub fn new(env: Env, stmt: Formula, config: SessionConfig) -> ProofSession {
+    /// Opens a session on `stmt`; the root state has id 0. The environment
+    /// is shared, not copied — many sessions (e.g. parallel search workers)
+    /// can hold the same snapshot.
+    pub fn new(env: impl Into<Arc<Env>>, stmt: Formula, config: SessionConfig) -> ProofSession {
+        let env = env.into();
         let root = ProofState::new(stmt);
         let mut hashes = HashMap::new();
         hashes.insert(state_hash(&root), StateId(0));

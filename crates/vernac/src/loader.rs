@@ -1,6 +1,7 @@
 //! Loading a development: import resolution, elaboration, proof replay.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use minicoq::env::Env;
 use minicoq::formula::Formula;
@@ -54,16 +55,19 @@ pub struct Development {
     /// The final environment with every declaration and lemma.
     pub env: Env,
     /// Environment snapshots taken *before* each theorem, indexed by
-    /// `TheoremInfo::global_index`.
-    envs: Vec<Env>,
+    /// `TheoremInfo::global_index`. Arc-shared so sessions and parallel
+    /// workers can hold a snapshot without deep-copying it.
+    envs: Vec<Arc<Env>>,
     /// All theorems in load order.
     pub theorems: Vec<TheoremInfo>,
 }
 
 impl Development {
     /// The environment visible to a prover attempting this theorem: every
-    /// earlier declaration, but not the theorem itself or later ones.
-    pub fn env_before(&self, thm: &TheoremInfo) -> &Env {
+    /// earlier declaration, but not the theorem itself or later ones. The
+    /// `Arc` lets callers share the snapshot (e.g. with a `ProofSession`)
+    /// without cloning the environment's contents.
+    pub fn env_before(&self, thm: &TheoremInfo) -> &Arc<Env> {
         &self.envs[thm.global_index]
     }
 
@@ -199,7 +203,7 @@ impl Loader {
         let files: Vec<LoadedFile> = order.into_iter().map(|i| files[i].clone()).collect();
 
         let mut env = Env::with_prelude();
-        let mut envs: Vec<Env> = Vec::new();
+        let mut envs: Vec<Arc<Env>> = Vec::new();
         let mut theorems: Vec<TheoremInfo> = Vec::new();
         for file in &files {
             for (item_index, item) in file.items.iter().enumerate() {
@@ -217,7 +221,10 @@ impl Loader {
                             message: e,
                         })?;
                     }
-                    envs.push(env.clone());
+                    // Cheap: Env's collections are Arc-shared, so this
+                    // snapshot aliases the current storage until the next
+                    // mutation copies-on-write.
+                    envs.push(Arc::new(env.clone()));
                     theorems.push(TheoremInfo {
                         name: name.clone(),
                         file: file.name.clone(),

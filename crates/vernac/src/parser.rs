@@ -355,7 +355,7 @@ fn parse_datatypes(
         if r.params.is_empty() {
             tmp.declare_sort(r.name.clone());
         } else {
-            tmp.sort_ctors.insert(r.name.clone(), r.params.len());
+            tmp.declare_sort_ctor(r.name.clone(), r.params.len());
         }
     }
     let el = Elaborator::new(&tmp);

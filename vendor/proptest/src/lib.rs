@@ -1,0 +1,86 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the slice of proptest this workspace's property tests use:
+//! the [`strategy::Strategy`] trait with `prop_map`/`prop_recursive`/
+//! `boxed`, regex-pattern string strategies, integer ranges, tuples,
+//! `collection::vec`, `bool::ANY`, and the `proptest!`/`prop_oneof!`/
+//! `prop_assert!` macros.
+//!
+//! Unlike real proptest there is no shrinking and no persisted failure
+//! seeds: each test derives a fixed RNG seed from its own name, so runs
+//! are fully deterministic and failures reproduce by just re-running the
+//! test. That trades minimized counterexamples for zero dependencies,
+//! which is the right trade in this registry-less build environment.
+
+pub mod bool;
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Namespace mirror of real proptest's `prop::` re-exports.
+pub mod prop {
+    pub use crate::bool;
+    pub use crate::collection;
+}
+
+/// Defines property tests: each `fn` runs its body `cases` times with
+/// freshly generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    (@cfg ($cfg:expr) $($(#[$attr:meta])* fn $name:ident(
+        $($arg:ident in $strat:expr),* $(,)?
+    ) $body:block)*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::from_name(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for _case in 0..config.cases {
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                    )*
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @cfg ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+/// Chooses uniformly among the listed strategies (all arms are boxed to a
+/// common value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Asserts a property inside `proptest!` (plain `assert!` here — no
+/// shrinking machinery to feed).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside `proptest!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}

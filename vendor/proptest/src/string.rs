@@ -1,0 +1,293 @@
+//! String strategies from regex-like patterns.
+//!
+//! A `&'static str` is itself a strategy: the pattern is parsed into a
+//! tiny regex AST (literals, classes, `.`, `\PC`, alternation groups,
+//! `{m}`/`{m,n}`/`*`/`+`/`?` quantifiers) and sampled. This covers every
+//! pattern the workspace's tests use; unsupported syntax panics with the
+//! offending pattern so gaps surface immediately.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let ast = parse_alternatives(&mut Chars::new(self), false);
+        let mut out = String::new();
+        gen_alternatives(&ast, rng, &mut out);
+        out
+    }
+}
+
+struct Chars {
+    chars: Vec<char>,
+    pos: usize,
+    pattern: &'static str,
+}
+
+impl Chars {
+    fn new(pattern: &'static str) -> Chars {
+        Chars {
+            chars: pattern.chars().collect(),
+            pos: 0,
+            pattern,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn fail(&self, what: &str) -> ! {
+        panic!(
+            "proptest stub: {what} at position {} in pattern {:?}",
+            self.pos, self.pattern
+        );
+    }
+}
+
+enum Node {
+    Lit(char),
+    Class(Vec<(char, char)>),
+    /// `.` — any printable ASCII character.
+    Dot,
+    /// `\PC` — any non-control character.
+    Printable,
+    Alt(Vec<Vec<(Node, Quant)>>),
+}
+
+struct Quant {
+    min: usize,
+    max: usize,
+}
+
+fn parse_alternatives(input: &mut Chars, in_group: bool) -> Vec<Vec<(Node, Quant)>> {
+    let mut alternatives = Vec::new();
+    let mut seq: Vec<(Node, Quant)> = Vec::new();
+    loop {
+        match input.peek() {
+            None => {
+                if in_group {
+                    input.fail("unclosed group");
+                }
+                break;
+            }
+            Some(')') if in_group => {
+                input.next();
+                break;
+            }
+            Some('|') => {
+                input.next();
+                alternatives.push(std::mem::take(&mut seq));
+                continue;
+            }
+            Some(_) => {}
+        }
+        let node = match input.next().unwrap() {
+            '(' => Node::Alt(parse_alternatives(input, true)),
+            '[' => Node::Class(parse_class(input)),
+            '.' => Node::Dot,
+            '\\' => match input.next() {
+                Some('P') => match input.next() {
+                    Some('C') => Node::Printable,
+                    _ => input.fail("only \\PC is supported"),
+                },
+                Some('t') => Node::Lit('\t'),
+                Some('n') => Node::Lit('\n'),
+                Some(c) => Node::Lit(c),
+                None => input.fail("dangling backslash"),
+            },
+            c => Node::Lit(c),
+        };
+        let quant = parse_quantifier(input);
+        seq.push((node, quant));
+    }
+    alternatives.push(seq);
+    alternatives
+}
+
+fn parse_quantifier(input: &mut Chars) -> Quant {
+    match input.peek() {
+        Some('{') => {
+            input.next();
+            let min = parse_usize(input);
+            let max = match input.next() {
+                Some('}') => min,
+                Some(',') => {
+                    let max = parse_usize(input);
+                    if input.next() != Some('}') {
+                        input.fail("expected `}` after {m,n}");
+                    }
+                    max
+                }
+                _ => input.fail("bad quantifier"),
+            };
+            Quant { min, max }
+        }
+        // Unbounded repetitions are capped at 8 — plenty for fuzz text.
+        Some('*') => {
+            input.next();
+            Quant { min: 0, max: 8 }
+        }
+        Some('+') => {
+            input.next();
+            Quant { min: 1, max: 8 }
+        }
+        Some('?') => {
+            input.next();
+            Quant { min: 0, max: 1 }
+        }
+        _ => Quant { min: 1, max: 1 },
+    }
+}
+
+fn parse_usize(input: &mut Chars) -> usize {
+    let mut n: usize = 0;
+    let mut any = false;
+    while let Some(c) = input.peek() {
+        if let Some(d) = c.to_digit(10) {
+            input.next();
+            n = n * 10 + d as usize;
+            any = true;
+        } else {
+            break;
+        }
+    }
+    if !any {
+        input.fail("expected a number");
+    }
+    n
+}
+
+fn parse_class(input: &mut Chars) -> Vec<(char, char)> {
+    let mut ranges = Vec::new();
+    loop {
+        let c = match input.next() {
+            Some(']') => return ranges,
+            Some('\\') => match input.next() {
+                Some('t') => '\t',
+                Some('n') => '\n',
+                Some(c) => c,
+                None => input.fail("dangling backslash in class"),
+            },
+            Some(c) => c,
+            None => input.fail("unclosed character class"),
+        };
+        // A `-` between two characters forms a range; elsewhere a literal.
+        if input.peek() == Some('-') && input.chars.get(input.pos + 1) != Some(&']') {
+            input.next();
+            let hi = match input.next() {
+                Some('\\') => input.next().unwrap_or_else(|| input.fail("bad range")),
+                Some(h) => h,
+                None => input.fail("unclosed range"),
+            };
+            if hi < c {
+                input.fail("inverted class range");
+            }
+            ranges.push((c, hi));
+        } else {
+            ranges.push((c, c));
+        }
+    }
+}
+
+fn gen_alternatives(alts: &[Vec<(Node, Quant)>], rng: &mut TestRng, out: &mut String) {
+    let pick = rng.below(alts.len() as u64) as usize;
+    for (node, quant) in &alts[pick] {
+        let reps = rng.length(quant.min, quant.max);
+        for _ in 0..reps {
+            gen_node(node, rng, out);
+        }
+    }
+}
+
+fn gen_node(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Lit(c) => out.push(*c),
+        Node::Class(ranges) => {
+            let total: u64 = ranges
+                .iter()
+                .map(|(lo, hi)| (*hi as u64) - (*lo as u64) + 1)
+                .sum();
+            let mut idx = rng.below(total);
+            for (lo, hi) in ranges {
+                let size = (*hi as u64) - (*lo as u64) + 1;
+                if idx < size {
+                    out.push(char::from_u32(*lo as u32 + idx as u32).unwrap_or(*lo));
+                    return;
+                }
+                idx -= size;
+            }
+        }
+        Node::Dot => {
+            // Printable ASCII (space through tilde).
+            out.push(char::from_u32(0x20 + rng.below(95) as u32).unwrap());
+        }
+        Node::Printable => {
+            // Mostly printable ASCII with an occasional non-ASCII
+            // character, so totality tests see multi-byte input too.
+            const EXTRAS: [char; 6] = ['é', 'λ', 'ß', '→', '∀', '🦀'];
+            if rng.below(20) == 0 {
+                out.push(EXTRAS[rng.below(EXTRAS.len() as u64) as usize]);
+            } else {
+                out.push(char::from_u32(0x20 + rng.below(95) as u32).unwrap());
+            }
+        }
+        Node::Alt(alts) => gen_alternatives(alts, rng, out),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(pattern: &'static str) -> Vec<String> {
+        let mut rng = TestRng::from_name(pattern);
+        (0..64).map(|_| pattern.generate(&mut rng)).collect()
+    }
+
+    #[test]
+    fn classes_and_quantifiers() {
+        for s in sample("[a-z][a-z0-9_]{0,8}") {
+            assert!(!s.is_empty() && s.len() <= 9);
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn alternation_groups() {
+        for s in sample("(apply|rewrite|destruct|exact) [A-Za-z_]{1,12}") {
+            let (head, tail) = s.split_once(' ').unwrap();
+            assert!(["apply", "rewrite", "destruct", "exact"].contains(&head));
+            assert!((1..=12).contains(&tail.len()));
+        }
+    }
+
+    #[test]
+    fn escaped_class_members() {
+        for s in sample("[a-z\\.;() ]{0,48}") {
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || ".;() ".contains(c)));
+        }
+    }
+
+    #[test]
+    fn printable_never_emits_controls() {
+        for s in sample("\\PC{0,40}") {
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+    }
+}

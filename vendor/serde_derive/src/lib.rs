@@ -1,0 +1,352 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Supports non-generic structs with named fields and enums whose variants
+//! are unit, named-field, or single/multi-element tuple variants — the
+//! shapes this workspace actually derives. Enums use real serde's default
+//! externally-tagged representation so the JSON output looks familiar:
+//! unit variants serialize as `"Variant"`, data-carrying variants as
+//! `{"Variant": ...}`.
+//!
+//! Written against `proc_macro` directly because `syn`/`quote` are not
+//! available in this offline environment.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A parsed `struct` or `enum` shape.
+enum Input {
+    Struct {
+        name: String,
+        fields: Vec<String>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    /// `None` for unit variants, `Some(named fields)` for brace variants,
+    /// `Some(x0..xN)` synthesized names for tuple variants.
+    fields: Option<(bool, Vec<String>)>, // (named, field names)
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut toks = input.into_iter().peekable();
+    // Skip outer attributes and visibility.
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                toks.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                toks.next();
+                // `pub(crate)` and friends carry a parenthesized group.
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        toks.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match toks.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive: expected struct/enum, got {other:?}"),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive: expected type name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = toks.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive: generic types are not supported by the offline stub");
+        }
+    }
+    let body = loop {
+        match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(_) => continue, // e.g. `where` clauses never appear here
+            None => panic!("serde_derive: missing body for {name}"),
+        }
+    };
+    match kind.as_str() {
+        "struct" => Input::Struct {
+            name,
+            fields: parse_named_fields(body.stream()),
+        },
+        "enum" => Input::Enum {
+            name,
+            variants: parse_variants(body.stream()),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}`"),
+    }
+}
+
+/// Parses `name: Type, ...` from a brace group, skipping attributes,
+/// visibility and the type tokens (commas inside `<...>` are not
+/// separators).
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        loop {
+            match toks.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                    toks.next();
+                }
+                Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                    toks.next();
+                    if let Some(TokenTree::Group(g)) = toks.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            toks.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(TokenTree::Ident(field)) = toks.next() else {
+            break;
+        };
+        fields.push(field.to_string());
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field, got {other:?}"),
+        }
+        // Consume the type up to a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        loop {
+            match toks.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => break,
+                Some(_) => continue,
+                None => break,
+            }
+        }
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    loop {
+        while let Some(TokenTree::Punct(p)) = toks.peek() {
+            if p.as_char() == '#' {
+                toks.next();
+                toks.next();
+            } else {
+                break;
+            }
+        }
+        let Some(TokenTree::Ident(vname)) = toks.next() else {
+            break;
+        };
+        let fields = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let named = parse_named_fields(g.stream());
+                toks.next();
+                Some((true, named))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                // Count tuple elements by commas at angle depth 0.
+                let mut depth = 0i32;
+                let mut count = 0usize;
+                let mut any = false;
+                for t in g.stream() {
+                    any = true;
+                    match t {
+                        TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => count += 1,
+                        _ => {}
+                    }
+                }
+                let n = if any { count + 1 } else { 0 };
+                toks.next();
+                Some((false, (0..n).map(|i| format!("x{i}")).collect()))
+            }
+            _ => None,
+        };
+        variants.push(Variant {
+            name: vname.to_string(),
+            fields,
+        });
+        // Skip to the comma separating variants (past discriminants).
+        loop {
+            match toks.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => break,
+                Some(_) => continue,
+                None => break,
+            }
+        }
+    }
+    variants
+}
+
+/// Derives `serde::Serialize` (the offline stand-in's `to_value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let out = match parse_input(input) {
+        Input::Struct { name, fields } => {
+            let mut pushes = String::new();
+            for f in &fields {
+                pushes.push_str(&format!(
+                    "(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),"
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(vec![{pushes}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in &variants {
+                let vn = &v.name;
+                match &v.fields {
+                    None => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),"
+                    )),
+                    Some((true, fields)) => {
+                        let binds = fields.join(", ");
+                        let mut pushes = String::new();
+                        for f in fields {
+                            pushes.push_str(&format!(
+                                "(\"{f}\".to_string(), ::serde::Serialize::to_value({f})),"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(vec![\
+                                 (\"{vn}\".to_string(), ::serde::Value::Object(vec![{pushes}]))]),"
+                        ));
+                    }
+                    Some((false, fields)) if fields.len() == 1 => arms.push_str(&format!(
+                        "{name}::{vn}(x0) => ::serde::Value::Object(vec![\
+                             (\"{vn}\".to_string(), ::serde::Serialize::to_value(x0))]),"
+                    )),
+                    Some((false, fields)) => {
+                        let binds = fields.join(", ");
+                        let mut elems = String::new();
+                        for f in fields {
+                            elems.push_str(&format!("::serde::Serialize::to_value({f}),"));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => ::serde::Value::Object(vec![\
+                                 (\"{vn}\".to_string(), ::serde::Value::Array(vec![{elems}]))]),"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse().expect("serde_derive: generated code parses")
+}
+
+/// Derives `serde::Deserialize` (the offline stand-in's `deserialize`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let out = match parse_input(input) {
+        Input::Struct { name, fields } => {
+            let mut inits = String::new();
+            for f in &fields {
+                inits.push_str(&format!("{f}: ::serde::de_field(v, \"{f}\")?,"));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         if v.as_object().is_none() {{\n\
+                             return Err(::serde::Error::custom(format!(\n\
+                                 \"expected object for {name}, got {{v:?}}\")));\n\
+                         }}\n\
+                         Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in &variants {
+                let vn = &v.name;
+                match &v.fields {
+                    None => {
+                        unit_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),"));
+                        tagged_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),"));
+                    }
+                    Some((true, fields)) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            inits.push_str(&format!("{f}: ::serde::de_field(inner, \"{f}\")?,"));
+                        }
+                        tagged_arms
+                            .push_str(&format!("\"{vn}\" => Ok({name}::{vn} {{ {inits} }}),"));
+                    }
+                    Some((false, fields)) if fields.len() == 1 => tagged_arms.push_str(&format!(
+                        "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::deserialize(inner)?)),"
+                    )),
+                    Some((false, fields)) => {
+                        let n = fields.len();
+                        let mut elems = String::new();
+                        for i in 0..n {
+                            elems.push_str(&format!(
+                                "::serde::Deserialize::deserialize(&arr[{i}])?,"
+                            ));
+                        }
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                                 let arr = inner.as_array().ok_or_else(|| \
+                                     ::serde::Error::custom(\"expected array\"))?;\n\
+                                 if arr.len() != {n} {{\n\
+                                     return Err(::serde::Error::custom(\"wrong tuple arity\"));\n\
+                                 }}\n\
+                                 Ok({name}::{vn}({elems}))\n\
+                             }},"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 other => Err(::serde::Error::custom(format!(\n\
+                                     \"unknown {name} variant {{other}}\"))),\n\
+                             }},\n\
+                             ::serde::Value::Object(o) if o.len() == 1 => {{\n\
+                                 let (tag, inner) = &o[0];\n\
+                                 let _ = inner;\n\
+                                 match tag.as_str() {{\n\
+                                     {tagged_arms}\n\
+                                     other => Err(::serde::Error::custom(format!(\n\
+                                         \"unknown {name} variant {{other}}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             other => Err(::serde::Error::custom(format!(\n\
+                                 \"cannot deserialize {name} from {{other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse().expect("serde_derive: generated code parses")
+}
