@@ -1,0 +1,101 @@
+//! Pre-flight filter A/B: the full-corpus evaluation with the static
+//! analyzer on vs off.
+//!
+//! The analyzer's contract is "cheaper, never different": with the filter
+//! on, statically doomed proposals skip STM execution entirely, but the
+//! search must visit the same states and find byte-identical proofs. This
+//! binary runs the same cell both ways, *verifies* that invariant over the
+//! whole corpus (exiting non-zero on any divergence), prints the
+//! per-reason pruning table, and records both cells plus the wall-time
+//! delta in `BENCH_eval.json`.
+
+use std::process::ExitCode;
+
+use fscq_corpus::Corpus;
+use llm_fscq_bench::{fresh_flag, runner, BENCH_EVAL_PATH};
+use proof_metrics::report::render_preflight;
+use proof_metrics::{CellConfig, EvalScope};
+use proof_oracle::profiles::ModelProfile;
+use proof_oracle::prompt::PromptSetting;
+
+fn main() -> ExitCode {
+    let corpus = Corpus::load();
+    let runner = runner(fresh_flag());
+
+    let mut on = CellConfig::standard(ModelProfile::gpt4o(), PromptSetting::Hints);
+    on.scope = EvalScope::Full;
+    on.search.preflight = true;
+    let mut off = on.clone();
+    off.search.preflight = false;
+
+    eprintln!(
+        "running cell: {} [preflight on] ({} jobs)",
+        on.label(),
+        runner.jobs()
+    );
+    let r_on = runner.run_cell(&corpus, &on);
+    eprintln!("running cell: {} [preflight off]", off.label());
+    let r_off = runner.run_cell(&corpus, &off);
+
+    // The no-false-positive invariant, checked end-to-end: same theorems,
+    // same outcomes, same proof scripts, same query counts.
+    let mut divergences = 0usize;
+    for (a, b) in r_on.outcomes.iter().zip(&r_off.outcomes) {
+        if (a.name.as_str(), &a.outcome, &a.script, a.queries)
+            != (b.name.as_str(), &b.outcome, &b.script, b.queries)
+        {
+            eprintln!(
+                "DIVERGENCE at {}: on=({}, {:?}) off=({}, {:?})",
+                a.name, a.outcome, a.script, b.outcome, b.script
+            );
+            divergences += 1;
+        }
+    }
+
+    let pruned: u64 = r_on.outcomes.iter().map(|o| u64::from(o.pruned)).sum();
+    let queries: u64 = r_on.outcomes.iter().map(|o| u64::from(o.queries)).sum();
+    println!("{}", render_preflight(&[&r_on]));
+
+    let records = runner.bench_records();
+    let (ms_on, ms_off) = (records[0].wall_ms, records[1].wall_ms);
+    let delta = 100.0 * (ms_off - ms_on) / ms_off.max(1e-9);
+    println!(
+        "outcomes : {} theorems, proved {:.1}% (both runs identical: {})",
+        r_on.outcomes.len(),
+        r_on.proved_rate() * 100.0,
+        divergences == 0
+    );
+    println!("pruning  : {pruned} proposals statically rejected across {queries} model queries");
+    println!(
+        "wall time: on {ms_on:.0} ms vs off {ms_off:.0} ms ({delta:+.1}% saved by the filter)"
+    );
+
+    let mut reasons: std::collections::BTreeMap<String, u64> = Default::default();
+    for o in &r_on.outcomes {
+        for (code, n) in &o.pruned_reasons {
+            *reasons.entry(code.clone()).or_insert(0) += u64::from(*n);
+        }
+    }
+    let reason_list: Vec<String> = reasons.iter().map(|(c, n)| format!("{c} x{n}")).collect();
+    let notes = format!(
+        "preflight A/B ({}, full scope): cells[0]=filter on, cells[1]=filter off; \
+         identical_outcomes={}; pruned {pruned} proposals across {queries} queries ({}); \
+         wall-time delta {delta:+.1}%",
+        on.label(),
+        divergences == 0,
+        reason_list.join(", "),
+    );
+    let _ = runner.write_bench(BENCH_EVAL_PATH, &notes);
+
+    if divergences > 0 {
+        eprintln!("preflight: {divergences} diverging theorem(s) — the filter is NOT neutral");
+        return ExitCode::FAILURE;
+    }
+    if pruned == 0 {
+        eprintln!(
+            "preflight: filter pruned nothing — expected a nonzero statically-rejected fraction"
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

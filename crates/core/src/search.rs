@@ -1,7 +1,7 @@
 //! The best-first tactic tree search.
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 use std::sync::Arc;
 
 use minicoq::env::Env;
@@ -37,6 +37,11 @@ pub struct SearchConfig {
     pub dedupe_states: bool,
     /// Which frontier discipline to use.
     pub strategy: Strategy,
+    /// Statically reject guaranteed-to-fail proposals before executing
+    /// them (`minicoq::analysis` pre-flight). Sound — search output is
+    /// identical with the filter on or off, only cheaper — so it defaults
+    /// to on; `--no-preflight` turns it off for A/B runs.
+    pub preflight: bool,
 }
 
 impl Default for SearchConfig {
@@ -47,6 +52,7 @@ impl Default for SearchConfig {
             tactic_fuel: minicoq::fuel::DEFAULT_TACTIC_FUEL,
             dedupe_states: true,
             strategy: Strategy::BestFirst,
+            preflight: true,
         }
     }
 }
@@ -78,6 +84,12 @@ pub struct SearchStats {
     pub duplicates: u32,
     /// Proposals exceeding the tactic budget.
     pub timeouts: u32,
+    /// Proposals pruned by the static pre-flight analyzer (a subset of
+    /// what `rejected` would otherwise count), never executed.
+    pub preflight_pruned: u32,
+    /// Pre-flight prunes per reason code (keys are
+    /// [`minicoq::analysis::ReasonCode::code`] strings).
+    pub preflight_reasons: BTreeMap<String, u32>,
     /// Total kernel fuel consumed.
     pub fuel_spent: u64,
     /// Live states in the final tree.
@@ -237,6 +249,7 @@ pub fn search(
         SessionConfig {
             tactic_fuel: cfg.tactic_fuel,
             dedupe_states: cfg.dedupe_states,
+            preflight: cfg.preflight,
         },
     );
     let mut stats = SearchStats::default();
@@ -295,6 +308,13 @@ pub fn search(
                 }
                 Err(AddError::DuplicateState(_)) => stats.duplicates += 1,
                 Err(AddError::Timeout) => stats.timeouts += 1,
+                Err(AddError::Preflight(r)) => {
+                    stats.preflight_pruned += 1;
+                    *stats
+                        .preflight_reasons
+                        .entry(r.code.code().to_string())
+                        .or_insert(0) += 1;
+                }
                 Err(_) => stats.rejected += 1,
             }
         }
@@ -452,6 +472,53 @@ mod tests {
             }
         }
         assert!(proved >= 3, "only {proved}/6 easy theorems proved");
+    }
+
+    #[test]
+    fn preflight_filter_never_changes_the_result() {
+        // The pre-flight analyzer may only prune proposals that the
+        // evaluator would reject anyway, so the search must take the exact
+        // same path with the filter on and off — same outcome, same
+        // script, same query count — while the taxonomy shifts counts from
+        // rejected/timeouts into preflight_pruned.
+        let mut total_pruned = 0;
+        for (name, profile) in [
+            ("add_0_l", ModelProfile::gpt4o()),
+            ("in_cons", ModelProfile::gemini_pro()),
+            ("le_refl", ModelProfile::gpt4o_mini()),
+            ("app_nil_l", ModelProfile::gpt4o()),
+        ] {
+            let on = run_one(
+                name,
+                profile.clone(),
+                &SearchConfig {
+                    preflight: true,
+                    ..Default::default()
+                },
+            );
+            let off = run_one(
+                name,
+                profile,
+                &SearchConfig {
+                    preflight: false,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(on.outcome, off.outcome, "{name}: outcome diverged");
+            assert_eq!(on.stats.queries, off.stats.queries, "{name}");
+            assert_eq!(on.stats.valid_tactics, off.stats.valid_tactics, "{name}");
+            assert_eq!(on.stats.duplicates, off.stats.duplicates, "{name}");
+            assert_eq!(
+                on.stats.rejected + on.stats.timeouts + on.stats.preflight_pruned,
+                off.stats.rejected + off.stats.timeouts,
+                "{name}: taxonomy totals diverged"
+            );
+            assert_eq!(off.stats.preflight_pruned, 0, "{name}");
+            let per_reason: u32 = on.stats.preflight_reasons.values().sum();
+            assert_eq!(per_reason, on.stats.preflight_pruned, "{name}");
+            total_pruned += on.stats.preflight_pruned;
+        }
+        assert!(total_pruned > 0, "filter never fired on any run");
     }
 
     #[test]

@@ -57,6 +57,7 @@ fn cfg() -> SearchConfig {
         tactic_fuel: 200_000,
         dedupe_states: true,
         strategy: Strategy::BestFirst,
+        preflight: true,
     }
 }
 
@@ -96,7 +97,10 @@ fn stuck_when_every_proposal_is_rejected() {
     let mut m = FixedModel::new([("apply nonexistent_lemma", -0.1), ("split", -0.2)]);
     let r = run(&mut m, "0 = 0", &cfg());
     assert!(matches!(r.outcome, Outcome::Stuck), "{:?}", r.outcome);
-    assert!(r.stats.rejected > 0);
+    // Both proposals are statically doomed (unknown lemma, `split` on an
+    // equality), so the pre-flight filter prunes them without execution.
+    assert!(r.stats.rejected + r.stats.preflight_pruned > 0);
+    assert!(r.stats.preflight_pruned > 0);
     assert_eq!(r.stats.valid_tactics, 0);
     // Stuck must cost only the frontier's worth of queries, not the limit.
     assert!(r.stats.queries < cfg().query_limit);

@@ -39,12 +39,6 @@ Fixpoint tl_update (n : nat) (sub : tree) (ents : treelist) : treelist :=
       end
   end.
 
-Definition tree_inum (t : tree) : nat :=
-  match t with
-  | TreeFile inum data => inum
-  | TreeDir inum ents => inum
-  end.
-
 Definition dir_lookup (n : nat) (t : tree) : option tree :=
   match t with
   | TreeFile inum data => None

@@ -52,11 +52,23 @@ pub struct Corpus {
 }
 
 impl Corpus {
-    /// Loads the corpus without re-checking proofs (fast path).
+    /// Loads the corpus without re-checking proofs (fast path), panicking
+    /// on a malformed embedded corpus. Experiment harnesses use this;
+    /// diagnostic tools that want to report the failure instead of
+    /// aborting should call [`Corpus::try_load`].
     pub fn load() -> Corpus {
-        Corpus {
-            dev: load_corpus(false).expect("embedded corpus loads"),
+        match Corpus::try_load() {
+            Ok(c) => c,
+            Err(e) => panic!("embedded corpus failed to load: {e}"),
         }
+    }
+
+    /// Loads the corpus without re-checking proofs, propagating the typed
+    /// [`LoadError`] (file, item, message) on failure.
+    pub fn try_load() -> Result<Corpus, LoadError> {
+        Ok(Corpus {
+            dev: load_corpus(false)?,
+        })
     }
 
     /// Loads the corpus, replaying every human proof through the kernel.
@@ -94,6 +106,12 @@ mod tests {
             "corpus has only {} theorems",
             corpus.len()
         );
+    }
+
+    #[test]
+    fn try_load_propagates_instead_of_panicking() {
+        let corpus = Corpus::try_load().expect("embedded corpus is well-formed");
+        assert_eq!(corpus.len(), Corpus::load().len());
     }
 
     #[test]

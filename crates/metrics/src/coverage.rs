@@ -149,6 +149,8 @@ mod tests {
             gen_tokens: None,
             similarity: None,
             queries: 1,
+            pruned: 0,
+            pruned_reasons: Default::default(),
         }
     }
 

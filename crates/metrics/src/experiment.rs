@@ -1,7 +1,7 @@
 //! The experiment runner: one *cell* is a (model configuration, prompt
 //! setting) pair evaluated over a set of theorems.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 use fscq_corpus::{Category, Corpus};
 use minicoq_vernac::Development;
@@ -118,6 +118,10 @@ pub struct TheoremOutcome {
     pub similarity: Option<f64>,
     /// Model queries issued.
     pub queries: u32,
+    /// Proposals pruned statically by the pre-flight analyzer.
+    pub pruned: u32,
+    /// Pre-flight prunes per reason code.
+    pub pruned_reasons: BTreeMap<String, u32>,
 }
 
 /// A completed experiment cell.
@@ -224,6 +228,8 @@ pub fn eval_theorem(
         gen_tokens,
         similarity: sim,
         queries: result.stats.queries,
+        pruned: result.stats.preflight_pruned,
+        pruned_reasons: result.stats.preflight_reasons.clone(),
     }
 }
 

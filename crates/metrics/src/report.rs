@@ -138,6 +138,54 @@ pub fn render_table2(pairs: &[(&CellResult, &CellResult)], baseline: f64) -> Str
     out
 }
 
+/// Renders the pre-flight pruning table: per-reason static rejection
+/// counts for each cell, plus the pruned share of all model proposals.
+pub fn render_preflight(cells: &[&CellResult]) -> String {
+    use std::collections::BTreeMap;
+    let mut out = String::new();
+    let _ = writeln!(out, "Pre-flight pruning by reason code");
+    // Collect the union of reason codes so every cell prints the same
+    // columns even when a reason never fires for it.
+    let mut codes: Vec<String> = Vec::new();
+    for cell in cells {
+        for o in &cell.outcomes {
+            for code in o.pruned_reasons.keys() {
+                if !codes.contains(code) {
+                    codes.push(code.clone());
+                }
+            }
+        }
+    }
+    codes.sort();
+    for cell in cells {
+        let mut totals: BTreeMap<&str, u64> = BTreeMap::new();
+        let mut pruned: u64 = 0;
+        let mut queries: u64 = 0;
+        for o in &cell.outcomes {
+            pruned += u64::from(o.pruned);
+            queries += u64::from(o.queries);
+            for (code, n) in &o.pruned_reasons {
+                *totals.entry(code.as_str()).or_insert(0) += u64::from(*n);
+            }
+        }
+        let _ = writeln!(
+            out,
+            "{} (pruned {pruned} across {queries} queries)",
+            cell.label
+        );
+        for code in &codes {
+            let n = totals.get(code.as_str()).copied().unwrap_or(0);
+            let share = if pruned > 0 {
+                100.0 * n as f64 / pruned as f64
+            } else {
+                0.0
+            };
+            let _ = writeln!(out, "  {code:24} {n:>6}  {share:>5.1}%");
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -158,6 +206,8 @@ mod tests {
                 gen_tokens: Some(5),
                 similarity: Some(0.8),
                 queries: 3,
+                pruned: 0,
+                pruned_reasons: Default::default(),
             }],
         }
     }
@@ -172,6 +222,22 @@ mod tests {
         assert!(t1.contains("Utilities"));
         let t2 = render_table2(&[(&a, &b)], 0.36);
         assert!(t2.contains("->") && t2.contains("0.360"));
+    }
+
+    #[test]
+    fn preflight_table_sums_reason_counts() {
+        let mut a = mini_cell("A");
+        a.outcomes[0].pruned = 3;
+        a.outcomes[0]
+            .pruned_reasons
+            .insert("unknown-name".into(), 2);
+        a.outcomes[0]
+            .pruned_reasons
+            .insert("head-mismatch".into(), 1);
+        let t = render_preflight(&[&a]);
+        assert!(t.contains("pruned 3"));
+        assert!(t.contains("unknown-name"));
+        assert!(t.contains("head-mismatch"));
     }
 
     #[test]

@@ -29,7 +29,7 @@ use crate::experiment::{eval_theorem, finish_cell, CellConfig, CellResult, Theor
 
 /// Bump when the cached [`CellResult`] layout or the evaluation semantics
 /// change; old cache files then simply stop matching.
-const CACHE_SCHEMA: u32 = 1;
+const CACHE_SCHEMA: u32 = 2;
 
 /// Where cell caches live by default.
 pub fn default_cache_dir() -> PathBuf {
@@ -266,7 +266,7 @@ impl Runner {
 
     fn record(&self, label: String, theorems: usize, start: Instant, cache_hit: bool) {
         let wall_ms = start.elapsed().as_secs_f64() * 1e3;
-        self.bench.lock().unwrap().push(CellBench {
+        proof_oracle::lock_recover(&self.bench).push(CellBench {
             label,
             theorems,
             wall_ms,
@@ -282,7 +282,7 @@ impl Runner {
 
     /// The timing records accumulated so far.
     pub fn bench_records(&self) -> Vec<CellBench> {
-        self.bench.lock().unwrap().clone()
+        proof_oracle::lock_recover(&self.bench).clone()
     }
 
     /// Writes the accumulated records as `BENCH_eval.json`-style JSON.

@@ -84,6 +84,8 @@ fn outcome(
         gen_tokens: gen,
         similarity: (out == "proved").then_some(0.5),
         queries: 3,
+        pruned: 0,
+        pruned_reasons: Default::default(),
     }
 }
 

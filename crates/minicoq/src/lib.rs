@@ -36,6 +36,7 @@
 //! assert!(st.is_complete());
 //! ```
 
+pub mod analysis;
 pub mod env;
 pub mod error;
 pub mod eval;

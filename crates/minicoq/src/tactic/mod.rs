@@ -17,6 +17,11 @@ mod rewrite;
 
 pub use auto::AUTO_DEFAULT_DEPTH;
 
+// The pre-flight analyzer mirrors exact prefixes of the evaluator; it
+// borrows the same helpers so the two can never drift apart.
+pub(crate) use apply::{expose_rule, stmt_of};
+pub(crate) use rewrite::candidate_subterms;
+
 /// Weak-head exposure of a goal's conclusion (unfolds defined predicates);
 /// used by the parser to elaborate `exists` witnesses against the expected
 /// sort.

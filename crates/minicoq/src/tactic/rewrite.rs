@@ -127,8 +127,9 @@ pub(crate) fn replace_in_formula(f: &Formula, from: &Term, to: &Term) -> Formula
 }
 
 /// Enumerates candidate subterms of a formula for rewriting, outside
-/// binders, in left-to-right order.
-fn candidate_subterms(f: &Formula, out: &mut Vec<Term>) {
+/// binders, in left-to-right order. Shared with `analysis::preflight`,
+/// whose no-match check replays the same candidate scan.
+pub(crate) fn candidate_subterms(f: &Formula, out: &mut Vec<Term>) {
     match f {
         Formula::True | Formula::False => {}
         Formula::Eq(_, a, b) => {

@@ -1,0 +1,232 @@
+//! Per-reason regression tests for the static pre-flight checker, plus
+//! the no-false-positive property: every statically rejected tactic must
+//! also fail in the real evaluator. A reject that the evaluator would have
+//! accepted would silently change search results; a missed reject only
+//! costs time, so `Accept` is never asserted against here.
+
+use minicoq::analysis::{preflight_state, PreflightVerdict, ReasonCode};
+use minicoq::env::Env;
+use minicoq::fuel::Fuel;
+use minicoq::goal::ProofState;
+use minicoq::parse::{parse_formula, parse_tactic};
+use minicoq::tactic::apply_tactic;
+use proptest::prelude::*;
+
+const FUEL: u64 = 1_000_000;
+
+/// Builds a proof state for `stmt` and advances it through `setup` with
+/// the real evaluator.
+fn state(env: &Env, stmt: &str, setup: &[&str]) -> ProofState {
+    let f = parse_formula(env, stmt).expect("statement parses");
+    let mut st = ProofState::new(f);
+    for s in setup {
+        let tac = parse_tactic(env, st.goals.first(), s).expect("setup parses");
+        let mut fuel = Fuel::new(FUEL);
+        st = apply_tactic(env, &st, &tac, &mut fuel).expect("setup applies");
+    }
+    st
+}
+
+/// Asserts the checker rejects `tactic` with `expect`, and — the soundness
+/// half — that the evaluator rejects it too.
+fn assert_rejects(env: &Env, st: &ProofState, tactic: &str, expect: ReasonCode) {
+    let tac = parse_tactic(env, st.goals.first(), tactic).expect("tactic parses");
+    match preflight_state(env, st, &tac, FUEL) {
+        PreflightVerdict::Reject(r) => {
+            assert_eq!(
+                r.code, expect,
+                "`{tactic}` rejected for the wrong reason: {r}"
+            );
+        }
+        PreflightVerdict::Accept => panic!("`{tactic}` was not statically rejected"),
+    }
+    let mut fuel = Fuel::new(FUEL);
+    assert!(
+        apply_tactic(env, st, &tac, &mut fuel).is_err(),
+        "`{tactic}` was statically rejected but the evaluator accepts it"
+    );
+}
+
+fn env_with(lemmas: &[(&str, &str)]) -> Env {
+    let mut env = Env::with_prelude();
+    for (name, stmt) in lemmas {
+        let f = parse_formula(&env, stmt).expect("lemma parses");
+        env.add_lemma(name.to_string(), f).expect("lemma adds");
+    }
+    env
+}
+
+// ------------------------------------------------- one test per reason code
+
+#[test]
+fn unknown_name_unused_hypothesis_reference() {
+    let env = Env::with_prelude();
+    let st = state(&env, "0 = 0", &[]);
+    assert_rejects(&env, &st, "clear H", ReasonCode::UnknownName);
+    assert_rejects(&env, &st, "destruct H", ReasonCode::UnknownName);
+}
+
+#[test]
+fn name_in_use_on_double_intro() {
+    let env = Env::with_prelude();
+    let st = state(&env, "forall n : nat, forall m : nat, 0 = 0", &[]);
+    assert_rejects(&env, &st, "intros n n", ReasonCode::NameInUse);
+}
+
+#[test]
+fn head_mismatch_on_apply() {
+    let env = env_with(&[("tt_lemma", "True")]);
+    let st = state(&env, "0 = 0", &[]);
+    assert_rejects(&env, &st, "apply tt_lemma", ReasonCode::HeadMismatch);
+}
+
+#[test]
+fn non_equation_on_rewrite() {
+    let env = env_with(&[("tt_lemma", "True")]);
+    let st = state(&env, "0 = 0", &[]);
+    assert_rejects(&env, &st, "rewrite tt_lemma", ReasonCode::NonEquation);
+}
+
+#[test]
+fn not_inductive_on_destruct_of_sort_variable() {
+    let env = Env::with_prelude();
+    let st = state(
+        &env,
+        "forall A : Sort, forall x : A, x = x",
+        &["intros A x"],
+    );
+    assert_rejects(&env, &st, "destruct x", ReasonCode::NotInductive);
+    assert_rejects(&env, &st, "induction x", ReasonCode::NotInductive);
+}
+
+#[test]
+fn atomic_conclusion_on_intro() {
+    let env = Env::with_prelude();
+    let st = state(&env, "0 = 0", &[]);
+    assert_rejects(&env, &st, "intro", ReasonCode::AtomicConclusion);
+}
+
+#[test]
+fn goal_shape_on_connective_mismatch() {
+    let env = Env::with_prelude();
+    let st = state(&env, "0 = 0", &[]);
+    assert_rejects(&env, &st, "split", ReasonCode::GoalShape);
+    assert_rejects(&env, &st, "left", ReasonCode::GoalShape);
+}
+
+#[test]
+fn goal_shape_on_rewrite_without_matching_subterm() {
+    let env = env_with(&[("add_one", "forall n : nat, add n 1 = S n")]);
+    let st = state(&env, "True /\\ True", &[]);
+    assert_rejects(&env, &st, "rewrite add_one", ReasonCode::GoalShape);
+}
+
+#[test]
+fn arity_mismatch_on_forward_apply_of_premiseless_lemma() {
+    let env = env_with(&[("tt_lemma", "True")]);
+    let st = state(&env, "True -> 0 = 0", &["intros H"]);
+    assert_rejects(&env, &st, "apply tt_lemma in H", ReasonCode::ArityMismatch);
+}
+
+#[test]
+fn malformed_tactical_dispatch_arity() {
+    let env = Env::with_prelude();
+    let st = state(&env, "0 = 0 /\\ 1 = 1", &[]);
+    // `split` yields exactly two goals; a one-branch dispatch can never
+    // distribute over them.
+    assert_rejects(
+        &env,
+        &st,
+        "split; [reflexivity]",
+        ReasonCode::MalformedTactical,
+    );
+}
+
+#[test]
+fn empty_context_on_discriminate() {
+    let env = Env::with_prelude();
+    let st = state(&env, "0 = 0", &[]);
+    assert_rejects(&env, &st, "discriminate", ReasonCode::EmptyContext);
+}
+
+#[test]
+fn always_fails_on_fail() {
+    let env = Env::with_prelude();
+    let st = state(&env, "0 = 0", &[]);
+    assert_rejects(&env, &st, "fail", ReasonCode::AlwaysFails);
+}
+
+// ------------------------------------------------------------ the property
+
+/// Plausible-looking tactic text: real tactic heads over a small pool of
+/// names, some of which exist in the test goals and some of which do not.
+fn tactic_soup() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("intros".to_string()),
+        Just("intro".to_string()),
+        Just("reflexivity".to_string()),
+        Just("assumption".to_string()),
+        Just("split".to_string()),
+        Just("left".to_string()),
+        Just("right".to_string()),
+        Just("constructor".to_string()),
+        Just("discriminate".to_string()),
+        Just("fail".to_string()),
+        Just("simpl".to_string()),
+        "(apply|rewrite|destruct|induction|clear|revert|exact|specialize) (H|H0|n|m|x|ghost|conj_intro|le_n)".prop_map(|s| s),
+        "intros [a-z]{1,2} [a-z]{1,2}",
+        "(split|intros|apply le_n); \\[(reflexivity)?\\]",
+    ]
+}
+
+/// Goals of assorted shapes so every checker branch gets exercised.
+fn goal_pool() -> impl Strategy<Value = &'static str> {
+    prop_oneof![
+        Just("0 = 0"),
+        Just("forall n : nat, n = n"),
+        Just("forall n : nat, le 0 n -> le 0 n"),
+        Just("0 = 0 /\\ 1 = 1"),
+        Just("0 = 0 \\/ 1 = 2"),
+        Just("True"),
+        Just("forall A : Sort, forall x : A, x = x"),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The no-false-positive invariant: whatever the soup throws at it,
+    /// a static `Reject` implies the evaluator also fails. (The converse
+    /// is not required — the checker is allowed to miss failures.)
+    #[test]
+    fn statically_rejected_tactics_also_fail_dynamically(
+        stmt in goal_pool(),
+        tactics in proptest::collection::vec(tactic_soup(), 1..8),
+    ) {
+        let env = env_with(&[("conj_intro", "True /\\ True")]);
+        let f = parse_formula(&env, stmt).unwrap();
+        let mut st = ProofState::new(f);
+        for text in tactics {
+            let Ok(tac) = parse_tactic(&env, st.goals.first(), &text) else {
+                continue;
+            };
+            let verdict = preflight_state(&env, &st, &tac, FUEL);
+            let mut fuel = Fuel::new(FUEL);
+            let result = apply_tactic(&env, &st, &tac, &mut fuel);
+            if let PreflightVerdict::Reject(r) = &verdict {
+                prop_assert!(
+                    result.is_err(),
+                    "false positive: `{}` statically rejected ({}) but evaluator accepted it on:\n{}",
+                    text, r, st.display()
+                );
+            }
+            // Keep walking through whatever actually succeeded, so later
+            // iterations see intermediate states too.
+            if let Ok(next) = result {
+                if !next.is_complete() {
+                    st = next;
+                }
+            }
+        }
+    }
+}

@@ -30,9 +30,11 @@ pub mod prompt;
 pub mod retrieval;
 pub mod sim;
 pub mod split;
+pub mod sync;
 pub mod tokenizer;
 
 pub use model::{Proposal, QueryCtx, TacticModel};
 pub use profiles::ModelProfile;
 pub use prompt::{PromptInfo, PromptSetting};
 pub use sim::SimulatedModel;
+pub use sync::lock_recover;

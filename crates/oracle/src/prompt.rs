@@ -113,7 +113,7 @@ impl PromptCache {
         item: &minicoq_vernac::Item,
     ) -> Arc<(String, usize)> {
         let key = (file.to_string(), index, with_proof);
-        if let Some(hit) = self.rendered.lock().unwrap().get(&key) {
+        if let Some(hit) = crate::sync::lock_recover(&self.rendered).get(&key) {
             return Arc::clone(hit);
         }
         // Render outside the lock: misses are the expensive path and two
@@ -121,9 +121,7 @@ impl PromptCache {
         let text = item.render(with_proof);
         let tokens = count_tokens(&text);
         let entry = Arc::new((text, tokens));
-        self.rendered
-            .lock()
-            .unwrap()
+        crate::sync::lock_recover(&self.rendered)
             .entry(key)
             .or_insert_with(|| Arc::clone(&entry));
         entry

@@ -1,0 +1,35 @@
+//! Synchronization helpers shared across the workspace.
+
+use std::sync::{Mutex, MutexGuard};
+
+/// Locks a mutex, recovering from poisoning.
+///
+/// A mutex is poisoned when a panicking thread held it; the data is still
+/// there, the panic just happened while the guard was alive. Everything we
+/// protect this way (prompt caches, bench logs) stays internally
+/// consistent across a panic — entries are inserted atomically — so
+/// recovering the inner value is always safe, and one crashed worker no
+/// longer cascades into `PoisonError` panics across the rest of the pool.
+pub fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[test]
+    fn recovers_a_poisoned_mutex() {
+        let m = Mutex::new(7);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = m.lock().unwrap();
+            panic!("poison it");
+        }));
+        assert!(r.is_err());
+        assert!(m.is_poisoned());
+        assert_eq!(*lock_recover(&m), 7);
+        *lock_recover(&m) += 1;
+        assert_eq!(*lock_recover(&m), 8);
+    }
+}

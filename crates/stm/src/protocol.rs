@@ -113,6 +113,7 @@ pub fn handle(session: &mut ProofSession, req: &Request) -> Sexp {
                     AddError::Rejected(m) => ("Rejected", m),
                     AddError::Parse(m) => ("Parse", m),
                     AddError::Timeout => ("Timeout", String::new()),
+                    AddError::Preflight(r) => ("Preflight", r.to_string()),
                     AddError::NoSuchState => ("NoSuchState", String::new()),
                     AddError::DuplicateState(_) => unreachable!("handled above"),
                 };

@@ -3,6 +3,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use minicoq::analysis::{preflight_state, PreflightRejection, PreflightVerdict};
 use minicoq::env::Env;
 use minicoq::error::TacticError;
 use minicoq::formula::Formula;
@@ -26,6 +27,12 @@ pub struct SessionConfig {
     /// session (the paper's duplicate-state rule). Disable for linear
     /// replay of known-good scripts.
     pub dedupe_states: bool,
+    /// Statically pre-screen tactics with [`minicoq::analysis`] before
+    /// executing them; guaranteed failures surface as
+    /// [`AddError::Preflight`] without spending any tactic fuel. Off by
+    /// default so a bare session reports the evaluator's own taxonomy;
+    /// the search layer turns it on.
+    pub preflight: bool,
 }
 
 impl Default for SessionConfig {
@@ -33,6 +40,7 @@ impl Default for SessionConfig {
         SessionConfig {
             tactic_fuel: minicoq::fuel::DEFAULT_TACTIC_FUEL,
             dedupe_states: true,
+            preflight: false,
         }
     }
 }
@@ -47,6 +55,10 @@ pub enum AddError {
     Parse(String),
     /// The tactic exceeded its execution budget.
     Timeout,
+    /// The pre-flight analyzer proved the tactic cannot succeed; it was
+    /// never executed. A refinement of `Rejected` with a machine-readable
+    /// reason code.
+    Preflight(PreflightRejection),
     /// The resulting proof state was already in the session; the id of the
     /// earlier equal state is attached.
     DuplicateState(StateId),
@@ -60,6 +72,7 @@ impl std::fmt::Display for AddError {
             AddError::Rejected(m) => write!(f, "rejected: {m}"),
             AddError::Parse(m) => write!(f, "parse error: {m}"),
             AddError::Timeout => write!(f, "timeout"),
+            AddError::Preflight(r) => write!(f, "preflight: {r}"),
             AddError::DuplicateState(id) => write!(f, "duplicate of state {}", id.0),
             AddError::NoSuchState => write!(f, "no such state"),
         }
@@ -185,6 +198,13 @@ impl ProofSession {
             TacticError::Parse(m) => AddError::Parse(m),
             other => AddError::Rejected(other.to_string()),
         })?;
+        if self.config.preflight {
+            if let PreflightVerdict::Reject(r) =
+                preflight_state(&self.env, &base, &tac, self.config.tactic_fuel)
+            {
+                return Err(AddError::Preflight(r));
+            }
+        }
         let mut fuel = Fuel::new(self.config.tactic_fuel);
         let result = apply_tactic(&self.env, &base, &tac, &mut fuel);
         self.fuel_spent += fuel.spent();
@@ -313,7 +333,7 @@ mod tests {
             f,
             SessionConfig {
                 tactic_fuel: 5,
-                dedupe_states: true,
+                ..Default::default()
             },
         );
         assert!(matches!(
@@ -326,6 +346,27 @@ mod tests {
         ));
         assert!(matches!(s.add(s.root(), "auto"), Err(AddError::Timeout)));
         assert!(s.fuel_spent() > 0);
+    }
+
+    #[test]
+    fn preflight_rejects_without_spending_fuel() {
+        let env = Env::with_prelude();
+        let f = parse_formula(&env, "forall n : nat, n = n").unwrap();
+        let mut s = ProofSession::new(
+            env,
+            f,
+            SessionConfig {
+                preflight: true,
+                ..Default::default()
+            },
+        );
+        // `assumption` on a hypothesis-free goal is statically doomed.
+        let err = s.add(s.root(), "assumption").unwrap_err();
+        assert!(matches!(err, AddError::Preflight(_)));
+        assert_eq!(s.fuel_spent(), 0);
+        // Accepted tactics run as usual.
+        let a = s.add(s.root(), "intros n").unwrap();
+        assert!(s.add(a.id, "reflexivity").unwrap().proved);
     }
 
     #[test]

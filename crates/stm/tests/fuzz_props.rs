@@ -16,6 +16,7 @@ fn session(stmt: &str) -> ProofSession {
         SessionConfig {
             tactic_fuel: 50_000,
             dedupe_states: true,
+            ..Default::default()
         },
     )
 }

@@ -17,6 +17,7 @@ fn session(stmt: &str, dedupe: bool) -> ProofSession {
         SessionConfig {
             tactic_fuel: 200_000,
             dedupe_states: dedupe,
+            ..Default::default()
         },
     )
 }
@@ -148,6 +149,7 @@ fn timeouts_surface_as_timeout_errors() {
         SessionConfig {
             tactic_fuel: 2,
             dedupe_states: true,
+            ..Default::default()
         },
     );
     let root = s.root();

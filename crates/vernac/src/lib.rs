@@ -22,9 +22,11 @@
 //! prompts that mirror the original files.
 
 pub mod item;
+pub mod lint;
 pub mod loader;
 pub mod parser;
 pub mod split;
 
 pub use item::{Item, ItemKind};
+pub use lint::{lint_development, LintDiagnostic, LintKind};
 pub use loader::{Development, LoadError, Loader, TheoremInfo};

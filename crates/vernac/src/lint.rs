@@ -1,0 +1,532 @@
+//! The corpus linter: development-wide hygiene checks.
+//!
+//! Where the loader rejects developments that are *wrong* (unparseable
+//! items, broken proofs, unknown imports), the linter flags developments
+//! that are *untidy*: declarations that collide or are never used, binders
+//! that shadow, hints that point at nothing, hypotheses introduced and then
+//! ignored. Every diagnostic carries a file/item span so CI can point at
+//! the offending declaration.
+//!
+//! The linter never mutates anything and is intentionally conservative:
+//! each rule only fires when the problem is certain from the loaded
+//! development alone.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use minicoq::formula::Formula;
+use minicoq::parse::split_sentences;
+
+use crate::item::ItemKind;
+use crate::loader::Development;
+
+/// The category of a lint diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LintKind {
+    /// Two items declare the same top-level name.
+    DuplicateName,
+    /// A quantifier rebinds a name already bound in an enclosing scope.
+    ShadowedBinder,
+    /// A `Hint` sentence references a name that is not a lemma, rule, or
+    /// inductive predicate of the final environment.
+    UnknownHintTarget,
+    /// A proof introduces a named hypothesis it never mentions again.
+    UnusedHypothesis,
+    /// A definition no other item ever references.
+    DeadDefinition,
+}
+
+impl LintKind {
+    /// Stable machine-readable code for the diagnostic kind.
+    pub fn code(self) -> &'static str {
+        match self {
+            LintKind::DuplicateName => "duplicate-name",
+            LintKind::ShadowedBinder => "shadowed-binder",
+            LintKind::UnknownHintTarget => "unknown-hint-target",
+            LintKind::UnusedHypothesis => "unused-hypothesis",
+            LintKind::DeadDefinition => "dead-definition",
+        }
+    }
+}
+
+impl std::fmt::Display for LintKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// One lint finding, anchored to a file and item.
+#[derive(Debug, Clone)]
+pub struct LintDiagnostic {
+    /// Diagnostic category.
+    pub kind: LintKind,
+    /// Module the finding is in.
+    pub file: String,
+    /// Item name (empty for unnamed items such as hints).
+    pub item: String,
+    /// Index of the item within its file.
+    pub item_index: usize,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for LintDiagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let item = if self.item.is_empty() {
+            format!("item {}", self.item_index)
+        } else {
+            self.item.clone()
+        };
+        write!(f, "{}:{}: {}: {}", self.file, item, self.kind, self.message)
+    }
+}
+
+/// Runs every lint pass over a loaded development.
+pub fn lint_development(dev: &Development) -> Vec<LintDiagnostic> {
+    let mut out = Vec::new();
+    duplicate_names(dev, &mut out);
+    shadowed_binders(dev, &mut out);
+    unknown_hint_targets(dev, &mut out);
+    unused_hypotheses(dev, &mut out);
+    dead_definitions(dev, &mut out);
+    out
+}
+
+/// True for items that introduce a top-level name.
+fn declares_name(kind: &ItemKind) -> bool {
+    matches!(
+        kind,
+        ItemKind::SortDecl
+            | ItemKind::Inductive
+            | ItemKind::Definition
+            | ItemKind::Fixpoint
+            | ItemKind::Lemma
+    )
+}
+
+fn duplicate_names(dev: &Development, out: &mut Vec<LintDiagnostic>) {
+    let mut first: BTreeMap<&str, (&str, usize)> = BTreeMap::new();
+    for file in &dev.files {
+        for (idx, item) in file.items.iter().enumerate() {
+            if !declares_name(&item.kind) || item.name.is_empty() {
+                continue;
+            }
+            match first.get(item.name.as_str()) {
+                Some((f0, i0)) => out.push(LintDiagnostic {
+                    kind: LintKind::DuplicateName,
+                    file: file.name.clone(),
+                    item: item.name.clone(),
+                    item_index: idx,
+                    message: format!("`{}` is already declared at {}:{}", item.name, f0, i0),
+                }),
+                None => {
+                    first.insert(item.name.as_str(), (file.name.as_str(), idx));
+                }
+            }
+        }
+    }
+}
+
+/// Walks a formula with the enclosing binder scope, flagging rebinds.
+fn walk_shadowing(f: &Formula, scope: &mut Vec<String>, report: &mut impl FnMut(&str)) {
+    match f {
+        Formula::True | Formula::False | Formula::Eq(..) | Formula::Pred(..) => {}
+        Formula::Not(a) => walk_shadowing(a, scope, report),
+        Formula::And(a, b) | Formula::Or(a, b) | Formula::Implies(a, b) | Formula::Iff(a, b) => {
+            walk_shadowing(a, scope, report);
+            walk_shadowing(b, scope, report);
+        }
+        Formula::Forall(v, _, body) | Formula::Exists(v, _, body) => {
+            if scope.iter().any(|s| s == v.as_str()) {
+                report(v);
+            }
+            scope.push(v.to_string());
+            walk_shadowing(body, scope, report);
+            scope.pop();
+        }
+        Formula::ForallSort(v, body) => {
+            if scope.iter().any(|s| s == v.as_str()) {
+                report(v);
+            }
+            scope.push(v.to_string());
+            walk_shadowing(body, scope, report);
+            scope.pop();
+        }
+        Formula::FMatch(_, arms) => {
+            for (pat, arm) in arms {
+                let binders = pat.binders();
+                for b in &binders {
+                    if scope.iter().any(|s| s == b.as_str()) {
+                        report(b);
+                    }
+                    scope.push(b.to_string());
+                }
+                walk_shadowing(arm, scope, report);
+                for _ in &binders {
+                    scope.pop();
+                }
+            }
+        }
+    }
+}
+
+fn shadowed_binders(dev: &Development, out: &mut Vec<LintDiagnostic>) {
+    for thm in &dev.theorems {
+        let mut shadowed: BTreeSet<String> = BTreeSet::new();
+        let mut scope = Vec::new();
+        walk_shadowing(&thm.stmt, &mut scope, &mut |v| {
+            shadowed.insert(v.to_string());
+        });
+        for v in shadowed {
+            out.push(LintDiagnostic {
+                kind: LintKind::ShadowedBinder,
+                file: thm.file.clone(),
+                item: thm.name.clone(),
+                item_index: thm.item_index,
+                message: format!("binder `{v}` shadows an enclosing binder"),
+            });
+        }
+    }
+}
+
+/// Splits a `Hint Resolve a b` / `Hint Constructors p` sentence into its
+/// class keyword and target names. Returns `None` for non-hint text.
+pub fn hint_targets(text: &str) -> Option<(String, Vec<String>)> {
+    let mut words = text.split_whitespace();
+    if words.next()? != "Hint" {
+        return None;
+    }
+    let class = words.next()?.to_string();
+    let names = words
+        .map(|w| w.trim_matches(|c: char| !c.is_ascii_alphanumeric() && c != '_'))
+        .filter(|w| !w.is_empty())
+        .map(str::to_string)
+        .collect();
+    Some((class, names))
+}
+
+fn unknown_hint_targets(dev: &Development, out: &mut Vec<LintDiagnostic>) {
+    for file in &dev.files {
+        for (idx, item) in file.items.iter().enumerate() {
+            if item.kind != ItemKind::Hint {
+                continue;
+            }
+            let Some((class, names)) = hint_targets(&item.text) else {
+                continue;
+            };
+            for name in names {
+                let known = match class.as_str() {
+                    "Constructors" => dev.env.preds.contains_key(name.as_str()),
+                    _ => dev.env.rule_or_lemma(&name).is_some(),
+                };
+                if !known {
+                    out.push(LintDiagnostic {
+                        kind: LintKind::UnknownHintTarget,
+                        file: file.name.clone(),
+                        item: String::new(),
+                        item_index: idx,
+                        message: format!("`Hint {class}` references unknown name `{name}`"),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Tactics that can discharge a goal using hypotheses or goal structure
+/// without naming them: solvers consume the whole context, and unifying
+/// tactics (`apply lemma`, `exact`, …) close goals whose statement still
+/// mentions the introduced variables. Any occurrence after an `intros`
+/// suppresses the unused-hypothesis rule — introducing a premise only to
+/// reach the conclusion behind it is legitimate, so the rule fires only
+/// when the remainder of the proof is purely structural (`reflexivity`,
+/// `simpl`, `split`, …) and could not have needed the hypothesis at all.
+const WILDCARD_TACTICS: &[&str] = &[
+    "assumption",
+    "eassumption",
+    "auto",
+    "eauto",
+    "apply",
+    "eapply",
+    "exact",
+    "pose",
+    "econstructor",
+    "constructor",
+    "inversion",
+    "trivial",
+    "easy",
+    "lia",
+    "omega",
+    "congruence",
+    "contradiction",
+    "tauto",
+    "intuition",
+    "subst",
+    "firstorder",
+];
+
+/// The identifier tokens of a sentence.
+fn tokens(s: &str) -> Vec<&str> {
+    s.split(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+        .filter(|t| !t.is_empty())
+        .collect()
+}
+
+fn unused_hypotheses(dev: &Development, out: &mut Vec<LintDiagnostic>) {
+    for thm in &dev.theorems {
+        let stmt_names: BTreeSet<&str> = tokens(&thm.statement_text).into_iter().collect();
+        let sentences: Vec<String> = split_sentences(&thm.proof_text);
+        for (i, sentence) in sentences.iter().enumerate() {
+            // Only plain `intros a b c` sentences: intro patterns
+            // (`[x|y]`, `(a, b)`) destructure, so their binders are
+            // consumed structurally and are out of scope here.
+            if sentence.contains(['[', '(', ']', ')']) {
+                continue;
+            }
+            let toks = tokens(sentence);
+            if toks.first() != Some(&"intros") || toks.len() < 2 {
+                continue;
+            }
+            let rest = &sentences[i + 1..];
+            let wildcard = rest
+                .iter()
+                .any(|s| tokens(s).iter().any(|t| WILDCARD_TACTICS.contains(t)));
+            if wildcard {
+                continue;
+            }
+            for name in &toks[1..] {
+                // Names that also occur in the statement are the
+                // theorem's own binders: they stay part of the goal, so
+                // goal-directed tactics use them without naming them.
+                if stmt_names.contains(name) {
+                    continue;
+                }
+                let used = rest.iter().any(|s| tokens(s).contains(name));
+                if !used {
+                    out.push(LintDiagnostic {
+                        kind: LintKind::UnusedHypothesis,
+                        file: thm.file.clone(),
+                        item: thm.name.clone(),
+                        item_index: thm.item_index,
+                        message: format!("hypothesis `{name}` is introduced but never used"),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// The constructor names an `Inductive` item declares, parsed from its
+/// source text (`| ctor ...` segments).
+fn inductive_ctors(text: &str) -> Vec<String> {
+    text.split('|')
+        .skip(1)
+        .filter_map(|seg| {
+            seg.split_whitespace()
+                .next()
+                .map(|w| w.trim_matches(|c: char| !c.is_ascii_alphanumeric() && c != '_'))
+        })
+        .filter(|w| !w.is_empty())
+        .map(str::to_string)
+        .collect()
+}
+
+fn dead_definitions(dev: &Development, out: &mut Vec<LintDiagnostic>) {
+    // A definition is live when any *other* item mentions the defined name
+    // (or, for inductives, any of its constructors) in its statement or
+    // proof text anywhere in the development.
+    struct Def<'a> {
+        file: &'a str,
+        item_index: usize,
+        name: &'a str,
+        aliases: Vec<String>,
+    }
+    let mut defs: Vec<Def<'_>> = Vec::new();
+    for file in &dev.files {
+        for (idx, item) in file.items.iter().enumerate() {
+            let deffish = matches!(
+                item.kind,
+                ItemKind::Definition | ItemKind::Fixpoint | ItemKind::Inductive
+            );
+            if !deffish || item.name.is_empty() {
+                continue;
+            }
+            let mut aliases = vec![item.name.clone()];
+            if item.kind == ItemKind::Inductive {
+                aliases.extend(inductive_ctors(&item.text));
+            }
+            defs.push(Def {
+                file: &file.name,
+                item_index: idx,
+                name: &item.name,
+                aliases,
+            });
+        }
+    }
+    for def in defs {
+        let mut used = false;
+        'scan: for file in &dev.files {
+            for (idx, item) in file.items.iter().enumerate() {
+                if file.name == def.file && idx == def.item_index {
+                    continue;
+                }
+                let mut all = tokens(&item.text);
+                if let Some(p) = &item.proof {
+                    all.extend(tokens(p));
+                }
+                if all.iter().any(|t| def.aliases.iter().any(|a| a == t)) {
+                    used = true;
+                    break 'scan;
+                }
+            }
+        }
+        if !used {
+            out.push(LintDiagnostic {
+                kind: LintKind::DeadDefinition,
+                file: def.file.to_string(),
+                item: def.name.to_string(),
+                item_index: def.item_index,
+                message: format!("`{}` is never referenced by any other item", def.name),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loader::Loader;
+
+    fn load(sources: &[(&str, &str)]) -> Development {
+        let mut loader = Loader::new();
+        for (name, text) in sources {
+            loader.add_source(*name, *text);
+        }
+        loader.load().expect("test development loads")
+    }
+
+    #[test]
+    fn clean_development_has_no_diagnostics() {
+        let dev = load(&[(
+            "A",
+            "Fixpoint double (n : nat) : nat := match n with | 0 => 0 | S p => S (S (double p)) end.\n\
+             Lemma double_0 : double 0 = 0.\nProof. reflexivity. Qed.",
+        )]);
+        assert!(lint_development(&dev).is_empty());
+    }
+
+    #[test]
+    fn duplicate_names_are_flagged() {
+        // The kernel already rejects same-namespace duplicates at load
+        // time; the lint rule additionally catches collisions *across*
+        // namespaces (a definition and a lemma sharing a name), which
+        // load fine but make prompts and hint references ambiguous.
+        let dev = load(&[(
+            "A",
+            "Definition t : nat := 0.\n\
+             Lemma t : 0 = 0.\nProof. reflexivity. Qed.",
+        )]);
+        let diags = lint_development(&dev);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.kind == LintKind::DuplicateName && d.item == "t"),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn shadowed_binders_are_flagged() {
+        let dev = load(&[(
+            "A",
+            "Lemma s : forall n : nat, forall n : nat, n = n.\n\
+             Proof. intros a b. reflexivity. Qed.",
+        )]);
+        let diags = lint_development(&dev);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.kind == LintKind::ShadowedBinder && d.message.contains("`n`")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn unused_hypotheses_are_flagged_unless_wildcards_follow() {
+        let dev = load(&[(
+            "A",
+            "Lemma u : forall n : nat, n = n -> 0 = 0.\n\
+             Proof. intros n H. reflexivity. Qed.\n\
+             Lemma v : forall n : nat, n = n -> 0 = 0.\n\
+             Proof. intros n H. trivial. Qed.\n\
+             Lemma w : forall n : nat, n = 0 -> n = 0.\n\
+             Proof. intros n H. rewrite H. reflexivity. Qed.",
+        )]);
+        let diags = lint_development(&dev);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.kind == LintKind::UnusedHypothesis && d.item == "u"),
+            "{diags:?}"
+        );
+        // `trivial` may consume anything, so `v` is not flagged; `w`
+        // actually rewrites with `H`, so it is not flagged either. The
+        // statement binder `n` is never flagged: it remains part of the
+        // goal.
+        assert!(!diags.iter().any(|d| d.item == "v"), "{diags:?}");
+        assert!(!diags.iter().any(|d| d.item == "w"), "{diags:?}");
+        assert!(
+            !diags.iter().any(|d| d.message.contains("`n`")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn dead_definitions_are_flagged() {
+        let dev = load(&[(
+            "A",
+            "Definition zero : nat := 0.\n\
+             Fixpoint double (n : nat) : nat := match n with | 0 => 0 | S p => S (S (double p)) end.\n\
+             Lemma l : double 1 = 2.\nProof. reflexivity. Qed.",
+        )]);
+        let diags = lint_development(&dev);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.kind == LintKind::DeadDefinition && d.item == "zero"),
+            "{diags:?}"
+        );
+        assert!(!diags.iter().any(|d| d.item == "double"), "{diags:?}");
+    }
+
+    #[test]
+    fn inductive_constructor_uses_keep_the_inductive_alive() {
+        let dev = load(&[(
+            "A",
+            "Inductive even : nat -> Prop :=\n\
+             | even_O : even 0\n\
+             | even_SS : forall n : nat, even n -> even (S (S n)).\n\
+             Lemma e0 : even 0.\nProof. apply even_O. Qed.",
+        )]);
+        let diags = lint_development(&dev);
+        assert!(
+            !diags.iter().any(|d| d.kind == LintKind::DeadDefinition),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn hint_targets_parse() {
+        assert_eq!(
+            hint_targets("Hint Resolve app_nil_l app_nil_r"),
+            Some((
+                "Resolve".into(),
+                vec!["app_nil_l".into(), "app_nil_r".into()]
+            ))
+        );
+        assert_eq!(
+            hint_targets("Hint Constructors even"),
+            Some(("Constructors".into(), vec!["even".into()]))
+        );
+        assert_eq!(hint_targets("Lemma x : 0 = 0"), None);
+    }
+}

@@ -1,0 +1,39 @@
+//! `lint` — audit the bundled FSCQ-lite corpus for hygiene problems.
+//!
+//! ```sh
+//! lint            # lint the bundled corpus
+//! ```
+//!
+//! Runs every [`llm_fscq::vernac::lint`] pass over the loaded development
+//! and prints one line per diagnostic (`file:item: kind: message`). Exits
+//! non-zero when any diagnostic fires or the corpus fails to load, so CI
+//! can gate on a clean corpus.
+
+use llm_fscq::corpus::Corpus;
+use llm_fscq::vernac::lint_development;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let corpus = match Corpus::try_load() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("lint: corpus failed to load: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let diags = lint_development(&corpus.dev);
+    for d in &diags {
+        println!("{d}");
+    }
+    if diags.is_empty() {
+        println!(
+            "lint: {} files, {} theorems — clean",
+            corpus.dev.files.len(),
+            corpus.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("lint: {} diagnostic(s)", diags.len());
+        ExitCode::FAILURE
+    }
+}

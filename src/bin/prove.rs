@@ -3,7 +3,7 @@
 //! ```sh
 //! prove <theorem> [--model mini|gpt4o|flash|pro|pro128k] [--vanilla]
 //!       [--retrieval K] [--limit N] [--width W] [--strategy best|greedy|bfs]
-//!       [--show-query]
+//!       [--show-query] [--preflight|--no-preflight]
 //! ```
 //!
 //! Prints the outcome, the search statistics, and (when proved) the found
@@ -29,7 +29,8 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: prove <theorem> [--model mini|gpt4o|flash|pro|pro128k] [--vanilla]\n\
-         \x20             [--retrieval K] [--limit N] [--width W] [--strategy best|greedy|bfs]"
+         \x20             [--retrieval K] [--limit N] [--width W] [--strategy best|greedy|bfs]\n\
+         \x20             [--preflight|--no-preflight]"
     );
     std::process::exit(2)
 }
@@ -64,6 +65,8 @@ fn parse_args() -> Args {
                 }
             }
             "--vanilla" => setting = PromptSetting::Vanilla,
+            "--preflight" => cfg.preflight = true,
+            "--no-preflight" => cfg.preflight = false,
             "--show-query" => show_query = true,
             "--retrieval" => retrieval = value("--retrieval").parse().ok(),
             "--limit" => cfg.query_limit = value("--limit").parse().unwrap_or_else(|_| usage()),
@@ -156,13 +159,23 @@ fn main() -> ExitCode {
         llm_fscq::search::Outcome::Fuelout => "Fuelout",
     };
     println!(
-        "search  : {outcome_name} — {} queries, {} valid / {} rejected / {} duplicate / {} timeout",
+        "search  : {outcome_name} — {} queries, {} valid / {} rejected / {} duplicate / {} timeout / {} preflight-pruned",
         r.stats.queries,
         r.stats.valid_tactics,
         r.stats.rejected,
         r.stats.duplicates,
         r.stats.timeouts,
+        r.stats.preflight_pruned,
     );
+    if !r.stats.preflight_reasons.is_empty() {
+        let reasons: Vec<String> = r
+            .stats
+            .preflight_reasons
+            .iter()
+            .map(|(code, n)| format!("{code} x{n}"))
+            .collect();
+        println!("pruned  : {}", reasons.join(", "));
+    }
     match r.script_text() {
         Some(script) => {
             println!("proof   : {script}");

@@ -21,6 +21,7 @@ fn full_corpus_replays_through_sessions() {
             SessionConfig {
                 tactic_fuel: 50_000_000,
                 dedupe_states: false,
+                ..Default::default()
             },
         );
         let mut at: StateId = session.root();
