@@ -6,7 +6,7 @@
 use proof_metrics::report::render_fig1;
 
 fn main() {
-    let rs = llm_fscq_bench::main_grid(llm_fscq_bench::fresh_flag());
+    let rs = llm_fscq_bench::main_grid_opts(&llm_fscq_bench::GridOpts::from_env());
     let order_a = [
         "GPT-4o mini",
         "GPT-4o mini (w/ hints)",

@@ -16,7 +16,7 @@ use proof_search::whole_proof::{whole_proof_attempt, whole_proof_with_repair};
 use proof_search::{search, SearchConfig};
 
 fn main() {
-    let rs = llm_fscq_bench::main_grid(llm_fscq_bench::fresh_flag());
+    let rs = llm_fscq_bench::main_grid_opts(&llm_fscq_bench::GridOpts::from_env());
     let corpus = Corpus::load();
     let dev = &corpus.dev;
     let hints = hint_set(dev);

@@ -4,7 +4,7 @@
 use proof_metrics::report::render_table1;
 
 fn main() {
-    let rs = llm_fscq_bench::main_grid(llm_fscq_bench::fresh_flag());
+    let rs = llm_fscq_bench::main_grid_opts(&llm_fscq_bench::GridOpts::from_env());
     let order = ["GPT-4o", "GPT-4o (w/ hints)"];
     let cells: Vec<_> = order.iter().filter_map(|l| rs.cell(l)).collect();
     println!("{}", render_table1(&cells));

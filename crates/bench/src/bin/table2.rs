@@ -5,7 +5,7 @@ use proof_metrics::levenshtein::random_pair_baseline;
 use proof_metrics::report::render_table2;
 
 fn main() {
-    let rs = llm_fscq_bench::main_grid(llm_fscq_bench::fresh_flag());
+    let rs = llm_fscq_bench::main_grid_opts(&llm_fscq_bench::GridOpts::from_env());
     let names = [
         "GPT-4o mini",
         "GPT-4o",

@@ -5,10 +5,21 @@
 //! under `target/cells/` (content-hashed by the runner). Delete the files
 //! (or pass `--fresh`) to recompute. Cells evaluate on the parallel runner;
 //! override the worker count with `--jobs N` or `JOBS=N`.
+//!
+//! Grid runs are crash-safe: every completed cell is appended to a JSONL
+//! journal under `target/experiments/`, and `--resume` replays it, so a
+//! run killed mid-grid picks up where it left off instead of starting
+//! over. `--fault-seed N` / `--fault-plan SPEC` arm the seeded
+//! fault-injection plan (chaos testing; see `proof_chaos`) — injected
+//! faults are recovered by retry, panic isolation, and the checksummed
+//! cell cache, so a faulted-then-resumed grid produces byte-identical
+//! results to a clean one.
 
 use std::path::PathBuf;
+use std::sync::Arc;
 
 use fscq_corpus::Corpus;
+use proof_chaos::FaultPlan;
 use proof_metrics::report::ResultSet;
 use proof_metrics::{CellConfig, Runner};
 use proof_oracle::profiles::ModelProfile;
@@ -33,26 +44,93 @@ pub fn runner(fresh: bool) -> Runner {
 /// Where the runner's timing log goes.
 pub const BENCH_EVAL_PATH: &str = "BENCH_eval.json";
 
+/// Command-line options shared by the grid-driving binaries.
+#[derive(Clone, Default)]
+pub struct GridOpts {
+    /// `--fresh`: drop every cache level and recompute.
+    pub fresh: bool,
+    /// `--resume`: replay the progress journal of an interrupted run.
+    pub resume: bool,
+    /// `--fault-seed` / `--fault-plan`: the armed fault-injection plan.
+    pub fault_plan: Option<Arc<FaultPlan>>,
+}
+
+impl GridOpts {
+    /// Parses the process arguments.
+    pub fn from_env() -> GridOpts {
+        GridOpts {
+            fresh: fresh_flag(),
+            resume: resume_flag(),
+            fault_plan: proof_chaos::plan_from_env_args(),
+        }
+    }
+
+    /// True when fault injection is armed (grid-level JSON caching is
+    /// disabled then: a cached grid would bypass the faulted paths the
+    /// run is supposed to exercise).
+    pub fn chaotic(&self) -> bool {
+        self.fault_plan.is_some()
+    }
+}
+
 /// Runs (or loads) the main experiment grid: the five model configurations
 /// of Table 2, each in the vanilla and hint settings.
 pub fn main_grid(fresh: bool) -> ResultSet {
+    main_grid_opts(&GridOpts {
+        fresh,
+        ..GridOpts::default()
+    })
+}
+
+/// [`main_grid`] with full crash-safety plumbing: journaled progress,
+/// `--resume` replay, and optional fault injection. If any cell crashes
+/// (injected or real), the completed cells stay journaled and the process
+/// exits with status 2 after advising a `--resume` run.
+pub fn main_grid_opts(opts: &GridOpts) -> ResultSet {
     let path = artifact_dir().join("main_grid.json");
-    if !fresh {
+    if !opts.fresh && !opts.resume && !opts.chaotic() {
         if let Ok(text) = std::fs::read_to_string(&path) {
             if let Ok(rs) = ResultSet::from_json(&text) {
                 return rs;
             }
         }
     }
+    let journal_path = artifact_dir().join("main_grid.journal.jsonl");
+    let mut runner = runner(opts.fresh).with_journal(&journal_path);
+    if !opts.resume {
+        // A fresh (non-resume) run starts a fresh journal; stale entries
+        // from an older configuration would otherwise mask real work.
+        if let Some(journal) = runner.journal() {
+            journal.clear();
+        }
+    }
+    if let Some(plan) = &opts.fault_plan {
+        eprintln!("fault injection armed: {:?}", plan.config());
+        runner = runner.with_fault_plan(Arc::clone(plan));
+    }
     let corpus = Corpus::load();
-    let runner = runner(fresh);
     let mut rs = ResultSet::default();
+    let mut crashes = Vec::new();
     for profile in ModelProfile::all_five() {
         for setting in [PromptSetting::Vanilla, PromptSetting::Hints] {
             let cell = CellConfig::standard(profile.clone(), setting);
             eprintln!("running cell: {} ({} jobs)", cell.label(), runner.jobs());
-            rs.cells.push(runner.run_cell(&corpus, &cell));
+            match runner.run_cell_checked(&corpus, &cell) {
+                Ok(result) => rs.cells.push(result),
+                Err(crash) => {
+                    eprintln!("{crash}");
+                    crashes.push(crash);
+                }
+            }
         }
+    }
+    if !crashes.is_empty() {
+        eprintln!(
+            "{} cell(s) crashed; completed cells are journaled at {} — re-run with --resume to finish without repeating them",
+            crashes.len(),
+            journal_path.display()
+        );
+        std::process::exit(2);
     }
     let _ = std::fs::create_dir_all(artifact_dir());
     let _ = std::fs::write(&path, rs.to_json());
@@ -63,4 +141,9 @@ pub fn main_grid(fresh: bool) -> ResultSet {
 /// True when `--fresh` was passed on the command line.
 pub fn fresh_flag() -> bool {
     std::env::args().any(|a| a == "--fresh")
+}
+
+/// True when `--resume` was passed on the command line.
+pub fn resume_flag() -> bool {
+    std::env::args().any(|a| a == "--resume")
 }

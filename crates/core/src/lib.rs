@@ -21,4 +21,7 @@
 pub mod search;
 pub mod whole_proof;
 
-pub use search::{search, Outcome, SearchConfig, SearchResult, SearchStats, Strategy};
+pub use search::{
+    search, search_with_recovery, Outcome, RecoveryConfig, SearchConfig, SearchResult, SearchStats,
+    Strategy,
+};

@@ -7,7 +7,8 @@ use std::sync::Arc;
 use minicoq::env::Env;
 use minicoq::formula::Formula;
 use minicoq_stm::{AddError, ProofSession, SessionConfig, StateId};
-use proof_oracle::{PromptInfo, QueryCtx, TacticModel};
+use proof_chaos::FaultPlan;
+use proof_oracle::{ChaoticModel, PromptInfo, QueryCtx, TacticModel};
 use serde::Serialize;
 
 /// Search strategies; `BestFirst` is the paper's, the others are ablation
@@ -57,6 +58,50 @@ impl Default for SearchConfig {
     }
 }
 
+/// How the search recovers from oracle-layer failure, and which fault
+/// plan (if any) is injecting failures to recover from.
+///
+/// Kept apart from [`SearchConfig`] deliberately: recovery parameters
+/// describe the *transport*, not the experiment — they must not affect
+/// results (a retried query reuses its `query_index`, so the recovered
+/// answer is the one a clean run gets) and therefore must not enter the
+/// cell cache key, which is derived from `SearchConfig`'s `Debug` form.
+#[derive(Clone)]
+pub struct RecoveryConfig {
+    /// Retries per failed oracle call before giving up (on top of the
+    /// initial attempt).
+    pub oracle_retries: u32,
+    /// Base backoff before the first retry; doubles per retry.
+    pub backoff_ms: u64,
+    /// Ceiling on any single backoff sleep.
+    pub backoff_cap_ms: u64,
+    /// Seeded fault plan to inject oracle faults and prover stalls;
+    /// `None` runs clean (and then the retry loop never engages).
+    pub fault_plan: Option<Arc<FaultPlan>>,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> RecoveryConfig {
+        RecoveryConfig {
+            oracle_retries: 3,
+            backoff_ms: 10,
+            backoff_cap_ms: 200,
+            fault_plan: None,
+        }
+    }
+}
+
+impl RecoveryConfig {
+    /// A recovery layer driving the given fault plan, with default retry
+    /// and backoff parameters.
+    pub fn with_plan(plan: Arc<FaultPlan>) -> RecoveryConfig {
+        RecoveryConfig {
+            fault_plan: Some(plan),
+            ..Default::default()
+        }
+    }
+}
+
 /// Why the search ended.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub enum Outcome {
@@ -94,6 +139,15 @@ pub struct SearchStats {
     pub fuel_spent: u64,
     /// Live states in the final tree.
     pub tree_size: usize,
+    /// Oracle calls that failed (transient errors or garbage output) and
+    /// were retried. Zero in a clean run.
+    pub oracle_faults: u32,
+    /// Retry attempts issued for those faults.
+    pub oracle_retries: u32,
+    /// State ids in the order the search expanded them — the golden
+    /// transcript the determinism suite compares across runs. Bounded by
+    /// the query limit.
+    pub expansions: Vec<u64>,
 }
 
 /// The result of a search run.
@@ -243,6 +297,45 @@ pub fn search(
     prompt: &PromptInfo,
     cfg: &SearchConfig,
 ) -> SearchResult {
+    search_with_recovery(
+        env,
+        stmt,
+        theorem,
+        model,
+        prompt,
+        cfg,
+        &RecoveryConfig::default(),
+    )
+}
+
+/// As [`search`], with an explicit oracle-recovery layer: failed oracle
+/// calls ([`proof_oracle::OracleFault`]) are retried with exponential
+/// backoff up to `recovery.oracle_retries` times. A retried query keeps
+/// its `query_index` and does not count against the query limit, so a
+/// recovered run is indistinguishable from a clean one. When the plan's
+/// faults outlast every retry the oracle is genuinely down; the search
+/// panics with a diagnostic, which the cell runner's panic isolation
+/// converts into a typed crashed-cell record for journaled resume.
+#[allow(clippy::too_many_arguments)]
+pub fn search_with_recovery(
+    env: &Arc<Env>,
+    stmt: &Formula,
+    theorem: &str,
+    model: &mut dyn TacticModel,
+    prompt: &PromptInfo,
+    cfg: &SearchConfig,
+    recovery: &RecoveryConfig,
+) -> SearchResult {
+    // The fault plan, when present, wraps the model with the client-side
+    // failure channel and arms the session's spurious-timeout hook.
+    let mut chaotic_slot;
+    let model: &mut dyn TacticModel = match &recovery.fault_plan {
+        Some(plan) => {
+            chaotic_slot = ChaoticModel::new(model, Arc::clone(plan));
+            &mut chaotic_slot
+        }
+        None => model,
+    };
     let mut session = ProofSession::new(
         Arc::clone(env),
         stmt.clone(),
@@ -250,6 +343,8 @@ pub fn search(
             tactic_fuel: cfg.tactic_fuel,
             dedupe_states: cfg.dedupe_states,
             preflight: cfg.preflight,
+            fault_plan: recovery.fault_plan.clone(),
+            fault_scope: theorem.to_string(),
         },
     );
     let mut stats = SearchStats::default();
@@ -274,6 +369,7 @@ pub fn search(
         let Some(state) = session.state(entry.id).cloned() else {
             continue;
         };
+        stats.expansions.push(entry.id.0);
         let path = session.script_to(entry.id);
         let ctx = QueryCtx {
             prompt,
@@ -283,7 +379,36 @@ pub fn search(
             theorem,
             query_index: stats.queries,
         };
-        let proposals = model.propose(&ctx, cfg.width);
+        // Bounded retry on oracle faults. The retried query reuses the
+        // same `query_index`, so a recovered answer is the answer a clean
+        // run would have produced; only `stats.oracle_*` (never serialized
+        // into cell results) records that anything went wrong.
+        let proposals = {
+            let mut attempt: u32 = 0;
+            loop {
+                match model.try_propose(&ctx, cfg.width) {
+                    Ok(props) => break props,
+                    Err(fault) => {
+                        stats.oracle_faults += 1;
+                        if attempt >= recovery.oracle_retries {
+                            panic!(
+                                "oracle failed after {} retries at {theorem} q{}: {fault}",
+                                recovery.oracle_retries, stats.queries
+                            );
+                        }
+                        attempt += 1;
+                        stats.oracle_retries += 1;
+                        let backoff = recovery
+                            .backoff_ms
+                            .saturating_mul(1u64 << (attempt - 1).min(16))
+                            .min(recovery.backoff_cap_ms);
+                        if backoff > 0 {
+                            std::thread::sleep(std::time::Duration::from_millis(backoff));
+                        }
+                    }
+                }
+            }
+        };
         stats.queries += 1;
         for prop in proposals {
             match session.add(entry.id, &prop.tactic) {

@@ -10,7 +10,7 @@ use proof_oracle::prompt::{build_prompt_cached, PromptCache, PromptConfig, Promp
 use proof_oracle::split::{eval_set, eval_set_small, hint_set};
 use proof_oracle::tokenizer::{bin_of, count_tokens};
 use proof_oracle::SimulatedModel;
-use proof_search::{search, Outcome, SearchConfig};
+use proof_search::{search_with_recovery, Outcome, RecoveryConfig, SearchConfig};
 use serde::{Deserialize, Serialize};
 
 use crate::levenshtein::{canonical_script, similarity};
@@ -199,10 +199,40 @@ pub fn eval_theorem(
     model: &mut SimulatedModel,
     prompt_cache: &PromptCache,
 ) -> TheoremOutcome {
+    eval_theorem_with_recovery(
+        dev,
+        index,
+        hints,
+        prompt_cfg,
+        search_cfg,
+        model,
+        prompt_cache,
+        &RecoveryConfig::default(),
+    )
+}
+
+/// As [`eval_theorem`], under an explicit oracle-recovery policy (fault
+/// injection and retry). The recovery layer never changes a successful
+/// evaluation's outcome — retried queries reuse their `query_index` and
+/// fault counters are not serialized — so the clean and recovered records
+/// are byte-identical.
+#[allow(clippy::too_many_arguments)]
+pub fn eval_theorem_with_recovery(
+    dev: &Development,
+    index: usize,
+    hints: &BTreeSet<String>,
+    prompt_cfg: &PromptConfig,
+    search_cfg: &SearchConfig,
+    model: &mut SimulatedModel,
+    prompt_cache: &PromptCache,
+    recovery: &RecoveryConfig,
+) -> TheoremOutcome {
     let thm = &dev.theorems[index];
     let env = dev.env_before(thm);
     let prompt = build_prompt_cached(dev, thm, hints, prompt_cfg, prompt_cache);
-    let result = search(env, &thm.stmt, &thm.name, model, &prompt, search_cfg);
+    let result = search_with_recovery(
+        env, &thm.stmt, &thm.name, model, &prompt, search_cfg, recovery,
+    );
     let human = canonical_script(&thm.proof_text);
     let human_tokens = count_tokens(&thm.proof_text);
     let (outcome, script) = match &result.outcome {

@@ -1,0 +1,302 @@
+//! Crash-safe JSONL journal of cell-level evaluation progress.
+//!
+//! A grid run appends one line per event to a journal file:
+//!
+//! * `start` — a cell evaluation began (written *before* the work, so an
+//!   attempt that dies mid-flight still leaves a trace);
+//! * `done` — a cell completed; the full [`CellResult`] rides along as an
+//!   escaped JSON string with an FNV-1a checksum;
+//! * `crashed` — a cell's evaluation panicked; the payload text is kept
+//!   for diagnosis.
+//!
+//! On `--resume`, [`Journal::load`] replays the log: `done` cells are
+//! served from the journal without re-evaluation, and the per-cell
+//! `start` counts tell the fault plan how many attempts already happened,
+//! so a deterministic worker-panic fault that fired on attempt 0 does not
+//! fire again on the resumed attempt 1 (see
+//! [`proof_chaos::FaultPlan::should_fault_at`]).
+//!
+//! The format is deliberately line-oriented and append-only: a crash can
+//! at worst truncate the final line, and the loader skips any line that
+//! fails to parse or whose checksum does not match, so a torn tail write
+//! costs one cell recompute, never the run.
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use serde_json::Value;
+
+use crate::experiment::CellResult;
+
+/// FNV-1a over a byte string; the journal's (and cell cache's) integrity
+/// checksum. Not cryptographic — it guards against torn writes, not
+/// adversaries.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// JSON-escapes a string (delegating to the serializer so the journal and
+/// the cell cache agree with the parser byte-for-byte).
+fn jstr(s: &str) -> String {
+    serde_json::to_string(&s.to_string()).unwrap_or_else(|_| "\"\"".into())
+}
+
+/// What the journal knows after replaying every parseable line.
+#[derive(Debug, Default, Clone)]
+pub struct JournalState {
+    /// Completed cells by cache key, checksum-verified.
+    pub done: BTreeMap<String, CellResult>,
+    /// `start` entries per cache key — how many attempts have begun,
+    /// including any that never finished.
+    pub attempts: BTreeMap<String, u32>,
+    /// Last recorded panic text per cache key, for cells that crashed.
+    pub crashes: BTreeMap<String, String>,
+}
+
+impl JournalState {
+    /// True when `key` completed in a previous attempt.
+    pub fn is_done(&self, key: &str) -> bool {
+        self.done.contains_key(key)
+    }
+
+    /// Attempts already begun for `key` (0 for a never-seen cell).
+    pub fn attempts_of(&self, key: &str) -> u32 {
+        self.attempts.get(key).copied().unwrap_or(0)
+    }
+}
+
+/// An append-only JSONL journal at a fixed path.
+#[derive(Debug, Clone)]
+pub struct Journal {
+    path: PathBuf,
+}
+
+impl Journal {
+    /// A journal at `path`. Nothing is created until the first append.
+    pub fn at(path: impl Into<PathBuf>) -> Journal {
+        Journal { path: path.into() }
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Removes the journal file (fresh runs). Missing file is fine.
+    pub fn clear(&self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+
+    /// Replays the journal. A missing file yields the empty state;
+    /// unparseable or checksum-failing lines are skipped (the crash-safety
+    /// contract: a torn tail line costs one recompute).
+    pub fn load(&self) -> JournalState {
+        let mut state = JournalState::default();
+        let Ok(text) = std::fs::read_to_string(&self.path) else {
+            return state;
+        };
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let Ok(v) = serde_json::from_str::<Value>(line) else {
+                continue;
+            };
+            let Some(ev) = v.get("ev").and_then(|e| e.as_str()) else {
+                continue;
+            };
+            let key = v.get("key").and_then(|k| k.as_str()).map(str::to_string);
+            match (ev, key) {
+                ("start", Some(key)) => {
+                    *state.attempts.entry(key).or_insert(0) += 1;
+                }
+                ("done", Some(key)) => {
+                    let Some(payload) = v.get("payload").and_then(|p| p.as_str()) else {
+                        continue;
+                    };
+                    let stored = v
+                        .get("checksum")
+                        .and_then(|c| c.as_str())
+                        .unwrap_or_default();
+                    if format!("{:016x}", fnv1a(payload.as_bytes())) != stored {
+                        continue;
+                    }
+                    let Ok(result) = serde_json::from_str::<CellResult>(payload) else {
+                        continue;
+                    };
+                    state.crashes.remove(&key);
+                    state.done.insert(key, result);
+                }
+                ("crashed", Some(key)) => {
+                    let panic = v
+                        .get("panic")
+                        .and_then(|p| p.as_str())
+                        .unwrap_or("unknown panic")
+                        .to_string();
+                    state.crashes.insert(key, panic);
+                }
+                _ => {}
+            }
+        }
+        state
+    }
+
+    /// Appends a `start` entry for `key`. Best-effort: journaling must
+    /// never take down the evaluation it protects.
+    pub fn record_start(&self, key: &str, label: &str) {
+        self.append(&format!(
+            "{{\"ev\":\"start\",\"key\":{},\"label\":{}}}",
+            jstr(key),
+            jstr(label)
+        ));
+    }
+
+    /// Appends a checksummed `done` entry carrying the full result.
+    pub fn record_done(&self, key: &str, result: &CellResult) {
+        let Ok(payload) = serde_json::to_string(result) else {
+            return;
+        };
+        self.append(&format!(
+            "{{\"ev\":\"done\",\"key\":{},\"checksum\":\"{:016x}\",\"payload\":{}}}",
+            jstr(key),
+            fnv1a(payload.as_bytes()),
+            jstr(&payload)
+        ));
+    }
+
+    /// Appends a `crashed` entry with the captured panic text.
+    pub fn record_crashed(&self, key: &str, label: &str, panic: &str) {
+        self.append(&format!(
+            "{{\"ev\":\"crashed\",\"key\":{},\"label\":{},\"panic\":{}}}",
+            jstr(key),
+            jstr(label),
+            jstr(panic)
+        ));
+    }
+
+    fn append(&self, line: &str) {
+        debug_assert!(!line.contains('\n'), "journal entries must be one line");
+        if let Some(dir) = self.path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        // A previous process may have died mid-write, leaving the file
+        // without a trailing newline. Terminate the torn line first, or
+        // this entry would merge into it and both would be lost.
+        let needs_repair = std::fs::read(&self.path)
+            .map(|bytes| !bytes.is_empty() && bytes.last() != Some(&b'\n'))
+            .unwrap_or(false);
+        let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)
+        else {
+            return;
+        };
+        if needs_repair {
+            let _ = writeln!(f);
+        }
+        let _ = writeln!(f, "{line}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::TheoremOutcome;
+    use std::collections::BTreeMap as Map;
+
+    fn sample_result(label: &str) -> CellResult {
+        CellResult {
+            label: label.to_string(),
+            setting: "hints".into(),
+            outcomes: vec![TheoremOutcome {
+                name: "lemma_weird \"quote\"".into(),
+                file: "Log".into(),
+                category: "log".into(),
+                human_tokens: 12,
+                bin: 1,
+                outcome: "proved".into(),
+                script: Some("intros.\napply h0.".into()),
+                gen_tokens: Some(5),
+                similarity: Some(0.75),
+                queries: 3,
+                pruned: 1,
+                pruned_reasons: Map::new(),
+            }],
+        }
+    }
+
+    fn temp_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("journal-test-{name}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn roundtrip_start_done_crashed() {
+        let j = Journal::at(temp_path("roundtrip"));
+        j.clear();
+        j.record_start("k1", "A");
+        j.record_crashed("k1", "A", "injected: worker panic\nwith newline");
+        j.record_start("k1", "A");
+        j.record_done("k1", &sample_result("A"));
+        j.record_start("k2", "B");
+        let s = j.load();
+        assert_eq!(s.attempts_of("k1"), 2);
+        assert_eq!(s.attempts_of("k2"), 1);
+        assert!(s.is_done("k1"));
+        assert!(!s.is_done("k2"));
+        // done supersedes crashed for the same key
+        assert!(!s.crashes.contains_key("k1"));
+        let r = &s.done["k1"];
+        assert_eq!(r.outcomes[0].name, "lemma_weird \"quote\"");
+        assert_eq!(r.outcomes[0].script.as_deref(), Some("intros.\napply h0."));
+        j.clear();
+    }
+
+    #[test]
+    fn entries_are_single_lines() {
+        let j = Journal::at(temp_path("single-line"));
+        j.clear();
+        j.record_done("k", &sample_result("multi\nline \"label\""));
+        let text = std::fs::read_to_string(j.path()).unwrap();
+        assert_eq!(text.lines().count(), 1);
+        j.clear();
+    }
+
+    #[test]
+    fn torn_tail_line_is_skipped() {
+        let j = Journal::at(temp_path("torn"));
+        j.clear();
+        j.record_done("k1", &sample_result("A"));
+        j.record_done("k2", &sample_result("B"));
+        let text = std::fs::read_to_string(j.path()).unwrap();
+        // Simulate a crash mid-write: truncate the last line in half.
+        let lines: Vec<&str> = text.lines().collect();
+        let torn = format!("{}\n{}", lines[0], &lines[1][..lines[1].len() / 2]);
+        std::fs::write(j.path(), torn).unwrap();
+        let s = j.load();
+        assert!(s.is_done("k1"));
+        assert!(!s.is_done("k2"));
+        j.clear();
+    }
+
+    #[test]
+    fn checksum_mismatch_is_skipped() {
+        let j = Journal::at(temp_path("checksum"));
+        j.clear();
+        j.record_done("k1", &sample_result("A"));
+        let text = std::fs::read_to_string(j.path()).unwrap();
+        // Flip the checksum without otherwise breaking the JSON.
+        let tampered = text.replacen("\"checksum\":\"", "\"checksum\":\"f", 1);
+        assert_ne!(text, tampered);
+        std::fs::write(j.path(), tampered).unwrap();
+        assert!(!j.load().is_done("k1"));
+        j.clear();
+    }
+}

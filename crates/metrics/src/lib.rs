@@ -6,7 +6,12 @@
 //!   per-theorem outcomes;
 //! * [`runner`] — the parallel, cache-aware engine the bench binaries use:
 //!   a work-stealing pool (bit-identical to the serial loop) plus a
-//!   content-hashed on-disk cell cache and `BENCH_eval.json` timing log;
+//!   content-hashed, checksummed on-disk cell cache and `BENCH_eval.json`
+//!   timing log, with cell-level panic isolation and optional seeded
+//!   fault injection ([`proof_chaos`]);
+//! * [`journal`] — the crash-safe JSONL progress journal behind
+//!   `--resume`: completed cells are appended as they finish and served
+//!   back without re-evaluation after an interrupted run;
 //! * [`coverage`] — proof coverage by human-proof-length bin (Figure 1)
 //!   and by category with expected-coverage correction (Table 1);
 //! * [`report`] — plain-text renderers for every table and figure, plus
@@ -15,9 +20,11 @@
 
 pub mod coverage;
 pub mod experiment;
+pub mod journal;
 pub mod levenshtein;
 pub mod report;
 pub mod runner;
 
 pub use experiment::{run_cell, CellConfig, CellResult, EvalScope, TheoremOutcome};
-pub use runner::{run_cell_jobs, Runner};
+pub use journal::{Journal, JournalState};
+pub use runner::{run_cell_jobs, CellCrash, Runner};

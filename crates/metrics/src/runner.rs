@@ -15,21 +15,28 @@
 //! Worker count: `--jobs N` on the command line beats a `JOBS=N`
 //! environment variable beats [`std::thread::available_parallelism`].
 
+use std::any::Any;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use fscq_corpus::Corpus;
+use proof_chaos::{FaultKind, FaultPlan};
 use proof_oracle::prompt::PromptCache;
 use proof_oracle::split::hint_set;
+use proof_search::RecoveryConfig;
 use serde::{Deserialize, Serialize};
 
-use crate::experiment::{eval_theorem, finish_cell, CellConfig, CellResult, TheoremOutcome};
+use crate::experiment::{
+    eval_theorem_with_recovery, finish_cell, CellConfig, CellResult, TheoremOutcome,
+};
+use crate::journal::{fnv1a, Journal};
 
 /// Bump when the cached [`CellResult`] layout or the evaluation semantics
-/// change; old cache files then simply stop matching.
-const CACHE_SCHEMA: u32 = 2;
+/// change; old cache files then simply stop matching. Schema 3 wraps the
+/// result in a checksummed envelope so torn writes are detected on load.
+const CACHE_SCHEMA: u32 = 3;
 
 /// Where cell caches live by default.
 pub fn default_cache_dir() -> PathBuf {
@@ -84,39 +91,114 @@ pub fn cell_cache_key(cell: &CellConfig) -> String {
     format!("{h:016x}")
 }
 
+/// A cell evaluation that died mid-flight: the panic payload, captured at
+/// the cell boundary so one poisoned cell cannot take down a grid run and
+/// discard every other cell's completed outcomes.
+#[derive(Debug, Clone)]
+pub struct CellCrash {
+    /// Display label of the crashed cell.
+    pub label: String,
+    /// The panic payload, rendered to text.
+    pub panic: String,
+}
+
+impl std::fmt::Display for CellCrash {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cell `{}` crashed: {}", self.label, self.panic)
+    }
+}
+
+impl std::error::Error for CellCrash {}
+
+/// Renders a caught panic payload as text (panics carry `&str` or
+/// `String` in practice; anything else gets a placeholder).
+fn panic_text(payload: Box<dyn Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Evaluates the given theorem indices under `cell` on `jobs` workers and
 /// returns the outcomes in the order of `indices` (corpus order when the
 /// caller passes a sorted eval set). Bit-identical to a serial loop.
+/// Panics if the evaluation panics; fault-aware callers want
+/// [`run_indices_checked`], which captures the crash instead.
 pub fn run_indices_jobs(
     corpus: &Corpus,
     cell: &CellConfig,
     indices: &[usize],
     jobs: usize,
 ) -> Vec<TheoremOutcome> {
+    match run_indices_checked(corpus, cell, indices, jobs, &RecoveryConfig::default(), 0) {
+        Ok(outcomes) => outcomes,
+        Err(crash) => panic!("{crash}"),
+    }
+}
+
+/// As [`run_indices_jobs`], under an explicit recovery policy and with
+/// cell-level panic isolation: a panic anywhere in the evaluation — a
+/// worker thread, the serial loop, an oracle whose faults outlasted every
+/// retry, or an injected [`FaultKind::WorkerPanic`] — is caught at the
+/// cell boundary and returned as a typed [`CellCrash`].
+///
+/// `attempt` is how many evaluations of this cell already *began*
+/// (journal `start` entries); the worker-panic fault site is keyed on it,
+/// so a fault that fired on attempt 0 stays quiet on the resumed
+/// attempt 1 (`FaultPlan::should_fault_at`).
+pub fn run_indices_checked(
+    corpus: &Corpus,
+    cell: &CellConfig,
+    indices: &[usize],
+    jobs: usize,
+    recovery: &RecoveryConfig,
+    attempt: u32,
+) -> Result<Vec<TheoremOutcome>, CellCrash> {
     let dev = &corpus.dev;
     let hints = hint_set(dev);
     let prompt_cfg = cell.prompt_config();
     let prompt_cache = PromptCache::new();
+    // The injected worker panic fires while evaluating the first stolen
+    // index, whichever worker steals it — schedule-independent, so the
+    // crash point is deterministic under any `--jobs`.
+    let inject_panic = recovery.fault_plan.as_ref().is_some_and(|plan| {
+        plan.should_fault_at(FaultKind::WorkerPanic, &cell_cache_key(cell), attempt)
+    });
+    let crash = |payload: Box<dyn Any + Send>| CellCrash {
+        label: cell.label(),
+        panic: panic_text(payload),
+    };
     if jobs <= 1 || indices.len() <= 1 {
-        let mut model = cell.model();
-        return indices
-            .iter()
-            .map(|&i| {
-                eval_theorem(
-                    dev,
-                    i,
-                    &hints,
-                    &prompt_cfg,
-                    &cell.search,
-                    &mut model,
-                    &prompt_cache,
-                )
-            })
-            .collect();
+        return std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut model = cell.model();
+            indices
+                .iter()
+                .enumerate()
+                .map(|(k, &i)| {
+                    if inject_panic && k == 0 {
+                        panic!("injected: worker panic in cell `{}`", cell.label());
+                    }
+                    eval_theorem_with_recovery(
+                        dev,
+                        i,
+                        &hints,
+                        &prompt_cfg,
+                        &cell.search,
+                        &mut model,
+                        &prompt_cache,
+                        recovery,
+                    )
+                })
+                .collect()
+        }))
+        .map_err(crash);
     }
     let next = AtomicUsize::new(0);
     let workers = jobs.min(indices.len());
-    let parts: Vec<Vec<(usize, TheoremOutcome)>> = std::thread::scope(|s| {
+    let joined: Vec<std::thread::Result<Vec<(usize, TheoremOutcome)>>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 s.spawn(|| {
@@ -127,9 +209,12 @@ pub fn run_indices_jobs(
                         if k >= indices.len() {
                             break;
                         }
+                        if inject_panic && k == 0 {
+                            panic!("injected: worker panic in cell `{}`", cell.label());
+                        }
                         out.push((
                             k,
-                            eval_theorem(
+                            eval_theorem_with_recovery(
                                 dev,
                                 indices[k],
                                 &hints,
@@ -137,6 +222,7 @@ pub fn run_indices_jobs(
                                 &cell.search,
                                 &mut model,
                                 &prompt_cache,
+                                recovery,
                             ),
                         ));
                     }
@@ -144,21 +230,29 @@ pub fn run_indices_jobs(
                 })
             })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("runner worker panicked"))
-            .collect()
+        // Join every worker before deciding the cell's fate: a panic
+        // in one must not leave siblings detached (that was the
+        // `h.join().expect(...)` bug — the first panicking join took
+        // down the whole process).
+        handles.into_iter().map(|h| h.join()).collect()
     });
+    let mut parts = Vec::new();
+    for j in joined {
+        match j {
+            Ok(part) => parts.push(part),
+            Err(payload) => return Err(crash(payload)),
+        }
+    }
     let mut slots: Vec<Option<TheoremOutcome>> = indices.iter().map(|_| None).collect();
     for part in parts {
         for (k, o) in part {
             slots[k] = Some(o);
         }
     }
-    slots
+    Ok(slots
         .into_iter()
         .map(|o| o.expect("every stolen index produced an outcome"))
-        .collect()
+        .collect())
 }
 
 /// Runs one cell on `jobs` workers (no disk cache).
@@ -203,6 +297,8 @@ pub struct Runner {
     jobs: usize,
     cache_dir: Option<PathBuf>,
     bench: Mutex<Vec<CellBench>>,
+    recovery: RecoveryConfig,
+    journal: Option<Journal>,
 }
 
 impl Runner {
@@ -213,6 +309,8 @@ impl Runner {
             jobs: resolve_jobs(),
             cache_dir: Some(default_cache_dir()),
             bench: Mutex::new(Vec::new()),
+            recovery: RecoveryConfig::default(),
+            journal: None,
         }
     }
 
@@ -234,28 +332,129 @@ impl Runner {
         self
     }
 
+    /// Overrides the oracle-recovery policy (retry counts, backoff).
+    pub fn with_recovery(mut self, recovery: RecoveryConfig) -> Runner {
+        self.recovery = recovery;
+        self
+    }
+
+    /// Arms a fault plan: oracle faults, spurious STM timeouts, worker
+    /// panics and cache corruption are injected per the plan's seeded
+    /// rates. Recovery (retry/backoff, panic isolation, checksummed
+    /// cache) keeps every *recoverable* fault invisible in the results.
+    pub fn with_fault_plan(mut self, plan: Arc<FaultPlan>) -> Runner {
+        self.recovery.fault_plan = Some(plan);
+        self
+    }
+
+    /// Attaches a crash-safe progress journal: completed cells are
+    /// appended as JSONL and served from the journal on a `--resume` run
+    /// instead of being re-evaluated.
+    pub fn with_journal(mut self, path: impl Into<PathBuf>) -> Runner {
+        self.journal = Some(Journal::at(path.into()));
+        self
+    }
+
     /// The resolved worker count.
     pub fn jobs(&self) -> usize {
         self.jobs
     }
 
+    /// The attached journal, if any.
+    pub fn journal(&self) -> Option<&Journal> {
+        self.journal.as_ref()
+    }
+
+    /// The active fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.recovery.fault_plan.as_ref()
+    }
+
     /// Runs (or loads) one cell: consult the content-hashed cache, else
     /// evaluate on the pool and populate it. Records a timing entry either
-    /// way.
+    /// way. Panics if the cell evaluation panics; fault-aware callers
+    /// want [`Runner::run_cell_checked`].
     pub fn run_cell(&self, corpus: &Corpus, cell: &CellConfig) -> CellResult {
+        match self.run_cell_checked(corpus, cell) {
+            Ok(result) => result,
+            Err(crash) => panic!("{crash}"),
+        }
+    }
+
+    /// As [`Runner::run_cell`], with cell-level panic isolation: a
+    /// poisoned cell comes back as `Err(CellCrash)` and every other
+    /// cell's outcome survives. With a journal attached, completed cells
+    /// are served from it (resume), a `start` entry precedes the work and
+    /// a `done`/`crashed` entry follows it, so a run killed at any point
+    /// resumes without repeating finished cells.
+    pub fn run_cell_checked(
+        &self,
+        corpus: &Corpus,
+        cell: &CellConfig,
+    ) -> Result<CellResult, CellCrash> {
         let start = Instant::now();
-        if let Some(path) = self.cache_path(cell) {
-            if let Some(hit) = load_cell(&path) {
-                self.record(cell.label(), hit.outcomes.len(), start, true);
-                return hit;
+        let key = cell_cache_key(cell);
+        let journal_state = self.journal.as_ref().map(|j| j.load());
+        if let Some(state) = &journal_state {
+            if let Some(done) = state.done.get(&key) {
+                self.record(cell.label(), done.outcomes.len(), start, true);
+                return Ok(done.clone());
             }
         }
-        let result = run_cell_jobs(corpus, cell, self.jobs);
         if let Some(path) = self.cache_path(cell) {
-            store_cell(&path, &result);
+            if let Some(hit) = load_cell(&path) {
+                if let Some(journal) = &self.journal {
+                    journal.record_done(&key, &hit);
+                }
+                self.record(cell.label(), hit.outcomes.len(), start, true);
+                return Ok(hit);
+            }
         }
-        self.record(cell.label(), result.outcomes.len(), start, false);
-        result
+        let attempt = journal_state
+            .as_ref()
+            .map(|s| s.attempts_of(&key))
+            .unwrap_or(0);
+        if let Some(journal) = &self.journal {
+            journal.record_start(&key, &cell.label());
+        }
+        let indices = cell.eval_indices(&corpus.dev);
+        match run_indices_checked(corpus, cell, &indices, self.jobs, &self.recovery, attempt) {
+            Ok(outcomes) => {
+                let result = finish_cell(cell, outcomes);
+                if let Some(path) = self.cache_path(cell) {
+                    store_cell(&path, &result);
+                    self.maybe_corrupt_cache(&path, &key);
+                }
+                if let Some(journal) = &self.journal {
+                    journal.record_done(&key, &result);
+                }
+                self.record(cell.label(), result.outcomes.len(), start, false);
+                Ok(result)
+            }
+            Err(crash) => {
+                if let Some(journal) = &self.journal {
+                    journal.record_crashed(&key, &crash.label, &crash.panic);
+                }
+                Err(crash)
+            }
+        }
+    }
+
+    /// Injected cache corruption: truncate the just-written cell file in
+    /// half, simulating a torn write. The schema-3 checksum envelope
+    /// detects it on the next load and recomputes — the corruption is
+    /// observable only as a cache miss.
+    fn maybe_corrupt_cache(&self, path: &Path, key: &str) {
+        let Some(plan) = &self.recovery.fault_plan else {
+            return;
+        };
+        if !plan.should_fault(FaultKind::CacheCorrupt, key) {
+            return;
+        }
+        if let Ok(bytes) = std::fs::read(path) {
+            let half = bytes.len() / 2;
+            let _ = std::fs::write(path, &bytes[..half]);
+        }
     }
 
     fn cache_path(&self, cell: &CellConfig) -> Option<PathBuf> {
@@ -298,9 +497,22 @@ impl Runner {
     }
 }
 
+/// Loads a cached cell, verifying the schema-3 checksum envelope. Any
+/// defect — unreadable file, wrong schema, torn payload, checksum
+/// mismatch — reads as a cache miss, never an error: the cell simply
+/// recomputes, and determinism makes the recomputed result identical.
 fn load_cell(path: &Path) -> Option<CellResult> {
     let text = std::fs::read_to_string(path).ok()?;
-    serde_json::from_str(&text).ok()
+    let envelope = serde_json::from_str::<serde_json::Value>(&text).ok()?;
+    if envelope.get("schema").and_then(|s| s.as_i64()) != Some(CACHE_SCHEMA as i64) {
+        return None;
+    }
+    let payload = envelope.get("payload").and_then(|p| p.as_str())?;
+    let stored = envelope.get("checksum").and_then(|c| c.as_str())?;
+    if format!("{:016x}", fnv1a(payload.as_bytes())) != stored {
+        return None;
+    }
+    serde_json::from_str(payload).ok()
 }
 
 fn store_cell(path: &Path, result: &CellResult) {
@@ -308,9 +520,17 @@ fn store_cell(path: &Path, result: &CellResult) {
         let _ = std::fs::create_dir_all(dir);
     }
     // Best-effort: a failed write only costs a recompute next run.
-    if let Ok(text) = serde_json::to_string_pretty(result) {
-        let _ = std::fs::write(path, text);
-    }
+    let Ok(payload) = serde_json::to_string(result) else {
+        return;
+    };
+    let Ok(payload_str) = serde_json::to_string(&payload) else {
+        return;
+    };
+    let envelope = format!(
+        "{{\"schema\":{CACHE_SCHEMA},\"checksum\":\"{:016x}\",\"payload\":{payload_str}}}",
+        fnv1a(payload.as_bytes())
+    );
+    let _ = std::fs::write(path, envelope);
 }
 
 #[cfg(test)]

@@ -1,0 +1,116 @@
+//! Property tests for the crash-safe progress journal: a run interrupted
+//! at *any* byte — mid-line, mid-payload, between entries — must lose at
+//! most the cell whose entry was torn, and a resume pass over the
+//! survivors must reconstruct exactly the outcomes a clean run records.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use proof_metrics::journal::Journal;
+use proof_metrics::{CellResult, TheoremOutcome};
+use proptest::prelude::*;
+
+static CASE: AtomicU64 = AtomicU64::new(0);
+
+fn scratch_journal() -> Journal {
+    let n = CASE.fetch_add(1, Ordering::Relaxed);
+    let path: PathBuf =
+        std::env::temp_dir().join(format!("journal-props-{}-{n}.jsonl", std::process::id()));
+    let j = Journal::at(path);
+    j.clear();
+    j
+}
+
+/// A synthetic cell result whose content is a function of its index, so
+/// equality checks catch any cross-cell mixup.
+fn cell_result(i: usize, script: &str) -> CellResult {
+    CellResult {
+        label: format!("cell-{i}"),
+        setting: if i.is_multiple_of(2) { "vanilla" } else { "hints" }.into(),
+        outcomes: (0..=i % 3)
+            .map(|k| TheoremOutcome {
+                name: format!("thm_{i}_{k} \"{script}\""),
+                file: format!("Mod{i}"),
+                category: "log".into(),
+                human_tokens: 10 + i,
+                bin: i % 5,
+                outcome: if k == 0 { "proved" } else { "stuck" }.into(),
+                script: (k == 0).then(|| format!("{script}\nqed_{i}.")),
+                gen_tokens: (k == 0).then_some(3 + i),
+                similarity: (k == 0).then_some(1.0 / (i + 1) as f64),
+                queries: (i * 7 + k) as u32,
+                pruned: k as u32,
+                pruned_reasons: BTreeMap::new(),
+            })
+            .collect(),
+    }
+}
+
+fn same_result(a: &CellResult, b: &CellResult) -> bool {
+    serde_json::to_string(a).unwrap() == serde_json::to_string(b).unwrap()
+}
+
+proptest! {
+    #[test]
+    fn truncated_journal_resumes_to_full_state(
+        n_cells in 1usize..6,
+        crashed_mask in 0u32..64,
+        cut_millis in 0u32..1000,
+        script in "[a-z\\\\\" \\.\\n]{0,16}",
+    ) {
+        let j = scratch_journal();
+        let originals: Vec<(String, CellResult)> = (0..n_cells)
+            .map(|i| (format!("key-{i}"), cell_result(i, &script)))
+            .collect();
+        // A run: every cell starts; some crash once and retry before
+        // completing (bit i of the mask), all eventually complete.
+        for (i, (key, result)) in originals.iter().enumerate() {
+            j.record_start(key, &result.label);
+            if crashed_mask & (1 << i) != 0 {
+                j.record_crashed(key, &result.label, "injected: worker panic");
+                j.record_start(key, &result.label);
+            }
+            j.record_done(key, result);
+        }
+
+        // The interruption: keep an arbitrary byte prefix of the file.
+        let bytes = std::fs::read(j.path()).unwrap();
+        let cut = (bytes.len() as u64 * cut_millis as u64 / 1000) as usize;
+        std::fs::write(j.path(), &bytes[..cut]).unwrap();
+
+        // Reading the torn journal: whatever survived must be exact, and
+        // a `done` cell can only be one we actually wrote.
+        let torn = j.load();
+        for (key, result) in &torn.done {
+            let original = originals.iter().find(|(k, _)| k == key);
+            prop_assert!(original.is_some(), "journal invented a cell: {key}");
+            prop_assert!(
+                same_result(result, &original.unwrap().1),
+                "torn journal corrupted cell {key}"
+            );
+        }
+
+        // The resume pass: re-record every cell the torn journal lost.
+        for (key, result) in &originals {
+            if !torn.is_done(key) {
+                j.record_start(key, &result.label);
+                j.record_done(key, result);
+            }
+        }
+        let resumed = j.load();
+        for (key, result) in &originals {
+            prop_assert!(resumed.is_done(key), "cell {key} lost after resume");
+            prop_assert!(
+                same_result(&resumed.done[key], result),
+                "cell {key} diverged after resume"
+            );
+            // Attempts survive as a lower bound: at least the resume's own
+            // start entry is visible (earlier ones may sit past the cut).
+            prop_assert!(resumed.attempts_of(key) >= 1);
+        }
+        // No crash marker survives for a completed cell.
+        prop_assert!(resumed.crashes.is_empty());
+        j.clear();
+    }
+}

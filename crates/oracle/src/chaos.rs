@@ -1,0 +1,159 @@
+//! Fault-injecting oracle wrapper.
+//!
+//! [`ChaoticModel`] sits between the search and any [`TacticModel`] and
+//! injects the failures a networked LLM client sees: transport errors and
+//! garbage completions. Which queries fault is decided by the shared
+//! [`FaultPlan`] — a pure function of (seed, theorem, query index) — and
+//! faults are transient (the plan's trip counters), so a retry of the same
+//! query reaches the inner model and returns exactly what an unfaulted run
+//! would have returned. That is the property the byte-identity tests lean
+//! on: retries reuse the same `query_index`, hence the same simulator
+//! noise, hence the same proposals.
+
+use std::sync::Arc;
+
+use proof_chaos::{FaultKind, FaultPlan};
+
+use crate::model::{OracleFault, Proposal, QueryCtx, TacticModel};
+
+/// A [`TacticModel`] decorator that injects plan-selected oracle faults.
+pub struct ChaoticModel<'a> {
+    inner: &'a mut dyn TacticModel,
+    plan: Arc<FaultPlan>,
+    name: String,
+}
+
+impl<'a> ChaoticModel<'a> {
+    /// Wraps `inner`, injecting the oracle faults `plan` selects.
+    pub fn new(inner: &'a mut dyn TacticModel, plan: Arc<FaultPlan>) -> ChaoticModel<'a> {
+        let name = inner.name().to_string();
+        ChaoticModel { inner, plan, name }
+    }
+
+    fn site(ctx: &QueryCtx<'_>) -> String {
+        format!("{}:q{}", ctx.theorem, ctx.query_index)
+    }
+}
+
+impl TacticModel for ChaoticModel<'_> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The infallible path bypasses injection: callers that cannot retry
+    /// should not be handed failures they cannot recover from.
+    fn propose(&mut self, ctx: &QueryCtx<'_>, width: usize) -> Vec<Proposal> {
+        self.inner.propose(ctx, width)
+    }
+
+    fn try_propose(
+        &mut self,
+        ctx: &QueryCtx<'_>,
+        width: usize,
+    ) -> Result<Vec<Proposal>, OracleFault> {
+        let site = Self::site(ctx);
+        if self.plan.should_fault(FaultKind::OracleError, &site) {
+            return Err(OracleFault::Transient(format!(
+                "injected: upstream returned 503 for {site}"
+            )));
+        }
+        if self.plan.should_fault(FaultKind::OracleGarbage, &site) {
+            return Err(OracleFault::Garbage(format!(
+                "injected: unparsable completion for {site}: \
+                 ```\nI'm sorry, but as an AI language model\n```"
+            )));
+        }
+        self.inner.try_propose(ctx, width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minicoq::env::Env;
+    use minicoq::goal::ProofState;
+    use minicoq::parse::parse_formula;
+    use proof_chaos::FaultConfig;
+
+    struct FixedModel;
+
+    impl TacticModel for FixedModel {
+        fn name(&self) -> &str {
+            "fixed"
+        }
+        fn propose(&mut self, _ctx: &QueryCtx<'_>, _width: usize) -> Vec<Proposal> {
+            vec![Proposal {
+                tactic: "intros".into(),
+                logprob: -0.1,
+            }]
+        }
+    }
+
+    fn with_ctx<R>(query_index: u32, f: impl FnOnce(&QueryCtx<'_>) -> R) -> R {
+        let env = Env::with_prelude();
+        let stmt = parse_formula(&env, "forall n : nat, n = n").unwrap();
+        let state = ProofState::new(stmt);
+        let prompt = crate::prompt::PromptInfo::default();
+        let ctx = QueryCtx {
+            prompt: &prompt,
+            state: &state,
+            env: &env,
+            path: &[],
+            theorem: "thm",
+            query_index,
+        };
+        f(&ctx)
+    }
+
+    #[test]
+    fn faults_are_transient_and_recover_the_inner_answer() {
+        let plan = Arc::new(FaultPlan::new(FaultConfig {
+            seed: 5,
+            oracle_error: 1.0,
+            ..Default::default()
+        }));
+        let mut inner = FixedModel;
+        let mut model = ChaoticModel::new(&mut inner, plan);
+        with_ctx(0, |ctx| {
+            let err = model.try_propose(ctx, 8).unwrap_err();
+            assert!(matches!(err, OracleFault::Transient(_)));
+            // The retry (same query index → same site) succeeds with the
+            // inner model's exact answer.
+            let ok = model.try_propose(ctx, 8).unwrap();
+            assert_eq!(ok.len(), 1);
+            assert_eq!(ok[0].tactic, "intros");
+        });
+    }
+
+    #[test]
+    fn garbage_channel_is_distinct() {
+        let plan = Arc::new(FaultPlan::new(FaultConfig {
+            seed: 5,
+            oracle_garbage: 1.0,
+            ..Default::default()
+        }));
+        let mut inner = FixedModel;
+        let mut model = ChaoticModel::new(&mut inner, plan);
+        with_ctx(3, |ctx| {
+            let err = model.try_propose(ctx, 8).unwrap_err();
+            assert!(matches!(err, OracleFault::Garbage(_)));
+            assert!(model.try_propose(ctx, 8).is_ok());
+        });
+    }
+
+    #[test]
+    fn infallible_path_never_faults() {
+        let plan = Arc::new(FaultPlan::new(FaultConfig {
+            seed: 5,
+            oracle_error: 1.0,
+            oracle_garbage: 1.0,
+            ..Default::default()
+        }));
+        let mut inner = FixedModel;
+        let mut model = ChaoticModel::new(&mut inner, plan);
+        assert_eq!(model.name(), "fixed");
+        with_ctx(0, |ctx| {
+            assert_eq!(model.propose(ctx, 8).len(), 1);
+        });
+    }
+}

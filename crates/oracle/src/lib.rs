@@ -22,8 +22,13 @@
 //! * [`sim`] — [`sim::SimulatedModel`]: a retrieval-augmented stochastic
 //!   tactic predictor. No network access is available, so the simulator
 //!   stands in for the real models; DESIGN.md documents why this preserves
-//!   the behaviours the evaluation measures.
+//!   the behaviours the evaluation measures;
+//! * [`chaos`] — [`chaos::ChaoticModel`]: a fault-injecting decorator
+//!   reproducing the failure channel of a *networked* client (transport
+//!   errors, garbage completions), driven by a seeded
+//!   [`proof_chaos::FaultPlan`].
 
+pub mod chaos;
 pub mod model;
 pub mod profiles;
 pub mod prompt;
@@ -33,7 +38,8 @@ pub mod split;
 pub mod sync;
 pub mod tokenizer;
 
-pub use model::{Proposal, QueryCtx, TacticModel};
+pub use chaos::ChaoticModel;
+pub use model::{OracleFault, Proposal, QueryCtx, TacticModel};
 pub use profiles::ModelProfile;
 pub use prompt::{PromptInfo, PromptSetting};
 pub use sim::SimulatedModel;

@@ -56,6 +56,33 @@ pub fn render_query(ctx: &QueryCtx<'_>) -> String {
     out
 }
 
+/// A failed oracle call, as a real LLM client observes it. Both variants
+/// are transient from the caller's perspective: the search layer retries
+/// with backoff ([`RecoveryConfig`]) rather than treating them as a proof
+/// outcome, because neither says anything about the theorem.
+///
+/// [`RecoveryConfig`]: https://docs.rs/proof-search
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OracleFault {
+    /// The call itself failed (timeout, 5xx, connection reset).
+    Transient(String),
+    /// The call returned, but the payload could not be parsed into a
+    /// tactic list (truncated JSON, refusal text, markdown fences). The
+    /// raw text is attached for diagnostics.
+    Garbage(String),
+}
+
+impl std::fmt::Display for OracleFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OracleFault::Transient(m) => write!(f, "transient oracle error: {m}"),
+            OracleFault::Garbage(m) => write!(f, "garbage oracle output: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for OracleFault {}
+
 /// A next-tactic prediction model.
 ///
 /// The paper's implementation calls an LLM API with the prompt plus the
@@ -67,4 +94,16 @@ pub trait TacticModel {
 
     /// Proposes up to `width` candidate tactics, most probable first.
     fn propose(&mut self, ctx: &QueryCtx<'_>, width: usize) -> Vec<Proposal>;
+
+    /// As [`propose`](TacticModel::propose), but with the failure channel a
+    /// networked client has: the call can fail or return unusable output.
+    /// The search layer drives this method and retries faults; the
+    /// in-process simulator never fails, so the default just delegates.
+    fn try_propose(
+        &mut self,
+        ctx: &QueryCtx<'_>,
+        width: usize,
+    ) -> Result<Vec<Proposal>, OracleFault> {
+        Ok(self.propose(ctx, width))
+    }
 }

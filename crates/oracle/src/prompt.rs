@@ -67,7 +67,7 @@ impl PromptConfig {
 
 /// The constructed prompt, with the structured views the simulated model
 /// consumes (a real client would read `text`).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct PromptInfo {
     /// The rendered prompt text.
     pub text: String,

@@ -12,6 +12,7 @@ use minicoq::goal::ProofState;
 use minicoq::parse::parse_tactic;
 use minicoq::statehash::state_hash;
 use minicoq::tactic::apply_tactic;
+use proof_chaos::{FaultKind, FaultPlan};
 
 /// Identifier of a proof state within a session.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -33,6 +34,14 @@ pub struct SessionConfig {
     /// default so a bare session reports the evaluator's own taxonomy;
     /// the search layer turns it on.
     pub preflight: bool,
+    /// Chaos-testing hook: a seeded fault plan injecting spurious
+    /// [`AddError::Timeout`]s for plan-selected tactics, simulating a
+    /// wall-clock prover stall. `None` (the default) runs clean.
+    pub fault_plan: Option<Arc<FaultPlan>>,
+    /// Names this session in fault-site identifiers (conventionally the
+    /// theorem name), so injected timeouts are deterministic per theorem
+    /// rather than per process.
+    pub fault_scope: String,
 }
 
 impl Default for SessionConfig {
@@ -41,6 +50,8 @@ impl Default for SessionConfig {
             tactic_fuel: minicoq::fuel::DEFAULT_TACTIC_FUEL,
             dedupe_states: true,
             preflight: false,
+            fault_plan: None,
+            fault_scope: String::new(),
         }
     }
 }
@@ -198,6 +209,16 @@ impl ProofSession {
             TacticError::Parse(m) => AddError::Parse(m),
             other => AddError::Rejected(other.to_string()),
         })?;
+        // Injected prover stall: the tactic parsed but "ran out the clock".
+        // Reported exactly like a genuine timeout (the search cannot tell
+        // them apart, which is the point), with no fuel charged — a stalled
+        // prover burns wall-clock, not our deterministic budget.
+        if let Some(plan) = &self.config.fault_plan {
+            let site = format!("{}::{}@{}", self.config.fault_scope, tactic_src, at.0);
+            if plan.should_fault(FaultKind::StmTimeout, &site) {
+                return Err(AddError::Timeout);
+            }
+        }
         if self.config.preflight {
             if let PreflightVerdict::Reject(r) =
                 preflight_state(&self.env, &base, &tac, self.config.tactic_fuel)

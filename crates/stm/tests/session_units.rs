@@ -239,3 +239,111 @@ fn protocol_errors_are_responses_not_panics() {
     let unparseable = handle_line(&mut s, "((");
     assert!(unparseable.contains("Error"), "{unparseable}");
 }
+
+// ------------------------------------------------------- AddError taxonomy
+
+#[test]
+fn no_such_state_for_bogus_and_cancelled_ids() {
+    let mut s = session("forall n : nat, n = n", true);
+    let root = s.root();
+    // A state id the session never issued.
+    assert_eq!(s.add(StateId(9999), "intros n"), Err(AddError::NoSuchState));
+    // A state that existed but was cancelled, and its descendants.
+    let a = s.add(root, "intros n").unwrap();
+    let b = s.add(a.id, "reflexivity").unwrap();
+    s.cancel(a.id);
+    assert_eq!(s.add(a.id, "reflexivity"), Err(AddError::NoSuchState));
+    assert_eq!(s.add(b.id, "intros n"), Err(AddError::NoSuchState));
+    // The root is untouched.
+    assert!(s.add(root, "intros n").is_ok());
+}
+
+#[test]
+fn parse_errors_are_distinguished_from_rejections() {
+    let mut s = session("0 = 0", true);
+    let root = s.root();
+    for src in ["((", "intros )", ""] {
+        match s.add(root, src) {
+            Err(AddError::Parse(m)) => assert!(!m.is_empty(), "{src:?}: empty message"),
+            other => panic!("{src:?}: expected Parse, got {other:?}"),
+        }
+    }
+    // A well-formed tactic that the engine refuses is Rejected, not Parse.
+    match s.add(root, "apply no_such_lemma") {
+        Err(AddError::Rejected(_)) => {}
+        other => panic!("expected Rejected, got {other:?}"),
+    }
+}
+
+#[test]
+fn add_error_display_covers_every_variant() {
+    assert_eq!(
+        AddError::Rejected("boom".into()).to_string(),
+        "rejected: boom"
+    );
+    assert_eq!(
+        AddError::Parse("bad token".into()).to_string(),
+        "parse error: bad token"
+    );
+    assert_eq!(AddError::Timeout.to_string(), "timeout");
+    assert_eq!(
+        AddError::DuplicateState(StateId(7)).to_string(),
+        "duplicate of state 7"
+    );
+    assert_eq!(AddError::NoSuchState.to_string(), "no such state");
+}
+
+#[test]
+fn injected_stm_timeout_is_transient_and_charges_no_fuel() {
+    use proof_chaos::{FaultConfig, FaultPlan};
+    use std::sync::Arc;
+
+    let env = Env::with_prelude();
+    let f = parse_formula(&env, "forall n : nat, n = n").unwrap();
+    let plan = Arc::new(FaultPlan::new(FaultConfig {
+        seed: 3,
+        stm_timeout: 1.0,
+        ..FaultConfig::default()
+    }));
+    let mut s = ProofSession::new(
+        env,
+        f,
+        SessionConfig {
+            tactic_fuel: 200_000,
+            fault_plan: Some(Arc::clone(&plan)),
+            fault_scope: "taxonomy_test".into(),
+            ..Default::default()
+        },
+    );
+    let root = s.root();
+    // First attempt at this site: the injected timeout fires, and the
+    // tactic is never executed, so no fuel is charged (a stalled call
+    // burns wall-clock, not deterministic budget).
+    assert_eq!(s.add(root, "intros n"), Err(AddError::Timeout));
+    assert_eq!(s.fuel_spent(), 0);
+    // The fault is transient (max_trips = 1): the same add now succeeds.
+    assert!(s.add(root, "intros n").is_ok());
+    assert!(s.fuel_spent() > 0);
+}
+
+#[test]
+fn zero_rate_fault_plan_never_times_out() {
+    use proof_chaos::{FaultConfig, FaultPlan};
+    use std::sync::Arc;
+
+    let env = Env::with_prelude();
+    let f = parse_formula(&env, "forall n : nat, n = n").unwrap();
+    let mut s = ProofSession::new(
+        env,
+        f,
+        SessionConfig {
+            tactic_fuel: 200_000,
+            fault_plan: Some(Arc::new(FaultPlan::new(FaultConfig::default()))),
+            fault_scope: "zero_rate".into(),
+            ..Default::default()
+        },
+    );
+    let root = s.root();
+    let a = s.add(root, "intros n").unwrap();
+    assert!(s.add(a.id, "reflexivity").unwrap().proved);
+}
