@@ -8,6 +8,10 @@ use proof_oracle::prompt::PromptSetting;
 use proof_search::Strategy;
 
 fn main() {
+    let trace_out = llm_fscq_bench::trace_out_flag();
+    if trace_out.is_some() {
+        proof_trace::set_enabled(true);
+    }
     let corpus = Corpus::load();
     let runner = llm_fscq_bench::runner(llm_fscq_bench::fresh_flag());
     println!("== Search-strategy ablation (GPT-4o w/ hints, query limit 128) ==");
@@ -61,4 +65,9 @@ fn main() {
         );
     }
     let _ = runner.write_bench(llm_fscq_bench::BENCH_EVAL_PATH, "ablation cells");
+    if let Some(base) = &trace_out {
+        if let Err(e) = llm_fscq_bench::write_trace_artifacts(base) {
+            eprintln!("trace export failed: {e}");
+        }
+    }
 }

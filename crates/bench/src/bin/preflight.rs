@@ -19,6 +19,10 @@ use proof_oracle::profiles::ModelProfile;
 use proof_oracle::prompt::PromptSetting;
 
 fn main() -> ExitCode {
+    let trace_out = llm_fscq_bench::trace_out_flag();
+    if trace_out.is_some() {
+        proof_trace::set_enabled(true);
+    }
     let corpus = Corpus::load();
     let runner = runner(fresh_flag());
 
@@ -86,6 +90,11 @@ fn main() -> ExitCode {
         reason_list.join(", "),
     );
     let _ = runner.write_bench(BENCH_EVAL_PATH, &notes);
+    if let Some(base) = &trace_out {
+        if let Err(e) = llm_fscq_bench::write_trace_artifacts(base) {
+            eprintln!("trace export failed: {e}");
+        }
+    }
 
     if divergences > 0 {
         eprintln!("preflight: {divergences} diverging theorem(s) — the filter is NOT neutral");

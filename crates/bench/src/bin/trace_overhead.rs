@@ -1,0 +1,79 @@
+//! Tracing-overhead A/B: the Table 2 grid evaluated twice in one process,
+//! collector off then on, at equal configuration (fresh, no cell cache).
+//!
+//! Two contracts are measured and checked here:
+//!
+//! * **Overhead** — the off-vs-on wall-time totals land in
+//!   `BENCH_eval.json` (cells `[0..10]` untraced, `[10..20]` traced, delta
+//!   in the notes), the number the "cheap enough for release builds" claim
+//!   rests on.
+//! * **Determinism** — the traced grid's serialized results must be
+//!   byte-identical to the untraced grid's; the process exits non-zero on
+//!   any divergence.
+
+use std::process::ExitCode;
+
+use fscq_corpus::Corpus;
+use llm_fscq_bench::BENCH_EVAL_PATH;
+use proof_metrics::CellConfig;
+use proof_oracle::profiles::ModelProfile;
+use proof_oracle::prompt::PromptSetting;
+
+fn main() -> ExitCode {
+    let corpus = Corpus::load();
+    // Fresh runner: the cell cache would turn the second sweep into disk
+    // reads and the comparison into noise.
+    let runner = llm_fscq_bench::runner(true);
+    let cells: Vec<CellConfig> = ModelProfile::all_five()
+        .into_iter()
+        .flat_map(|p| {
+            [PromptSetting::Vanilla, PromptSetting::Hints]
+                .map(|s| CellConfig::standard(p.clone(), s))
+        })
+        .collect();
+
+    proof_trace::set_enabled(false);
+    let off: Vec<String> = cells
+        .iter()
+        .map(|c| serde_json::to_string(&runner.run_cell(&corpus, c)).unwrap())
+        .collect();
+    let off_ms: f64 = runner.bench_records().iter().map(|r| r.wall_ms).sum();
+
+    proof_trace::set_enabled(true);
+    let _ = proof_trace::drain();
+    let on: Vec<String> = cells
+        .iter()
+        .map(|c| serde_json::to_string(&runner.run_cell(&corpus, c)).unwrap())
+        .collect();
+    let on_ms: f64 = runner.bench_records()[cells.len()..]
+        .iter()
+        .map(|r| r.wall_ms)
+        .sum();
+    let spans = proof_trace::drain().spans.len();
+    proof_trace::set_enabled(false);
+
+    let identical = off == on;
+    let delta = 100.0 * (on_ms - off_ms) / off_ms.max(1e-9);
+    println!("collector off: {off_ms:8.1} ms");
+    println!("collector on : {on_ms:8.1} ms  ({delta:+.1}%, {spans} spans collected)");
+    println!("results byte-identical: {identical}");
+
+    let notes = format!(
+        "tracing overhead A/B (Table 2 grid, fresh, no cell cache): \
+         cells[0..{n}]=collector off {off_ms:.0} ms, cells[{n}..{m}]=collector on \
+         {on_ms:.0} ms ({delta:+.1}%); {spans} spans collected; \
+         results byte-identical: {identical}",
+        n = cells.len(),
+        m = 2 * cells.len(),
+    );
+    if let Err(e) = runner.write_bench(BENCH_EVAL_PATH, &notes) {
+        eprintln!("cannot write {BENCH_EVAL_PATH}: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    if !identical {
+        eprintln!("tracing changed the experiment output — determinism contract violated");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -53,6 +53,9 @@ pub struct GridOpts {
     pub resume: bool,
     /// `--fault-seed` / `--fault-plan`: the armed fault-injection plan.
     pub fault_plan: Option<Arc<FaultPlan>>,
+    /// `--trace-out PATH`: arm the tracing layer and write a Chrome
+    /// trace-event JSON at `PATH` plus a JSONL event stream next to it.
+    pub trace_out: Option<PathBuf>,
 }
 
 impl GridOpts {
@@ -62,6 +65,7 @@ impl GridOpts {
             fresh: fresh_flag(),
             resume: resume_flag(),
             fault_plan: proof_chaos::plan_from_env_args(),
+            trace_out: trace_out_flag(),
         }
     }
 
@@ -71,6 +75,42 @@ impl GridOpts {
     pub fn chaotic(&self) -> bool {
         self.fault_plan.is_some()
     }
+}
+
+/// The `--trace-out PATH` / `--trace-out=PATH` argument, if present.
+pub fn trace_out_flag() -> Option<PathBuf> {
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(a) = args.next() {
+        if a == "--trace-out" {
+            if let Some(v) = args.peek() {
+                return Some(PathBuf::from(v));
+            }
+        } else if let Some(v) = a.strip_prefix("--trace-out=") {
+            return Some(PathBuf::from(v));
+        }
+    }
+    None
+}
+
+/// Drains the collector and writes both trace artifacts: Chrome
+/// trace-event JSON at `base` with a `.json` extension and the JSONL
+/// event stream beside it with `.jsonl`. Returns the two paths.
+pub fn write_trace_artifacts(base: &std::path::Path) -> std::io::Result<(PathBuf, PathBuf)> {
+    let chrome = base.with_extension("json");
+    let jsonl = base.with_extension("jsonl");
+    let data = proof_trace::drain();
+    let snap = proof_trace::metrics::snapshot();
+    proof_trace::export::write_chrome(&chrome, &data)?;
+    proof_trace::export::write_jsonl(&jsonl, &data, &snap)?;
+    eprintln!(
+        "trace: {} spans, {} events ({} dropped) -> {} + {}",
+        data.spans.len(),
+        data.events.len(),
+        data.dropped,
+        chrome.display(),
+        jsonl.display()
+    );
+    Ok((chrome, jsonl))
 }
 
 /// Runs (or loads) the main experiment grid: the five model configurations
@@ -87,8 +127,13 @@ pub fn main_grid(fresh: bool) -> ResultSet {
 /// (injected or real), the completed cells stay journaled and the process
 /// exits with status 2 after advising a `--resume` run.
 pub fn main_grid_opts(opts: &GridOpts) -> ResultSet {
+    if opts.trace_out.is_some() {
+        proof_trace::set_enabled(true);
+    }
     let path = artifact_dir().join("main_grid.json");
-    if !opts.fresh && !opts.resume && !opts.chaotic() {
+    // A traced run also skips the grid-level JSON shortcut: serving the
+    // whole grid from one file would record an empty trace.
+    if !opts.fresh && !opts.resume && !opts.chaotic() && opts.trace_out.is_none() {
         if let Ok(text) = std::fs::read_to_string(&path) {
             if let Ok(rs) = ResultSet::from_json(&text) {
                 return rs;
@@ -135,6 +180,11 @@ pub fn main_grid_opts(opts: &GridOpts) -> ResultSet {
     let _ = std::fs::create_dir_all(artifact_dir());
     let _ = std::fs::write(&path, rs.to_json());
     let _ = runner.write_bench(BENCH_EVAL_PATH, "main grid (Table 2 cells)");
+    if let Some(base) = &opts.trace_out {
+        if let Err(e) = write_trace_artifacts(base) {
+            eprintln!("trace export failed: {e}");
+        }
+    }
     rs
 }
 

@@ -284,6 +284,14 @@ impl Frontier {
             Frontier::BreadthFirst(queue) => queue.pop_front(),
         }
     }
+
+    fn len(&self) -> usize {
+        match self {
+            Frontier::BestFirst(heap) => heap.len(),
+            Frontier::Greedy(heap) => heap.len(),
+            Frontier::BreadthFirst(queue) => queue.len(),
+        }
+    }
 }
 
 /// Runs the search for `stmt` against `model`. The environment is shared
@@ -357,7 +365,14 @@ pub fn search_with_recovery(
         depth: 0,
     });
 
-    while let Some(entry) = frontier.pop() {
+    loop {
+        let entry = {
+            let _sp = proof_trace::span("frontier", "pop");
+            match frontier.pop() {
+                Some(e) => e,
+                None => break,
+            }
+        };
         if stats.queries >= cfg.query_limit {
             stats.fuel_spent = session.fuel_spent();
             stats.tree_size = session.live_states();
@@ -366,11 +381,25 @@ pub fn search_with_recovery(
                 stats,
             };
         }
-        let Some(state) = session.state(entry.id).cloned() else {
-            continue;
+        let state = {
+            let _sp = proof_trace::span("stm", "state");
+            match session.state(entry.id).cloned() {
+                Some(s) => s,
+                None => continue,
+            }
         };
+        let mut expand_sp = proof_trace::span("search.expand", theorem);
+        if expand_sp.is_armed() {
+            expand_sp.field_u64("state", entry.id.0);
+            expand_sp.field_u64("depth", entry.depth as u64);
+            expand_sp.field_u64("query", stats.queries as u64);
+            proof_trace::metrics::observe("search.frontier.depth", frontier.len() as u64);
+        }
         stats.expansions.push(entry.id.0);
-        let path = session.script_to(entry.id);
+        let path = {
+            let _sp = proof_trace::span("stm", "path");
+            session.script_to(entry.id)
+        };
         let ctx = QueryCtx {
             prompt,
             state: &state,
@@ -384,12 +413,18 @@ pub fn search_with_recovery(
         // run would have produced; only `stats.oracle_*` (never serialized
         // into cell results) records that anything went wrong.
         let proposals = {
+            let mut sp = proof_trace::span("oracle", theorem);
             let mut attempt: u32 = 0;
-            loop {
+            let props = loop {
                 match model.try_propose(&ctx, cfg.width) {
                     Ok(props) => break props,
                     Err(fault) => {
                         stats.oracle_faults += 1;
+                        // Always-on: fault recovery is the one signal that
+                        // must survive even untraced runs (satellite
+                        // reporting reads it from the registry), and faults
+                        // are rare enough that a counter bump is free.
+                        proof_trace::metrics::counter_inc("search.oracle_faults");
                         if attempt >= recovery.oracle_retries {
                             panic!(
                                 "oracle failed after {} retries at {theorem} q{}: {fault}",
@@ -398,6 +433,7 @@ pub fn search_with_recovery(
                         }
                         attempt += 1;
                         stats.oracle_retries += 1;
+                        proof_trace::metrics::counter_inc("search.oracle_retries");
                         let backoff = recovery
                             .backoff_ms
                             .saturating_mul(1u64 << (attempt - 1).min(16))
@@ -407,7 +443,13 @@ pub fn search_with_recovery(
                         }
                     }
                 }
+            };
+            if sp.is_armed() {
+                sp.field_u64("query", stats.queries as u64);
+                sp.field_u64("proposals", props.len() as u64);
+                sp.field_u64("retries", attempt as u64);
             }
+            props
         };
         stats.queries += 1;
         for prop in proposals {
@@ -424,6 +466,7 @@ pub fn search_with_recovery(
                         };
                     }
                     seq += 1;
+                    let _sp = proof_trace::span("frontier", "push");
                     frontier.push(Entry {
                         score: entry.score + prop.logprob,
                         seq,
@@ -435,6 +478,12 @@ pub fn search_with_recovery(
                 Err(AddError::Timeout) => stats.timeouts += 1,
                 Err(AddError::Preflight(r)) => {
                     stats.preflight_pruned += 1;
+                    if proof_trace::enabled() {
+                        proof_trace::metrics::counter_inc(&format!(
+                            "search.preflight.{}",
+                            r.code.code()
+                        ));
+                    }
                     *stats
                         .preflight_reasons
                         .entry(r.code.code().to_string())

@@ -228,11 +228,16 @@ pub fn eval_theorem_with_recovery(
     recovery: &RecoveryConfig,
 ) -> TheoremOutcome {
     let thm = &dev.theorems[index];
+    let mut thm_sp = proof_trace::span("theorem", &thm.name);
     let env = dev.env_before(thm);
     let prompt = build_prompt_cached(dev, thm, hints, prompt_cfg, prompt_cache);
-    let result = search_with_recovery(
-        env, &thm.stmt, &thm.name, model, &prompt, search_cfg, recovery,
-    );
+    let result = {
+        let _sp = proof_trace::span("search", &thm.name);
+        search_with_recovery(
+            env, &thm.stmt, &thm.name, model, &prompt, search_cfg, recovery,
+        )
+    };
+    let _classify_sp = proof_trace::span("classify", &thm.name);
     let human = canonical_script(&thm.proof_text);
     let human_tokens = count_tokens(&thm.proof_text);
     let (outcome, script) = match &result.outcome {
@@ -240,6 +245,10 @@ pub fn eval_theorem_with_recovery(
         Outcome::Stuck => ("stuck", None),
         Outcome::Fuelout => ("fuelout", None),
     };
+    if thm_sp.is_armed() {
+        thm_sp.field_str("outcome", outcome);
+        thm_sp.field_u64("queries", result.stats.queries as u64);
+    }
     let (gen_tokens, sim) = match &script {
         Some(s) => {
             let c = canonical_script(s);

@@ -19,7 +19,6 @@ use std::any::Any;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
 
 use fscq_corpus::Corpus;
 use proof_chaos::{FaultKind, FaultPlan};
@@ -262,6 +261,34 @@ pub fn run_cell_jobs(corpus: &Corpus, cell: &CellConfig, jobs: usize) -> CellRes
     finish_cell(cell, outcomes)
 }
 
+/// How a cell's result was obtained — every path through
+/// [`Runner::run_cell_checked`] lands in exactly one of these, so
+/// `BENCH_eval.json` times computed, cached, resumed, *and* crashed cells
+/// consistently (crashed cells used to silently skip timing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellSource {
+    /// Evaluated on the pool this run.
+    Computed,
+    /// Served from the content-hashed disk cache.
+    CacheHit,
+    /// Served from the crash-safe journal on a resumed run.
+    Journal,
+    /// The evaluation panicked; the wall time covers work up to the crash.
+    Crashed,
+}
+
+impl CellSource {
+    /// The `outcome` string persisted in [`CellBench`].
+    pub fn label(self) -> &'static str {
+        match self {
+            CellSource::Computed => "computed",
+            CellSource::CacheHit => "cache_hit",
+            CellSource::Journal => "journal",
+            CellSource::Crashed => "crashed",
+        }
+    }
+}
+
 /// Per-cell timing record, persisted to `BENCH_eval.json`.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CellBench {
@@ -275,8 +302,12 @@ pub struct CellBench {
     pub thm_per_sec: f64,
     /// Worker count used.
     pub jobs: usize,
-    /// True when the cell was served from the disk cache.
+    /// True when the cell was served from the disk cache or the journal.
     pub cache_hit: bool,
+    /// How the result was obtained ([`CellSource::label`]); empty in
+    /// records written before the field existed.
+    #[serde(default)]
+    pub outcome: String,
 }
 
 /// The `BENCH_eval.json` artifact.
@@ -286,6 +317,14 @@ pub struct BenchEval {
     pub jobs: usize,
     /// Free-form context (host core count, caveats).
     pub notes: String,
+    /// Oracle calls that faulted across the run, from the always-on
+    /// `search.oracle_faults` metric (zero in a clean run).
+    #[serde(default)]
+    pub oracle_faults: u64,
+    /// Retry attempts issued for those faults
+    /// (`search.oracle_retries`).
+    #[serde(default)]
+    pub oracle_retries: u64,
     /// Per-cell records, in execution order.
     pub cells: Vec<CellBench>,
 }
@@ -392,49 +431,85 @@ impl Runner {
         corpus: &Corpus,
         cell: &CellConfig,
     ) -> Result<CellResult, CellCrash> {
-        let start = Instant::now();
+        let label = cell.label();
+        let mut sw = proof_trace::Stopwatch::span("cell", &label);
         let key = cell_cache_key(cell);
-        let journal_state = self.journal.as_ref().map(|j| j.load());
+        let journal_state = {
+            let _sp = proof_trace::span("journal", "load");
+            self.journal.as_ref().map(|j| j.load())
+        };
         if let Some(state) = &journal_state {
             if let Some(done) = state.done.get(&key) {
-                self.record(cell.label(), done.outcomes.len(), start, true);
+                proof_trace::event("journal", "hit");
+                sw.span_mut().field_str("source", "journal");
+                self.record(
+                    label,
+                    done.outcomes.len(),
+                    sw.elapsed_ms(),
+                    CellSource::Journal,
+                );
                 return Ok(done.clone());
             }
         }
         if let Some(path) = self.cache_path(cell) {
-            if let Some(hit) = load_cell(&path) {
+            let hit = {
+                let _sp = proof_trace::span("cache", "load");
+                load_cell(&path)
+            };
+            if let Some(hit) = hit {
+                proof_trace::event("cache", "hit");
                 if let Some(journal) = &self.journal {
+                    let _sp = proof_trace::span("journal", "done");
                     journal.record_done(&key, &hit);
                 }
-                self.record(cell.label(), hit.outcomes.len(), start, true);
+                sw.span_mut().field_str("source", "cache");
+                self.record(
+                    label,
+                    hit.outcomes.len(),
+                    sw.elapsed_ms(),
+                    CellSource::CacheHit,
+                );
                 return Ok(hit);
             }
+            proof_trace::event("cache", "miss");
         }
         let attempt = journal_state
             .as_ref()
             .map(|s| s.attempts_of(&key))
             .unwrap_or(0);
         if let Some(journal) = &self.journal {
-            journal.record_start(&key, &cell.label());
+            let _sp = proof_trace::span("journal", "start");
+            journal.record_start(&key, &label);
         }
         let indices = cell.eval_indices(&corpus.dev);
         match run_indices_checked(corpus, cell, &indices, self.jobs, &self.recovery, attempt) {
             Ok(outcomes) => {
                 let result = finish_cell(cell, outcomes);
                 if let Some(path) = self.cache_path(cell) {
+                    let _sp = proof_trace::span("cache", "store");
                     store_cell(&path, &result);
                     self.maybe_corrupt_cache(&path, &key);
                 }
                 if let Some(journal) = &self.journal {
+                    let _sp = proof_trace::span("journal", "done");
                     journal.record_done(&key, &result);
                 }
-                self.record(cell.label(), result.outcomes.len(), start, false);
+                sw.span_mut().field_str("source", "computed");
+                self.record(
+                    label,
+                    result.outcomes.len(),
+                    sw.elapsed_ms(),
+                    CellSource::Computed,
+                );
                 Ok(result)
             }
             Err(crash) => {
                 if let Some(journal) = &self.journal {
+                    let _sp = proof_trace::span("journal", "crashed");
                     journal.record_crashed(&key, &crash.label, &crash.panic);
                 }
+                sw.span_mut().field_str("source", "crashed");
+                self.record(label, 0, sw.elapsed_ms(), CellSource::Crashed);
                 Err(crash)
             }
         }
@@ -463,8 +538,7 @@ impl Runner {
             .map(|d| d.join(format!("{}.json", cell_cache_key(cell))))
     }
 
-    fn record(&self, label: String, theorems: usize, start: Instant, cache_hit: bool) {
-        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    fn record(&self, label: String, theorems: usize, wall_ms: f64, source: CellSource) {
         proof_oracle::lock_recover(&self.bench).push(CellBench {
             label,
             theorems,
@@ -475,7 +549,8 @@ impl Runner {
                 0.0
             },
             jobs: self.jobs,
-            cache_hit,
+            cache_hit: matches!(source, CellSource::CacheHit | CellSource::Journal),
+            outcome: source.label().to_string(),
         });
     }
 
@@ -485,10 +560,24 @@ impl Runner {
     }
 
     /// Writes the accumulated records as `BENCH_eval.json`-style JSON.
+    /// The fault totals come from the always-on registry counters the
+    /// search layer bumps — never from serialized cell results, which stay
+    /// byte-identical between clean and recovered runs.
     pub fn write_bench(&self, path: impl AsRef<Path>, notes: &str) -> std::io::Result<()> {
+        let snap = proof_trace::metrics::snapshot();
         let eval = BenchEval {
             jobs: self.jobs,
             notes: notes.to_string(),
+            oracle_faults: snap
+                .counters
+                .get("search.oracle_faults")
+                .copied()
+                .unwrap_or(0),
+            oracle_retries: snap
+                .counters
+                .get("search.oracle_retries")
+                .copied()
+                .unwrap_or(0),
             cells: self.bench_records(),
         };
         let text = serde_json::to_string_pretty(&eval)

@@ -27,7 +27,12 @@ fn scratch_journal() -> Journal {
 fn cell_result(i: usize, script: &str) -> CellResult {
     CellResult {
         label: format!("cell-{i}"),
-        setting: if i.is_multiple_of(2) { "vanilla" } else { "hints" }.into(),
+        setting: if i.is_multiple_of(2) {
+            "vanilla"
+        } else {
+            "hints"
+        }
+        .into(),
         outcomes: (0..=i % 3)
             .map(|k| TheoremOutcome {
                 name: format!("thm_{i}_{k} \"{script}\""),

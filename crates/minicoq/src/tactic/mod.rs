@@ -186,6 +186,64 @@ pub enum DestructTarget {
     Term(Term),
 }
 
+impl Tactic {
+    /// The head keyword of the tactic, as a stable label for per-tactic
+    /// metrics. Tacticals report as their combinator (`seq`, `try`, …)
+    /// rather than recursing into their bodies.
+    pub fn head(&self) -> &'static str {
+        match self {
+            Tactic::Intro(_) => "intro",
+            Tactic::Intros(_) => "intros",
+            Tactic::Exact(_) => "exact",
+            Tactic::Assumption => "assumption",
+            Tactic::Apply {
+                in_hyp: Some(_), ..
+            } => "apply_in",
+            Tactic::Apply {
+                existential: true, ..
+            } => "eapply",
+            Tactic::Apply { .. } => "apply",
+            Tactic::Split => "split",
+            Tactic::Left => "left",
+            Tactic::Right => "right",
+            Tactic::Constructor => "constructor",
+            Tactic::EConstructor => "econstructor",
+            Tactic::ExistsTac(_) => "exists",
+            Tactic::Destruct { .. } => "destruct",
+            Tactic::Induction(..) => "induction",
+            Tactic::Inversion(_) => "inversion",
+            Tactic::Injection(_) => "injection",
+            Tactic::Discriminate(_) => "discriminate",
+            Tactic::Subst => "subst",
+            Tactic::Reflexivity => "reflexivity",
+            Tactic::Symmetry(_) => "symmetry",
+            Tactic::FEqual => "f_equal",
+            Tactic::Congruence => "congruence",
+            Tactic::Simpl(_) => "simpl",
+            Tactic::Unfold(..) => "unfold",
+            Tactic::Rewrite { .. } => "rewrite",
+            Tactic::Lia => "lia",
+            Tactic::Auto(_) => "auto",
+            Tactic::EAuto(_) => "eauto",
+            Tactic::Trivial => "trivial",
+            Tactic::Contradiction => "contradiction",
+            Tactic::Exfalso => "exfalso",
+            Tactic::Clear(_) => "clear",
+            Tactic::Revert(_) => "revert",
+            Tactic::Specialize(..) => "specialize",
+            Tactic::PoseProof(..) => "pose_proof",
+            Tactic::Assert(..) => "assert",
+            Tactic::Seq(..) => "seq",
+            Tactic::SeqDispatch(..) => "seq_dispatch",
+            Tactic::Try(_) => "try",
+            Tactic::Repeat(_) => "repeat",
+            Tactic::First(_) => "first",
+            Tactic::Idtac => "idtac",
+            Tactic::Fail => "fail",
+        }
+    }
+}
+
 /// Applies a tactic to the focused goal of `st`.
 ///
 /// On success, returns the new proof state. Tacticals (`;`, `try`,
@@ -259,6 +317,37 @@ pub fn apply_tactic(
             dispatch_goal_tactic(env, st, tac, fuel)
         }
     }
+}
+
+/// [`apply_tactic`], instrumented: when tracing is armed, records the
+/// evaluation into the `minicoq.tactic.<head>.ns` latency histogram and
+/// bumps the matching outcome counter (`ok` / `rejected` / `parse` /
+/// `timeout`). The non-recursive entry point — tactical bodies still go
+/// through plain [`apply_tactic`], so each top-level evaluation is counted
+/// exactly once. With tracing off this is one atomic load over the plain
+/// call.
+pub fn apply_tactic_timed(
+    env: &Env,
+    st: &ProofState,
+    tac: &Tactic,
+    fuel: &mut Fuel,
+) -> Result<ProofState, TacticError> {
+    if !proof_trace::enabled() {
+        return apply_tactic(env, st, tac, fuel);
+    }
+    let head = tac.head();
+    let start = std::time::Instant::now();
+    let result = apply_tactic(env, st, tac, fuel);
+    let ns = start.elapsed().as_nanos() as u64;
+    proof_trace::metrics::observe(&format!("minicoq.tactic.{head}.ns"), ns);
+    let outcome = match &result {
+        Ok(_) => "ok",
+        Err(TacticError::Timeout) => "timeout",
+        Err(TacticError::Parse(_)) => "parse",
+        Err(_) => "rejected",
+    };
+    proof_trace::metrics::counter_inc(&format!("minicoq.tactic.{head}.{outcome}"));
+    result
 }
 
 /// `repeat t`: applies `t` to the focused goal until it fails, recursing

@@ -53,11 +53,13 @@ impl TacticModel for ChaoticModel<'_> {
     ) -> Result<Vec<Proposal>, OracleFault> {
         let site = Self::site(ctx);
         if self.plan.should_fault(FaultKind::OracleError, &site) {
+            proof_trace::metrics::counter_inc("oracle.fault.injected.error");
             return Err(OracleFault::Transient(format!(
                 "injected: upstream returned 503 for {site}"
             )));
         }
         if self.plan.should_fault(FaultKind::OracleGarbage, &site) {
+            proof_trace::metrics::counter_inc("oracle.fault.injected.garbage");
             return Err(OracleFault::Garbage(format!(
                 "injected: unparsable completion for {site}: \
                  ```\nI'm sorry, but as an AI language model\n```"

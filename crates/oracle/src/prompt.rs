@@ -114,7 +114,13 @@ impl PromptCache {
     ) -> Arc<(String, usize)> {
         let key = (file.to_string(), index, with_proof);
         if let Some(hit) = crate::sync::lock_recover(&self.rendered).get(&key) {
+            if proof_trace::enabled() {
+                proof_trace::metrics::counter_inc("oracle.prompt_cache.hit");
+            }
             return Arc::clone(hit);
+        }
+        if proof_trace::enabled() {
+            proof_trace::metrics::counter_inc("oracle.prompt_cache.miss");
         }
         // Render outside the lock: misses are the expensive path and two
         // workers racing on the same item produce identical values.
@@ -155,6 +161,7 @@ pub fn build_prompt_cached(
     cfg: &PromptConfig,
     cache: &PromptCache,
 ) -> PromptInfo {
+    let _sp = proof_trace::span("oracle.prompt", &thm.name);
     let deps: Option<BTreeSet<String>> = if cfg.minimal {
         Some(proof_dependencies(dev, thm))
     } else {

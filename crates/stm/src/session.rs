@@ -11,7 +11,7 @@ use minicoq::fuel::Fuel;
 use minicoq::goal::ProofState;
 use minicoq::parse::parse_tactic;
 use minicoq::statehash::state_hash;
-use minicoq::tactic::apply_tactic;
+use minicoq::tactic::apply_tactic_timed;
 use proof_chaos::{FaultKind, FaultPlan};
 
 /// Identifier of a proof state within a session.
@@ -86,6 +86,21 @@ impl std::fmt::Display for AddError {
             AddError::Preflight(r) => write!(f, "preflight: {r}"),
             AddError::DuplicateState(id) => write!(f, "duplicate of state {}", id.0),
             AddError::NoSuchState => write!(f, "no such state"),
+        }
+    }
+}
+
+impl AddError {
+    /// A stable label for the `stm.add.<label>` outcome counters — the
+    /// `AddError` taxonomy as metric names.
+    pub fn metric_label(&self) -> &'static str {
+        match self {
+            AddError::Rejected(_) => "rejected",
+            AddError::Parse(_) => "parse",
+            AddError::Timeout => "timeout",
+            AddError::Preflight(_) => "preflight",
+            AddError::DuplicateState(_) => "duplicate",
+            AddError::NoSuchState => "no_such_state",
         }
     }
 }
@@ -201,6 +216,22 @@ impl ProofSession {
 
     /// Runs a tactic sentence against the state `at`.
     pub fn add(&mut self, at: StateId, tactic_src: &str) -> Result<AddOutcome, AddError> {
+        if !proof_trace::enabled() {
+            return self.add_inner(at, tactic_src);
+        }
+        let mut sp = proof_trace::span("stm", "add");
+        let result = self.add_inner(at, tactic_src);
+        let outcome = match &result {
+            Ok(o) if o.proved => "proved",
+            Ok(_) => "ok",
+            Err(e) => e.metric_label(),
+        };
+        sp.field_str("outcome", outcome);
+        proof_trace::metrics::counter_inc(&format!("stm.add.{outcome}"));
+        result
+    }
+
+    fn add_inner(&mut self, at: StateId, tactic_src: &str) -> Result<AddOutcome, AddError> {
         let Some(entry) = self.entry(at) else {
             return Err(AddError::NoSuchState);
         };
@@ -220,6 +251,7 @@ impl ProofSession {
             }
         }
         if self.config.preflight {
+            let _sp = proof_trace::span("preflight", "");
             if let PreflightVerdict::Reject(r) =
                 preflight_state(&self.env, &base, &tac, self.config.tactic_fuel)
             {
@@ -227,7 +259,7 @@ impl ProofSession {
             }
         }
         let mut fuel = Fuel::new(self.config.tactic_fuel);
-        let result = apply_tactic(&self.env, &base, &tac, &mut fuel);
+        let result = apply_tactic_timed(&self.env, &base, &tac, &mut fuel);
         self.fuel_spent += fuel.spent();
         let new_state = match result {
             Ok(s) => s,
@@ -266,6 +298,7 @@ impl ProofSession {
         if id.0 == 0 {
             return; // The root cannot be cancelled.
         }
+        let _sp = proof_trace::span("stm", "cancel");
         let mut dead = vec![id];
         while let Some(d) = dead.pop() {
             if let Some(e) = self.entries.get_mut(d.0 as usize) {

@@ -1,0 +1,335 @@
+//! The metrics registry: named counters, gauges, and log₂-bucketed
+//! latency histograms.
+//!
+//! Metrics are aggregates, not streams — they cost a fixed-size slot per
+//! name no matter how hot the site, which is why per-tactic latency lives
+//! here instead of in the span collector. All three metric types are
+//! lock-free once their [`Arc`] handle is resolved; resolving a handle
+//! takes the registry lock, so hot loops should resolve once ([`counter`],
+//! [`histogram`]) and hold the handle, while cold sites can use the
+//! name-at-call-site helpers ([`counter_add`], [`observe`], [`gauge_set`]).
+//!
+//! Histograms bucket by `floor(log2(v)) + 1` (bucket 0 holds exactly the
+//! value 0), so bucket `i ≥ 1` covers `[2^(i-1), 2^i - 1]`. Buckets are
+//! plain integer counts and the sum is exact, which gives histograms
+//! **exact merge semantics**: merging shard-local histograms element-wise
+//! is equal — not approximately, equal — to recording every value into one
+//! histogram serially. `tests/hist_props.rs` proves this by property test.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+/// Number of histogram buckets: one for zero plus one per power of two of
+/// a `u64` value.
+pub const HIST_BUCKETS: usize = 65;
+
+/// The bucket index a value lands in: 0 for 0, else `floor(log2(v)) + 1`.
+#[inline]
+pub fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        (64 - v.leading_zeros()) as usize
+    }
+}
+
+/// The closed value range `[lo, hi]` bucket `i` covers.
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    assert!(i < HIST_BUCKETS, "bucket index out of range");
+    if i == 0 {
+        (0, 0)
+    } else if i == HIST_BUCKETS - 1 {
+        (1u64 << (i - 1), u64::MAX)
+    } else {
+        (1u64 << (i - 1), (1u64 << i) - 1)
+    }
+}
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that goes up and down (frontier depth, live states).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A log₂-bucketed histogram with an exact sum.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one value.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Merges another histogram into this one (exact: element-wise bucket
+    /// and sum addition).
+    pub fn merge_from(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(&other.buckets) {
+            mine.fetch_add(theirs.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// An immutable copy of the current state.
+    pub fn snapshot(&self) -> HistData {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count = buckets.iter().sum();
+        HistData {
+            buckets,
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A plain-data histogram snapshot (what exporters and reports consume).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistData {
+    /// Per-bucket counts ([`HIST_BUCKETS`] entries).
+    pub buckets: Vec<u64>,
+    /// Total recorded values.
+    pub count: u64,
+    /// Exact sum of recorded values.
+    pub sum: u64,
+}
+
+impl HistData {
+    /// Element-wise merge (exact).
+    pub fn merge(&mut self, other: &HistData) {
+        if self.buckets.is_empty() {
+            self.buckets = vec![0; HIST_BUCKETS];
+        }
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// Mean of the recorded values (exact sum / exact count).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile (0 ≤ q ≤ 1).
+    /// A log₂-resolution estimate: exact about which power-of-two band the
+    /// quantile falls in, nothing finer.
+    pub fn quantile_upper(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_bounds(i).1;
+            }
+        }
+        bucket_bounds(HIST_BUCKETS - 1).1
+    }
+}
+
+/// An immutable snapshot of the whole registry.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram snapshots by name.
+    pub hists: BTreeMap<String, HistData>,
+}
+
+/// The global registry.
+#[derive(Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    hists: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+static REGISTRY: OnceLock<Registry> = OnceLock::new();
+
+/// The process-wide registry.
+pub fn registry() -> &'static Registry {
+    REGISTRY.get_or_init(Registry::default)
+}
+
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+impl Registry {
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = lock_recover(&self.counters);
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = lock_recover(&self.gauges);
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = lock_recover(&self.hists);
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// Snapshots every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: lock_recover(&self.counters)
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: lock_recover(&self.gauges)
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            hists: lock_recover(&self.hists)
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+
+    /// Drops every metric (tests and between-grid resets).
+    pub fn reset(&self) {
+        lock_recover(&self.counters).clear();
+        lock_recover(&self.gauges).clear();
+        lock_recover(&self.hists).clear();
+    }
+}
+
+/// Resolves the counter named `name` (hold the handle in hot loops).
+pub fn counter(name: &str) -> Arc<Counter> {
+    registry().counter(name)
+}
+
+/// Resolves the histogram named `name` (hold the handle in hot loops).
+pub fn histogram(name: &str) -> Arc<Histogram> {
+    registry().histogram(name)
+}
+
+/// Adds `n` to the counter named `name`.
+pub fn counter_add(name: &str, n: u64) {
+    registry().counter(name).add(n);
+}
+
+/// Adds 1 to the counter named `name`.
+pub fn counter_inc(name: &str) {
+    counter_add(name, 1);
+}
+
+/// Sets the gauge named `name`.
+pub fn gauge_set(name: &str, v: i64) {
+    registry().gauge(name).set(v);
+}
+
+/// Records `v` into the histogram named `name`.
+pub fn observe(name: &str, v: u64) {
+    registry().histogram(name).record(v);
+}
+
+/// Snapshots the global registry.
+pub fn snapshot() -> MetricsSnapshot {
+    registry().snapshot()
+}
+
+/// Clears the global registry.
+pub fn reset() {
+    registry().reset();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_indexing() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        for i in 0..HIST_BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(bucket_of(lo), i, "lo bound of bucket {i}");
+            assert_eq!(bucket_of(hi), i, "hi bound of bucket {i}");
+        }
+    }
+
+    #[test]
+    fn quantiles_from_buckets() {
+        let h = Histogram::default();
+        for v in [1u64, 1, 2, 100, 1000] {
+            h.record(v);
+        }
+        let d = h.snapshot();
+        assert_eq!(d.count, 5);
+        assert_eq!(d.sum, 1104);
+        // Median is the 3rd of 5 values (2) → bucket [2,3] upper bound.
+        assert_eq!(d.quantile_upper(0.5), 3);
+        // Max lands in 1000's bucket [512, 1023].
+        assert_eq!(d.quantile_upper(1.0), 1023);
+    }
+}

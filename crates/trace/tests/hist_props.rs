@@ -1,0 +1,115 @@
+//! Property tests for the log₂ histogram: the exact-merge contract (the
+//! reason per-shard histograms can be combined without losing anything)
+//! and the bucket-indexing invariants the report's quantiles depend on.
+
+use proof_trace::metrics::{bucket_bounds, bucket_of, HistData, Histogram, HIST_BUCKETS};
+use proptest::prelude::*;
+
+proptest! {
+    /// Merging shard-local histograms element-wise is *equal* to recording
+    /// every value into one histogram serially — the property that makes
+    /// the sharded collector's metrics trustworthy.
+    #[test]
+    fn sharded_merge_equals_serial(
+        // Bounded values keep the exact sum well inside u64 no matter the
+        // count; u64::MAX itself is covered by `bounds_partition_u64`.
+        values in prop::collection::vec(0u64..(1 << 56), 0..256),
+        shards in 1usize..8,
+    ) {
+        let serial = Histogram::default();
+        for &v in &values {
+            serial.record(v);
+        }
+
+        let shard_hists: Vec<Histogram> =
+            (0..shards).map(|_| Histogram::default()).collect();
+        for (i, &v) in values.iter().enumerate() {
+            shard_hists[i % shards].record(v);
+        }
+        let mut merged = HistData::default();
+        for h in &shard_hists {
+            merged.merge(&h.snapshot());
+        }
+
+        prop_assert_eq!(merged, serial.snapshot());
+    }
+
+    /// Merge is order-independent: any permutation of the shards gives the
+    /// same aggregate.
+    #[test]
+    fn merge_is_commutative(
+        a in prop::collection::vec(0u64..(1 << 56), 0..64),
+        b in prop::collection::vec(0u64..(1 << 56), 0..64),
+    ) {
+        let (ha, hb) = (Histogram::default(), Histogram::default());
+        for &v in &a { ha.record(v); }
+        for &v in &b { hb.record(v); }
+        let mut ab = ha.snapshot();
+        ab.merge(&hb.snapshot());
+        let mut ba = hb.snapshot();
+        ba.merge(&ha.snapshot());
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// Every value lands in the bucket whose bounds contain it, and the
+    /// count is the bucket total. Right-shifting a full-width draw by a
+    /// random amount covers every bucket, small and large.
+    #[test]
+    fn values_land_in_their_bucket(raw in 0u64..u64::MAX, shift in 0u64..64) {
+        let v = raw >> shift;
+        let i = bucket_of(v);
+        let (lo, hi) = bucket_bounds(i);
+        prop_assert!(lo <= v && v <= hi, "{v} outside bucket {i} = [{lo}, {hi}]");
+
+        let h = Histogram::default();
+        h.record(v);
+        let d = h.snapshot();
+        prop_assert_eq!(d.count, 1);
+        prop_assert_eq!(d.sum, v);
+        prop_assert_eq!(d.buckets[i], 1);
+        prop_assert_eq!(d.buckets.iter().sum::<u64>(), d.count);
+    }
+
+    /// The quantile estimate is monotone in q and never exceeds the top
+    /// occupied bucket's upper bound.
+    #[test]
+    fn quantiles_are_monotone(
+        values in prop::collection::vec(0u64..(1 << 56), 1..64),
+        q1 in 0u64..101,
+        q2 in 0u64..101,
+    ) {
+        let h = Histogram::default();
+        for &v in &values {
+            h.record(v);
+        }
+        let d = h.snapshot();
+        let (q1, q2) = (q1 as f64 / 100.0, q2 as f64 / 100.0);
+        let (lo_q, hi_q) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(d.quantile_upper(lo_q) <= d.quantile_upper(hi_q));
+        let max = values.iter().max().copied().unwrap_or(0);
+        prop_assert_eq!(d.quantile_upper(1.0), bucket_bounds(bucket_of(max)).1);
+    }
+}
+
+/// The 65 bucket ranges tile `u64` exactly: contiguous, non-overlapping,
+/// starting at 0 and ending at `u64::MAX`.
+#[test]
+fn bounds_partition_u64() {
+    let mut expected_lo = 0u64;
+    for i in 0..HIST_BUCKETS {
+        let (lo, hi) = bucket_bounds(i);
+        assert_eq!(
+            lo,
+            expected_lo,
+            "bucket {i} starts where {} ended",
+            i.max(1) - 1
+        );
+        assert!(hi >= lo);
+        if i + 1 < HIST_BUCKETS {
+            expected_lo = hi + 1;
+        } else {
+            assert_eq!(hi, u64::MAX);
+        }
+    }
+    assert_eq!(bucket_of(u64::MAX), HIST_BUCKETS - 1);
+}

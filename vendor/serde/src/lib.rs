@@ -123,6 +123,15 @@ pub fn de_field<T: Deserialize>(v: &Value, key: &str) -> Result<T, Error> {
     T::deserialize(field).map_err(|e| Error(format!("field `{key}`: {e}")))
 }
 
+/// As [`de_field`], but a missing (or null) field falls back to
+/// `T::default()` — the backing for `#[serde(default)]`.
+pub fn de_field_or_default<T: Deserialize + Default>(v: &Value, key: &str) -> Result<T, Error> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(T::default()),
+        Some(field) => T::deserialize(field).map_err(|e| Error(format!("field `{key}`: {e}"))),
+    }
+}
+
 macro_rules! int_impls {
     ($($t:ty),*) => {$(
         impl Serialize for $t {

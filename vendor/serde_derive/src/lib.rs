@@ -16,12 +16,19 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 enum Input {
     Struct {
         name: String,
-        fields: Vec<String>,
+        fields: Vec<Field>,
     },
     Enum {
         name: String,
         variants: Vec<Variant>,
     },
+}
+
+struct Field {
+    name: String,
+    /// `#[serde(default)]`: a missing field deserializes to
+    /// `Default::default()` instead of erroring.
+    default: bool,
 }
 
 struct Variant {
@@ -85,19 +92,37 @@ fn parse_input(input: TokenStream) -> Input {
     }
 }
 
-/// Parses `name: Type, ...` from a brace group, skipping attributes,
-/// visibility and the type tokens (commas inside `<...>` are not
-/// separators).
-fn parse_named_fields(body: TokenStream) -> Vec<String> {
+/// True when an attribute group's tokens spell `serde(default)`.
+fn is_serde_default(attr: &TokenStream) -> bool {
+    let mut toks = attr.clone().into_iter();
+    match (toks.next(), toks.next()) {
+        (Some(TokenTree::Ident(i)), Some(TokenTree::Group(g)))
+            if i.to_string() == "serde" && g.delimiter() == Delimiter::Parenthesis =>
+        {
+            g.stream()
+                .into_iter()
+                .any(|t| matches!(t, TokenTree::Ident(i) if i.to_string() == "default"))
+        }
+        _ => false,
+    }
+}
+
+/// Parses `name: Type, ...` from a brace group, noting `#[serde(default)]`
+/// markers and skipping other attributes, visibility and the type tokens
+/// (commas inside `<...>` are not separators).
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
     let mut fields = Vec::new();
     let mut toks = body.into_iter().peekable();
     loop {
-        // Skip attributes and visibility before the field name.
+        // Attributes and visibility before the field name.
+        let mut default = false;
         loop {
             match toks.peek() {
                 Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                     toks.next();
-                    toks.next();
+                    if let Some(TokenTree::Group(g)) = toks.next() {
+                        default |= is_serde_default(&g.stream());
+                    }
                 }
                 Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
                     toks.next();
@@ -113,7 +138,10 @@ fn parse_named_fields(body: TokenStream) -> Vec<String> {
         let Some(TokenTree::Ident(field)) = toks.next() else {
             break;
         };
-        fields.push(field.to_string());
+        fields.push(Field {
+            name: field.to_string(),
+            default,
+        });
         match toks.next() {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
             other => panic!("serde_derive: expected `:` after field, got {other:?}"),
@@ -150,7 +178,10 @@ fn parse_variants(body: TokenStream) -> Vec<Variant> {
         };
         let fields = match toks.peek() {
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
-                let named = parse_named_fields(g.stream());
+                let named = parse_named_fields(g.stream())
+                    .into_iter()
+                    .map(|f| f.name)
+                    .collect();
                 toks.next();
                 Some((true, named))
             }
@@ -191,12 +222,13 @@ fn parse_variants(body: TokenStream) -> Vec<Variant> {
 }
 
 /// Derives `serde::Serialize` (the offline stand-in's `to_value`).
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let out = match parse_input(input) {
         Input::Struct { name, fields } => {
             let mut pushes = String::new();
             for f in &fields {
+                let f = &f.name;
                 pushes.push_str(&format!(
                     "(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),"
                 ));
@@ -260,13 +292,19 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 }
 
 /// Derives `serde::Deserialize` (the offline stand-in's `deserialize`).
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let out = match parse_input(input) {
         Input::Struct { name, fields } => {
             let mut inits = String::new();
             for f in &fields {
-                inits.push_str(&format!("{f}: ::serde::de_field(v, \"{f}\")?,"));
+                let helper = if f.default {
+                    "de_field_or_default"
+                } else {
+                    "de_field"
+                };
+                let f = &f.name;
+                inits.push_str(&format!("{f}: ::serde::{helper}(v, \"{f}\")?,"));
             }
             format!(
                 "impl ::serde::Deserialize for {name} {{\n\
