@@ -1,0 +1,107 @@
+//! Whole-corpus semantic analysis for minicoq developments.
+//!
+//! This crate loads every vernacular file of a development, builds a
+//! global symbol table and dependency graph ([`graph::DepGraph`]), and
+//! runs five static passes over it:
+//!
+//! 1. **hint-loop** — abstract backchaining cycles a hint database lets
+//!    `auto`/`eauto` diverge on ([`passes::hints`]);
+//! 2. **non-positive** — strict-positivity/stratification violations in
+//!    inductive predicates, including mutual groups
+//!    ([`passes::positivity`]);
+//! 3. **dead-symbol** — symbols unreachable from every benchmark theorem
+//!    and hint ([`passes::dead`]);
+//! 4. **rewrite-pingpong** — equational lemma pairs that are exact
+//!    reverses of each other ([`passes::rewrite`]);
+//! 5. **admitted/axiom** — unproved assumptions ([`passes::axioms`]).
+//!
+//! Unresolved references discovered while building the graph are reported
+//! as a sixth, structural finding (`unknown-ref`). Findings carry a
+//! stable reason-code taxonomy ([`report::Code`]) and render as SARIF
+//! 2.1.0 ([`report::AnalysisReport::to_sarif`]).
+//!
+//! The same dependency graph also powers an opt-in search heuristic:
+//! [`premise::reranked_env`] reorders hint databases by dependency
+//! distance to a goal (see `proof-search`'s `premise_rank` option).
+
+pub mod graph;
+pub mod passes;
+pub mod premise;
+pub mod report;
+
+use minicoq_vernac::loader::{Development, Loader};
+
+pub use graph::DepGraph;
+pub use passes::dead::Roots;
+pub use report::{AnalysisReport, Code, Finding, ALL_CODES};
+
+/// Configuration of a full analysis run.
+#[derive(Debug, Clone)]
+pub struct AnalysisConfig {
+    /// Liveness roots for the dead-symbol audit.
+    pub roots: Roots,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> AnalysisConfig {
+        AnalysisConfig {
+            roots: Roots::AllTheorems,
+        }
+    }
+}
+
+/// Loads `sources` (without replaying proofs), builds the dependency
+/// graph, and runs every pass. Returns `Err` with a load diagnostic when
+/// the development itself does not elaborate.
+pub fn analyze_sources(
+    sources: &[(String, String)],
+    config: &AnalysisConfig,
+) -> Result<(AnalysisReport, DepGraph), String> {
+    let _sp = proof_trace::span("analysis", "run");
+    let mut loader = Loader::new().check_proofs(false);
+    for (name, text) in sources {
+        loader.add_source(name.clone(), text.clone());
+    }
+    let dev = loader.load().map_err(|e| e.to_string())?;
+    Ok(analyze_development(&dev, sources, config))
+}
+
+/// Runs every pass over an already-loaded development. `sources` is used
+/// only to compute line numbers.
+pub fn analyze_development(
+    dev: &Development,
+    sources: &[(String, String)],
+    config: &AnalysisConfig,
+) -> (AnalysisReport, DepGraph) {
+    let graph = DepGraph::build(dev, sources);
+    let mut findings = Vec::new();
+    passes::hints::run(&dev.env, &graph, &mut findings);
+    passes::positivity::run(&dev.env, &graph, &mut findings);
+    passes::dead::run(dev, &graph, &config.roots, &mut findings);
+    passes::rewrite::run(&dev.env, &graph, &mut findings);
+    passes::axioms::run(dev, &graph, &mut findings);
+    for u in &graph.unresolved {
+        findings.push(Finding {
+            code: Code::UnknownRef,
+            file: u.file.clone(),
+            item: u.item.clone(),
+            item_index: u.item_index,
+            line: u.line,
+            message: format!(
+                "`{}` references `{}`, which resolves to no symbol",
+                u.item, u.name
+            ),
+        });
+    }
+    let report = AnalysisReport {
+        findings,
+        symbols: graph.len(),
+        edges: graph.edge_count(),
+    };
+    for (code, n) in report.pass_counts() {
+        proof_trace::metrics::counter_add(&format!("analysis.pass.{code}"), n as u64);
+    }
+    proof_trace::metrics::counter_add("analysis.graph.symbols", graph.len() as u64);
+    proof_trace::metrics::counter_add("analysis.graph.edges", graph.edge_count() as u64);
+    (report, graph)
+}

@@ -1,0 +1,44 @@
+//! Axiom/admit audit: every unproved assumption in the corpus.
+//!
+//! `Axiom` statements and `Admitted.` lemmas both enter the environment
+//! on trust; a benchmark that silently depends on them measures prompt
+//! compliance, not verification. This pass flags each one so the corpus
+//! stays assumption-free (or at least assumption-explicit).
+
+use minicoq_vernac::item::ItemKind;
+use minicoq_vernac::loader::Development;
+
+use crate::graph::DepGraph;
+use crate::report::{Code, Finding};
+
+/// Runs the axiom/admit audit over every item of the development.
+pub fn run(dev: &Development, graph: &DepGraph, out: &mut Vec<Finding>) {
+    let _sp = proof_trace::span("analysis", "axioms");
+    for file in &dev.files {
+        for (idx, item) in file.items.iter().enumerate() {
+            let code = if item.kind == ItemKind::Axiom {
+                Code::Axiom
+            } else if item.admitted {
+                Code::Admitted
+            } else {
+                continue;
+            };
+            let line = graph
+                .lookup(&item.name)
+                .map(|id| graph.symbol(id).line)
+                .unwrap_or(0);
+            let message = match code {
+                Code::Axiom => format!("`{}` is assumed as an axiom", item.name),
+                _ => format!("lemma `{}` is Admitted without a checked proof", item.name),
+            };
+            out.push(Finding {
+                code,
+                file: file.name.clone(),
+                item: item.name.clone(),
+                item_index: idx,
+                line,
+                message,
+            });
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Dead-symbol audit: reachability from the benchmark theorems.
+//!
+//! Liveness roots are the benchmark theorems (or an explicit name list)
+//! plus every `Hint` sentence — a hint registers its target with the
+//! automation, so the target is load-bearing even when no theorem
+//! statement mentions it. Everything transitively referenced from a root
+//! is live; the rest is dead. Constructors, rules, and hint sentences are
+//! never flagged on their own (their declaring inductive or predicate is
+//! the actionable unit, and membership edges keep them in lock-step), and
+//! prelude built-ins are exempt (they are the language, not the corpus).
+
+use minicoq_vernac::loader::Development;
+
+use crate::graph::{DepGraph, SymbolKind, PRELUDE_FILE};
+use crate::report::{Code, Finding};
+
+/// Which symbols anchor liveness.
+#[derive(Debug, Clone)]
+pub enum Roots {
+    /// Every theorem of the loaded development (the benchmark set).
+    AllTheorems,
+    /// An explicit list of root symbol names.
+    Names(Vec<String>),
+}
+
+/// Runs the dead-symbol audit.
+pub fn run(dev: &Development, graph: &DepGraph, roots: &Roots, out: &mut Vec<Finding>) {
+    let _sp = proof_trace::span("analysis", "dead");
+    let mut root_ids: Vec<usize> = Vec::new();
+    match roots {
+        Roots::AllTheorems => {
+            for t in &dev.theorems {
+                if let Some(id) = graph.lookup(&t.name) {
+                    root_ids.push(id);
+                }
+            }
+        }
+        Roots::Names(names) => {
+            for n in names {
+                if let Some(id) = graph.lookup(n) {
+                    root_ids.push(id);
+                }
+            }
+        }
+    }
+    for (id, sym) in graph.symbols() {
+        if sym.kind == SymbolKind::Hint {
+            root_ids.push(id);
+        }
+    }
+    let live = graph.reachable(&root_ids);
+    for (id, sym) in graph.symbols() {
+        if live[id]
+            || sym.file == PRELUDE_FILE
+            || matches!(
+                sym.kind,
+                SymbolKind::Ctor | SymbolKind::Rule | SymbolKind::Hint
+            )
+        {
+            continue;
+        }
+        out.push(Finding {
+            code: Code::DeadSymbol,
+            file: sym.file.clone(),
+            item: sym.name.clone(),
+            item_index: sym.item_index,
+            line: sym.line,
+            message: format!(
+                "{:?} `{}` is unreachable from every benchmark theorem and hint",
+                sym.kind, sym.name
+            ),
+        });
+    }
+}

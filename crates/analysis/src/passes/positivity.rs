@@ -1,0 +1,183 @@
+//! Strict-positivity (stratification) check for inductive predicates.
+//!
+//! A predicate — or any member of its mutual-recursion group — may appear
+//! in its own introduction rules only in strictly positive positions:
+//! as a premise atom, or nested to the *right* of implications inside a
+//! premise. An occurrence to the left of a nested implication (or under
+//! `~`/`<->`, which hide a left-of-implication occurrence) makes the
+//! intended least fixed point non-monotone, so the predicate has no
+//! well-defined inductive semantics and `induction` on it is unsound.
+//! Groups are the strongly connected components of the predicate
+//! reference graph, so `with`-chained mutual predicates are checked as a
+//! unit. One finding is emitted per offending predicate.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use minicoq::env::{Env, PredDef};
+use minicoq::formula::Formula;
+
+use crate::graph::{formula_refs, DepGraph};
+use crate::report::{Code, Finding};
+
+use super::premises_and_conclusion;
+
+/// True when `f` mentions any predicate in `group`.
+fn mentions_group(f: &Formula, group: &BTreeSet<&str>) -> bool {
+    let mut refs = BTreeSet::new();
+    formula_refs(f, &mut refs);
+    refs.iter().any(|r| group.contains(r.as_str()))
+}
+
+/// Checks that every occurrence of a group predicate inside `f` (a rule
+/// premise) is strictly positive. Returns the first violating description.
+fn check_strict(f: &Formula, group: &BTreeSet<&str>) -> Option<String> {
+    match f {
+        Formula::True | Formula::False | Formula::Eq(..) | Formula::Pred(..) => None,
+        Formula::Not(a) => {
+            if mentions_group(a, group) {
+                Some("occurs under negation".to_string())
+            } else {
+                None
+            }
+        }
+        Formula::Iff(a, b) => {
+            if mentions_group(a, group) || mentions_group(b, group) {
+                Some("occurs under `<->` (a hidden left-of-implication position)".to_string())
+            } else {
+                None
+            }
+        }
+        Formula::Implies(p, q) => {
+            if mentions_group(p, group) {
+                Some("occurs left of a nested implication".to_string())
+            } else {
+                check_strict(q, group)
+            }
+        }
+        Formula::And(a, b) | Formula::Or(a, b) => {
+            check_strict(a, group).or_else(|| check_strict(b, group))
+        }
+        Formula::Forall(_, _, b) | Formula::Exists(_, _, b) | Formula::ForallSort(_, b) => {
+            check_strict(b, group)
+        }
+        Formula::FMatch(_, arms) => arms.iter().find_map(|(_, rhs)| check_strict(rhs, group)),
+    }
+}
+
+/// Runs the positivity check over every inductive predicate of `env`.
+pub fn run(env: &Env, graph: &DepGraph, out: &mut Vec<Finding>) {
+    let _sp = proof_trace::span("analysis", "positivity");
+    // Reference graph between inductive predicates (rules may reference
+    // other predicates; `with`-mates reference each other).
+    let preds: Vec<(&str, &minicoq::env::IndPred)> = env
+        .preds
+        .iter()
+        .filter_map(|(n, pd)| match pd {
+            PredDef::Inductive(ip) => Some((n.as_str(), ip)),
+            PredDef::Defined(_) => None,
+        })
+        .collect();
+    let index: BTreeMap<&str, usize> = preds
+        .iter()
+        .enumerate()
+        .map(|(i, (n, _))| (*n, i))
+        .collect();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); preds.len()];
+    for (i, (_, ip)) in preds.iter().enumerate() {
+        let mut refs = BTreeSet::new();
+        for (_, stmt) in &ip.rules {
+            formula_refs(stmt, &mut refs);
+        }
+        for r in &refs {
+            if let Some(&j) = index.get(r.as_str()) {
+                adj[i].push(j);
+            }
+        }
+    }
+    let comp = scc_ids(preds.len(), &adj);
+    // Check each predicate's rules against its own mutual group.
+    for (i, (name, ip)) in preds.iter().enumerate() {
+        let group: BTreeSet<&str> = preds
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| comp[*j] == comp[i])
+            .map(|(_, (n, _))| *n)
+            .collect();
+        let mut violation: Option<(String, String)> = None;
+        'rules: for (rule_name, stmt) in &ip.rules {
+            let (premises, _) = premises_and_conclusion(stmt);
+            for p in premises {
+                if let Some(why) = check_strict(p, &group) {
+                    violation = Some((rule_name.to_string(), why));
+                    break 'rules;
+                }
+            }
+        }
+        if let Some((rule, why)) = violation {
+            let (file, item_index, line) = graph
+                .lookup(name)
+                .map(|id| {
+                    let sym = graph.symbol(id);
+                    (sym.file.clone(), sym.item_index, sym.line)
+                })
+                .unwrap_or_else(|| (String::new(), 0, 0));
+            out.push(Finding {
+                code: Code::NonPositive,
+                file,
+                item: name.to_string(),
+                item_index,
+                line,
+                message: format!(
+                    "inductive predicate `{name}` is not strictly positive: in rule `{rule}` \
+                     the group {{{}}} {why}",
+                    group.iter().copied().collect::<Vec<_>>().join(", "),
+                ),
+            });
+        }
+    }
+}
+
+/// Kosaraju strongly-connected components (small n; clarity over speed).
+fn scc_ids(n: usize, adj: &[Vec<usize>]) -> Vec<usize> {
+    fn post(v: usize, adj: &[Vec<usize>], seen: &mut [bool], order: &mut Vec<usize>) {
+        seen[v] = true;
+        for &w in &adj[v] {
+            if !seen[w] {
+                post(w, adj, seen, order);
+            }
+        }
+        order.push(v);
+    }
+    let mut order = Vec::with_capacity(n);
+    let mut seen = vec![false; n];
+    for v in 0..n {
+        if !seen[v] {
+            post(v, adj, &mut seen, &mut order);
+        }
+    }
+    let mut radj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (v, outs) in adj.iter().enumerate() {
+        for &w in outs {
+            radj[w].push(v);
+        }
+    }
+    let mut comp = vec![usize::MAX; n];
+    let mut c = 0;
+    for &v in order.iter().rev() {
+        if comp[v] != usize::MAX {
+            continue;
+        }
+        let mut stack = vec![v];
+        comp[v] = c;
+        while let Some(x) = stack.pop() {
+            for &w in &radj[x] {
+                if comp[w] == usize::MAX {
+                    comp[w] = c;
+                    stack.push(w);
+                }
+            }
+        }
+        c += 1;
+    }
+    comp
+}

@@ -1,0 +1,138 @@
+//! Graph-guided premise ranking for the proof searcher.
+//!
+//! Hints close to the goal in the dependency graph are more likely to
+//! advance it, so the searcher can ask for a goal-specific reordering of
+//! every hint database: hints are sorted by the length of the shortest
+//! undirected reference path between the goal's symbols and the hint's
+//! target, with declaration order as the tie-break. The reordering is a
+//! *permutation only* — no hint is added or dropped — so any proof found
+//! with ranking replays without it.
+//!
+//! The adjacency here is rebuilt from the [`Env`] alone (statements,
+//! rules, and bodies), not from [`crate::graph::DepGraph`], because the
+//! searcher holds an environment snapshot, not a loaded development.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::Arc;
+
+use minicoq::env::{Env, PredDef};
+use minicoq::formula::Formula;
+
+use crate::graph::{formula_refs, sort_refs, term_refs};
+
+/// Undirected reference adjacency over the names declared in `env`.
+fn adjacency(env: &Env) -> BTreeMap<String, BTreeSet<String>> {
+    let mut adj: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    let mut link = |a: &str, refs: &BTreeSet<String>| {
+        for r in refs {
+            if r == a {
+                continue;
+            }
+            adj.entry(a.to_string()).or_default().insert(r.clone());
+            adj.entry(r.clone()).or_default().insert(a.to_string());
+        }
+    };
+    for (n, ind) in env.inductives.iter() {
+        let mut refs = BTreeSet::new();
+        for c in &ind.ctors {
+            refs.insert(c.name.to_string());
+            for s in &c.args {
+                sort_refs(s, &mut refs);
+            }
+        }
+        link(n, &refs);
+    }
+    for (n, f) in env.funcs.iter() {
+        let mut refs = BTreeSet::new();
+        term_refs(&f.body, &mut refs);
+        sort_refs(&f.ret, &mut refs);
+        for (_, s) in &f.params {
+            sort_refs(s, &mut refs);
+        }
+        link(n, &refs);
+    }
+    for (n, pd) in env.preds.iter() {
+        let mut refs = BTreeSet::new();
+        match pd {
+            PredDef::Defined(dp) => {
+                formula_refs(&dp.body, &mut refs);
+                for (_, s) in &dp.params {
+                    sort_refs(s, &mut refs);
+                }
+            }
+            PredDef::Inductive(ip) => {
+                for (rn, stmt) in &ip.rules {
+                    refs.insert(rn.to_string());
+                    let mut rule_refs = BTreeSet::new();
+                    formula_refs(stmt, &mut rule_refs);
+                    link(rn, &rule_refs);
+                    refs.extend(rule_refs);
+                }
+                for s in &ip.arg_sorts {
+                    sort_refs(s, &mut refs);
+                }
+            }
+        }
+        link(n, &refs);
+    }
+    for l in env.lemmas.iter() {
+        let mut refs = BTreeSet::new();
+        formula_refs(&l.stmt, &mut refs);
+        link(&l.name, &refs);
+    }
+    adj
+}
+
+/// Shortest undirected distance from the goal's symbols to every name.
+fn distances(env: &Env, goal: &Formula) -> BTreeMap<String, usize> {
+    let adj = adjacency(env);
+    let mut seeds = BTreeSet::new();
+    formula_refs(goal, &mut seeds);
+    let mut dist: BTreeMap<String, usize> = BTreeMap::new();
+    let mut queue: VecDeque<String> = VecDeque::new();
+    for s in seeds {
+        dist.insert(s.clone(), 0);
+        queue.push_back(s);
+    }
+    while let Some(n) = queue.pop_front() {
+        let d = dist[&n];
+        if let Some(next) = adj.get(&n) {
+            for m in next {
+                if !dist.contains_key(m) {
+                    dist.insert(m.clone(), d + 1);
+                    queue.push_back(m.clone());
+                }
+            }
+        }
+    }
+    dist
+}
+
+/// Returns an environment identical to `env` except that every hint
+/// database is stably reordered by dependency distance to `goal`
+/// (closest first; unreachable hints keep their relative order at the
+/// end). The hint *sets* are unchanged.
+pub fn reranked_env(env: &Env, goal: &Formula) -> Env {
+    let _sp = proof_trace::span("analysis", "premise_rank");
+    let dist = distances(env, goal);
+    let mut hints: BTreeMap<String, Vec<minicoq::Ident>> = (*env.hints).clone();
+    for db in hints.values_mut() {
+        let mut keyed: Vec<(usize, usize, minicoq::Ident)> = db
+            .iter()
+            .enumerate()
+            .map(|(i, h)| {
+                (
+                    dist.get(h.as_str()).copied().unwrap_or(usize::MAX),
+                    i,
+                    h.clone(),
+                )
+            })
+            .collect();
+        keyed.sort();
+        *db = keyed.into_iter().map(|(_, _, h)| h).collect();
+    }
+    proof_trace::metrics::counter_inc("analysis.premise_rank.reranks");
+    let mut out = env.clone();
+    out.hints = Arc::new(hints);
+    out
+}

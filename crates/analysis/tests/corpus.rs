@@ -1,0 +1,51 @@
+//! The corpus itself must stay analyzer-clean: every pass, zero findings.
+//! This is the regression guard behind `corpus_analyze --check`.
+
+use corpus_analysis::{analyze_sources, AnalysisConfig};
+
+fn corpus_sources() -> Vec<(String, String)> {
+    fscq_corpus::corpus_sources()
+        .into_iter()
+        .map(|(n, t)| (n.to_string(), t.to_string()))
+        .collect()
+}
+
+#[test]
+fn corpus_is_clean() {
+    let sources = corpus_sources();
+    let (report, graph) =
+        analyze_sources(&sources, &AnalysisConfig::default()).expect("corpus elaborates");
+    assert!(!graph.is_empty());
+    for f in &report.findings {
+        eprintln!("{f}");
+    }
+    assert!(
+        report.is_clean(),
+        "corpus has {} analyzer finding(s)",
+        report.findings.len()
+    );
+}
+
+#[test]
+fn corpus_graph_has_no_unresolved_refs() {
+    let sources = corpus_sources();
+    let (_, graph) =
+        analyze_sources(&sources, &AnalysisConfig::default()).expect("corpus elaborates");
+    let unresolved: Vec<String> = graph
+        .unresolved
+        .iter()
+        .map(|u| format!("{}:{} -> {}", u.file, u.item, u.name))
+        .collect();
+    assert!(unresolved.is_empty(), "unresolved: {unresolved:?}");
+}
+
+#[test]
+fn pass_counts_cover_every_code() {
+    let sources = corpus_sources();
+    let (report, _) =
+        analyze_sources(&sources, &AnalysisConfig::default()).expect("corpus elaborates");
+    let counts = report.pass_counts();
+    for code in corpus_analysis::ALL_CODES {
+        assert!(counts.contains_key(code.code()), "missing {code}");
+    }
+}

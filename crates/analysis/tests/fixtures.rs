@@ -1,0 +1,198 @@
+//! Seeded fixtures: each analyzer pass must fire on its known-bad input —
+//! exactly once, with its reason code, and without collateral findings
+//! from the other passes.
+
+use corpus_analysis::{analyze_sources, AnalysisConfig, Code, Roots};
+
+fn analyze(src: &str, config: &AnalysisConfig) -> corpus_analysis::AnalysisReport {
+    let sources = vec![("Fixture".to_string(), src.to_string())];
+    let (report, _) = analyze_sources(&sources, config).expect("fixture elaborates");
+    report
+}
+
+fn single_finding(src: &str, config: &AnalysisConfig, code: Code) {
+    let report = analyze(src, config);
+    let all: Vec<String> = report.findings.iter().map(|f| f.to_string()).collect();
+    assert_eq!(
+        report.findings.len(),
+        1,
+        "expected exactly one finding, got {all:?}"
+    );
+    assert_eq!(report.findings[0].code, code, "wrong code in {all:?}");
+    assert_eq!(report.findings[0].file, "Fixture");
+    assert!(report.findings[0].line > 0, "finding carries a source line");
+}
+
+#[test]
+fn looping_hint_db_is_flagged_once() {
+    // `loopy`'s premise is the conclusion with the arguments swapped —
+    // same size, same variable counts — so backchaining on `le` never
+    // shrinks the goal: a fuel-divergent cycle.
+    single_finding(
+        "Lemma loopy : forall (n : nat) (m : nat), le m n -> le n m.\n\
+         Proof. auto. Qed.\n\
+         Hint Resolve loopy.\n",
+        &AnalysisConfig::default(),
+        Code::HintLoop,
+    );
+}
+
+#[test]
+fn structurally_decreasing_hints_are_not_flagged() {
+    // The prelude's own `le` hints (le_n, le_S) plus a decreasing user
+    // hint: every cycle edge shrinks its goal, so no finding.
+    let report = analyze(
+        "Lemma le_down : forall (n : nat) (m : nat), le n m -> le n (S m).\n\
+         Proof. auto. Qed.\n\
+         Hint Resolve le_down.\n",
+        &AnalysisConfig::default(),
+    );
+    assert!(report.is_clean(), "unexpected: {:?}", report.findings);
+}
+
+#[test]
+fn non_positive_inductive_is_flagged_once() {
+    // `bad` occurs to the left of a nested implication in its own
+    // introduction rule; `bad_keepalive` keeps it out of the dead pass.
+    single_finding(
+        "Inductive bad : nat -> Prop :=\n\
+         | bad_intro : forall (n : nat), (bad n -> False) -> bad n.\n\
+         Lemma bad_keepalive : forall (n : nat), bad n -> bad n.\n\
+         Proof. intros. assumption. Qed.\n",
+        &AnalysisConfig::default(),
+        Code::NonPositive,
+    );
+}
+
+#[test]
+fn mutual_group_positivity_uses_the_whole_group() {
+    // `even`/`odd` reference each other positively: the SCC machinery
+    // must treat them as one group and stay quiet.
+    let report = analyze(
+        "Inductive even : nat -> Prop :=\n\
+         | even_O : even O\n\
+         | even_S : forall (n : nat), odd n -> even (S n)\n\
+         with odd : nat -> Prop :=\n\
+         | odd_S : forall (n : nat), even n -> odd (S n).\n\
+         Lemma even_keepalive : forall (n : nat), even n -> even n.\n\
+         Proof. intros. assumption. Qed.\n\
+         Lemma odd_keepalive : forall (n : nat), odd n -> odd n.\n\
+         Proof. intros. assumption. Qed.\n",
+        &AnalysisConfig::default(),
+    );
+    assert!(report.is_clean(), "unexpected: {:?}", report.findings);
+}
+
+#[test]
+fn dead_lemma_is_flagged_once() {
+    // With `used` as the only benchmark root, `helper` is unreachable.
+    single_finding(
+        "Lemma used : forall (n : nat), le n n.\n\
+         Proof. auto. Qed.\n\
+         Lemma helper : forall (n : nat), le n (S n).\n\
+         Proof. auto. Qed.\n",
+        &AnalysisConfig {
+            roots: Roots::Names(vec!["used".to_string()]),
+        },
+        Code::DeadSymbol,
+    );
+}
+
+#[test]
+fn proof_references_keep_symbols_live() {
+    // `helper` is referenced only from `used`'s proof script; proof-token
+    // edges must keep it alive.
+    let report = analyze(
+        "Lemma helper : forall (n : nat), le n (S n).\n\
+         Proof. auto. Qed.\n\
+         Lemma used : forall (n : nat), le n (S n).\n\
+         Proof. apply helper. Qed.\n",
+        &AnalysisConfig {
+            roots: Roots::Names(vec!["used".to_string()]),
+        },
+    );
+    assert!(report.is_clean(), "unexpected: {:?}", report.findings);
+}
+
+#[test]
+fn reversed_rewrite_pair_is_flagged_once() {
+    single_finding(
+        "Definition idn (n : nat) : nat := n.\n\
+         Lemma idn_fwd : forall (n : nat), idn n = n.\n\
+         Proof. unfold idn. reflexivity. Qed.\n\
+         Lemma idn_bwd : forall (n : nat), n = idn n.\n\
+         Proof. unfold idn. reflexivity. Qed.\n",
+        &AnalysisConfig::default(),
+        Code::RewritePingPong,
+    );
+}
+
+#[test]
+fn commutativity_is_not_a_pingpong() {
+    // A lemma that is its own reverse (symmetric shape) is standard and
+    // deliberately not flagged.
+    let report = analyze(
+        "Definition swap2 (a : nat) (b : nat) : nat := a.\n\
+         Lemma swap_comm : forall (a : nat) (b : nat), swap2 a b = swap2 b a.\n\
+         Proof. auto. Qed.\n",
+        &AnalysisConfig::default(),
+    );
+    assert!(report.is_clean(), "unexpected: {:?}", report.findings);
+}
+
+#[test]
+fn admitted_lemma_is_flagged_once() {
+    single_finding(
+        "Lemma someday : forall (n : nat), le n n.\n\
+         Proof.\n\
+         Admitted.\n",
+        &AnalysisConfig::default(),
+        Code::Admitted,
+    );
+}
+
+#[test]
+fn axiom_is_flagged_once() {
+    // `trustme` is referenced from a proof so the dead pass stays quiet;
+    // the axiom audit alone fires.
+    single_finding(
+        "Axiom trustme : forall (n : nat), le n n.\n\
+         Lemma uses_axiom : forall (n : nat), le n n.\n\
+         Proof. apply trustme. Qed.\n",
+        &AnalysisConfig::default(),
+        Code::Axiom,
+    );
+}
+
+#[test]
+fn unknown_hint_reference_is_flagged_once() {
+    // The loader validates `Hint Resolve` *targets* (an unknown lemma is
+    // a load error), but silently swallows a `: db` suffix naming a
+    // database nothing tracks — the graph reports that dangling name.
+    single_finding(
+        "Lemma anchor : forall (n : nat), le n n.\n\
+         Proof. auto. Qed.\n\
+         Hint Resolve anchor : ghostdb.\n",
+        &AnalysisConfig::default(),
+        Code::UnknownRef,
+    );
+}
+
+#[test]
+fn sarif_report_carries_rule_and_location() {
+    let sources = vec![(
+        "Fixture".to_string(),
+        "Lemma someday : forall (n : nat), le n n.\nProof.\nAdmitted.\n".to_string(),
+    )];
+    let (report, _) =
+        analyze_sources(&sources, &AnalysisConfig::default()).expect("fixture elaborates");
+    let sarif = report.sarif_json("corpus_analyze", "crates/fscq/corpus/");
+    assert!(sarif.contains("\"2.1.0\""));
+    assert!(sarif.contains("\"admitted\""));
+    assert!(sarif.contains("crates/fscq/corpus/Fixture.v"));
+    assert!(sarif.contains("startLine"));
+    // Every reason code is declared as a rule even when it did not fire.
+    for code in corpus_analysis::ALL_CODES {
+        assert!(sarif.contains(code.code()), "rule {code} missing");
+    }
+}

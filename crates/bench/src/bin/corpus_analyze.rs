@@ -1,0 +1,204 @@
+//! `corpus_analyze` — the whole-corpus semantic analyzer, plus the
+//! premise-rank A/B experiment it feeds.
+//!
+//! ```sh
+//! corpus_analyze [--check] [--sarif PATH] [--premise-ab] [--fresh]
+//!                [--trace-out BASE]
+//! ```
+//!
+//! Default mode loads every corpus module, builds the dependency graph,
+//! runs the five analysis passes (hint-loop, positivity, dead-symbol,
+//! rewrite-orientation, axiom/admit), and prints the findings with
+//! per-pass counts. `--check` is the CI entry point (same run; the name
+//! marks intent). `--sarif PATH` additionally writes the SARIF 2.1.0
+//! report. `--premise-ab` then runs the full-corpus evaluation with
+//! `--premise-rank` off vs on and records both cells, the per-pass
+//! finding counts, and the node-expansion totals in `BENCH_eval.json`.
+//!
+//! Exit codes: 0 = analysis clean, 1 = findings, 2 = load/usage error.
+
+use std::process::ExitCode;
+
+use corpus_analysis::{analyze_sources, AnalysisConfig};
+use fscq_corpus::Corpus;
+use llm_fscq_bench::{fresh_flag, runner, trace_out_flag, BENCH_EVAL_PATH};
+use proof_metrics::{CellConfig, EvalScope};
+use proof_oracle::profiles::ModelProfile;
+use proof_oracle::prompt::PromptSetting;
+
+/// Path prefix for SARIF artifact URIs: findings point into the corpus.
+const URI_PREFIX: &str = "crates/fscq/corpus/";
+
+struct Args {
+    sarif: Option<String>,
+    premise_ab: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: corpus_analyze [--check] [--sarif PATH] [--premise-ab] [--fresh]\n\
+         \x20                     [--trace-out BASE]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = std::env::args().skip(1);
+    let mut sarif = None;
+    let mut premise_ab = false;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            // `--check` is the explicit CI spelling of the default mode.
+            "--check" => {}
+            "--sarif" => {
+                sarif = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--sarif needs a path");
+                    usage()
+                }))
+            }
+            "--premise-ab" => premise_ab = true,
+            // Shared grid flags, parsed by the bench library.
+            "--fresh" | "--jobs" => {
+                if a == "--jobs" {
+                    args.next();
+                }
+            }
+            "--trace-out" => {
+                args.next();
+            }
+            "--help" | "-h" => usage(),
+            other if other.starts_with("--trace-out=") => {}
+            other => {
+                eprintln!("unexpected argument {other}");
+                usage()
+            }
+        }
+    }
+    Args { sarif, premise_ab }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let trace_out = trace_out_flag();
+    if trace_out.is_some() {
+        proof_trace::set_enabled(true);
+    }
+
+    let sources: Vec<(String, String)> = fscq_corpus::corpus_sources()
+        .into_iter()
+        .map(|(n, t)| (n.to_string(), t.to_string()))
+        .collect();
+    let (report, graph) = match analyze_sources(&sources, &AnalysisConfig::default()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("corpus_analyze: load error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    println!(
+        "graph    : {} symbols, {} edges across {} modules",
+        graph.len(),
+        report.edges,
+        sources.len()
+    );
+    let counts = report.pass_counts();
+    let rendered: Vec<String> = counts.iter().map(|(c, n)| format!("{c}={n}")).collect();
+    println!("passes   : {}", rendered.join(", "));
+    for f in &report.findings {
+        println!("finding  : {f}");
+    }
+    println!(
+        "analysis : {} finding(s) — {}",
+        report.findings.len(),
+        if report.is_clean() {
+            "clean"
+        } else {
+            "NOT clean"
+        }
+    );
+
+    if let Some(path) = &args.sarif {
+        let sarif = report.sarif_json("corpus_analyze", URI_PREFIX);
+        if let Err(e) = std::fs::write(path, sarif) {
+            eprintln!("corpus_analyze: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("sarif    : written to {path}");
+    }
+
+    if args.premise_ab {
+        run_premise_ab(&report);
+    }
+
+    if let Some(base) = &trace_out {
+        if let Err(e) = llm_fscq_bench::write_trace_artifacts(base) {
+            eprintln!("trace export failed: {e}");
+        }
+    }
+
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+/// Full-corpus evaluation with graph-guided premise ranking off vs on,
+/// recorded (with the analyzer's per-pass counts) in `BENCH_eval.json`.
+fn run_premise_ab(report: &corpus_analysis::AnalysisReport) {
+    let corpus = Corpus::load();
+    let runner = runner(fresh_flag());
+
+    let mut off = CellConfig::standard(ModelProfile::gpt4o(), PromptSetting::Hints);
+    off.scope = EvalScope::Full;
+    off.search.premise_rank = false;
+    let mut on = off.clone();
+    on.search.premise_rank = true;
+
+    eprintln!(
+        "running cell: {} [premise-rank off] ({} jobs)",
+        off.label(),
+        runner.jobs()
+    );
+    let r_off = runner.run_cell(&corpus, &off);
+    eprintln!("running cell: {} [premise-rank on]", on.label());
+    let r_on = runner.run_cell(&corpus, &on);
+
+    // Node expansions = one frontier pop per model query, so the per-cell
+    // query totals are the A/B expansion counts.
+    let exp_off: u64 = r_off.outcomes.iter().map(|o| u64::from(o.queries)).sum();
+    let exp_on: u64 = r_on.outcomes.iter().map(|o| u64::from(o.queries)).sum();
+    let mut moved = 0usize;
+    for (a, b) in r_off.outcomes.iter().zip(&r_on.outcomes) {
+        if a.outcome != b.outcome || a.script != b.script {
+            moved += 1;
+        }
+    }
+    println!(
+        "premise-rank A/B: proved {:.1}% -> {:.1}%, expansions {} -> {} ({} theorem(s) changed)",
+        r_off.proved_rate() * 100.0,
+        r_on.proved_rate() * 100.0,
+        exp_off,
+        exp_on,
+        moved
+    );
+
+    let counts = report.pass_counts();
+    let pass_list: Vec<String> = counts.iter().map(|(c, n)| format!("{c}={n}")).collect();
+    let notes = format!(
+        "premise-rank A/B ({}, full scope): cells[0]=rank off, cells[1]=rank on; \
+         expansions off={exp_off} on={exp_on}; proved off={:.3} on={:.3}; \
+         {} diverging theorem(s); analyzer passes: {}",
+        off.label(),
+        r_off.proved_rate(),
+        r_on.proved_rate(),
+        moved,
+        pass_list.join(", "),
+    );
+    if let Err(e) = runner.write_bench(BENCH_EVAL_PATH, &notes) {
+        eprintln!("corpus_analyze: cannot write {BENCH_EVAL_PATH}: {e}");
+    } else {
+        println!("bench    : A/B cells recorded in {BENCH_EVAL_PATH}");
+    }
+}

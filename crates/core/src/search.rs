@@ -43,6 +43,15 @@ pub struct SearchConfig {
     /// identical with the filter on or off, only cheaper — so it defaults
     /// to on; `--no-preflight` turns it off for A/B runs.
     pub preflight: bool,
+    /// Reorder every hint database by dependency-graph distance to the
+    /// goal before searching (`corpus_analysis::premise::reranked_env`).
+    /// A permutation only — no hint is added or dropped — so found
+    /// scripts still replay against the unranked environment. Unlike
+    /// `preflight` this *can* change which proofs are found (hint order
+    /// is observable through `auto`'s traversal), so it defaults to off
+    /// and the off path leaves the environment untouched, byte for byte;
+    /// `--premise-rank` opts in for A/B runs.
+    pub premise_rank: bool,
 }
 
 impl Default for SearchConfig {
@@ -54,6 +63,7 @@ impl Default for SearchConfig {
             dedupe_states: true,
             strategy: Strategy::BestFirst,
             preflight: true,
+            premise_rank: false,
         }
     }
 }
@@ -343,6 +353,15 @@ pub fn search_with_recovery(
             &mut chaotic_slot
         }
         None => model,
+    };
+    // Goal-directed hint reordering (opt-in). The ranked environment is a
+    // fresh snapshot; with ranking off the caller's Arc is used as-is.
+    let ranked_env;
+    let env: &Arc<Env> = if cfg.premise_rank {
+        ranked_env = Arc::new(corpus_analysis::premise::reranked_env(env, stmt));
+        &ranked_env
+    } else {
+        env
     };
     let mut session = ProofSession::new(
         Arc::clone(env),
@@ -693,6 +712,56 @@ mod tests {
             total_pruned += on.stats.preflight_pruned;
         }
         assert!(total_pruned > 0, "filter never fired on any run");
+    }
+
+    #[test]
+    fn premise_rank_defaults_off_and_off_is_baseline() {
+        // With ranking off the caller's environment is used untouched, so
+        // a run with the explicit flag must match the plain default on
+        // every observable: outcome, counters, and the full expansion
+        // transcript.
+        assert!(!SearchConfig::default().premise_rank);
+        for name in ["add_0_l", "in_cons", "le_refl"] {
+            let base = run_one(name, ModelProfile::gpt4o(), &SearchConfig::default());
+            let off = run_one(
+                name,
+                ModelProfile::gpt4o(),
+                &SearchConfig {
+                    premise_rank: false,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(base.outcome, off.outcome, "{name}");
+            assert_eq!(base.stats.queries, off.stats.queries, "{name}");
+            assert_eq!(base.stats.expansions, off.stats.expansions, "{name}");
+        }
+    }
+
+    #[test]
+    fn premise_rank_found_scripts_replay_unranked() {
+        // Ranking permutes hint databases but adds nothing, so any script
+        // found with ranking on must replay against the *unranked*
+        // environment (soundness of the heuristic).
+        let dev = fscq_corpus::load_corpus(false).unwrap();
+        let cfg = SearchConfig {
+            premise_rank: true,
+            ..Default::default()
+        };
+        let mut proved = 0;
+        for name in ["le_refl", "in_eq", "app_nil_l", "add_0_l", "incl_refl"] {
+            let r = run_one(name, ModelProfile::gpt4o(), &cfg);
+            if let Some(script) = r.script_text() {
+                proved += 1;
+                let thm = dev.theorem(name).unwrap();
+                let env = dev.env_before(thm);
+                minicoq_vernac::loader::replay_proof(env, &thm.stmt, &script)
+                    .unwrap_or_else(|e| panic!("{name}: ranked-run script does not replay: {e}"));
+            }
+        }
+        assert!(
+            proved >= 2,
+            "only {proved}/5 easy theorems proved with ranking"
+        );
     }
 
     #[test]

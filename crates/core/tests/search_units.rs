@@ -58,6 +58,7 @@ fn cfg() -> SearchConfig {
         dedupe_states: true,
         strategy: Strategy::BestFirst,
         preflight: true,
+        premise_rank: false,
     }
 }
 

@@ -221,6 +221,17 @@ pub fn render_report(
             let _ = writeln!(out, "  {:32} {v}", &k["stm.add.".len()..]);
         }
     }
+    let analysis: Vec<(&String, &u64)> = metrics
+        .counters
+        .iter()
+        .filter(|(k, _)| k.starts_with("analysis."))
+        .collect();
+    if !analysis.is_empty() {
+        let _ = writeln!(out, "\n== Corpus analysis counters ==");
+        for (k, v) in analysis {
+            let _ = writeln!(out, "  {:32} {v}", &k["analysis.".len()..]);
+        }
+    }
     out
 }
 
@@ -323,5 +334,20 @@ mod tests {
         assert!(text.contains("Slowest cells"));
         assert!(text.contains("search.oracle_faults"));
         assert!(text.contains('3'));
+    }
+
+    #[test]
+    fn report_renders_analysis_counters() {
+        let spans = vec![span(1, 0, "cell", 100)];
+        let mut m = MetricsSnapshot::default();
+        m.counters.insert("analysis.pass.hint-loop".into(), 2);
+        m.counters.insert("analysis.graph.symbols".into(), 418);
+        let text = render_report(&spans, &m, 0, 5);
+        assert!(text.contains("Corpus analysis counters"));
+        assert!(text.contains("pass.hint-loop"));
+        assert!(text.contains("418"));
+        // The section is omitted entirely when no analysis ran.
+        let empty = render_report(&spans, &MetricsSnapshot::default(), 0, 5);
+        assert!(!empty.contains("Corpus analysis counters"));
     }
 }

@@ -17,6 +17,8 @@ pub enum ItemKind {
     Fixpoint,
     /// `Lemma`/`Theorem`/`Corollary`/`Remark`, with its proof script.
     Lemma,
+    /// `Axiom name : formula.` — a statement assumed without proof.
+    Axiom,
     /// `Hint Resolve` / `Hint Constructors`.
     Hint,
 }
@@ -34,12 +36,21 @@ pub struct Item {
     /// For lemmas, the proof script between `Proof.` and `Qed.`
     /// (sentences joined with `. `, with a trailing `.`).
     pub proof: Option<String>,
+    /// True for lemmas closed with `Admitted.` instead of `Qed.`: the
+    /// statement is trusted without a checked proof.
+    pub admitted: bool,
+    /// Byte offset of the item's first sentence in the source file, for
+    /// line-accurate diagnostics.
+    pub start: usize,
 }
 
 impl Item {
     /// Renders the declaration as it would appear in a source file, with or
     /// without the proof body.
     pub fn render(&self, with_proof: bool) -> String {
+        if self.admitted {
+            return format!("{}.\nAdmitted.", self.text);
+        }
         match (&self.proof, with_proof) {
             (Some(p), true) => format!("{}.\nProof.\n{}\nQed.", self.text, p),
             (Some(_), false) => format!("{}.\nProof.\n(* ... *)\nQed.", self.text),
@@ -78,63 +89,49 @@ pub fn group_items(src: &str) -> Result<Vec<Item>, GroupError> {
     while i < sentences.len() {
         let s = &sentences[i];
         let head = head_word(&s.text);
+        // The sentence span starts at the previous `.`+1, which includes
+        // inter-sentence whitespace; diagnostics want the first real byte.
+        let ws = src[s.start..s.end].len() - src[s.start..s.end].trim_start().len();
+        let start = s.start + ws;
+        let simple = |kind: ItemKind, name: String| Item {
+            kind,
+            name,
+            text: s.text.clone(),
+            proof: None,
+            admitted: false,
+            start,
+        };
         match head {
             // Comment-only trailing text.
             "" => {
                 i += 1;
             }
             "Require" => {
-                out.push(Item {
-                    kind: ItemKind::Import,
-                    name: last_word(&s.text),
-                    text: s.text.clone(),
-                    proof: None,
-                });
+                out.push(simple(ItemKind::Import, last_word(&s.text)));
                 i += 1;
             }
             "Sort" => {
-                out.push(Item {
-                    kind: ItemKind::SortDecl,
-                    name: second_word(&s.text),
-                    text: s.text.clone(),
-                    proof: None,
-                });
+                out.push(simple(ItemKind::SortDecl, second_word(&s.text)));
                 i += 1;
             }
             "Inductive" => {
-                out.push(Item {
-                    kind: ItemKind::Inductive,
-                    name: second_word(&s.text),
-                    text: s.text.clone(),
-                    proof: None,
-                });
+                out.push(simple(ItemKind::Inductive, second_word(&s.text)));
                 i += 1;
             }
             "Definition" => {
-                out.push(Item {
-                    kind: ItemKind::Definition,
-                    name: second_word(&s.text),
-                    text: s.text.clone(),
-                    proof: None,
-                });
+                out.push(simple(ItemKind::Definition, second_word(&s.text)));
                 i += 1;
             }
             "Fixpoint" => {
-                out.push(Item {
-                    kind: ItemKind::Fixpoint,
-                    name: second_word(&s.text),
-                    text: s.text.clone(),
-                    proof: None,
-                });
+                out.push(simple(ItemKind::Fixpoint, second_word(&s.text)));
+                i += 1;
+            }
+            "Axiom" => {
+                out.push(simple(ItemKind::Axiom, second_word(&s.text)));
                 i += 1;
             }
             "Hint" => {
-                out.push(Item {
-                    kind: ItemKind::Hint,
-                    name: String::new(),
-                    text: s.text.clone(),
-                    proof: None,
-                });
+                out.push(simple(ItemKind::Hint, String::new()));
                 i += 1;
             }
             "Lemma" | "Theorem" | "Corollary" | "Remark" => {
@@ -147,6 +144,7 @@ pub fn group_items(src: &str) -> Result<Vec<Item>, GroupError> {
                 }
                 let mut proof_sentences: Vec<String> = Vec::new();
                 let mut closed = false;
+                let mut admitted = false;
                 while i < sentences.len() {
                     let t = &sentences[i].text;
                     let h = head_word(t);
@@ -155,18 +153,28 @@ pub fn group_items(src: &str) -> Result<Vec<Item>, GroupError> {
                         closed = true;
                         break;
                     }
+                    if h == "Admitted" {
+                        i += 1;
+                        closed = true;
+                        admitted = true;
+                        break;
+                    }
                     proof_sentences.push(t.clone());
                     i += 1;
                 }
                 if !closed {
                     return Err(GroupError(format!("lemma {name}: missing Qed")));
                 }
-                let proof = format!("{}.", proof_sentences.join(". "));
+                // An admitted lemma keeps no proof: whatever partial script
+                // preceded `Admitted.` was abandoned, not checked.
+                let proof = (!admitted).then(|| format!("{}.", proof_sentences.join(". ")));
                 out.push(Item {
                     kind: ItemKind::Lemma,
                     name,
                     text: stmt,
-                    proof: Some(proof),
+                    proof,
+                    admitted,
+                    start,
                 });
             }
             other => {
@@ -244,5 +252,32 @@ mod tests {
         assert!(vanilla.contains("(* ... *)"));
         let hinted = items[0].render(true);
         assert!(hinted.contains("reflexivity."));
+    }
+
+    #[test]
+    fn admitted_lemma_is_grouped_without_proof() {
+        let src = "Lemma a : 1 = 1.\nProof. simpl. Admitted.\nSort T.";
+        let items = group_items(src).unwrap();
+        assert_eq!(items[0].kind, ItemKind::Lemma);
+        assert!(items[0].admitted);
+        assert_eq!(items[0].proof, None);
+        assert!(items[0].render(true).contains("Admitted."));
+        assert_eq!(items[1].kind, ItemKind::SortDecl);
+    }
+
+    #[test]
+    fn axiom_is_grouped() {
+        let items = group_items("Axiom choice : 0 = 0.").unwrap();
+        assert_eq!(items[0].kind, ItemKind::Axiom);
+        assert_eq!(items[0].name, "choice");
+        assert!(!items[0].admitted);
+    }
+
+    #[test]
+    fn items_carry_source_offsets() {
+        let src = "Sort T.\nLemma a : 1 = 1.\nProof. reflexivity. Qed.";
+        let items = group_items(src).unwrap();
+        assert_eq!(items[0].start, 0);
+        assert_eq!(items[1].start, src.find("Lemma").unwrap());
     }
 }

@@ -1,15 +1,17 @@
-//! The corpus linter: development-wide hygiene checks.
+//! The corpus linter: local, per-item hygiene checks.
 //!
 //! Where the loader rejects developments that are *wrong* (unparseable
 //! items, broken proofs, unknown imports), the linter flags developments
-//! that are *untidy*: declarations that collide or are never used, binders
-//! that shadow, hints that point at nothing, hypotheses introduced and then
-//! ignored. Every diagnostic carries a file/item span so CI can point at
-//! the offending declaration.
+//! that are *untidy*: declarations that collide, binders that shadow,
+//! hypotheses introduced and then ignored. Every diagnostic carries a
+//! file/item span so CI can point at the offending declaration.
 //!
-//! The linter never mutates anything and is intentionally conservative:
-//! each rule only fires when the problem is certain from the loaded
-//! development alone.
+//! Development-*global* checks (dead symbols, unresolved references, hint
+//! cycles, positivity, axioms) live in the `corpus-analysis` crate, which
+//! builds the whole-corpus dependency graph; the `lint` CLI composes both
+//! so the two tools cannot disagree. The linter never mutates anything and
+//! is intentionally conservative: each rule only fires when the problem is
+//! certain from the loaded development alone.
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -26,13 +28,8 @@ pub enum LintKind {
     DuplicateName,
     /// A quantifier rebinds a name already bound in an enclosing scope.
     ShadowedBinder,
-    /// A `Hint` sentence references a name that is not a lemma, rule, or
-    /// inductive predicate of the final environment.
-    UnknownHintTarget,
     /// A proof introduces a named hypothesis it never mentions again.
     UnusedHypothesis,
-    /// A definition no other item ever references.
-    DeadDefinition,
 }
 
 impl LintKind {
@@ -41,9 +38,7 @@ impl LintKind {
         match self {
             LintKind::DuplicateName => "duplicate-name",
             LintKind::ShadowedBinder => "shadowed-binder",
-            LintKind::UnknownHintTarget => "unknown-hint-target",
             LintKind::UnusedHypothesis => "unused-hypothesis",
-            LintKind::DeadDefinition => "dead-definition",
         }
     }
 }
@@ -85,9 +80,7 @@ pub fn lint_development(dev: &Development) -> Vec<LintDiagnostic> {
     let mut out = Vec::new();
     duplicate_names(dev, &mut out);
     shadowed_binders(dev, &mut out);
-    unknown_hint_targets(dev, &mut out);
     unused_hypotheses(dev, &mut out);
-    dead_definitions(dev, &mut out);
     out
 }
 
@@ -100,6 +93,7 @@ fn declares_name(kind: &ItemKind) -> bool {
             | ItemKind::Definition
             | ItemKind::Fixpoint
             | ItemKind::Lemma
+            | ItemKind::Axiom
     )
 }
 
@@ -204,34 +198,6 @@ pub fn hint_targets(text: &str) -> Option<(String, Vec<String>)> {
     Some((class, names))
 }
 
-fn unknown_hint_targets(dev: &Development, out: &mut Vec<LintDiagnostic>) {
-    for file in &dev.files {
-        for (idx, item) in file.items.iter().enumerate() {
-            if item.kind != ItemKind::Hint {
-                continue;
-            }
-            let Some((class, names)) = hint_targets(&item.text) else {
-                continue;
-            };
-            for name in names {
-                let known = match class.as_str() {
-                    "Constructors" => dev.env.preds.contains_key(name.as_str()),
-                    _ => dev.env.rule_or_lemma(&name).is_some(),
-                };
-                if !known {
-                    out.push(LintDiagnostic {
-                        kind: LintKind::UnknownHintTarget,
-                        file: file.name.clone(),
-                        item: String::new(),
-                        item_index: idx,
-                        message: format!("`Hint {class}` references unknown name `{name}`"),
-                    });
-                }
-            }
-        }
-    }
-}
-
 /// Tactics that can discharge a goal using hypotheses or goal structure
 /// without naming them: solvers consume the whole context, and unifying
 /// tactics (`apply lemma`, `exact`, …) close goals whose statement still
@@ -311,82 +277,6 @@ fn unused_hypotheses(dev: &Development, out: &mut Vec<LintDiagnostic>) {
                     });
                 }
             }
-        }
-    }
-}
-
-/// The constructor names an `Inductive` item declares, parsed from its
-/// source text (`| ctor ...` segments).
-fn inductive_ctors(text: &str) -> Vec<String> {
-    text.split('|')
-        .skip(1)
-        .filter_map(|seg| {
-            seg.split_whitespace()
-                .next()
-                .map(|w| w.trim_matches(|c: char| !c.is_ascii_alphanumeric() && c != '_'))
-        })
-        .filter(|w| !w.is_empty())
-        .map(str::to_string)
-        .collect()
-}
-
-fn dead_definitions(dev: &Development, out: &mut Vec<LintDiagnostic>) {
-    // A definition is live when any *other* item mentions the defined name
-    // (or, for inductives, any of its constructors) in its statement or
-    // proof text anywhere in the development.
-    struct Def<'a> {
-        file: &'a str,
-        item_index: usize,
-        name: &'a str,
-        aliases: Vec<String>,
-    }
-    let mut defs: Vec<Def<'_>> = Vec::new();
-    for file in &dev.files {
-        for (idx, item) in file.items.iter().enumerate() {
-            let deffish = matches!(
-                item.kind,
-                ItemKind::Definition | ItemKind::Fixpoint | ItemKind::Inductive
-            );
-            if !deffish || item.name.is_empty() {
-                continue;
-            }
-            let mut aliases = vec![item.name.clone()];
-            if item.kind == ItemKind::Inductive {
-                aliases.extend(inductive_ctors(&item.text));
-            }
-            defs.push(Def {
-                file: &file.name,
-                item_index: idx,
-                name: &item.name,
-                aliases,
-            });
-        }
-    }
-    for def in defs {
-        let mut used = false;
-        'scan: for file in &dev.files {
-            for (idx, item) in file.items.iter().enumerate() {
-                if file.name == def.file && idx == def.item_index {
-                    continue;
-                }
-                let mut all = tokens(&item.text);
-                if let Some(p) = &item.proof {
-                    all.extend(tokens(p));
-                }
-                if all.iter().any(|t| def.aliases.iter().any(|a| a == t)) {
-                    used = true;
-                    break 'scan;
-                }
-            }
-        }
-        if !used {
-            out.push(LintDiagnostic {
-                kind: LintKind::DeadDefinition,
-                file: def.file.to_string(),
-                item: def.name.to_string(),
-                item_index: def.item_index,
-                message: format!("`{}` is never referenced by any other item", def.name),
-            });
         }
     }
 }
@@ -476,40 +366,6 @@ mod tests {
         assert!(!diags.iter().any(|d| d.item == "w"), "{diags:?}");
         assert!(
             !diags.iter().any(|d| d.message.contains("`n`")),
-            "{diags:?}"
-        );
-    }
-
-    #[test]
-    fn dead_definitions_are_flagged() {
-        let dev = load(&[(
-            "A",
-            "Definition zero : nat := 0.\n\
-             Fixpoint double (n : nat) : nat := match n with | 0 => 0 | S p => S (S (double p)) end.\n\
-             Lemma l : double 1 = 2.\nProof. reflexivity. Qed.",
-        )]);
-        let diags = lint_development(&dev);
-        assert!(
-            diags
-                .iter()
-                .any(|d| d.kind == LintKind::DeadDefinition && d.item == "zero"),
-            "{diags:?}"
-        );
-        assert!(!diags.iter().any(|d| d.item == "double"), "{diags:?}");
-    }
-
-    #[test]
-    fn inductive_constructor_uses_keep_the_inductive_alive() {
-        let dev = load(&[(
-            "A",
-            "Inductive even : nat -> Prop :=\n\
-             | even_O : even 0\n\
-             | even_SS : forall n : nat, even n -> even (S (S n)).\n\
-             Lemma e0 : even 0.\nProof. apply even_O. Qed.",
-        )]);
-        let diags = lint_development(&dev);
-        assert!(
-            !diags.iter().any(|d| d.kind == LintKind::DeadDefinition),
             "{diags:?}"
         );
     }

@@ -32,6 +32,13 @@ pub enum Decl {
         /// Closed statement.
         stmt: Formula,
     },
+    /// An axiom: a statement assumed into the environment without proof.
+    AxiomStmt {
+        /// Axiom name.
+        name: String,
+        /// Closed statement.
+        stmt: Formula,
+    },
     /// `Hint Resolve` names.
     HintResolve(Vec<String>),
     /// `Hint Constructors` predicate names.
@@ -49,7 +56,26 @@ pub fn parse_item(env: &Env, item: &Item) -> Result<Decl, ParseError> {
             parse_def(env, &item.text, item.kind == ItemKind::Fixpoint)
         }
         ItemKind::Lemma => parse_lemma(env, &item.text),
+        ItemKind::Axiom => parse_axiom(env, &item.text),
     }
+}
+
+fn parse_axiom(env: &Env, text: &str) -> Result<Decl, ParseError> {
+    let mut cur = Cursor::new(lex(text)?);
+    cur.expect_kw("Axiom")?;
+    let name = cur.expect_ident()?;
+    cur.expect_sym(":")?;
+    let e = parse_expr(&mut cur)?;
+    if !cur.at_end() {
+        return Err(ParseError(format!(
+            "trailing tokens in axiom {name}: {:?}",
+            cur.remainder()
+        )));
+    }
+    let mut el = Elaborator::new(env);
+    let f = el.elab_formula(&ElabCtx::default(), &e)?;
+    let stmt = el.finish_formula(&f)?;
+    Ok(Decl::AxiomStmt { name, stmt })
 }
 
 fn parse_hint(text: &str) -> Result<Decl, ParseError> {
@@ -610,6 +636,9 @@ pub fn apply_decl(env: &mut Env, decl: &Decl) -> Result<(), ParseError> {
             .declare_pred(PredDef::Defined(p.clone()))
             .map_err(|e| ParseError(e.to_string())),
         Decl::LemmaStmt { .. } => Ok(()),
+        Decl::AxiomStmt { name, stmt } => env
+            .add_lemma(name.clone(), stmt.clone())
+            .map_err(|e| ParseError(e.to_string())),
         Decl::HintResolve(names) => {
             for n in names {
                 if env.rule_or_lemma(n).is_none() {

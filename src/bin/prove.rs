@@ -3,7 +3,7 @@
 //! ```sh
 //! prove <theorem> [--model mini|gpt4o|flash|pro|pro128k] [--vanilla]
 //!       [--retrieval K] [--limit N] [--width W] [--strategy best|greedy|bfs]
-//!       [--show-query] [--preflight|--no-preflight]
+//!       [--show-query] [--preflight|--no-preflight] [--premise-rank]
 //! ```
 //!
 //! Prints the outcome, the search statistics, and (when proved) the found
@@ -30,7 +30,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: prove <theorem> [--model mini|gpt4o|flash|pro|pro128k] [--vanilla]\n\
          \x20             [--retrieval K] [--limit N] [--width W] [--strategy best|greedy|bfs]\n\
-         \x20             [--preflight|--no-preflight]"
+         \x20             [--preflight|--no-preflight] [--premise-rank]"
     );
     std::process::exit(2)
 }
@@ -67,6 +67,7 @@ fn parse_args() -> Args {
             "--vanilla" => setting = PromptSetting::Vanilla,
             "--preflight" => cfg.preflight = true,
             "--no-preflight" => cfg.preflight = false,
+            "--premise-rank" => cfg.premise_rank = true,
             "--show-query" => show_query = true,
             "--retrieval" => retrieval = value("--retrieval").parse().ok(),
             "--limit" => cfg.query_limit = value("--limit").parse().unwrap_or_else(|_| usage()),

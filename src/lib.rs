@@ -14,6 +14,9 @@
 //! * [`oracle`] — the tactic-prediction model layer (prompts, profiles,
 //!   and the offline simulator);
 //! * [`search`] — the paper's best-first tactic tree search;
+//! * [`analysis`] — the whole-corpus semantic analyzer (dependency graph,
+//!   hint-loop/positivity/dead-symbol/rewrite/axiom passes, and the
+//!   premise-ranking heuristic);
 //! * [`metrics`] — the evaluation harness regenerating every table and
 //!   figure.
 //!
@@ -44,6 +47,7 @@
 //! }
 //! ```
 
+pub use corpus_analysis as analysis;
 pub use fscq_corpus as corpus;
 pub use minicoq;
 pub use minicoq_stm as stm;
