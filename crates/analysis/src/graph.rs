@@ -352,9 +352,7 @@ impl DepGraph {
                     for (_, s) in &f.params {
                         sort_refs(s, &mut refs);
                     }
-                } else if let Some(PredDef::Defined(dp)) =
-                    dev.env.preds.get(item.name.as_str())
-                {
+                } else if let Some(PredDef::Defined(dp)) = dev.env.preds.get(item.name.as_str()) {
                     formula_refs(&dp.body, &mut refs);
                     for (_, s) in &dp.params {
                         sort_refs(s, &mut refs);

@@ -32,7 +32,7 @@ fn bench_tactic_application(c: &mut Criterion) {
     let env = Env::with_prelude();
     let stmt = parse_formula(&env, "forall n m : nat, add n (S m) = S (add n m)").unwrap();
     let st = ProofState::new(stmt);
-    let tac = parse_tactic(&env, st.goals.first(), "induction n; intros; simpl").unwrap();
+    let tac = parse_tactic(&env, st.focused(), "induction n; intros; simpl").unwrap();
     c.bench_function("kernel/apply induction-intros-simpl", |b| {
         b.iter(|| apply_tactic(&env, black_box(&st), &tac, &mut Fuel::default()).unwrap())
     });
@@ -46,9 +46,9 @@ fn bench_lia(c: &mut Criterion) {
     )
     .unwrap();
     let mut st = ProofState::new(stmt);
-    let intros = parse_tactic(&env, st.goals.first(), "intros").unwrap();
+    let intros = parse_tactic(&env, st.focused(), "intros").unwrap();
     st = apply_tactic(&env, &st, &intros, &mut Fuel::default()).unwrap();
-    let lia = parse_tactic(&env, st.goals.first(), "lia").unwrap();
+    let lia = parse_tactic(&env, st.focused(), "lia").unwrap();
     c.bench_function("kernel/lia transitivity", |b| {
         b.iter(|| apply_tactic(&env, black_box(&st), &lia, &mut Fuel::default()).unwrap())
     });
@@ -64,7 +64,7 @@ fn bench_replay(c: &mut Criterion) {
         b.iter(|| {
             let mut st = ProofState::new(thm.stmt.clone());
             for s in &sentences {
-                let tac = parse_tactic(&env, st.goals.first(), s).unwrap();
+                let tac = parse_tactic(&env, st.focused(), s).unwrap();
                 st = apply_tactic(&env, &st, &tac, &mut Fuel::unlimited()).unwrap();
             }
             assert!(st.is_complete());

@@ -153,16 +153,14 @@ fn run_premise_ab(report: &corpus_analysis::AnalysisReport) {
     let mut off = CellConfig::standard(ModelProfile::gpt4o(), PromptSetting::Hints);
     off.scope = EvalScope::Full;
     off.search.premise_rank = false;
+    off.variant = Some("premise-rank=off".into());
     let mut on = off.clone();
     on.search.premise_rank = true;
+    on.variant = Some("premise-rank=on".into());
 
-    eprintln!(
-        "running cell: {} [premise-rank off] ({} jobs)",
-        off.label(),
-        runner.jobs()
-    );
+    eprintln!("running cell: {} ({} jobs)", off.label(), runner.jobs());
     let r_off = runner.run_cell(&corpus, &off);
-    eprintln!("running cell: {} [premise-rank on]", on.label());
+    eprintln!("running cell: {}", on.label());
     let r_on = runner.run_cell(&corpus, &on);
 
     // Node expansions = one frontier pop per model query, so the per-cell
@@ -187,7 +185,7 @@ fn run_premise_ab(report: &corpus_analysis::AnalysisReport) {
     let counts = report.pass_counts();
     let pass_list: Vec<String> = counts.iter().map(|(c, n)| format!("{c}={n}")).collect();
     let notes = format!(
-        "premise-rank A/B ({}, full scope): cells[0]=rank off, cells[1]=rank on; \
+        "premise-rank A/B ({}, full scope): cells tagged by their `variant` field; \
          expansions off={exp_off} on={exp_on}; proved off={:.3} on={:.3}; \
          {} diverging theorem(s); analyzer passes: {}",
         off.label(),

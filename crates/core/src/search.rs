@@ -8,7 +8,7 @@ use minicoq::env::Env;
 use minicoq::formula::Formula;
 use minicoq_stm::{AddError, ProofSession, SessionConfig, StateId};
 use proof_chaos::FaultPlan;
-use proof_oracle::{ChaoticModel, PromptInfo, QueryCtx, TacticModel};
+use proof_oracle::{ChaoticModel, PromptInfo, Proposal, QueryCtx, TacticModel};
 use serde::Serialize;
 
 /// Search strategies; `BestFirst` is the paper's, the others are ablation
@@ -88,6 +88,15 @@ pub struct RecoveryConfig {
     /// Seeded fault plan to inject oracle faults and prover stalls;
     /// `None` runs clean (and then the retry loop never engages).
     pub fault_plan: Option<Arc<FaultPlan>>,
+    /// Within-proof parallel expansion width: how many frontier entries
+    /// to expand speculatively at once, each query answered on its own
+    /// thread by a clone of the model. `1` (the default) is the plain
+    /// sequential search. Like the retry knobs this is transport only —
+    /// results commit serially in exactly the order the sequential search
+    /// would pop, and speculation that order invalidates is requeued and
+    /// recomputed — so every value yields byte-identical results and the
+    /// knob stays out of the cell cache key.
+    pub proof_jobs: usize,
 }
 
 impl Default for RecoveryConfig {
@@ -97,6 +106,7 @@ impl Default for RecoveryConfig {
             backoff_ms: 10,
             backoff_cap_ms: 200,
             fault_plan: None,
+            proof_jobs: 1,
         }
     }
 }
@@ -302,6 +312,121 @@ impl Frontier {
             Frontier::BreadthFirst(queue) => queue.len(),
         }
     }
+
+    /// True when the current top of the frontier would be popped before
+    /// `entry` under this discipline's (total) order — the speculation
+    /// check of the parallel search: a batched entry only commits while
+    /// nothing pushed since outranks it. Under BreadthFirst everything in
+    /// the queue was pushed after any already-popped entry, so the answer
+    /// is always no.
+    fn outranks(&self, entry: &Entry) -> bool {
+        match self {
+            Frontier::BestFirst(heap) => heap.peek().map(|t| t > entry).unwrap_or(false),
+            Frontier::Greedy(heap) => heap
+                .peek()
+                .map(|t| *t > GreedyEntry(entry.clone()))
+                .unwrap_or(false),
+            Frontier::BreadthFirst(queue) => {
+                queue.front().map(|t| t.seq < entry.seq).unwrap_or(false)
+            }
+        }
+    }
+}
+
+/// One oracle call under the bounded-retry transport loop. Returns the
+/// proposals plus the fault and retry counts the call consumed. A retried
+/// query reuses its `query_index` (it is fixed in `ctx`), so the
+/// recovered answer is the one a clean run gets. Panics when faults
+/// outlast every retry — the oracle is genuinely down, and the cell
+/// runner's panic isolation converts that into a typed crashed-cell
+/// record for journaled resume.
+fn propose_with_retry(
+    model: &mut dyn TacticModel,
+    ctx: &QueryCtx<'_>,
+    width: usize,
+    recovery: &RecoveryConfig,
+) -> (Vec<Proposal>, u32, u32) {
+    let mut faults = 0u32;
+    let mut attempt = 0u32;
+    let props = loop {
+        match model.try_propose(ctx, width) {
+            Ok(props) => break props,
+            Err(fault) => {
+                faults += 1;
+                // Always-on: fault recovery is the one signal that must
+                // survive even untraced runs (satellite reporting reads it
+                // from the registry), and faults are rare enough that a
+                // counter bump is free.
+                proof_trace::metrics::counter_inc("search.oracle_faults");
+                if attempt >= recovery.oracle_retries {
+                    panic!(
+                        "oracle failed after {} retries at {} q{}: {fault}",
+                        recovery.oracle_retries, ctx.theorem, ctx.query_index
+                    );
+                }
+                attempt += 1;
+                proof_trace::metrics::counter_inc("search.oracle_retries");
+                let backoff = recovery
+                    .backoff_ms
+                    .saturating_mul(1u64 << (attempt - 1).min(16))
+                    .min(recovery.backoff_cap_ms);
+                if backoff > 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(backoff));
+                }
+            }
+        }
+    };
+    (props, faults, attempt)
+}
+
+/// Applies one query's proposals at `entry`, updating the counters and
+/// pushing the surviving children onto the frontier. Returns the proof
+/// script when a proposal closes the goal. Both the sequential and the
+/// parallel search commit through this one function, so their observable
+/// effects are identical by construction.
+fn commit_proposals(
+    session: &mut ProofSession,
+    frontier: &mut Frontier,
+    stats: &mut SearchStats,
+    seq: &mut u64,
+    entry: &Entry,
+    proposals: Vec<Proposal>,
+) -> Option<Vec<String>> {
+    for prop in proposals {
+        match session.add(entry.id, &prop.tactic) {
+            Ok(out) => {
+                stats.valid_tactics += 1;
+                if out.proved {
+                    return Some(session.script_to(out.id));
+                }
+                *seq += 1;
+                let _sp = proof_trace::span("frontier", "push");
+                frontier.push(Entry {
+                    score: entry.score + prop.logprob,
+                    seq: *seq,
+                    id: out.id,
+                    depth: entry.depth + 1,
+                });
+            }
+            Err(AddError::DuplicateState(_)) => stats.duplicates += 1,
+            Err(AddError::Timeout) => stats.timeouts += 1,
+            Err(AddError::Preflight(r)) => {
+                stats.preflight_pruned += 1;
+                if proof_trace::enabled() {
+                    proof_trace::metrics::counter_inc(&format!(
+                        "search.preflight.{}",
+                        r.code.code()
+                    ));
+                }
+                *stats
+                    .preflight_reasons
+                    .entry(r.code.code().to_string())
+                    .or_insert(0) += 1;
+            }
+            Err(_) => stats.rejected += 1,
+        }
+    }
+    None
 }
 
 /// Runs the search for `stmt` against `model`. The environment is shared
@@ -344,6 +469,19 @@ pub fn search_with_recovery(
     cfg: &SearchConfig,
     recovery: &RecoveryConfig,
 ) -> SearchResult {
+    // Within-proof parallel expansion (`proof_jobs > 1`): clone the model
+    // once per worker and speculatively expand that many frontier entries
+    // concurrently. Only models that declare their proposals pure can be
+    // cloned ([`TacticModel::clone_boxed`]); anything else keeps the
+    // sequential path regardless of the knob.
+    if recovery.proof_jobs > 1 {
+        let clones: Option<Vec<Box<dyn TacticModel + Send>>> = (0..recovery.proof_jobs)
+            .map(|_| model.clone_boxed())
+            .collect();
+        if let Some(mut models) = clones {
+            return search_parallel(env, stmt, theorem, &mut models, prompt, cfg, recovery);
+        }
+    }
     // The fault plan, when present, wraps the model with the client-side
     // failure channel and arms the session's spurious-timeout hook.
     let mut chaotic_slot;
@@ -433,82 +571,224 @@ pub fn search_with_recovery(
         // into cell results) records that anything went wrong.
         let proposals = {
             let mut sp = proof_trace::span("oracle", theorem);
-            let mut attempt: u32 = 0;
-            let props = loop {
-                match model.try_propose(&ctx, cfg.width) {
-                    Ok(props) => break props,
-                    Err(fault) => {
-                        stats.oracle_faults += 1;
-                        // Always-on: fault recovery is the one signal that
-                        // must survive even untraced runs (satellite
-                        // reporting reads it from the registry), and faults
-                        // are rare enough that a counter bump is free.
-                        proof_trace::metrics::counter_inc("search.oracle_faults");
-                        if attempt >= recovery.oracle_retries {
-                            panic!(
-                                "oracle failed after {} retries at {theorem} q{}: {fault}",
-                                recovery.oracle_retries, stats.queries
-                            );
-                        }
-                        attempt += 1;
-                        stats.oracle_retries += 1;
-                        proof_trace::metrics::counter_inc("search.oracle_retries");
-                        let backoff = recovery
-                            .backoff_ms
-                            .saturating_mul(1u64 << (attempt - 1).min(16))
-                            .min(recovery.backoff_cap_ms);
-                        if backoff > 0 {
-                            std::thread::sleep(std::time::Duration::from_millis(backoff));
-                        }
-                    }
-                }
-            };
+            let (props, faults, retries) = propose_with_retry(model, &ctx, cfg.width, recovery);
+            stats.oracle_faults += faults;
+            stats.oracle_retries += retries;
             if sp.is_armed() {
                 sp.field_u64("query", stats.queries as u64);
                 sp.field_u64("proposals", props.len() as u64);
-                sp.field_u64("retries", attempt as u64);
+                sp.field_u64("retries", retries as u64);
             }
             props
         };
         stats.queries += 1;
-        for prop in proposals {
-            match session.add(entry.id, &prop.tactic) {
-                Ok(out) => {
-                    stats.valid_tactics += 1;
-                    if out.proved {
-                        let script = session.script_to(out.id);
-                        stats.fuel_spent = session.fuel_spent();
-                        stats.tree_size = session.live_states();
-                        return SearchResult {
-                            outcome: Outcome::Proved { script },
-                            stats,
+        if let Some(script) = commit_proposals(
+            &mut session,
+            &mut frontier,
+            &mut stats,
+            &mut seq,
+            &entry,
+            proposals,
+        ) {
+            stats.fuel_spent = session.fuel_spent();
+            stats.tree_size = session.live_states();
+            return SearchResult {
+                outcome: Outcome::Proved { script },
+                stats,
+            };
+        }
+    }
+    stats.fuel_spent = session.fuel_spent();
+    stats.tree_size = session.live_states();
+    SearchResult {
+        outcome: Outcome::Stuck,
+        stats,
+    }
+}
+
+/// The within-proof parallel search: speculatively pops up to
+/// `worker_models.len()` frontier entries, answers their oracle queries
+/// concurrently (one cloned model per worker, each query pinned to the
+/// provisional index it would get in pop order), then commits serially in
+/// that same order. A commit is valid only while the committed entry's
+/// children haven't produced something the sequential search would pop
+/// first; the moment [`Frontier::outranks`] says otherwise, the remaining
+/// speculated entries are pushed back (their `seq` is unchanged, so their
+/// order is too) and their answers discarded — those queries re-run later
+/// under their true indices. Everything observable (state ids, counters,
+/// expansion transcript, scripts) is therefore byte-identical to the
+/// sequential search for any worker count; only wall-clock and the
+/// fault plan's per-site retry budgets (consumed early by discarded
+/// speculation, which faults report as transient anyway) differ.
+fn search_parallel(
+    env: &Arc<Env>,
+    stmt: &Formula,
+    theorem: &str,
+    worker_models: &mut [Box<dyn TacticModel + Send>],
+    prompt: &PromptInfo,
+    cfg: &SearchConfig,
+    recovery: &RecoveryConfig,
+) -> SearchResult {
+    let ranked_env;
+    let env: &Arc<Env> = if cfg.premise_rank {
+        ranked_env = Arc::new(corpus_analysis::premise::reranked_env(env, stmt));
+        &ranked_env
+    } else {
+        env
+    };
+    let mut session = ProofSession::new(
+        Arc::clone(env),
+        stmt.clone(),
+        SessionConfig {
+            tactic_fuel: cfg.tactic_fuel,
+            dedupe_states: cfg.dedupe_states,
+            preflight: cfg.preflight,
+            fault_plan: recovery.fault_plan.clone(),
+            fault_scope: theorem.to_string(),
+        },
+    );
+    let mut stats = SearchStats::default();
+    let mut frontier = Frontier::new(cfg.strategy);
+    let mut seq = 0u64;
+    frontier.push(Entry {
+        score: 0.0,
+        seq,
+        id: session.root(),
+        depth: 0,
+    });
+
+    loop {
+        let remaining = cfg.query_limit.saturating_sub(stats.queries) as usize;
+        if remaining == 0 {
+            // Mirror the sequential order of checks: one more pop decides
+            // Fuelout (an entry was still waiting) vs Stuck (frontier
+            // empty).
+            if frontier.pop().is_some() {
+                stats.fuel_spent = session.fuel_spent();
+                stats.tree_size = session.live_states();
+                return SearchResult {
+                    outcome: Outcome::Fuelout,
+                    stats,
+                };
+            }
+            break;
+        }
+        // Speculative batch pop: the next `want` live entries in this
+        // discipline's pop order. Sized by the query budget so a batch
+        // never overruns the limit mid-commit.
+        let want = worker_models.len().min(remaining);
+        let mut batch: Vec<(Entry, minicoq::goal::ProofState, Vec<String>)> =
+            Vec::with_capacity(want);
+        while batch.len() < want {
+            let entry = {
+                let _sp = proof_trace::span("frontier", "pop");
+                match frontier.pop() {
+                    Some(e) => e,
+                    None => break,
+                }
+            };
+            let state = {
+                let _sp = proof_trace::span("stm", "state");
+                match session.state(entry.id).cloned() {
+                    Some(s) => s,
+                    None => continue,
+                }
+            };
+            let path = {
+                let _sp = proof_trace::span("stm", "path");
+                session.script_to(entry.id)
+            };
+            batch.push((entry, state, path));
+        }
+        if batch.is_empty() {
+            break;
+        }
+        let base = stats.queries;
+        let plan = &recovery.fault_plan;
+        let results: Vec<(Vec<Proposal>, u32, u32)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = worker_models
+                .iter_mut()
+                .zip(batch.iter().enumerate())
+                .map(|(model, (i, (_, state, path)))| {
+                    scope.spawn(move || {
+                        // Each worker wraps its own clone in its own fault
+                        // injector; the plan's trip counters are shared and
+                        // site-keyed, so which queries fault is unchanged.
+                        let mut chaotic_slot;
+                        let m: &mut dyn TacticModel = match plan {
+                            Some(p) => {
+                                chaotic_slot = ChaoticModel::new(model.as_mut(), Arc::clone(p));
+                                &mut chaotic_slot
+                            }
+                            None => model.as_mut(),
                         };
-                    }
-                    seq += 1;
-                    let _sp = proof_trace::span("frontier", "push");
-                    frontier.push(Entry {
-                        score: entry.score + prop.logprob,
-                        seq,
-                        id: out.id,
-                        depth: entry.depth + 1,
-                    });
+                        let query_index = base + i as u32;
+                        let ctx = QueryCtx {
+                            prompt,
+                            state,
+                            env: env.as_ref(),
+                            path,
+                            theorem,
+                            query_index,
+                        };
+                        let mut sp = proof_trace::span("oracle", theorem);
+                        let (props, faults, retries) =
+                            propose_with_retry(m, &ctx, cfg.width, recovery);
+                        if sp.is_armed() {
+                            sp.field_u64("query", query_index as u64);
+                            sp.field_u64("proposals", props.len() as u64);
+                            sp.field_u64("retries", retries as u64);
+                        }
+                        (props, faults, retries)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(v) => v,
+                    Err(panic) => std::panic::resume_unwind(panic),
+                })
+                .collect()
+        });
+        // Serial commit in pop order.
+        let n = results.len();
+        for (i, ((entry, _, _), (props, faults, retries))) in batch.iter().zip(results).enumerate()
+        {
+            let mut expand_sp = proof_trace::span("search.expand", theorem);
+            if expand_sp.is_armed() {
+                expand_sp.field_u64("state", entry.id.0);
+                expand_sp.field_u64("depth", entry.depth as u64);
+                expand_sp.field_u64("query", stats.queries as u64);
+                proof_trace::metrics::observe("search.frontier.depth", frontier.len() as u64);
+            }
+            stats.expansions.push(entry.id.0);
+            stats.oracle_faults += faults;
+            stats.oracle_retries += retries;
+            stats.queries += 1;
+            if let Some(script) = commit_proposals(
+                &mut session,
+                &mut frontier,
+                &mut stats,
+                &mut seq,
+                entry,
+                props,
+            ) {
+                stats.fuel_spent = session.fuel_spent();
+                stats.tree_size = session.live_states();
+                return SearchResult {
+                    outcome: Outcome::Proved { script },
+                    stats,
+                };
+            }
+            // The next speculated entry only stands while nothing this
+            // commit pushed would be popped before it.
+            if i + 1 < n && frontier.outranks(&batch[i + 1].0) {
+                proof_trace::metrics::counter_inc("search.parallel.requeued");
+                for (e, _, _) in &batch[i + 1..] {
+                    frontier.push(e.clone());
                 }
-                Err(AddError::DuplicateState(_)) => stats.duplicates += 1,
-                Err(AddError::Timeout) => stats.timeouts += 1,
-                Err(AddError::Preflight(r)) => {
-                    stats.preflight_pruned += 1;
-                    if proof_trace::enabled() {
-                        proof_trace::metrics::counter_inc(&format!(
-                            "search.preflight.{}",
-                            r.code.code()
-                        ));
-                    }
-                    *stats
-                        .preflight_reasons
-                        .entry(r.code.code().to_string())
-                        .or_insert(0) += 1;
-                }
-                Err(_) => stats.rejected += 1,
+                break;
             }
         }
     }

@@ -75,7 +75,7 @@ pub fn whole_proof_attempt(
         // couple of tactics against the same imagined state it assumes the
         // subgoal is closed and moves on (the o1 failure the paper
         // describes: no awareness of actual proof progress).
-        let applied = parse_tactic(env, believed.goals.first(), &best.tactic)
+        let applied = parse_tactic(env, believed.focused(), &best.tactic)
             .ok()
             .and_then(|t| apply_tactic(env, &believed, &t, &mut Fuel::default()).ok());
         match applied {
@@ -104,7 +104,7 @@ pub fn whole_proof_attempt(
     let mut applied = 0usize;
     let total = split_sentences(&text).len();
     for sentence in split_sentences(&text) {
-        let ok = parse_tactic(env, st.goals.first(), &sentence)
+        let ok = parse_tactic(env, st.focused(), &sentence)
             .ok()
             .and_then(|t| apply_tactic(env, &st, &t, &mut Fuel::default()).ok());
         match ok {
@@ -172,7 +172,7 @@ pub fn whole_proof_with_repair(
                 break;
             };
             script.push(best.tactic.clone());
-            let applied = parse_tactic(env, believed.goals.first(), &best.tactic)
+            let applied = parse_tactic(env, believed.focused(), &best.tactic)
                 .ok()
                 .and_then(|t| apply_tactic(env, &believed, &t, &mut Fuel::default()).ok());
             match applied {
@@ -200,7 +200,7 @@ pub fn whole_proof_with_repair(
         let mut applied = 0usize;
         let total = split_sentences(&text).len();
         for sentence in split_sentences(&text) {
-            let ok = parse_tactic(env, st.goals.first(), &sentence)
+            let ok = parse_tactic(env, st.focused(), &sentence)
                 .ok()
                 .and_then(|t| apply_tactic(env, &st, &t, &mut Fuel::default()).ok());
             match ok {

@@ -125,6 +125,62 @@ fn recovered_faulted_run_matches_clean_transcript() {
 }
 
 #[test]
+fn parallel_expansion_matches_sequential_transcript() {
+    // `proof_jobs` is transport only: speculative parallel expansion must
+    // reproduce the sequential search byte for byte — same outcomes, same
+    // scripts, same node-expansion order — under every frontier
+    // discipline and any worker count.
+    let sequential = RecoveryConfig::default();
+    for strategy in [
+        Strategy::BestFirst,
+        Strategy::Greedy,
+        Strategy::BreadthFirst,
+    ] {
+        for &name in SLICE {
+            let a = run_one(name, strategy, &sequential);
+            for jobs in [2usize, 4] {
+                let b = run_one(
+                    name,
+                    strategy,
+                    &RecoveryConfig {
+                        proof_jobs: jobs,
+                        ..Default::default()
+                    },
+                );
+                assert_same_transcript(
+                    &a,
+                    &b,
+                    &format!("{name} under {strategy:?}, proof_jobs={jobs}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_expansion_matches_under_chaos() {
+    // The two transports compose: a parallel run whose oracle calls are
+    // faulted (and recovered by bounded retry inside each worker) must
+    // still match the clean sequential transcript. Discarded speculation
+    // may consume some of a site's fault budget early — that only turns
+    // injected faults into clean calls, which recovery makes invisible
+    // either way.
+    let clean = RecoveryConfig::default();
+    for seed in [101, 202, 303] {
+        let chaotic_parallel = RecoveryConfig {
+            backoff_ms: 0,
+            proof_jobs: 2,
+            ..RecoveryConfig::with_plan(Arc::new(FaultPlan::new(FaultConfig::smoke(seed))))
+        };
+        for &name in &SLICE[..4] {
+            let a = run_one(name, Strategy::BestFirst, &clean);
+            let b = run_one(name, Strategy::BestFirst, &chaotic_parallel);
+            assert_same_transcript(&a, &b, &format!("{name} seed {seed} parallel chaos"));
+        }
+    }
+}
+
+#[test]
 fn havoc_plan_terminates_without_panic() {
     // With spurious STM timeouts armed the *results* may legitimately
     // shift (a timed-out tactic is a lost branch), but the search must

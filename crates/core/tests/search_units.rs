@@ -17,6 +17,7 @@ fn empty_prompt() -> PromptInfo {
         visible_lemmas: Vec::new(),
         hint_scripts: Vec::new(),
         truncated: false,
+        fingerprint: 0,
     }
 }
 

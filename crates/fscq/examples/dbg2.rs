@@ -10,12 +10,12 @@ fn main() {
     let mut st = ProofState::new(t.stmt.clone());
     let prefix = "induction l1; intros. - apply incl_nil. - apply incl_cons. + assert (Hx : In x (a :: l2)). * apply H. apply in_eq. * simpl in Hx. destruct Hx as [Hx|Hx]. -- exfalso. apply H0. simpl. left. symmetry. assumption. -- assumption. + apply incl_cons_inv in H.";
     for s in split_sentences(prefix) {
-        let tac = parse_tactic(env, st.goals.first(), &s).unwrap();
+        let tac = parse_tactic(env, st.focused(), &s).unwrap();
         st = apply_tactic(env, &st, &tac, &mut Fuel::unlimited()).unwrap();
     }
     println!("state:\n{}", st.display());
     for attempt in ["eapply IHl1", "apply IHl1", "eauto"] {
-        let tac = parse_tactic(env, st.goals.first(), attempt).unwrap();
+        let tac = parse_tactic(env, st.focused(), attempt).unwrap();
         let mut fuel = Fuel::new(50_000_000);
         match apply_tactic(env, &st, &tac, &mut fuel) {
             Ok(n) => println!("`{attempt}` OK (fuel {}):\n{}", fuel.spent(), n.display()),

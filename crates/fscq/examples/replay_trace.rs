@@ -18,7 +18,7 @@ fn main() {
     let env = dev.env_before(t);
     let mut st = ProofState::new(t.stmt.clone());
     for s in split_sentences(&t.proof_text) {
-        let tac = match parse_tactic(env, st.goals.first(), &s) {
+        let tac = match parse_tactic(env, st.focused(), &s) {
             Ok(t) => t,
             Err(e) => {
                 println!("PARSE FAIL `{s}`: {e}\nstate:\n{}", st.display());

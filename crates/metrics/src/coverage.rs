@@ -158,6 +158,7 @@ mod tests {
         CellResult {
             label: "test".into(),
             setting: "hints".into(),
+            variant: String::new(),
             outcomes,
         }
     }

@@ -40,6 +40,12 @@ pub struct CellConfig {
     /// Automated premise selection: keep only the top-k retrieved lemmas
     /// in the prompt (`None` = the paper's full-context protocol).
     pub retrieval: Option<usize>,
+    /// Experiment-variant tag for A/B runs (e.g. `premise-rank=on`).
+    /// Flows into [`CellConfig::label`], the persisted [`CellResult`], and
+    /// the `BENCH_eval.json` timing records, so two cells that differ only
+    /// in a search knob no longer collapse onto one ambiguous label.
+    /// `None` (every standard cell) adds nothing anywhere.
+    pub variant: Option<String>,
 }
 
 impl CellConfig {
@@ -58,14 +64,20 @@ impl CellConfig {
             search: SearchConfig::default(),
             tuning: proof_oracle::sim::Tuning::default(),
             retrieval: None,
+            variant: None,
         }
     }
 
-    /// Display label, e.g. `GPT-4o (w/ hints)`.
+    /// Display label, e.g. `GPT-4o (w/ hints)`; a variant tag, when set,
+    /// is appended as `GPT-4o (w/ hints) [premise-rank=on]`.
     pub fn label(&self) -> String {
-        match self.setting {
+        let base = match self.setting {
             PromptSetting::Vanilla => self.profile.name.to_string(),
             PromptSetting::Hints => format!("{} (w/ hints)", self.profile.name),
+        };
+        match &self.variant {
+            Some(v) => format!("{base} [{v}]"),
+            None => base,
         }
     }
 
@@ -131,6 +143,11 @@ pub struct CellResult {
     pub label: String,
     /// Prompt setting (`vanilla` / `hints`).
     pub setting: String,
+    /// Experiment-variant tag ([`CellConfig::variant`]); empty for
+    /// standard cells, and then absent from the JSON so standard grids
+    /// serialize exactly as before the field existed.
+    #[serde(default, skip_serializing_if = "String::is_empty")]
+    pub variant: String,
     /// Per-theorem outcomes.
     pub outcomes: Vec<TheoremOutcome>,
 }
@@ -280,6 +297,7 @@ pub(crate) fn finish_cell(cell: &CellConfig, outcomes: Vec<TheoremOutcome>) -> C
             PromptSetting::Vanilla => "vanilla".into(),
             PromptSetting::Hints => "hints".into(),
         },
+        variant: cell.variant.clone().unwrap_or_default(),
         outcomes,
     }
 }

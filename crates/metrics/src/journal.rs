@@ -216,6 +216,7 @@ mod tests {
         CellResult {
             label: label.to_string(),
             setting: "hints".into(),
+            variant: String::new(),
             outcomes: vec![TheoremOutcome {
                 name: "lemma_weird \"quote\"".into(),
                 file: "Log".into(),

@@ -195,6 +195,7 @@ mod tests {
         CellResult {
             label: label.into(),
             setting: "hints".into(),
+            variant: String::new(),
             outcomes: vec![TheoremOutcome {
                 name: "t".into(),
                 file: "NatUtils".into(),

@@ -35,7 +35,7 @@ use crate::journal::{fnv1a, Journal};
 /// Bump when the cached [`CellResult`] layout or the evaluation semantics
 /// change; old cache files then simply stop matching. Schema 3 wraps the
 /// result in a checksummed envelope so torn writes are detected on load.
-const CACHE_SCHEMA: u32 = 3;
+const CACHE_SCHEMA: u32 = 4;
 
 /// Where cell caches live by default.
 pub fn default_cache_dir() -> PathBuf {
@@ -58,16 +58,37 @@ pub fn resolve_jobs() -> usize {
         .unwrap_or(1)
 }
 
+/// Resolves the within-proof expansion width: `--proof-jobs N` (or
+/// `--proof-jobs=N`), then `PROOF_JOBS=N`, then `1` (sequential).
+/// Unlike `--jobs` this does not default to the machine's parallelism:
+/// on the typical grid the cell-level pool already saturates the cores,
+/// and within-proof speculation only helps when cells outnumber workers.
+pub fn resolve_proof_jobs() -> usize {
+    if let Some(n) = flag_arg(std::env::args().skip(1), "--proof-jobs") {
+        return n.max(1);
+    }
+    if let Ok(v) = std::env::var("PROOF_JOBS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    1
+}
+
 fn jobs_arg(args: impl Iterator<Item = String>) -> Option<usize> {
+    flag_arg(args, "--jobs")
+}
+
+fn flag_arg(args: impl Iterator<Item = String>, flag: &str) -> Option<usize> {
     let mut args = args.peekable();
     while let Some(a) = args.next() {
-        if a == "--jobs" {
+        if a == flag {
             if let Some(v) = args.peek() {
                 if let Ok(n) = v.parse::<usize>() {
                     return Some(n);
                 }
             }
-        } else if let Some(v) = a.strip_prefix("--jobs=") {
+        } else if let Some(v) = a.strip_prefix(flag).and_then(|r| r.strip_prefix('=')) {
             if let Ok(n) = v.parse::<usize>() {
                 return Some(n);
             }
@@ -308,6 +329,12 @@ pub struct CellBench {
     /// records written before the field existed.
     #[serde(default)]
     pub outcome: String,
+    /// Experiment-variant tag ([`CellConfig::variant`]). Disambiguates
+    /// A/B records that would otherwise share a label (`--premise-ab`
+    /// used to write two identical-looking cells). Empty — and absent
+    /// from the JSON — for standard cells.
+    #[serde(default, skip_serializing_if = "String::is_empty")]
+    pub variant: String,
 }
 
 /// The `BENCH_eval.json` artifact.
@@ -348,7 +375,10 @@ impl Runner {
             jobs: resolve_jobs(),
             cache_dir: Some(default_cache_dir()),
             bench: Mutex::new(Vec::new()),
-            recovery: RecoveryConfig::default(),
+            recovery: RecoveryConfig {
+                proof_jobs: resolve_proof_jobs(),
+                ..RecoveryConfig::default()
+            },
             journal: None,
         }
     }
@@ -443,7 +473,7 @@ impl Runner {
                 proof_trace::event("journal", "hit");
                 sw.span_mut().field_str("source", "journal");
                 self.record(
-                    label,
+                    cell,
                     done.outcomes.len(),
                     sw.elapsed_ms(),
                     CellSource::Journal,
@@ -464,7 +494,7 @@ impl Runner {
                 }
                 sw.span_mut().field_str("source", "cache");
                 self.record(
-                    label,
+                    cell,
                     hit.outcomes.len(),
                     sw.elapsed_ms(),
                     CellSource::CacheHit,
@@ -496,7 +526,7 @@ impl Runner {
                 }
                 sw.span_mut().field_str("source", "computed");
                 self.record(
-                    label,
+                    cell,
                     result.outcomes.len(),
                     sw.elapsed_ms(),
                     CellSource::Computed,
@@ -509,7 +539,7 @@ impl Runner {
                     journal.record_crashed(&key, &crash.label, &crash.panic);
                 }
                 sw.span_mut().field_str("source", "crashed");
-                self.record(label, 0, sw.elapsed_ms(), CellSource::Crashed);
+                self.record(cell, 0, sw.elapsed_ms(), CellSource::Crashed);
                 Err(crash)
             }
         }
@@ -538,9 +568,9 @@ impl Runner {
             .map(|d| d.join(format!("{}.json", cell_cache_key(cell))))
     }
 
-    fn record(&self, label: String, theorems: usize, wall_ms: f64, source: CellSource) {
+    fn record(&self, cell: &CellConfig, theorems: usize, wall_ms: f64, source: CellSource) {
         proof_oracle::lock_recover(&self.bench).push(CellBench {
-            label,
+            label: cell.label(),
             theorems,
             wall_ms,
             thm_per_sec: if wall_ms > 0.0 {
@@ -551,6 +581,7 @@ impl Runner {
             jobs: self.jobs,
             cache_hit: matches!(source, CellSource::CacheHit | CellSource::Journal),
             outcome: source.label().to_string(),
+            variant: cell.variant.clone().unwrap_or_default(),
         });
     }
 
@@ -586,7 +617,7 @@ impl Runner {
     }
 }
 
-/// Loads a cached cell, verifying the schema-3 checksum envelope. Any
+/// Loads a cached cell, verifying the checksum envelope. Any
 /// defect — unreadable file, wrong schema, torn payload, checksum
 /// mismatch — reads as a cache miss, never an error: the cell simply
 /// recomputes, and determinism makes the recomputed result identical.
@@ -636,6 +667,16 @@ mod tests {
         assert_eq!(v(&["--jobs"]), None);
         assert_eq!(v(&["--jobs", "xyz"]), None);
         assert_eq!(v(&["--fresh"]), None);
+    }
+
+    #[test]
+    fn proof_jobs_flag_parsing() {
+        let v = |xs: &[&str]| flag_arg(xs.iter().map(|s| s.to_string()), "--proof-jobs");
+        assert_eq!(v(&["--proof-jobs", "2"]), Some(2));
+        assert_eq!(v(&["--fresh", "--proof-jobs=3"]), Some(3));
+        assert_eq!(v(&["--jobs", "4"]), None);
+        assert_eq!(v(&["--proof-jobsx=2"]), None);
+        assert_eq!(v(&["--proof-jobs"]), None);
     }
 
     #[test]

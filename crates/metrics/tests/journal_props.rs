@@ -33,6 +33,7 @@ fn cell_result(i: usize, script: &str) -> CellResult {
             "hints"
         }
         .into(),
+        variant: String::new(),
         outcomes: (0..=i % 3)
             .map(|k| TheoremOutcome {
                 name: format!("thm_{i}_{k} \"{script}\""),

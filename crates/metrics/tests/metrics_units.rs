@@ -93,6 +93,7 @@ fn cell(outcomes: Vec<TheoremOutcome>) -> CellResult {
     CellResult {
         label: "synthetic".to_string(),
         setting: "hints".to_string(),
+        variant: String::new(),
         outcomes,
     }
 }

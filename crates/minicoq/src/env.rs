@@ -142,6 +142,41 @@ pub struct CtorInfo {
     pub index: usize,
 }
 
+/// A process-unique id naming one immutable *value state* of an [`Env`].
+///
+/// Fresh ids are allocated on construction, on clone, and on every
+/// declaration, so two environments with equal uids hold identical
+/// declarations. Kernel memo tables (weak-head normalization in
+/// [`crate::intern`]) key on this instead of on environment contents; a
+/// clone getting a new uid only costs cache sharing, never correctness.
+#[derive(Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EnvUid(u64);
+
+impl EnvUid {
+    fn fresh() -> EnvUid {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static NEXT: AtomicU64 = AtomicU64::new(1);
+        EnvUid(NEXT.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// The raw id value.
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for EnvUid {
+    fn default() -> EnvUid {
+        EnvUid::fresh()
+    }
+}
+
+impl Clone for EnvUid {
+    fn clone(&self) -> EnvUid {
+        EnvUid::fresh()
+    }
+}
+
 /// The global environment of a development.
 ///
 /// Every collection is behind an `Arc`, so cloning an environment is a
@@ -153,6 +188,8 @@ pub struct CtorInfo {
 /// lookup methods auto-deref through the `Arc`s.
 #[derive(Debug, Clone, Default)]
 pub struct Env {
+    /// Process-unique id of this environment value; see [`EnvUid`].
+    pub uid: EnvUid,
     /// Declared atomic sorts (`nat`, `bool`, opaque sorts).
     pub sorts: Arc<BTreeSet<Ident>>,
     /// Declared sort constructors with arities (`list/1`, `prod/2`).
@@ -190,11 +227,13 @@ impl Env {
 
     /// Declares an opaque atomic sort.
     pub fn declare_sort(&mut self, name: impl Into<Ident>) {
+        self.uid = EnvUid::fresh();
         Arc::make_mut(&mut self.sorts).insert(name.into());
     }
 
     /// Declares a sort constructor of the given arity (e.g. `list/1`).
     pub fn declare_sort_ctor(&mut self, name: impl Into<Ident>, arity: usize) {
+        self.uid = EnvUid::fresh();
         Arc::make_mut(&mut self.sort_ctors).insert(name.into(), arity);
     }
 
@@ -206,6 +245,7 @@ impl Env {
     /// Declares an inductive datatype, registering its constructors and its
     /// sort (atom or constructor, depending on parameters).
     pub fn declare_inductive(&mut self, ind: Inductive) -> Result<(), KernelError> {
+        self.uid = EnvUid::fresh();
         if self.inductives.contains_key(&ind.name) {
             return Err(KernelError::Redeclared(ind.name.clone()));
         }
@@ -232,6 +272,7 @@ impl Env {
 
     /// Declares a function definition.
     pub fn declare_func(&mut self, f: FuncDef) -> Result<(), KernelError> {
+        self.uid = EnvUid::fresh();
         if self.funcs.contains_key(&f.name) || self.ctors.contains_key(&f.name) {
             return Err(KernelError::Redeclared(f.name.clone()));
         }
@@ -241,6 +282,7 @@ impl Env {
 
     /// Declares a predicate.
     pub fn declare_pred(&mut self, p: PredDef) -> Result<(), KernelError> {
+        self.uid = EnvUid::fresh();
         let name = p.name().clone();
         if self.preds.contains_key(&name) {
             return Err(KernelError::Redeclared(name));
@@ -251,6 +293,7 @@ impl Env {
 
     /// Records a proved lemma, making it available to tactics.
     pub fn add_lemma(&mut self, name: impl Into<Ident>, stmt: Formula) -> Result<(), KernelError> {
+        self.uid = EnvUid::fresh();
         let name = name.into();
         if self.lemma_index.contains_key(&name) {
             return Err(KernelError::Redeclared(name));
@@ -267,6 +310,7 @@ impl Env {
 
     /// Adds a lemma (or inductive-predicate rule) name to a hint database.
     pub fn add_hint(&mut self, db: &str, name: impl Into<Ident>) {
+        self.uid = EnvUid::fresh();
         let name = name.into();
         let v = Arc::make_mut(&mut self.hints)
             .entry(db.to_string())

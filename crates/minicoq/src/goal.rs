@@ -1,6 +1,7 @@
 //! Sequents (goals) and in-progress proof states.
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 use crate::formula::Formula;
 use crate::sort::Sort;
@@ -95,17 +96,30 @@ impl Goal {
 }
 
 /// An in-progress proof: a stack of goals, the first being focused.
+///
+/// Goals are held behind `Arc` so that tactics, which only touch the
+/// focused goal, share the untouched tail with the parent state instead of
+/// deep-cloning it. The sharing is also what makes incremental state
+/// stamping cheap: a child state's trailing goals are pointer-identical to
+/// the parent's, so duplicate detection re-canonicalizes only fresh goals.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ProofState {
     /// Open goals; tactics apply to `goals[0]`.
-    pub goals: Vec<Goal>,
+    pub goals: Vec<Arc<Goal>>,
 }
 
 impl ProofState {
     /// Starts a proof of a closed statement.
     pub fn new(stmt: Formula) -> ProofState {
         ProofState {
-            goals: vec![Goal::new(stmt)],
+            goals: vec![Arc::new(Goal::new(stmt))],
+        }
+    }
+
+    /// A state over the given goals, in order (first is focused).
+    pub fn from_goals(goals: Vec<Goal>) -> ProofState {
+        ProofState {
+            goals: goals.into_iter().map(Arc::new).collect(),
         }
     }
 
@@ -116,13 +130,13 @@ impl ProofState {
 
     /// The focused goal, if any.
     pub fn focused(&self) -> Option<&Goal> {
-        self.goals.first()
+        self.goals.first().map(|g| g.as_ref())
     }
 
     /// Replaces the focused goal by `replacement` goals (possibly none),
-    /// keeping the rest.
+    /// keeping the rest. The unfocused tail is shared with `self`.
     pub fn replace_focused(&self, replacement: Vec<Goal>) -> ProofState {
-        let mut goals = replacement;
+        let mut goals: Vec<Arc<Goal>> = replacement.into_iter().map(Arc::new).collect();
         goals.extend(self.goals.iter().skip(1).cloned());
         ProofState { goals }
     }
@@ -154,14 +168,19 @@ mod tests {
 
     #[test]
     fn replace_focused_keeps_rest() {
-        let st = ProofState {
-            goals: vec![Goal::new(trivial()), Goal::new(Formula::True)],
-        };
+        let st = ProofState::from_goals(vec![Goal::new(trivial()), Goal::new(Formula::True)]);
         let st2 = st.replace_focused(vec![]);
         assert_eq!(st2.goals.len(), 1);
         assert_eq!(st2.goals[0].concl, Formula::True);
         let st3 = st.replace_focused(vec![Goal::new(Formula::False), Goal::new(Formula::True)]);
         assert_eq!(st3.goals.len(), 3);
+    }
+
+    #[test]
+    fn replace_focused_shares_the_tail() {
+        let st = ProofState::from_goals(vec![Goal::new(trivial()), Goal::new(Formula::True)]);
+        let st2 = st.replace_focused(vec![Goal::new(Formula::False)]);
+        assert!(Arc::ptr_eq(&st2.goals[1], &st.goals[1]));
     }
 
     #[test]

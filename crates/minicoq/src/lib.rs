@@ -43,6 +43,7 @@ pub mod eval;
 pub mod formula;
 pub mod fuel;
 pub mod goal;
+pub mod intern;
 pub mod parse;
 pub mod pretty;
 pub mod sort;

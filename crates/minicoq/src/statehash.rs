@@ -6,7 +6,6 @@
 //! variables, so `intros x` and `intros y` lead to the same canonical key.
 
 use std::collections::hash_map::DefaultHasher;
-use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
 
 use crate::formula::Formula;
@@ -15,26 +14,46 @@ use crate::sort::Sort;
 use crate::term::{Pat, Term};
 
 /// Scoped renaming from source names to canonical indices.
+///
+/// A binder pushes an entry and lookup scans backwards (so shadowing sees
+/// the innermost binding); leaving a binder truncates back to a saved
+/// mark. This replaces the previous `BTreeMap`-per-binder scheme — which
+/// cloned the whole map at every quantifier and match arm — while
+/// producing byte-identical keys.
 #[derive(Default)]
-struct Scope {
-    map: BTreeMap<String, usize>,
+struct Scope<'a> {
+    entries: Vec<(&'a str, usize)>,
     next: usize,
 }
 
-impl Scope {
-    fn bind(&mut self, name: &str) -> usize {
+impl<'a> Scope<'a> {
+    fn bind(&mut self, name: &'a str) -> usize {
         let id = self.next;
         self.next += 1;
-        self.map.insert(name.to_string(), id);
+        self.entries.push((name, id));
         id
     }
 
     fn lookup(&self, name: &str) -> Option<usize> {
-        self.map.get(name).copied()
+        self.entries
+            .iter()
+            .rev()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, i)| i)
+    }
+
+    /// Marks the current binding depth; [`Scope::reset`] returns to it.
+    fn mark(&self) -> (usize, usize) {
+        (self.entries.len(), self.next)
+    }
+
+    fn reset(&mut self, mark: (usize, usize)) {
+        self.entries.truncate(mark.0);
+        self.next = mark.1;
     }
 }
 
-fn term_key_rec(t: &Term, scope: &Scope, out: &mut String) {
+fn term_key_rec<'a>(t: &'a Term, scope: &mut Scope<'a>, out: &mut String) {
     match t {
         Term::Var(v) => match scope.lookup(v) {
             Some(i) => {
@@ -65,20 +84,18 @@ fn term_key_rec(t: &Term, scope: &Scope, out: &mut String) {
             term_key_rec(scrut, scope, out);
             for (pat, rhs) in arms {
                 out.push('|');
-                let mut inner = Scope {
-                    map: scope.map.clone(),
-                    next: scope.next,
-                };
-                pat_key(pat, &mut inner, out);
+                let mark = scope.mark();
+                pat_key(pat, scope, out);
                 out.push_str("=>");
-                term_key_rec(rhs, &inner, out);
+                term_key_rec(rhs, scope, out);
+                scope.reset(mark);
             }
             out.push(')');
         }
     }
 }
 
-fn pat_key(pat: &Pat, scope: &mut Scope, out: &mut String) {
+fn pat_key<'a>(pat: &'a Pat, scope: &mut Scope<'a>, out: &mut String) {
     match pat {
         Pat::Wild => out.push('_'),
         Pat::Var(v) => {
@@ -102,7 +119,7 @@ fn sort_key(s: &Sort, out: &mut String) {
     out.push_str(&s.to_string());
 }
 
-fn formula_key_rec(f: &Formula, scope: &Scope, out: &mut String) {
+fn formula_key_rec<'a>(f: &'a Formula, scope: &mut Scope<'a>, out: &mut String) {
     match f {
         Formula::True => out.push('T'),
         Formula::False => out.push('F'),
@@ -156,13 +173,11 @@ fn formula_key_rec(f: &Formula, scope: &Scope, out: &mut String) {
             });
             out.push(' ');
             sort_key(s, out);
-            let mut inner = Scope {
-                map: scope.map.clone(),
-                next: scope.next,
-            };
-            let i = inner.bind(v);
+            let mark = scope.mark();
+            let i = scope.bind(v);
             out.push_str(&format!(" v{i} "));
-            formula_key_rec(body, &inner, out);
+            formula_key_rec(body, scope, out);
+            scope.reset(mark);
             out.push(')');
         }
         Formula::ForallSort(v, body) => {
@@ -179,13 +194,11 @@ fn formula_key_rec(f: &Formula, scope: &Scope, out: &mut String) {
             term_key_rec(scrut, scope, out);
             for (pat, rhs) in arms {
                 out.push('|');
-                let mut inner = Scope {
-                    map: scope.map.clone(),
-                    next: scope.next,
-                };
-                pat_key(pat, &mut inner, out);
+                let mark = scope.mark();
+                pat_key(pat, scope, out);
                 out.push_str("=>");
-                formula_key_rec(rhs, &inner, out);
+                formula_key_rec(rhs, scope, out);
+                scope.reset(mark);
             }
             out.push(')');
         }
@@ -195,7 +208,7 @@ fn formula_key_rec(f: &Formula, scope: &Scope, out: &mut String) {
 /// Canonical key for a term (free variables keep their names).
 pub fn term_key(t: &Term) -> String {
     let mut out = String::new();
-    term_key_rec(t, &Scope::default(), &mut out);
+    term_key_rec(t, &mut Scope::default(), &mut out);
     out
 }
 
@@ -203,7 +216,7 @@ pub fn term_key(t: &Term) -> String {
 /// variables are numbered).
 pub fn formula_key(f: &Formula) -> String {
     let mut out = String::new();
-    formula_key_rec(f, &Scope::default(), &mut out);
+    formula_key_rec(f, &mut Scope::default(), &mut out);
     out
 }
 
@@ -226,11 +239,11 @@ pub fn goal_key(g: &Goal) -> String {
     // Hypotheses are order-sensitive but name-insensitive.
     for (_, f) in &g.hyps {
         out.push_str("H:");
-        formula_key_rec(f, &scope, &mut out);
+        formula_key_rec(f, &mut scope, &mut out);
         out.push(';');
     }
     out.push_str("|-");
-    formula_key_rec(&g.concl, &scope, &mut out);
+    formula_key_rec(&g.concl, &mut scope, &mut out);
     out
 }
 
@@ -304,9 +317,7 @@ mod tests {
 
     #[test]
     fn state_hash_stable() {
-        let st = ProofState {
-            goals: vec![eq_goal("x")],
-        };
+        let st = ProofState::from_goals(vec![eq_goal("x")]);
         assert_eq!(state_hash(&st), state_hash(&st.clone()));
     }
 }

@@ -388,7 +388,7 @@ fn dispatch_goal_tactic(
     tac: &Tactic,
     fuel: &mut Fuel,
 ) -> Result<ProofState, TacticError> {
-    let goal = &st.goals[0];
+    let goal: &crate::goal::Goal = &st.goals[0];
     let new_goals = match tac {
         Tactic::Intro(name) => basic::intro(env, goal, name.as_deref())?,
         Tactic::Intros(names) => basic::intros(env, goal, names)?,

@@ -189,7 +189,7 @@ fn parse_term_in_goal_uses_context_sorts() {
     let st = minicoq::goal::ProofState::new(f);
     let mut st2 = st.clone();
     // Introduce l so the goal context knows its sort.
-    let tac = minicoq::parse::parse_tactic(&env, st.goals.first(), "intros l").unwrap();
+    let tac = minicoq::parse::parse_tactic(&env, st.focused(), "intros l").unwrap();
     st2 = minicoq::tactic::apply_tactic(&env, &st2, &tac, &mut Fuel::unlimited()).unwrap();
     let g = st2.focused().unwrap();
     let t = parse_term_in_goal(&env, g, "l", None).unwrap();

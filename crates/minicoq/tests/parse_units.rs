@@ -280,7 +280,7 @@ fn goal_display_shows_hypotheses_above_the_line() {
     let env = Env::with_prelude();
     let f = parse_formula(&env, "forall n : nat, le 0 n -> n = n").unwrap();
     let mut st = ProofState::new(f);
-    let tac = minicoq::parse::parse_tactic(&env, st.goals.first(), "intros n H").unwrap();
+    let tac = minicoq::parse::parse_tactic(&env, st.focused(), "intros n H").unwrap();
     st = minicoq::tactic::apply_tactic(&env, &st, &tac, &mut minicoq::fuel::Fuel::unlimited())
         .unwrap();
     let shown = st.display();

@@ -20,7 +20,7 @@ fn state(env: &Env, stmt: &str, setup: &[&str]) -> ProofState {
     let f = parse_formula(env, stmt).expect("statement parses");
     let mut st = ProofState::new(f);
     for s in setup {
-        let tac = parse_tactic(env, st.goals.first(), s).expect("setup parses");
+        let tac = parse_tactic(env, st.focused(), s).expect("setup parses");
         let mut fuel = Fuel::new(FUEL);
         st = apply_tactic(env, &st, &tac, &mut fuel).expect("setup applies");
     }
@@ -30,7 +30,7 @@ fn state(env: &Env, stmt: &str, setup: &[&str]) -> ProofState {
 /// Asserts the checker rejects `tactic` with `expect`, and — the soundness
 /// half — that the evaluator rejects it too.
 fn assert_rejects(env: &Env, st: &ProofState, tactic: &str, expect: ReasonCode) {
-    let tac = parse_tactic(env, st.goals.first(), tactic).expect("tactic parses");
+    let tac = parse_tactic(env, st.focused(), tactic).expect("tactic parses");
     match preflight_state(env, st, &tac, FUEL) {
         PreflightVerdict::Reject(r) => {
             assert_eq!(
@@ -207,7 +207,7 @@ proptest! {
         let f = parse_formula(&env, stmt).unwrap();
         let mut st = ProofState::new(f);
         for text in tactics {
-            let Ok(tac) = parse_tactic(&env, st.goals.first(), &text) else {
+            let Ok(tac) = parse_tactic(&env, st.focused(), &text) else {
                 continue;
             };
             let verdict = preflight_state(&env, &st, &tac, FUEL);

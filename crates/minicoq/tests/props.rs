@@ -127,14 +127,14 @@ proptest! {
         let stmt = format!("le {a} (add {a} {b})");
         let f = parse_formula(&env, &stmt).unwrap();
         let st = ProofState::new(f);
-        let tac = parse_tactic(&env, st.goals.first(), "lia").unwrap();
+        let tac = parse_tactic(&env, st.focused(), "lia").unwrap();
         let r = apply_tactic(&env, &st, &tac, &mut Fuel::unlimited());
         prop_assert!(r.is_ok(), "lia failed on {stmt}");
 
         let stmt = format!("le (add {a} {b}) {c}");
         let f = parse_formula(&env, &stmt).unwrap();
         let st = ProofState::new(f);
-        let tac = parse_tactic(&env, st.goals.first(), "lia").unwrap();
+        let tac = parse_tactic(&env, st.focused(), "lia").unwrap();
         let r = apply_tactic(&env, &st, &tac, &mut Fuel::unlimited());
         prop_assert_eq!(r.is_ok(), a + b <= c, "lia wrong on {}", stmt);
     }

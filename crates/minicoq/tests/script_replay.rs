@@ -12,7 +12,7 @@ fn replay(env: &Env, stmt: &str, script: &str) -> Result<ProofState, String> {
     let f = parse_formula(env, stmt).map_err(|e| format!("statement: {e}"))?;
     let mut st = ProofState::new(f);
     for sentence in split_sentences(script) {
-        let tac = parse_tactic(env, st.goals.first(), &sentence)
+        let tac = parse_tactic(env, st.focused(), &sentence)
             .map_err(|e| format!("parse `{sentence}`: {e}"))?;
         st = apply_tactic(env, &st, &tac, &mut Fuel::unlimited())
             .map_err(|e| format!("apply `{sentence}`: {e}\nstate:\n{}", st.display()))?;
@@ -245,7 +245,7 @@ fn timeout_is_reported() {
     let env = Env::with_prelude();
     let f = parse_formula(&env, "le 0 0").unwrap();
     let st = ProofState::new(f);
-    let tac = parse_tactic(&env, st.goals.first(), "auto").unwrap();
+    let tac = parse_tactic(&env, st.focused(), "auto").unwrap();
     let mut fuel = Fuel::new(3);
     assert_eq!(
         apply_tactic(&env, &st, &tac, &mut fuel),
@@ -268,7 +268,7 @@ fn invalid_tactics_rejected_not_panicking() {
         "exact H",
         "lia",
     ] {
-        let tac = parse_tactic(&env, st.goals.first(), bad);
+        let tac = parse_tactic(&env, st.focused(), bad);
         if let Ok(t) = tac {
             let r = apply_tactic(&env, &st, &t, &mut Fuel::unlimited());
             assert!(r.is_err(), "{bad} should fail");
@@ -282,8 +282,8 @@ fn proof_state_duplicate_detection_keys() {
     let env = Env::with_prelude();
     let f = parse_formula(&env, "forall n : nat, n = n").unwrap();
     let st = ProofState::new(f);
-    let t1 = parse_tactic(&env, st.goals.first(), "intros x").unwrap();
-    let t2 = parse_tactic(&env, st.goals.first(), "intros y").unwrap();
+    let t1 = parse_tactic(&env, st.focused(), "intros x").unwrap();
+    let t2 = parse_tactic(&env, st.focused(), "intros y").unwrap();
     let s1 = apply_tactic(&env, &st, &t1, &mut Fuel::unlimited()).unwrap();
     let s2 = apply_tactic(&env, &st, &t2, &mut Fuel::unlimited()).unwrap();
     assert_eq!(state_hash(&s1), state_hash(&s2));

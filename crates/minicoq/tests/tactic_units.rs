@@ -18,7 +18,7 @@ fn replay(env: &Env, stmt: &str, script: &str) -> Result<ProofState, (String, Ta
     let f = parse_formula(env, stmt).unwrap_or_else(|e| panic!("statement `{stmt}`: {e}"));
     let mut st = ProofState::new(f);
     for sentence in split_sentences(script) {
-        let tac = match parse_tactic(env, st.goals.first(), &sentence) {
+        let tac = match parse_tactic(env, st.focused(), &sentence) {
             Ok(t) => t,
             Err(e) => return Err((sentence, e)),
         };
@@ -809,7 +809,7 @@ fn tiny_fuel_budget_times_out() {
     let env = Env::with_prelude();
     let f = parse_formula(&env, "add 20 20 = 40").unwrap();
     let st = ProofState::new(f);
-    let tac = parse_tactic(&env, st.goals.first(), "reflexivity").unwrap();
+    let tac = parse_tactic(&env, st.focused(), "reflexivity").unwrap();
     let mut fuel = Fuel::new(5);
     assert_eq!(
         apply_tactic(&env, &st, &tac, &mut fuel),

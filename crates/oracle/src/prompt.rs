@@ -80,6 +80,25 @@ pub struct PromptInfo {
     pub hint_scripts: Vec<(String, String)>,
     /// True when window truncation dropped leading context.
     pub truncated: bool,
+    /// Hash of the model-visible structure (`visible_lemmas`,
+    /// `hint_scripts`, `tokens`): two prompts with equal fingerprints are
+    /// interchangeable to the simulator, which keys its per-theorem
+    /// preparation cache on this.
+    pub fingerprint: u64,
+}
+
+/// The structural fingerprint of a prompt (see [`PromptInfo::fingerprint`]).
+fn prompt_fingerprint(
+    visible_lemmas: &[String],
+    hint_scripts: &[(String, String)],
+    tokens: usize,
+) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    visible_lemmas.hash(&mut h);
+    hint_scripts.hash(&mut h);
+    tokens.hash(&mut h);
+    h.finish()
 }
 
 /// Memoizes rendered items and their token counts across the theorems of a
@@ -250,12 +269,14 @@ pub fn build_prompt_cached(
     }
     text.push_str(&goal_text);
     let tokens = count_tokens(&text);
+    let fingerprint = prompt_fingerprint(&visible_lemmas, &hint_scripts, tokens);
     PromptInfo {
         text,
         tokens,
         visible_lemmas,
         hint_scripts,
         truncated,
+        fingerprint,
     }
 }
 

@@ -83,6 +83,127 @@ pub struct SimulatedModel {
     display_name: String,
     tuning: Tuning,
     cur_skill_eff: f64,
+    prep: Option<PrepEntry>,
+}
+
+/// Cached [`PromptPrep`] with the key it was built for.
+#[derive(Debug, Clone)]
+struct PrepEntry {
+    /// `(theorem, prompt fingerprint, environment uid)`.
+    key: (String, u64, u64),
+    prep: PromptPrep,
+}
+
+/// Everything the simulator derives from the prompt alone — recomputed
+/// per query before, but fixed for the whole proof search of one theorem:
+/// hint-script retrieval and imitation statistics, and the features of
+/// the lemmas the model keeps (the skill/attention gate plus the peel and
+/// head-feature analysis of each kept lemma's statement).
+#[derive(Debug, Clone, Default)]
+struct PromptPrep {
+    /// Tactic sentences literally present in the hint proofs (retrieval).
+    seen: std::collections::BTreeSet<String>,
+    /// Head-word frequency across the hint proofs.
+    freq: BTreeMap<&'static str, usize>,
+    /// Total head-word count behind `freq`.
+    freq_total: usize,
+    /// Bigram follow-up tables, keyed by the previous tactic's head word
+    /// (`None` at the proof start). Filled lazily: only head words the
+    /// search actually reaches get a table.
+    bigram: std::collections::HashMap<Option<&'static str>, (BTreeMap<&'static str, usize>, usize)>,
+    /// Kept lemmas with their precomputed match features, in prompt order.
+    kept: Vec<LemmaFeat>,
+}
+
+/// Goal-independent match features of one kept lemma.
+#[derive(Debug, Clone)]
+struct LemmaFeat {
+    name: String,
+    /// Head feature of the peeled conclusion.
+    lhead: String,
+    /// Symbols of the peeled conclusion.
+    lsyms: Vec<String>,
+    /// The lemma has binders and premises, so `eapply` is also offered.
+    eapply: bool,
+    /// For equational conclusions: function heads of the two sides.
+    eq_heads: Option<(Vec<String>, Vec<String>)>,
+    /// Head feature of the first premise (forward application).
+    first_premise_head: Option<String>,
+}
+
+/// Builds the per-theorem preparation. Free function (not a method) so the
+/// caller can assign the result into `self.prep` without a borrow conflict.
+fn build_prep(
+    display_name: &str,
+    profile: &ModelProfile,
+    ctx: &QueryCtx<'_>,
+    skill_eff: f64,
+) -> PromptPrep {
+    let mut seen: std::collections::BTreeSet<String> = Default::default();
+    let mut freq: BTreeMap<&'static str, usize> = BTreeMap::new();
+    let mut freq_total = 0usize;
+    for (_, script) in &ctx.prompt.hint_scripts {
+        for sentence in minicoq::parse::split_sentences(script) {
+            let t = sentence
+                .trim_start_matches(|c: char| matches!(c, '-' | '+' | '*') || c.is_whitespace());
+            if !t.is_empty() {
+                seen.insert(t.to_string());
+            }
+            let hw = head_word(&sentence);
+            if !hw.is_empty() {
+                *freq.entry(norm_head(hw)).or_insert(0) += 1;
+                freq_total += 1;
+            }
+        }
+    }
+    let n = ctx.prompt.visible_lemmas.len().max(1);
+    let mut kept = Vec::new();
+    // Approximate each lemma's distance (in tokens) from the goal by its
+    // position in the prompt.
+    for (i, lname) in ctx.prompt.visible_lemmas.iter().enumerate() {
+        let Some(lemma) = ctx.env.lemma(lname) else {
+            continue;
+        };
+        let dist_frac = (n - 1 - i) as f64 / n as f64; // 0 = nearest.
+        let approx_dist = dist_frac * ctx.prompt.tokens as f64;
+        let attention = if approx_dist <= profile.effective_context as f64 {
+            1.0
+        } else {
+            (profile.effective_context as f64 / approx_dist).max(0.05)
+        };
+        let keep_p = skill_eff * attention;
+        let h = hash64(&[display_name, ctx.theorem, "keep", lname]);
+        if unit(h) > keep_p {
+            continue;
+        }
+        let peeled = lemma.stmt.peel();
+        let (lhead, lsyms) = head_feature(ctx.env, peeled.conclusion);
+        let eq_heads = if let Formula::Eq(_, l, r) = peeled.conclusion {
+            let mut lh = Vec::new();
+            collect_heads(ctx.env, l, &mut lh);
+            let mut rh = Vec::new();
+            collect_heads(ctx.env, r, &mut rh);
+            Some((lh, rh))
+        } else {
+            None
+        };
+        let first_premise_head = peeled.premises.first().map(|p| head_feature(ctx.env, p).0);
+        kept.push(LemmaFeat {
+            name: lname.clone(),
+            lhead,
+            lsyms,
+            eapply: !peeled.binders.is_empty() && !peeled.premises.is_empty(),
+            eq_heads,
+            first_premise_head,
+        });
+    }
+    PromptPrep {
+        seen,
+        freq,
+        freq_total,
+        bigram: Default::default(),
+        kept,
+    }
 }
 
 impl SimulatedModel {
@@ -93,12 +214,14 @@ impl SimulatedModel {
             profile,
             tuning: Tuning::default(),
             cur_skill_eff: 0.5,
+            prep: None,
         }
     }
 
     /// Overrides the shape parameters (calibration sweeps).
     pub fn with_tuning(mut self, tuning: Tuning) -> SimulatedModel {
         self.tuning = tuning;
+        self.prep = None; // Tuning feeds the keep gate; a stale prep would lie.
         self
     }
 
@@ -356,8 +479,16 @@ impl TacticModel for SimulatedModel {
         &self.display_name
     }
 
+    /// The simulator's proposals are a pure function of the query (all
+    /// noise is hashed from `(theorem, query_index, …)`; `prep` and
+    /// `cur_skill_eff` are caches rebuilt from the query itself), so
+    /// clones are interchangeable and parallel expansion is safe.
+    fn clone_boxed(&self) -> Option<Box<dyn TacticModel + Send>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn propose(&mut self, ctx: &QueryCtx<'_>, width: usize) -> Vec<Proposal> {
-        let Some(goal) = ctx.state.goals.first() else {
+        let Some(goal) = ctx.state.focused() else {
             return Vec::new();
         };
         // Hint proofs teach the project's tactic vocabulary: without them
@@ -376,22 +507,60 @@ impl TacticModel for SimulatedModel {
             } else {
                 self.tuning.vanilla_noise
             };
+        // Everything derived from the prompt alone (retrieval set, hint
+        // statistics, kept-lemma features) is fixed across the hundreds of
+        // queries one theorem's search issues; build it once and reuse.
+        let prep_key = (
+            ctx.theorem.to_string(),
+            ctx.prompt.fingerprint,
+            ctx.env.uid.get(),
+        );
+        if self.prep.as_ref().map(|p| &p.key) != Some(&prep_key) {
+            let prep = build_prep(&self.display_name, &self.profile, ctx, skill_eff);
+            self.prep = Some(PrepEntry {
+                key: prep_key,
+                prep,
+            });
+        }
+        // Bigram follow-ups: what head word tends to come after the head
+        // word of the last applied tactic, across the hint proofs. Filled
+        // lazily per previous-head value.
+        let prev_head = ctx.path.last().map(|s| norm_head(head_word(s)));
+        {
+            let prep = &mut self.prep.as_mut().expect("prep just ensured").prep;
+            if let std::collections::hash_map::Entry::Vacant(slot) = prep.bigram.entry(prev_head) {
+                let mut bigram: BTreeMap<&'static str, usize> = BTreeMap::new();
+                let mut bigram_total = 0usize;
+                for (_, script) in &ctx.prompt.hint_scripts {
+                    let sentences = minicoq::parse::split_sentences(script);
+                    match &prev_head {
+                        Some(ph) => {
+                            for w in sentences.windows(2) {
+                                if norm_head(head_word(&w[0])) == *ph {
+                                    *bigram.entry(norm_head(head_word(&w[1]))).or_insert(0) += 1;
+                                    bigram_total += 1;
+                                }
+                            }
+                        }
+                        None => {
+                            // At the proof start, imitate how hint proofs open.
+                            if let Some(first) = sentences.first() {
+                                *bigram.entry(norm_head(head_word(first))).or_insert(0) += 1;
+                                bigram_total += 1;
+                            }
+                        }
+                    }
+                }
+                slot.insert((bigram, bigram_total));
+            }
+        }
+        let prep = &self.prep.as_ref().expect("prep just ensured").prep;
         // A candidate the model simply fails to surface for this theorem:
         // stable per (model, theorem, tactic), which is what turns missing
         // capability into missing coverage rather than per-query jitter.
         // Tactic sentences the model has literally read in the hint proofs
         // are always available to it (retrieval).
-        let mut seen: std::collections::BTreeSet<String> = Default::default();
-        for (_, script) in &ctx.prompt.hint_scripts {
-            for sentence in minicoq::parse::split_sentences(script) {
-                let t = sentence.trim_start_matches(|c: char| {
-                    matches!(c, '-' | '+' | '*') || c.is_whitespace()
-                });
-                if !t.is_empty() {
-                    seen.insert(t.to_string());
-                }
-            }
-        }
+        let seen = &prep.seen;
         let gate = |tag: &str, tactic: &str| -> bool {
             if tactic == "intros" {
                 return true;
@@ -433,47 +602,17 @@ impl TacticModel for SimulatedModel {
         let mut cands = Candidates::default();
         self.structural_candidates(ctx.env, goal, &mut cands);
         self.hypothesis_candidates(ctx.env, goal, &mut cands);
-        self.lemma_candidates(ctx, goal, skill_eff, &mut cands);
+        self.lemma_candidates(ctx, goal, &prep.kept, &mut cands);
         cands.scored.retain(|t, _| gate("g", t));
 
         // Hint imitation: boost candidates whose head word is frequent in
         // the visible hint proofs.
-        let mut freq: BTreeMap<&str, usize> = BTreeMap::new();
-        let mut total = 0usize;
-        for (_, script) in &ctx.prompt.hint_scripts {
-            for sentence in minicoq::parse::split_sentences(script) {
-                let hw = head_word(&sentence);
-                if !hw.is_empty() {
-                    *freq.entry(norm_head(hw)).or_insert(0) += 1;
-                    total += 1;
-                }
-            }
-        }
-        // Bigram follow-ups: what head word tends to come after the head
-        // word of the last applied tactic, across the hint proofs.
-        let prev_head = ctx.path.last().map(|s| norm_head(head_word(s)));
-        let mut bigram: BTreeMap<&str, usize> = BTreeMap::new();
-        let mut bigram_total = 0usize;
-        for (_, script) in &ctx.prompt.hint_scripts {
-            let sentences = minicoq::parse::split_sentences(script);
-            match &prev_head {
-                Some(ph) => {
-                    for w in sentences.windows(2) {
-                        if norm_head(head_word(&w[0])) == *ph {
-                            *bigram.entry(norm_head(head_word(&w[1]))).or_insert(0) += 1;
-                            bigram_total += 1;
-                        }
-                    }
-                }
-                None => {
-                    // At the proof start, imitate how hint proofs open.
-                    if let Some(first) = sentences.first() {
-                        *bigram.entry(norm_head(head_word(first))).or_insert(0) += 1;
-                        bigram_total += 1;
-                    }
-                }
-            }
-        }
+        let (freq, total) = (&prep.freq, prep.freq_total);
+        let (bigram, bigram_total) = prep
+            .bigram
+            .get(&prev_head)
+            .map(|(b, t)| (b, *t))
+            .expect("bigram table just ensured");
         let boost = |tactic: &str| -> f64 {
             let hw = norm_head(head_word(tactic));
             let mut b = 0.0;
@@ -816,52 +955,41 @@ impl SimulatedModel {
         &self,
         ctx: &QueryCtx<'_>,
         goal: &Goal,
-        skill_eff: f64,
+        kept: &[LemmaFeat],
         cands: &mut Candidates,
     ) {
         let (ghead, gsyms) = head_feature(ctx.env, &goal.concl);
-        let n = ctx.prompt.visible_lemmas.len().max(1);
-        // Approximate each lemma's distance (in tokens) from the goal by
-        // its position in the prompt.
-        for (i, lname) in ctx.prompt.visible_lemmas.iter().enumerate() {
-            let Some(lemma) = ctx.env.lemma(lname) else {
-                continue;
-            };
-            let dist_frac = (n - 1 - i) as f64 / n as f64; // 0 = nearest.
-            let approx_dist = dist_frac * ctx.prompt.tokens as f64;
-            let attention = if approx_dist <= self.profile.effective_context as f64 {
-                1.0
-            } else {
-                (self.profile.effective_context as f64 / approx_dist).max(0.05)
-            };
-            let keep_p = skill_eff * attention;
-            let h = hash64(&[&self.display_name, ctx.theorem, "keep", lname]);
-            if unit(h) > keep_p {
-                continue;
-            }
-            let peeled = lemma.stmt.peel();
-            let (lhead, lsyms) = head_feature(ctx.env, peeled.conclusion);
+        // Hypothesis head features, once per query rather than once per
+        // (lemma, hypothesis) pair.
+        let hyp_heads: Vec<(&str, String)> = goal
+            .hyps
+            .iter()
+            .map(|(hname, hf)| {
+                (
+                    hname.as_str(),
+                    head_feature(ctx.env, hf.peel().conclusion).0,
+                )
+            })
+            .collect();
+        for feat in kept {
+            let lname = &feat.name;
             // Backward application when the conclusions line up.
-            if lhead == ghead && (ghead.starts_with("pred:") || ghead == "eq") {
-                let overlap = lsyms.iter().filter(|s| gsyms.contains(s)).count();
+            if feat.lhead == ghead && (ghead.starts_with("pred:") || ghead == "eq") {
+                let overlap = feat.lsyms.iter().filter(|s| gsyms.contains(s)).count();
                 if overlap > 0
-                    || (ghead.starts_with("pred:") && lsyms.is_empty() == gsyms.is_empty())
+                    || (ghead.starts_with("pred:") && feat.lsyms.is_empty() == gsyms.is_empty())
                 {
                     let base = 1.7 + 0.15 * overlap as f64;
                     cands.add(format!("apply {lname}"), base);
-                    if !peeled.binders.is_empty() && !peeled.premises.is_empty() {
+                    if feat.eapply {
                         cands.add(format!("eapply {lname}"), base - 0.4);
                     }
                 }
             }
             // Rewriting with equational lemmas whose left side mentions a
             // function symbol of the goal (nothing to rewrite otherwise).
-            if let Formula::Eq(_, l, r) = peeled.conclusion {
+            if let Some((lh, rh)) = &feat.eq_heads {
                 if !gsyms.is_empty() {
-                    let mut lh = Vec::new();
-                    collect_heads(ctx.env, l, &mut lh);
-                    let mut rh = Vec::new();
-                    collect_heads(ctx.env, r, &mut rh);
                     if lh.iter().any(|s| gsyms.contains(s)) {
                         cands.add(format!("rewrite {lname}"), 1.75);
                     }
@@ -871,15 +999,11 @@ impl SimulatedModel {
                 }
             }
             // Forward application into a matching hypothesis.
-            for (hname, hf) in &goal.hyps {
-                let (hh, _) = head_feature(ctx.env, hf.peel().conclusion);
-                if peeled
-                    .premises
-                    .first()
-                    .map(|p| head_feature(ctx.env, p).0 == hh)
-                    .unwrap_or(false)
-                {
-                    cands.add(format!("apply {lname} in {hname}"), 0.8);
+            if let Some(ph) = &feat.first_premise_head {
+                for (hname, hh) in &hyp_heads {
+                    if ph == hh {
+                        cands.add(format!("apply {lname} in {hname}"), 0.8);
+                    }
                 }
             }
         }
@@ -956,7 +1080,7 @@ mod tests {
         }
         // Every proposal parses.
         for p in &p1 {
-            let tac = minicoq::parse::parse_tactic(env, st.goals.first(), &p.tactic);
+            let tac = minicoq::parse::parse_tactic(env, st.focused(), &p.tactic);
             assert!(tac.is_ok(), "unparsable proposal {:?}", p.tactic);
         }
     }
@@ -985,7 +1109,7 @@ mod tests {
                     query_index: 0,
                 };
                 for p in model.propose(&ctx, 8) {
-                    let ok = minicoq::parse::parse_tactic(env, st.goals.first(), &p.tactic)
+                    let ok = minicoq::parse::parse_tactic(env, st.focused(), &p.tactic)
                         .ok()
                         .and_then(|t| {
                             minicoq::tactic::apply_tactic(

@@ -1,16 +1,16 @@
 //! Proof sessions: the state-transition machine proper.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use minicoq::analysis::{preflight_state, PreflightRejection, PreflightVerdict};
 use minicoq::env::Env;
 use minicoq::error::TacticError;
 use minicoq::formula::Formula;
 use minicoq::fuel::Fuel;
-use minicoq::goal::ProofState;
+use minicoq::goal::{Goal, ProofState};
+use minicoq::intern::{state_stamp, state_stamp_from_parent, StateStamp};
 use minicoq::parse::parse_tactic;
-use minicoq::statehash::state_hash;
 use minicoq::tactic::apply_tactic_timed;
 use proof_chaos::{FaultKind, FaultPlan};
 
@@ -107,6 +107,87 @@ impl AddError {
 
 impl std::error::Error for AddError {}
 
+/// The replayable outcome of running one tactic sentence against one
+/// focused goal. Tactic evaluation is a pure function of `(environment,
+/// focused goal, tactic source, fuel budget)` — the unfocused tail rides
+/// along untouched — so the whole `parse → preflight → apply` pipeline can
+/// be memoized process-wide and replayed byte-for-byte, including the
+/// exact fuel charge.
+#[derive(Debug, Clone)]
+struct CachedAdd {
+    /// True when the outcome precedes the fault-injection point (a parse
+    /// error): replayed before consulting the fault plan, like the
+    /// original evaluation order.
+    pre_fault: bool,
+    /// The replacement goals for the focused goal on success, or the
+    /// error the pipeline produced.
+    result: Result<Vec<Arc<Goal>>, AddError>,
+    /// Fuel the original evaluation charged.
+    fuel: u64,
+}
+
+/// Memo key fields that select an evaluation pipeline: environment
+/// snapshot uid, fuel budget, and whether preflight screening is on.
+type MemoConfig = (u64, u64, bool);
+
+/// `config → tactic source → focused goal → outcome`. `Arc<Goal>` keys
+/// borrow-compare as `Goal` and are pointer-shared with session states, so
+/// inserts never deep-copy. Entries for stale environment uids are dropped
+/// wholesale when the cap is reached.
+type ApplyMemo = HashMap<MemoConfig, HashMap<String, HashMap<Arc<Goal>, CachedAdd>>>;
+
+/// Process-global cap on memoized outcomes; the table is cleared when it
+/// fills (the working set of one theorem is far smaller).
+const APPLY_MEMO_CAP: usize = 1 << 18;
+
+fn apply_memo() -> &'static Mutex<(usize, ApplyMemo)> {
+    static MEMO: OnceLock<Mutex<(usize, ApplyMemo)>> = OnceLock::new();
+    MEMO.get_or_init(|| Mutex::new((0, HashMap::new())))
+}
+
+/// Recovers the table from a poisoned lock: entries are only ever inserted
+/// whole, so the map is valid after a panicking holder.
+fn memo_lock() -> std::sync::MutexGuard<'static, (usize, ApplyMemo)> {
+    apply_memo()
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn memo_get(cfg: MemoConfig, tactic: &str, goal: &Goal) -> Option<CachedAdd> {
+    let guard = memo_lock();
+    let hit = guard
+        .1
+        .get(&cfg)
+        .and_then(|m| m.get(tactic))
+        .and_then(|m| m.get(goal))
+        .cloned();
+    if proof_trace::enabled() {
+        proof_trace::metrics::counter_inc(if hit.is_some() {
+            "stm.apply_memo.hit"
+        } else {
+            "stm.apply_memo.miss"
+        });
+    }
+    hit
+}
+
+fn memo_put(cfg: MemoConfig, tactic: &str, goal: Arc<Goal>, cached: CachedAdd) {
+    let mut guard = memo_lock();
+    if guard.0 >= APPLY_MEMO_CAP {
+        guard.0 = 0;
+        guard.1.clear();
+    }
+    let by_goal = guard
+        .1
+        .entry(cfg)
+        .or_default()
+        .entry(tactic.to_string())
+        .or_default();
+    if by_goal.insert(goal, cached).is_none() {
+        guard.0 += 1;
+    }
+}
+
 /// The successful result of an `add`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AddOutcome {
@@ -121,6 +202,9 @@ struct StateEntry {
     parent: Option<StateId>,
     tactic: String,
     state: ProofState,
+    /// Interned identity of `state`: canonical hash plus per-goal
+    /// alpha-class ids, computed incrementally from the parent's stamp.
+    stamp: StateStamp,
     alive: bool,
 }
 
@@ -142,8 +226,9 @@ impl ProofSession {
     pub fn new(env: impl Into<Arc<Env>>, stmt: Formula, config: SessionConfig) -> ProofSession {
         let env = env.into();
         let root = ProofState::new(stmt);
+        let stamp = state_stamp(&root);
         let mut hashes = HashMap::new();
-        hashes.insert(state_hash(&root), StateId(0));
+        hashes.insert(stamp.hash, StateId(0));
         ProofSession {
             env,
             config,
@@ -151,6 +236,7 @@ impl ProofSession {
                 parent: None,
                 tactic: String::new(),
                 state: root,
+                stamp,
                 alive: true,
             }],
             hashes,
@@ -236,26 +322,58 @@ impl ProofSession {
             return Err(AddError::NoSuchState);
         };
         let base = entry.state.clone();
-        let tac = parse_tactic(&self.env, base.goals.first(), tactic_src).map_err(|e| match e {
-            TacticError::Parse(m) => AddError::Parse(m),
-            other => AddError::Rejected(other.to_string()),
-        })?;
+        let base_stamp = entry.stamp.clone();
+        let memo_cfg: MemoConfig = (
+            self.env.uid.get(),
+            self.config.tactic_fuel,
+            self.config.preflight,
+        );
+        // Replay a memoized evaluation of this (goal, tactic) pair, if any:
+        // everything from parsing through tactic execution is a pure
+        // function of the focused goal under this memo configuration. The
+        // fault-injection check still runs per call (its site includes the
+        // state id), at the same point in the order as a live evaluation.
+        if let Some(focused) = base.goals.first() {
+            if let Some(cached) = memo_get(memo_cfg, tactic_src, focused) {
+                if cached.pre_fault {
+                    return Err(cached.result.expect_err("pre-fault outcomes are errors"));
+                }
+                if self.injected_stall(at, tactic_src) {
+                    return Err(AddError::Timeout);
+                }
+                self.fuel_spent += cached.fuel;
+                let replacement = cached.result?;
+                let mut goals = replacement;
+                goals.extend(base.goals.iter().skip(1).cloned());
+                return self.commit(at, &base, &base_stamp, tactic_src, ProofState { goals });
+            }
+        }
+        let tac = match parse_tactic(&self.env, base.focused(), tactic_src) {
+            Ok(t) => t,
+            Err(e) => {
+                let err = match e {
+                    TacticError::Parse(m) => AddError::Parse(m),
+                    other => AddError::Rejected(other.to_string()),
+                };
+                self.memoize(memo_cfg, tactic_src, &base, true, Err(err.clone()), 0);
+                return Err(err);
+            }
+        };
         // Injected prover stall: the tactic parsed but "ran out the clock".
         // Reported exactly like a genuine timeout (the search cannot tell
         // them apart, which is the point), with no fuel charged — a stalled
         // prover burns wall-clock, not our deterministic budget.
-        if let Some(plan) = &self.config.fault_plan {
-            let site = format!("{}::{}@{}", self.config.fault_scope, tactic_src, at.0);
-            if plan.should_fault(FaultKind::StmTimeout, &site) {
-                return Err(AddError::Timeout);
-            }
+        if self.injected_stall(at, tactic_src) {
+            return Err(AddError::Timeout);
         }
         if self.config.preflight {
             let _sp = proof_trace::span("preflight", "");
             if let PreflightVerdict::Reject(r) =
                 preflight_state(&self.env, &base, &tac, self.config.tactic_fuel)
             {
-                return Err(AddError::Preflight(r));
+                let err = AddError::Preflight(r);
+                self.memoize(memo_cfg, tactic_src, &base, false, Err(err.clone()), 0);
+                return Err(err);
             }
         }
         let mut fuel = Fuel::new(self.config.tactic_fuel);
@@ -263,19 +381,106 @@ impl ProofSession {
         self.fuel_spent += fuel.spent();
         let new_state = match result {
             Ok(s) => s,
-            Err(TacticError::Timeout) => return Err(AddError::Timeout),
-            Err(TacticError::Parse(m)) => return Err(AddError::Parse(m)),
-            Err(other) => return Err(AddError::Rejected(other.to_string())),
+            Err(e) => {
+                let err = match e {
+                    TacticError::Timeout => AddError::Timeout,
+                    TacticError::Parse(m) => AddError::Parse(m),
+                    other => AddError::Rejected(other.to_string()),
+                };
+                self.memoize(
+                    memo_cfg,
+                    tactic_src,
+                    &base,
+                    false,
+                    Err(err.clone()),
+                    fuel.spent(),
+                );
+                return Err(err);
+            }
         };
-        let h = state_hash(&new_state);
+        // Only the focused goal's replacement is memoized; the unfocused
+        // tail must have ridden along untouched (pointer-identical), which
+        // every tactic guarantees via `replace_focused`. Checked anyway —
+        // a tactic that broke the invariant would silently be exempted
+        // from memoization rather than corrupt replays.
+        if !base.goals.is_empty() {
+            let tail_len = base.goals.len() - 1;
+            if new_state.goals.len() >= tail_len {
+                let split = new_state.goals.len() - tail_len;
+                let tail_shared = new_state.goals[split..]
+                    .iter()
+                    .zip(base.goals[1..].iter())
+                    .all(|(a, b)| Arc::ptr_eq(a, b));
+                if tail_shared {
+                    self.memoize(
+                        memo_cfg,
+                        tactic_src,
+                        &base,
+                        false,
+                        Ok(new_state.goals[..split].to_vec()),
+                        fuel.spent(),
+                    );
+                }
+            }
+        }
+        self.commit(at, &base, &base_stamp, tactic_src, new_state)
+    }
+
+    /// True when the armed fault plan injects a prover stall for this call.
+    fn injected_stall(&self, at: StateId, tactic_src: &str) -> bool {
+        match &self.config.fault_plan {
+            Some(plan) => {
+                let site = format!("{}::{}@{}", self.config.fault_scope, tactic_src, at.0);
+                plan.should_fault(FaultKind::StmTimeout, &site)
+            }
+            None => false,
+        }
+    }
+
+    /// Stores one evaluated outcome in the process-global apply memo.
+    fn memoize(
+        &self,
+        cfg: MemoConfig,
+        tactic_src: &str,
+        base: &ProofState,
+        pre_fault: bool,
+        result: Result<Vec<Arc<Goal>>, AddError>,
+        fuel: u64,
+    ) {
+        if let Some(focused) = base.goals.first() {
+            memo_put(
+                cfg,
+                tactic_src,
+                Arc::clone(focused),
+                CachedAdd {
+                    pre_fault,
+                    result,
+                    fuel,
+                },
+            );
+        }
+    }
+
+    /// Stamps, deduplicates, and records an evaluated successor state.
+    fn commit(
+        &mut self,
+        at: StateId,
+        base: &ProofState,
+        base_stamp: &StateStamp,
+        tactic_src: &str,
+        new_state: ProofState,
+    ) -> Result<AddOutcome, AddError> {
+        // Incremental stamping: goals shared (by pointer) with the parent
+        // reuse its cached alpha-class ids; only fresh goals are
+        // re-canonicalized. The hash is byte-compatible with the previous
+        // `statehash::state_hash`.
+        let stamp = state_stamp_from_parent(&new_state, base, base_stamp);
         if self.config.dedupe_states {
-            if let Some(&prev) = self.hashes.get(&h) {
-                // Hash collision check: compare canonical keys via equality
-                // of the stored state.
+            if let Some(&prev) = self.hashes.get(&stamp.hash) {
+                // Hash collision check: per-goal class ids are equal iff
+                // the canonical state keys are equal.
                 if let Some(prev_entry) = self.entry(prev) {
-                    if minicoq::statehash::state_key(&prev_entry.state)
-                        == minicoq::statehash::state_key(&new_state)
-                    {
+                    if prev_entry.stamp.classes == stamp.classes {
                         return Err(AddError::DuplicateState(prev));
                     }
                 }
@@ -283,11 +488,12 @@ impl ProofSession {
         }
         let id = StateId(self.entries.len() as u64);
         let proved = new_state.is_complete();
-        self.hashes.entry(h).or_insert(id);
+        self.hashes.entry(stamp.hash).or_insert(id);
         self.entries.push(StateEntry {
             parent: Some(at),
             tactic: tactic_src.to_string(),
             state: new_state,
+            stamp,
             alive: true,
         });
         Ok(AddOutcome { id, proved })

@@ -232,7 +232,86 @@ pub fn render_report(
             let _ = writeln!(out, "  {:32} {v}", &k["analysis.".len()..]);
         }
     }
+    if let Some(section) = intern_section(metrics) {
+        out.push_str(&section);
+    }
     out
+}
+
+/// Renders the kernel interner / memo-table section, if the run published
+/// any `intern.*` gauges (`minicoq::intern::publish_metrics`). Each memo
+/// line is hits vs misses with the hit share; the apply-memo line comes
+/// from the STM layer's always-on counters.
+fn intern_section(metrics: &MetricsSnapshot) -> Option<String> {
+    let gauge = |key: &str| -> u64 { metrics.gauges.get(key).copied().unwrap_or(0).max(0) as u64 };
+    if !metrics.gauges.keys().any(|k| k.starts_with("intern.")) {
+        return None;
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "\n== Kernel interner and memo tables ==");
+    let mut ratio_line = |label: &str, hits: u64, misses: u64| {
+        let total = hits + misses;
+        let pct = if total > 0 {
+            100.0 * hits as f64 / total as f64
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            out,
+            "  {label:18} {hits:>10} hit  {misses:>10} miss  ({pct:>5.1}% hit)"
+        );
+    };
+    ratio_line(
+        "term nodes",
+        gauge("intern.term.hit"),
+        gauge("intern.term.miss"),
+    );
+    ratio_line(
+        "formula nodes",
+        gauge("intern.formula.hit"),
+        gauge("intern.formula.miss"),
+    );
+    ratio_line("goals", gauge("intern.goal.hit"), gauge("intern.goal.miss"));
+    ratio_line(
+        "subst memo",
+        gauge("intern.subst.memo_hit"),
+        gauge("intern.subst.memo_miss"),
+    );
+    ratio_line(
+        "whnf memo",
+        gauge("intern.whnf.hit"),
+        gauge("intern.whnf.miss"),
+    );
+    ratio_line(
+        "eval memo",
+        gauge("intern.eval.hit"),
+        gauge("intern.eval.miss"),
+    );
+    let apply = |key: &str| metrics.counters.get(key).copied().unwrap_or(0);
+    ratio_line(
+        "apply memo (stm)",
+        apply("stm.apply_memo.hit"),
+        apply("stm.apply_memo.miss"),
+    );
+    let _ = writeln!(
+        out,
+        "  {:18} {}",
+        "subst early-exit",
+        gauge("intern.subst.early_exit")
+    );
+    let _ = writeln!(
+        out,
+        "  {:18} {}",
+        "arena bytes",
+        gauge("intern.arena.bytes")
+    );
+    let _ = writeln!(
+        out,
+        "  {:18} {:.3}x",
+        "dedup factor",
+        gauge("intern.dedup.factor_x1000") as f64 / 1000.0
+    );
+    Some(out)
 }
 
 /// One row of the per-tactic table.

@@ -129,7 +129,7 @@ pub fn replay_proof(env: &Env, stmt: &Formula, script: &str) -> Result<usize, St
     let mut st = ProofState::new(stmt.clone());
     let mut steps = 0usize;
     for sentence in split_sentences(script) {
-        let tac = parse_tactic(env, st.goals.first(), &sentence)
+        let tac = parse_tactic(env, st.focused(), &sentence)
             .map_err(|e| format!("parse `{sentence}`: {e}"))?;
         let mut fuel = Fuel::new(REPLAY_FUEL_PER_SENTENCE);
         st = apply_tactic(env, &st, &tac, &mut fuel)

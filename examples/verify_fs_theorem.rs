@@ -29,7 +29,7 @@ fn main() {
     let script = "intros. simpl. reflexivity.";
     let mut st = ProofState::new(stmt.clone());
     for sentence in split_sentences(script) {
-        let tac = parse_tactic(env, st.goals.first(), &sentence).expect("parses");
+        let tac = parse_tactic(env, st.focused(), &sentence).expect("parses");
         st = apply_tactic(env, &st, &tac, &mut Fuel::default()).expect("applies");
     }
     assert!(st.is_complete());
@@ -55,7 +55,7 @@ fn main() {
         eapply ptsto_valid.";
     let mut st2 = ProofState::new(stmt2.clone());
     for sentence in split_sentences(script2) {
-        let tac = parse_tactic(env, st2.goals.first(), &sentence)
+        let tac = parse_tactic(env, st2.focused(), &sentence)
             .unwrap_or_else(|e| panic!("parse `{sentence}`: {e}"));
         st2 = apply_tactic(env, &st2, &tac, &mut Fuel::unlimited())
             .unwrap_or_else(|e| panic!("apply `{sentence}`: {e}\n{}", st2.display()));

@@ -4,6 +4,7 @@
 //! prove <theorem> [--model mini|gpt4o|flash|pro|pro128k] [--vanilla]
 //!       [--retrieval K] [--limit N] [--width W] [--strategy best|greedy|bfs]
 //!       [--show-query] [--preflight|--no-preflight] [--premise-rank]
+//!       [--proof-jobs N]
 //! ```
 //!
 //! Prints the outcome, the search statistics, and (when proved) the found
@@ -14,7 +15,7 @@ use llm_fscq::oracle::profiles::ModelProfile;
 use llm_fscq::oracle::prompt::{build_prompt, PromptConfig, PromptSetting};
 use llm_fscq::oracle::split::hint_set;
 use llm_fscq::oracle::SimulatedModel;
-use llm_fscq::search::{search, SearchConfig, Strategy};
+use llm_fscq::search::{search_with_recovery, RecoveryConfig, SearchConfig, Strategy};
 use std::process::ExitCode;
 
 struct Args {
@@ -23,6 +24,7 @@ struct Args {
     setting: PromptSetting,
     retrieval: Option<usize>,
     cfg: SearchConfig,
+    proof_jobs: usize,
     show_query: bool,
 }
 
@@ -30,7 +32,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: prove <theorem> [--model mini|gpt4o|flash|pro|pro128k] [--vanilla]\n\
          \x20             [--retrieval K] [--limit N] [--width W] [--strategy best|greedy|bfs]\n\
-         \x20             [--preflight|--no-preflight] [--premise-rank]"
+         \x20             [--preflight|--no-preflight] [--premise-rank] [--proof-jobs N]"
     );
     std::process::exit(2)
 }
@@ -42,6 +44,7 @@ fn parse_args() -> Args {
     let mut setting = PromptSetting::Hints;
     let mut retrieval = None;
     let mut cfg = SearchConfig::default();
+    let mut proof_jobs = 1usize;
     let mut show_query = false;
     while let Some(a) = args.next() {
         let mut value = |name: &str| {
@@ -72,6 +75,12 @@ fn parse_args() -> Args {
             "--retrieval" => retrieval = value("--retrieval").parse().ok(),
             "--limit" => cfg.query_limit = value("--limit").parse().unwrap_or_else(|_| usage()),
             "--width" => cfg.width = value("--width").parse().unwrap_or_else(|_| usage()),
+            "--proof-jobs" => {
+                proof_jobs = value("--proof-jobs")
+                    .parse::<usize>()
+                    .unwrap_or_else(|_| usage())
+                    .max(1)
+            }
             "--strategy" => {
                 cfg.strategy = match value("--strategy").as_str() {
                     "best" => Strategy::BestFirst,
@@ -99,6 +108,7 @@ fn parse_args() -> Args {
         setting,
         retrieval,
         cfg,
+        proof_jobs,
         show_query,
     }
 }
@@ -153,7 +163,13 @@ fn main() -> ExitCode {
     }
 
     let mut model = SimulatedModel::new(args.profile.clone());
-    let r = search(env, &thm.stmt, &thm.name, &mut model, &prompt, &args.cfg);
+    let recovery = RecoveryConfig {
+        proof_jobs: args.proof_jobs,
+        ..RecoveryConfig::default()
+    };
+    let r = search_with_recovery(
+        env, &thm.stmt, &thm.name, &mut model, &prompt, &args.cfg, &recovery,
+    );
     let outcome_name = match &r.outcome {
         llm_fscq::search::Outcome::Proved { .. } => "Proved",
         llm_fscq::search::Outcome::Stuck => "Stuck",

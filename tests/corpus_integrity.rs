@@ -161,7 +161,7 @@ fn every_proof_splits_into_parseable_first_sentences() {
         let sents = llm_fscq::minicoq::parse::split_sentences(&thm.proof_text);
         assert!(!sents.is_empty(), "{} has an empty proof", thm.name);
         let st = llm_fscq::minicoq::goal::ProofState::new(thm.stmt.clone());
-        if llm_fscq::minicoq::parse::parse_tactic(env, st.goals.first(), &sents[0]).is_ok() {
+        if llm_fscq::minicoq::parse::parse_tactic(env, st.focused(), &sents[0]).is_ok() {
             checked += 1;
         }
     }

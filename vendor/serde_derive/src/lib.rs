@@ -1,8 +1,9 @@
 //! Derive macros for the vendored `serde` stand-in.
 //!
-//! Supports non-generic structs with named fields and enums whose variants
-//! are unit, named-field, or single/multi-element tuple variants — the
-//! shapes this workspace actually derives. Enums use real serde's default
+//! Supports non-generic structs with named fields (including
+//! `#[serde(default)]` and `#[serde(skip_serializing_if = "...")]`) and
+//! enums whose variants are unit, named-field, or single/multi-element
+//! tuple variants — the shapes this workspace actually derives. Enums use real serde's default
 //! externally-tagged representation so the JSON output looks familiar:
 //! unit variants serialize as `"Variant"`, data-carrying variants as
 //! `{"Variant": ...}`.
@@ -29,6 +30,9 @@ struct Field {
     /// `#[serde(default)]`: a missing field deserializes to
     /// `Default::default()` instead of erroring.
     default: bool,
+    /// `#[serde(skip_serializing_if = "path")]`: the field is omitted from
+    /// the serialized object when `path(&self.field)` is true.
+    skip_if: Option<String>,
 }
 
 struct Variant {
@@ -107,21 +111,50 @@ fn is_serde_default(attr: &TokenStream) -> bool {
     }
 }
 
+/// Extracts the predicate path from `serde(... skip_serializing_if = "path" ...)`.
+fn serde_skip_if(attr: &TokenStream) -> Option<String> {
+    let mut toks = attr.clone().into_iter();
+    match (toks.next(), toks.next()) {
+        (Some(TokenTree::Ident(i)), Some(TokenTree::Group(g)))
+            if i.to_string() == "serde" && g.delimiter() == Delimiter::Parenthesis =>
+        {
+            let mut inner = g.stream().into_iter();
+            while let Some(t) = inner.next() {
+                if matches!(&t, TokenTree::Ident(i) if i.to_string() == "skip_serializing_if") {
+                    match (inner.next(), inner.next()) {
+                        (Some(TokenTree::Punct(p)), Some(TokenTree::Literal(l)))
+                            if p.as_char() == '=' =>
+                        {
+                            return Some(l.to_string().trim_matches('"').to_string());
+                        }
+                        _ => return None,
+                    }
+                }
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
 /// Parses `name: Type, ...` from a brace group, noting `#[serde(default)]`
-/// markers and skipping other attributes, visibility and the type tokens
-/// (commas inside `<...>` are not separators).
+/// and `#[serde(skip_serializing_if = "...")]` markers and skipping other
+/// attributes, visibility and the type tokens (commas inside `<...>` are
+/// not separators).
 fn parse_named_fields(body: TokenStream) -> Vec<Field> {
     let mut fields = Vec::new();
     let mut toks = body.into_iter().peekable();
     loop {
         // Attributes and visibility before the field name.
         let mut default = false;
+        let mut skip_if = None;
         loop {
             match toks.peek() {
                 Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                     toks.next();
                     if let Some(TokenTree::Group(g)) = toks.next() {
                         default |= is_serde_default(&g.stream());
+                        skip_if = skip_if.or_else(|| serde_skip_if(&g.stream()));
                     }
                 }
                 Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
@@ -141,6 +174,7 @@ fn parse_named_fields(body: TokenStream) -> Vec<Field> {
         fields.push(Field {
             name: field.to_string(),
             default,
+            skip_if,
         });
         match toks.next() {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
@@ -228,15 +262,21 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         Input::Struct { name, fields } => {
             let mut pushes = String::new();
             for f in &fields {
-                let f = &f.name;
-                pushes.push_str(&format!(
-                    "(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),"
-                ));
+                let n = &f.name;
+                let push = format!(
+                    "o.push((\"{n}\".to_string(), ::serde::Serialize::to_value(&self.{n})));"
+                );
+                match &f.skip_if {
+                    Some(pred) => pushes.push_str(&format!("if !{pred}(&self.{n}) {{ {push} }}")),
+                    None => pushes.push_str(&push),
+                }
             }
             format!(
                 "impl ::serde::Serialize for {name} {{\n\
                      fn to_value(&self) -> ::serde::Value {{\n\
-                         ::serde::Value::Object(vec![{pushes}])\n\
+                         let mut o: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                         {pushes}\n\
+                         ::serde::Value::Object(o)\n\
                      }}\n\
                  }}"
             )
