@@ -22,9 +22,13 @@
 //!
 //! The same dependency graph also powers an opt-in search heuristic:
 //! [`premise::reranked_env`] reorders hint databases by dependency
-//! distance to a goal (see `proof-search`'s `premise_rank` option).
+//! distance to a goal (see `proof-search`'s `premise_rank` option) — and
+//! the change-impact analysis ([`impact`]): per-symbol semantic
+//! fingerprints, snapshot diffing, and the dirty-cone computation behind
+//! incremental re-verification.
 
 pub mod graph;
+pub mod impact;
 pub mod passes;
 pub mod premise;
 pub mod report;
@@ -32,6 +36,9 @@ pub mod report;
 use minicoq_vernac::loader::{Development, Loader};
 
 pub use graph::DepGraph;
+pub use impact::{
+    cone_fingerprint, diff_and_cone, ImpactReason, ImpactReport, ImpactTrace, Snapshot,
+};
 pub use passes::dead::Roots;
 pub use report::{AnalysisReport, Code, Finding, ALL_CODES};
 

@@ -25,10 +25,14 @@ pub enum Code {
     Axiom,
     /// A reference did not resolve against the symbol table.
     UnknownRef,
+    /// A theorem is inside the dirty cone of a corpus edit: its
+    /// verification outcome could differ from the baseline snapshot's
+    /// (change-impact analysis; see [`crate::impact`]).
+    ImpactDirty,
 }
 
 /// Every code, in report order.
-pub const ALL_CODES: [Code; 7] = [
+pub const ALL_CODES: [Code; 8] = [
     Code::HintLoop,
     Code::NonPositive,
     Code::DeadSymbol,
@@ -36,6 +40,7 @@ pub const ALL_CODES: [Code; 7] = [
     Code::Admitted,
     Code::Axiom,
     Code::UnknownRef,
+    Code::ImpactDirty,
 ];
 
 impl Code {
@@ -49,6 +54,7 @@ impl Code {
             Code::Admitted => "admitted",
             Code::Axiom => "axiom",
             Code::UnknownRef => "unknown-ref",
+            Code::ImpactDirty => "impact-dirty",
         }
     }
 
@@ -66,6 +72,9 @@ impl Code {
             Code::Admitted => "lemma admitted without a checked proof",
             Code::Axiom => "statement assumed as an axiom",
             Code::UnknownRef => "reference does not resolve to any declared symbol",
+            Code::ImpactDirty => {
+                "theorem is in the dirty cone of a corpus edit and needs re-verification"
+            }
         }
     }
 }

@@ -196,3 +196,36 @@ fn sarif_report_carries_rule_and_location() {
         assert!(sarif.contains(code.code()), "rule {code} missing");
     }
 }
+
+#[test]
+fn unknown_ref_fails_the_exit_gate() {
+    // A dangling reference is a first-class finding, not a side-channel:
+    // it must flip `is_clean()` (the CI exit gate in `corpus_analyze`
+    // returns non-zero exactly when a report is not clean), show up in
+    // the per-pass counts, name the unresolved symbol, and survive into
+    // the SARIF export other tools consume.
+    let report = analyze(
+        "Lemma anchor : forall (n : nat), le n n.\n\
+         Proof. auto. Qed.\n\
+         Hint Resolve anchor : ghostdb.\n",
+        &AnalysisConfig::default(),
+    );
+    assert!(!report.is_clean(), "dangling reference must gate the exit");
+    let counts = report.pass_counts();
+    assert_eq!(
+        counts.get(Code::UnknownRef.code()).copied(),
+        Some(1),
+        "unknown-ref must be counted as its own pass"
+    );
+    let f = &report.findings[0];
+    assert!(
+        f.message.contains("ghostdb"),
+        "finding names the unresolved symbol: {}",
+        f.message
+    );
+    let sarif = report.sarif_json("corpus_analyze", "crates/fscq/corpus/");
+    assert!(
+        sarif.contains("unknown-ref"),
+        "finding reaches the SARIF export"
+    );
+}

@@ -1,0 +1,322 @@
+//! Incremental-verification driver: the dirty-cone workflow end to end.
+//!
+//! Subcommands:
+//!
+//! * `ci` (default) — the CI gate. Runs the baseline cell cold on the
+//!   pristine corpus, applies the checked-in single-module edit
+//!   (`fixtures/incremental_edit.txt`), re-verifies incrementally, and
+//!   asserts (a) only the expected dependency cone was re-verified
+//!   (DirTree from the edited item onward, plus FS — its only importer),
+//!   (b) the merged result is byte-identical to a full cold run of the
+//!   edited corpus, and (c) writes the impact report and SARIF artifacts
+//!   under `target/experiments/`. Exit 0 on pass, 1 on any violation.
+//! * `ab` — the perf A/B. Times a full cold run of the edited corpus
+//!   against the incremental run and appends both as cells to
+//!   `BENCH_eval.json`, with the wall-time ratio in the notes.
+//!
+//! Usage: `incr [ci|ab] [--jobs N]`
+
+use std::time::Instant;
+
+use corpus_analysis::Snapshot;
+use llm_fscq_bench::{artifact_dir, BENCH_EVAL_PATH};
+use proof_metrics::incremental::{load_edited, run_incremental, IncrementalConfig};
+use proof_metrics::runner::{resolve_jobs, BenchEval, CellBench};
+use proof_metrics::{run_cell_jobs, CellConfig, CellResult};
+use proof_oracle::profiles::ModelProfile;
+use proof_oracle::prompt::PromptSetting;
+
+/// The checked-in single-module edit.
+struct EditSpec {
+    /// Module the edit lives in.
+    module: String,
+    /// The theorem whose statement the edit rewrites.
+    theorem: String,
+    /// Exact text replaced.
+    old: String,
+    /// Replacement text.
+    new: String,
+}
+
+fn edit_spec() -> EditSpec {
+    let text = include_str!("../../fixtures/incremental_edit.txt");
+    let field = |key: &str| {
+        text.lines()
+            .find_map(|l| l.strip_prefix(key))
+            .unwrap_or_else(|| panic!("incremental_edit.txt: missing `{key}` line"))
+            .trim()
+            .to_string()
+    };
+    EditSpec {
+        module: field("module:"),
+        theorem: field("theorem:"),
+        old: field("old:"),
+        new: field("new:"),
+    }
+}
+
+fn pristine_sources() -> Vec<(String, String)> {
+    fscq_corpus::corpus_sources()
+        .into_iter()
+        .map(|(n, t)| (n.to_string(), t.to_string()))
+        .collect()
+}
+
+/// Applies the checked-in edit, asserting it matches exactly once.
+fn edited_sources(spec: &EditSpec) -> Vec<(String, String)> {
+    pristine_sources()
+        .into_iter()
+        .map(|(n, t)| {
+            if n == spec.module {
+                assert_eq!(
+                    t.matches(&spec.old).count(),
+                    1,
+                    "edit needle must match exactly once in {}",
+                    spec.module
+                );
+                (n, t.replacen(&spec.old, &spec.new, 1))
+            } else {
+                (n, t)
+            }
+        })
+        .collect()
+}
+
+/// The cell both the baseline and the incremental run evaluate: the
+/// full-scope mini profile (147 eval theorems) with hints.
+fn cell() -> CellConfig {
+    CellConfig::standard(ModelProfile::gpt4o_mini(), PromptSetting::Hints)
+}
+
+fn result_json(r: &CellResult) -> String {
+    serde_json::to_string_pretty(r).expect("cell result serializes")
+}
+
+fn run_full(sources: &[(String, String)], cell: &CellConfig, jobs: usize) -> CellResult {
+    let (corpus, _) = load_edited(sources).expect("corpus loads");
+    run_cell_jobs(&corpus, cell, jobs)
+}
+
+struct IncRun {
+    merged: CellResult,
+    reverified: Vec<String>,
+    served_baseline: usize,
+    wall_ms: f64,
+}
+
+fn run_inc(
+    baseline: &CellResult,
+    snapshot: &Snapshot,
+    edited: &[(String, String)],
+    jobs: usize,
+) -> IncRun {
+    let scratch = std::env::temp_dir().join(format!("incremental-cones-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    let cfg = IncrementalConfig {
+        cell: cell(),
+        recovery: Default::default(),
+        jobs,
+        cone_cache_dir: Some(scratch.clone()),
+    };
+    let t = Instant::now();
+    let inc = run_incremental(Some(baseline), snapshot, edited, &cfg).expect("incremental runs");
+    let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+    let _ = std::fs::remove_dir_all(&scratch);
+    assert!(!inc.fallback_full, "single-module edit must not fall back");
+
+    // Artifacts: the human-readable impact report and the SARIF document.
+    let _ = std::fs::create_dir_all(artifact_dir());
+    let (corpus, graph) = load_edited(edited).expect("edited corpus loads");
+    let sarif = inc
+        .impact
+        .to_analysis_report(&corpus.dev, &graph)
+        .sarif_json("impact", "crates/fscq/corpus/");
+    let _ = std::fs::write(artifact_dir().join("impact.sarif"), sarif);
+    let _ = std::fs::write(
+        artifact_dir().join("impact_report.txt"),
+        inc.impact.render(),
+    );
+    eprintln!(
+        "[incremental] dirty {} / reverified {} / cone-cache {} / baseline {}",
+        inc.impact.dirty.len(),
+        inc.reverified.len(),
+        inc.cone_cache_hits,
+        inc.served_baseline
+    );
+    IncRun {
+        merged: inc.result,
+        reverified: inc.reverified,
+        served_baseline: inc.served_baseline,
+        wall_ms,
+    }
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("[incremental] FAIL: {msg}");
+    std::process::exit(1)
+}
+
+/// The CI gate: cone precision + byte-identity.
+fn ci(jobs: usize) {
+    let cell = cell();
+    let spec = edit_spec();
+    let pristine = pristine_sources();
+    let edited = edited_sources(&spec);
+
+    eprintln!("[incremental] baseline: full cold run on the pristine corpus");
+    let (pristine_corpus, _) = load_edited(&pristine).expect("pristine corpus loads");
+    let snapshot = Snapshot::capture(&pristine_corpus.dev);
+    let baseline = run_full(&pristine, &cell, jobs);
+
+    eprintln!(
+        "[incremental] incremental run on the edited corpus ({} edited)",
+        spec.module
+    );
+    let inc = run_inc(&baseline, &snapshot, &edited, jobs);
+
+    // (a) Cone precision: only the edited module (from the edited item
+    // onward) and its importer FS re-verify; everything else is served
+    // from the baseline.
+    let (edited_corpus, _) = load_edited(&edited).expect("edited corpus loads");
+    let edited_item = edited_corpus
+        .dev
+        .theorem(&spec.theorem)
+        .unwrap_or_else(|| fail("edited theorem not found in the edited corpus"))
+        .item_index;
+    if inc.reverified.is_empty() {
+        fail("a semantic edit re-verified nothing");
+    }
+    if inc.served_baseline == 0 {
+        fail("nothing was served from the baseline — the cone is not proper");
+    }
+    for name in &inc.reverified {
+        let thm = edited_corpus
+            .dev
+            .theorem(name)
+            .expect("reverified theorem exists");
+        if thm.file != spec.module && thm.file != "FS" {
+            fail(&format!(
+                "`{name}` ({}) re-verified but is outside the {}/FS cone",
+                thm.file, spec.module
+            ));
+        }
+        if thm.file == spec.module && thm.item_index < edited_item {
+            fail(&format!(
+                "`{name}` precedes the edit in {} but was re-verified",
+                spec.module
+            ));
+        }
+    }
+
+    // (b) Byte-identity: the merged result equals a full cold run of the
+    // edited corpus.
+    eprintln!("[incremental] reference: full cold run on the edited corpus");
+    let full = run_full(&edited, &cell, jobs);
+    if result_json(&inc.merged) != result_json(&full) {
+        fail("merged incremental result diverges from the full cold run");
+    }
+    println!(
+        "[incremental] PASS: {} re-verified / {} served from baseline, merged output \
+         byte-identical to the full run (artifacts in {})",
+        inc.reverified.len(),
+        inc.served_baseline,
+        artifact_dir().display()
+    );
+}
+
+/// The perf A/B: cold-vs-incremental wall time, appended to
+/// `BENCH_eval.json`.
+fn ab(jobs: usize) {
+    let cell = cell();
+    let spec = edit_spec();
+    let pristine = pristine_sources();
+    let edited = edited_sources(&spec);
+    let (pristine_corpus, _) = load_edited(&pristine).expect("pristine corpus loads");
+    let snapshot = Snapshot::capture(&pristine_corpus.dev);
+    let baseline = run_full(&pristine, &cell, jobs);
+
+    let t = Instant::now();
+    let full = run_full(&edited, &cell, jobs);
+    let cold_ms = t.elapsed().as_secs_f64() * 1e3;
+    let inc = run_inc(&baseline, &snapshot, &edited, jobs);
+    if result_json(&inc.merged) != result_json(&full) {
+        fail("merged incremental result diverges from the full cold run");
+    }
+
+    let ratio = if inc.wall_ms > 0.0 {
+        cold_ms / inc.wall_ms
+    } else {
+        0.0
+    };
+    let note = format!(
+        "incremental A/B: single-module edit, cold {cold_ms:.0} ms vs incremental \
+         {:.0} ms ({ratio:.1}x), {} of {} theorems re-verified",
+        inc.wall_ms,
+        inc.reverified.len(),
+        full.outcomes.len()
+    );
+    let bench_cell = |label: &str, n: usize, wall_ms: f64| CellBench {
+        label: label.to_string(),
+        theorems: n,
+        wall_ms,
+        thm_per_sec: if wall_ms > 0.0 {
+            n as f64 / (wall_ms / 1e3)
+        } else {
+            0.0
+        },
+        jobs,
+        cache_hit: false,
+        outcome: "computed".to_string(),
+        variant: "incremental-ab".to_string(),
+    };
+    let mut eval: BenchEval = std::fs::read_to_string(BENCH_EVAL_PATH)
+        .ok()
+        .and_then(|t| serde_json::from_str(&t).ok())
+        .unwrap_or(BenchEval {
+            jobs,
+            notes: String::new(),
+            oracle_faults: 0,
+            oracle_retries: 0,
+            cells: Vec::new(),
+        });
+    // Replace any previous A/B records and note, keep everything else.
+    eval.cells.retain(|c| c.variant != "incremental-ab");
+    eval.cells.push(bench_cell(
+        "incremental A/B: full cold (edited)",
+        full.outcomes.len(),
+        cold_ms,
+    ));
+    eval.cells.push(bench_cell(
+        "incremental A/B: dirty cone",
+        inc.reverified.len(),
+        inc.wall_ms,
+    ));
+    if let Some(pos) = eval.notes.find("; incremental A/B") {
+        eval.notes.truncate(pos);
+    } else if let Some(pos) = eval.notes.find("incremental A/B") {
+        eval.notes.truncate(pos);
+    }
+    if !eval.notes.is_empty() {
+        eval.notes.push_str("; ");
+    }
+    eval.notes.push_str(&note);
+    let text = serde_json::to_string_pretty(&eval).expect("bench eval serializes");
+    std::fs::write(BENCH_EVAL_PATH, text).expect("BENCH_eval.json writes");
+    println!("[incremental] {note}");
+}
+
+fn main() {
+    let mode = std::env::args()
+        .nth(1)
+        .filter(|a| !a.starts_with('-'))
+        .unwrap_or_else(|| "ci".to_string());
+    let jobs = resolve_jobs();
+    match mode.as_str() {
+        "ci" => ci(jobs),
+        "ab" => ab(jobs),
+        other => {
+            eprintln!("usage: incr [ci|ab] [--jobs N] (got `{other}`)");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Incremental re-verification: dirty-cone evaluation plus journal merge.
+//!
+//! The flow mirrors what an always-on verification server does when the
+//! corpus is edited:
+//!
+//! 1. load the *edited* corpus (elaboration only, no proof replay) and
+//!    build its dependency graph;
+//! 2. diff the baseline [`Snapshot`] against it
+//!    ([`corpus_analysis::diff_and_cone`]) to get the dirty cone;
+//! 3. re-verify only the dirty theorems (on the same work-stealing pool
+//!    full runs use, so the schedule-independence invariants carry over),
+//!    consulting a **cone-keyed** per-theorem cache first: entries key on
+//!    `<cell key>:<cone fingerprint>`, where the cone fingerprint covers
+//!    everything on the corpus side that can influence one theorem's
+//!    outcome ([`corpus_analysis::cone_fingerprint`]) — so an edit to
+//!    module X never invalidates cached results whose cones exclude X;
+//! 4. serve every clean theorem from the baseline `CellResult` and
+//!    assemble the merged cell in eval order.
+//!
+//! Soundness rests on the dirty cone being conservative (see
+//! `corpus_analysis::impact`); the property tests in
+//! `tests/incremental_tests.rs` check the merged result is byte-identical
+//! to a full cold re-run of the edited corpus, including under injected
+//! oracle faults. When the theorem *set* changed, the deterministic
+//! hint/eval splits reshuffle and the run falls back to a full
+//! re-verification ([`IncrementalOutcome::fallback_full`]).
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use corpus_analysis::{cone_fingerprint, diff_and_cone, DepGraph, ImpactReport, Snapshot};
+use fscq_corpus::Corpus;
+use minicoq_vernac::Loader;
+use proof_search::RecoveryConfig;
+
+use crate::experiment::{finish_cell, CellConfig, CellResult, TheoremOutcome};
+use crate::runner::{
+    cell_cache_key, default_cache_dir, load_envelope, run_indices_checked, store_envelope,
+};
+
+/// Configuration of one incremental run.
+pub struct IncrementalConfig {
+    /// The cell (profile, setting, scope, search knobs) being re-verified.
+    pub cell: CellConfig,
+    /// Oracle-recovery policy (and optional fault plan) for the pool.
+    pub recovery: RecoveryConfig,
+    /// Worker count.
+    pub jobs: usize,
+    /// Directory of the cone-keyed per-theorem cache; `None` disables it.
+    pub cone_cache_dir: Option<PathBuf>,
+}
+
+impl IncrementalConfig {
+    /// A config with the given cell, serial evaluation, and the default
+    /// cone cache under `target/cells/cones`.
+    pub fn new(cell: CellConfig) -> IncrementalConfig {
+        IncrementalConfig {
+            cell,
+            recovery: RecoveryConfig::default(),
+            jobs: 1,
+            cone_cache_dir: Some(default_cache_dir().join("cones")),
+        }
+    }
+}
+
+/// What an incremental run did, alongside the merged result.
+pub struct IncrementalOutcome {
+    /// The merged cell result, in eval order — byte-identical (as JSON)
+    /// to a full cold run of the same cell on the edited corpus.
+    pub result: CellResult,
+    /// Names of the theorems actually re-verified on the pool.
+    pub reverified: Vec<String>,
+    /// Dirty theorems served from the cone-keyed cache instead.
+    pub cone_cache_hits: usize,
+    /// Clean theorems served from the baseline result.
+    pub served_baseline: usize,
+    /// True when the theorem set changed and the run fell back to a full
+    /// re-verification.
+    pub fallback_full: bool,
+    /// The impact report the dirty set came from.
+    pub impact: ImpactReport,
+}
+
+/// Loads an edited corpus (no proof replay — incremental verification is
+/// exactly the workflow where human proofs may be stale) and builds its
+/// dependency graph.
+pub fn load_edited(sources: &[(String, String)]) -> Result<(Corpus, DepGraph), String> {
+    let mut loader = Loader::new().check_proofs(false);
+    for (name, text) in sources {
+        loader.add_source(name.clone(), text.clone());
+    }
+    let dev = loader.load().map_err(|e| e.to_string())?;
+    let graph = DepGraph::build(&dev, sources);
+    Ok((Corpus { dev }, graph))
+}
+
+/// Runs the cell incrementally against `sources` (the edited corpus),
+/// re-verifying only the dirty cone of the edit between `baseline_snapshot`
+/// and the edited corpus, and merging `baseline` outcomes for the clean
+/// remainder. With `baseline: None` every eval theorem is re-verified
+/// (still through the cone-keyed cache).
+pub fn run_incremental(
+    baseline: Option<&CellResult>,
+    baseline_snapshot: &Snapshot,
+    sources: &[(String, String)],
+    cfg: &IncrementalConfig,
+) -> Result<IncrementalOutcome, String> {
+    let _sp = proof_trace::span("metrics", "incremental");
+    let (corpus, graph) = load_edited(sources)?;
+    let impact = diff_and_cone(baseline_snapshot, &corpus.dev, &graph);
+    let by_name: BTreeMap<&str, &TheoremOutcome> = baseline
+        .map(|b| b.outcomes.iter().map(|o| (o.name.as_str(), o)).collect())
+        .unwrap_or_default();
+    let fallback_full = baseline.is_none() || impact.theorem_set_changed;
+
+    let indices = cfg.cell.eval_indices(&corpus.dev);
+    let cell_key = cell_cache_key(&cfg.cell);
+    let mut slots: Vec<Option<TheoremOutcome>> = vec![None; indices.len()];
+    let mut to_eval: Vec<usize> = Vec::new(); // positions into `indices`
+    let mut eval_keys: Vec<Option<PathBuf>> = Vec::new();
+    let mut reverified = Vec::new();
+    let mut cone_cache_hits = 0usize;
+    let mut served_baseline = 0usize;
+    for (k, &i) in indices.iter().enumerate() {
+        let name = corpus.dev.theorems[i].name.clone();
+        let dirty = fallback_full
+            || impact.dirty.contains_key(&name)
+            || !by_name.contains_key(name.as_str());
+        if !dirty {
+            slots[k] = Some((*by_name[name.as_str()]).clone());
+            served_baseline += 1;
+            continue;
+        }
+        // Dirty: consult the cone-keyed cache before paying for a search.
+        let cache_path = cfg.cone_cache_dir.as_ref().and_then(|dir| {
+            cone_fingerprint(&corpus.dev, &graph, &name)
+                .map(|cone| dir.join(format!("{cell_key}-{cone}.json")))
+        });
+        if let Some(path) = &cache_path {
+            if let Some(hit) = load_envelope::<TheoremOutcome>(path) {
+                proof_trace::event("cache", "cone-hit");
+                slots[k] = Some(hit);
+                cone_cache_hits += 1;
+                continue;
+            }
+        }
+        to_eval.push(k);
+        eval_keys.push(cache_path);
+        reverified.push(name);
+    }
+
+    if !to_eval.is_empty() {
+        let eval_indices: Vec<usize> = to_eval.iter().map(|&k| indices[k]).collect();
+        let outcomes = run_indices_checked(
+            &corpus,
+            &cfg.cell,
+            &eval_indices,
+            cfg.jobs,
+            &cfg.recovery,
+            0,
+        )
+        .map_err(|crash| crash.to_string())?;
+        for ((&k, path), outcome) in to_eval.iter().zip(&eval_keys).zip(outcomes) {
+            if let Some(path) = path {
+                store_envelope(path, &outcome);
+            }
+            slots[k] = Some(outcome);
+        }
+    }
+
+    let merged: Vec<TheoremOutcome> = slots
+        .into_iter()
+        .map(|o| o.expect("every eval slot filled"))
+        .collect();
+    proof_trace::metrics::counter_add("incremental.reverified", reverified.len() as u64);
+    proof_trace::metrics::counter_add("incremental.cone_cache_hits", cone_cache_hits as u64);
+    proof_trace::metrics::counter_add("incremental.served_baseline", served_baseline as u64);
+    Ok(IncrementalOutcome {
+        result: finish_cell(&cfg.cell, merged),
+        reverified,
+        cone_cache_hits,
+        served_baseline,
+        fallback_full,
+        impact,
+    })
+}

@@ -12,6 +12,9 @@
 //! * [`journal`] — the crash-safe JSONL progress journal behind
 //!   `--resume`: completed cells are appended as they finish and served
 //!   back without re-evaluation after an interrupted run;
+//! * [`incremental`] — dirty-cone re-verification of an edited corpus
+//!   with cone-keyed per-theorem caching and baseline-journal merging
+//!   (`prove --incremental`);
 //! * [`coverage`] — proof coverage by human-proof-length bin (Figure 1)
 //!   and by category with expected-coverage correction (Table 1);
 //! * [`report`] — plain-text renderers for every table and figure, plus
@@ -20,11 +23,13 @@
 
 pub mod coverage;
 pub mod experiment;
+pub mod incremental;
 pub mod journal;
 pub mod levenshtein;
 pub mod report;
 pub mod runner;
 
 pub use experiment::{run_cell, CellConfig, CellResult, EvalScope, TheoremOutcome};
+pub use incremental::{load_edited, run_incremental, IncrementalConfig, IncrementalOutcome};
 pub use journal::{Journal, JournalState};
 pub use runner::{run_cell_jobs, CellCrash, Runner};

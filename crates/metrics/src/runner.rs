@@ -617,11 +617,13 @@ impl Runner {
     }
 }
 
-/// Loads a cached cell, verifying the checksum envelope. Any
-/// defect — unreadable file, wrong schema, torn payload, checksum
-/// mismatch — reads as a cache miss, never an error: the cell simply
-/// recomputes, and determinism makes the recomputed result identical.
-fn load_cell(path: &Path) -> Option<CellResult> {
+/// Loads a checksummed cache envelope, verifying schema and payload
+/// digest. Any defect — unreadable file, wrong schema, torn payload,
+/// checksum mismatch — reads as a cache miss, never an error: the entry
+/// simply recomputes, and determinism makes the recomputed value
+/// identical. Shared by the per-cell cache and the cone-keyed
+/// per-theorem cache ([`crate::incremental`]).
+pub(crate) fn load_envelope<T: Deserialize>(path: &Path) -> Option<T> {
     let text = std::fs::read_to_string(path).ok()?;
     let envelope = serde_json::from_str::<serde_json::Value>(&text).ok()?;
     if envelope.get("schema").and_then(|s| s.as_i64()) != Some(CACHE_SCHEMA as i64) {
@@ -635,12 +637,13 @@ fn load_cell(path: &Path) -> Option<CellResult> {
     serde_json::from_str(payload).ok()
 }
 
-fn store_cell(path: &Path, result: &CellResult) {
+/// Writes `value` inside the checksummed envelope. Best-effort: a failed
+/// write only costs a recompute next run.
+pub(crate) fn store_envelope<T: Serialize>(path: &Path, value: &T) {
     if let Some(dir) = path.parent() {
         let _ = std::fs::create_dir_all(dir);
     }
-    // Best-effort: a failed write only costs a recompute next run.
-    let Ok(payload) = serde_json::to_string(result) else {
+    let Ok(payload) = serde_json::to_string(value) else {
         return;
     };
     let Ok(payload_str) = serde_json::to_string(&payload) else {
@@ -651,6 +654,14 @@ fn store_cell(path: &Path, result: &CellResult) {
         fnv1a(payload.as_bytes())
     );
     let _ = std::fs::write(path, envelope);
+}
+
+fn load_cell(path: &Path) -> Option<CellResult> {
+    load_envelope(path)
+}
+
+fn store_cell(path: &Path, result: &CellResult) {
+    store_envelope(path, result)
 }
 
 #[cfg(test)]

@@ -1,0 +1,89 @@
+//! Golden-key regression tests for the per-cell cache key.
+//!
+//! Cached per-theorem results are stored under files derived from
+//! [`proof_metrics::runner::cell_cache_key`], and `prove --incremental`
+//! additionally keys cone-level entries as `{cell_key}-{cone}.json`.  If the
+//! key derivation changes silently, stale caches from an older layout are
+//! reinterpreted under the new scheme (or vice versa) and incremental runs
+//! can serve wrong results.  These tests pin the exact key strings for
+//! representative configurations: any intentional change to the key inputs
+//! must be accompanied by a `CACHE_SCHEMA` bump, which changes every key and
+//! makes old cache files unreadable rather than wrongly readable.
+
+use proof_metrics::runner::cell_cache_key;
+use proof_metrics::CellConfig;
+use proof_oracle::{ModelProfile, PromptSetting};
+
+const BUMP_MSG: &str = "cell_cache_key changed for an existing configuration. If the key inputs \
+     changed intentionally, bump CACHE_SCHEMA in crates/metrics/src/runner.rs \
+     so stale cache files are invalidated instead of misread.";
+
+fn golden(cell: &CellConfig, expected: &str) {
+    let key = cell_cache_key(cell);
+    assert_eq!(
+        key.len(),
+        16,
+        "cache keys are 16 hex chars; got {key:?} for {}",
+        cell.label()
+    );
+    assert_eq!(key, expected, "{} — {BUMP_MSG}", cell.label());
+}
+
+#[test]
+fn golden_key_gpt4o_hints() {
+    golden(
+        &CellConfig::standard(ModelProfile::gpt4o(), PromptSetting::Hints),
+        "219e034b89e37afc",
+    );
+}
+
+#[test]
+fn golden_key_gpt4o_mini_vanilla() {
+    golden(
+        &CellConfig::standard(ModelProfile::gpt4o_mini(), PromptSetting::Vanilla),
+        "f2f2735d0449f315",
+    );
+}
+
+#[test]
+fn golden_key_gpt4o_mini_hints() {
+    golden(
+        &CellConfig::standard(ModelProfile::gpt4o_mini(), PromptSetting::Hints),
+        "0c1927e88e130676",
+    );
+}
+
+#[test]
+fn golden_key_variant_and_retrieval() {
+    let mut cell = CellConfig::standard(ModelProfile::gpt4o_mini(), PromptSetting::Hints);
+    cell.retrieval = Some(8);
+    cell.variant = Some("premise-rank=on".to_string());
+    golden(&cell, "a6c480f1c3dbe0ca");
+}
+
+/// The schema version is part of the hashed representation, so distinct
+/// configurations must still never collide under the current schema.
+#[test]
+fn golden_keys_are_pairwise_distinct() {
+    let mut retr = CellConfig::standard(ModelProfile::gpt4o_mini(), PromptSetting::Hints);
+    retr.retrieval = Some(8);
+    retr.variant = Some("premise-rank=on".to_string());
+    let cells = [
+        CellConfig::standard(ModelProfile::gpt4o(), PromptSetting::Hints),
+        CellConfig::standard(ModelProfile::gpt4o_mini(), PromptSetting::Vanilla),
+        CellConfig::standard(ModelProfile::gpt4o_mini(), PromptSetting::Hints),
+        retr,
+    ];
+    let keys: Vec<String> = cells.iter().map(cell_cache_key).collect();
+    for i in 0..keys.len() {
+        for j in (i + 1)..keys.len() {
+            assert_ne!(
+                keys[i],
+                keys[j],
+                "{} and {} must not share a cache key",
+                cells[i].label(),
+                cells[j].label()
+            );
+        }
+    }
+}

@@ -205,6 +205,115 @@ fn formula_key_rec<'a>(f: &'a Formula, scope: &mut Scope<'a>, out: &mut String) 
     }
 }
 
+/// Canonical key for a function definition, alpha-invariant in its value
+/// parameters and every binder of its body: renaming `(n m : nat)` to
+/// `(a b : nat)` leaves the key unchanged, while any change to the
+/// parameter sorts, result sort, recursion structure or body alters it.
+/// Sort parameters are kept by name (the same convention as
+/// [`Formula::ForallSort`] in [`formula_key`]). The defined symbol's own
+/// name is *not* part of the key — callers map name → key themselves, so
+/// a pure rename reads as a removal plus an addition, not a change.
+pub fn func_def_key(f: &crate::env::FuncDef) -> String {
+    let mut out = String::new();
+    let mut scope = Scope::default();
+    out.push_str("(fn");
+    for sp in &f.sort_params {
+        out.push_str(" S:");
+        out.push_str(sp);
+    }
+    for (p, s) in &f.params {
+        let i = scope.bind(p);
+        out.push_str(&format!(" v{i}:"));
+        sort_key(s, &mut out);
+    }
+    out.push_str(" ->");
+    sort_key(&f.ret, &mut out);
+    if f.recursive {
+        out.push_str(" rec");
+        if let Some(k) = f.struct_arg {
+            out.push_str(&format!("@{k}"));
+        }
+    }
+    out.push(' ');
+    term_key_rec(&f.body, &mut scope, &mut out);
+    out.push(')');
+    out
+}
+
+/// Canonical key for a formula-defined predicate; the parameter-binding
+/// conventions of [`func_def_key`] apply.
+pub fn defined_pred_key(d: &crate::env::DefinedPred) -> String {
+    let mut out = String::new();
+    let mut scope = Scope::default();
+    out.push_str("(pred");
+    for sp in &d.sort_params {
+        out.push_str(" S:");
+        out.push_str(sp);
+    }
+    for (p, s) in &d.params {
+        let i = scope.bind(p);
+        out.push_str(&format!(" v{i}:"));
+        sort_key(s, &mut out);
+    }
+    if d.recursive {
+        out.push_str(" rec");
+        if let Some(k) = d.struct_arg {
+            out.push_str(&format!("@{k}"));
+        }
+    }
+    out.push(' ');
+    formula_key_rec(&d.body, &mut scope, &mut out);
+    out.push(')');
+    out
+}
+
+/// Canonical key for an inductive datatype: sort parameters by name,
+/// then each constructor's name and argument sorts in declaration order.
+/// Constructor names are global identifiers (they appear in patterns and
+/// terms), so they stay in the key.
+pub fn inductive_key(ind: &crate::env::Inductive) -> String {
+    let mut out = String::new();
+    out.push_str("(ind");
+    for p in &ind.params {
+        out.push_str(" S:");
+        out.push_str(p);
+    }
+    for c in &ind.ctors {
+        out.push_str(" |");
+        out.push_str(&c.name);
+        for s in &c.args {
+            out.push(' ');
+            sort_key(s, &mut out);
+        }
+    }
+    out.push(')');
+    out
+}
+
+/// Canonical key for an inductively defined predicate: argument sorts,
+/// then each rule's name and alpha-canonical statement in declaration
+/// order. Rule names stay (they are `apply` targets).
+pub fn ind_pred_key(p: &crate::env::IndPred) -> String {
+    let mut out = String::new();
+    out.push_str("(indp");
+    for sp in &p.sort_params {
+        out.push_str(" S:");
+        out.push_str(sp);
+    }
+    for s in &p.arg_sorts {
+        out.push(' ');
+        sort_key(s, &mut out);
+    }
+    for (rn, stmt) in &p.rules {
+        out.push_str(" |");
+        out.push_str(rn);
+        out.push(' ');
+        out.push_str(&formula_key(stmt));
+    }
+    out.push(')');
+    out
+}
+
 /// Canonical key for a term (free variables keep their names).
 pub fn term_key(t: &Term) -> String {
     let mut out = String::new();
@@ -319,5 +428,85 @@ mod tests {
     fn state_hash_stable() {
         let st = ProofState::from_goals(vec![eq_goal("x")]);
         assert_eq!(state_hash(&st), state_hash(&st.clone()));
+    }
+
+    fn id_fn(param: &str) -> crate::env::FuncDef {
+        crate::env::FuncDef {
+            name: "idnat".into(),
+            sort_params: vec![],
+            params: vec![(param.to_string(), Sort::nat())],
+            ret: Sort::nat(),
+            body: Term::var(param),
+            recursive: false,
+            struct_arg: None,
+        }
+    }
+
+    #[test]
+    fn func_def_key_is_alpha_invariant_in_params() {
+        assert_eq!(func_def_key(&id_fn("n")), func_def_key(&id_fn("x")));
+    }
+
+    #[test]
+    fn func_def_key_sees_body_and_structure_changes() {
+        let base = id_fn("n");
+        let mut zero = base.clone();
+        zero.body = Term::App("O".into(), vec![]);
+        assert_ne!(func_def_key(&base), func_def_key(&zero));
+        let mut rec = base.clone();
+        rec.recursive = true;
+        rec.struct_arg = Some(0);
+        assert_ne!(func_def_key(&base), func_def_key(&rec));
+        let mut name_only = base.clone();
+        name_only.name = "other".into();
+        assert_eq!(func_def_key(&base), func_def_key(&name_only));
+    }
+
+    #[test]
+    fn defined_pred_key_is_alpha_invariant_in_params() {
+        let pred = |v: &str| crate::env::DefinedPred {
+            name: "isz".into(),
+            sort_params: vec![],
+            params: vec![(v.to_string(), Sort::nat())],
+            body: Formula::Eq(Sort::nat(), Term::var(v), Term::App("O".into(), vec![])),
+            recursive: false,
+            struct_arg: None,
+        };
+        assert_eq!(defined_pred_key(&pred("n")), defined_pred_key(&pred("m")));
+    }
+
+    #[test]
+    fn inductive_key_sees_ctor_changes() {
+        let ind = |args: Vec<Sort>| crate::env::Inductive {
+            name: "t".into(),
+            params: vec![],
+            ctors: vec![crate::env::Ctor {
+                name: "mk".into(),
+                args,
+            }],
+        };
+        assert_eq!(inductive_key(&ind(vec![])), inductive_key(&ind(vec![])));
+        assert_ne!(
+            inductive_key(&ind(vec![])),
+            inductive_key(&ind(vec![Sort::nat()]))
+        );
+    }
+
+    #[test]
+    fn ind_pred_key_is_alpha_invariant_in_rule_binders() {
+        let ip = |v: &str| crate::env::IndPred {
+            name: "ev".into(),
+            sort_params: vec![],
+            arg_sorts: vec![Sort::nat()],
+            rules: vec![(
+                "ev_refl".into(),
+                Formula::forall(
+                    v,
+                    Sort::nat(),
+                    Formula::Pred("ev".into(), vec![], vec![Term::var(v)]),
+                ),
+            )],
+        };
+        assert_eq!(ind_pred_key(&ip("n")), ind_pred_key(&ip("k")));
     }
 }

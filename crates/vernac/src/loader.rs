@@ -81,6 +81,20 @@ impl Development {
         self.files.iter().find(|f| f.name == name)
     }
 
+    /// Every item of every file with its canonical rendering (parsed
+    /// sentences re-rendered, so inter-item whitespace and comment
+    /// differences vanish), in load order: the text layer change-impact
+    /// snapshots hash and diff (`corpus-analysis`'s `impact` module).
+    /// Yields `(module, item index, rendered text)`.
+    pub fn rendered_items(&self) -> impl Iterator<Item = (&str, usize, String)> + '_ {
+        self.files.iter().flat_map(|f| {
+            f.items
+                .iter()
+                .enumerate()
+                .map(move |(idx, item)| (f.name.as_str(), idx, item.render(true)))
+        })
+    }
+
     /// The transitive import closure of a module, in load order, excluding
     /// the module itself.
     pub fn import_closure(&self, name: &str) -> Vec<&LoadedFile> {

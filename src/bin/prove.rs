@@ -1,38 +1,60 @@
-//! `prove` — run the LLM-guided best-first search on one corpus theorem.
+//! `prove` — run the LLM-guided best-first search on one corpus theorem,
+//! or re-verify an edited corpus incrementally.
 //!
 //! ```sh
 //! prove <theorem> [--model mini|gpt4o|flash|pro|pro128k] [--vanilla]
 //!       [--retrieval K] [--limit N] [--width W] [--strategy best|greedy|bfs]
 //!       [--show-query] [--preflight|--no-preflight] [--premise-rank]
 //!       [--proof-jobs N]
+//! prove --incremental --save-baseline DIR [--corpus DIR] [cell flags]
+//! prove --incremental --baseline DIR [--corpus DIR] [cell flags] [--jobs N]
 //! ```
 //!
-//! Prints the outcome, the search statistics, and (when proved) the found
-//! script together with its kernel replay check.
+//! Single-theorem mode prints the outcome, the search statistics, and
+//! (when proved) the found script together with its kernel replay check.
+//!
+//! `--incremental` runs the change-impact workflow instead: with
+//! `--save-baseline DIR` it evaluates the whole cell cold and writes the
+//! baseline artifacts (`snapshot.json` + `baseline.json`) to `DIR`; with
+//! `--baseline DIR` it diffs the baseline snapshot against the corpus
+//! (the embedded one, or a directory of `.v` modules via `--corpus DIR`),
+//! prints the impact report, re-verifies only the dirty cone, and merges
+//! the baseline results for the clean remainder.
 
+use llm_fscq::analysis::Snapshot;
 use llm_fscq::corpus::Corpus;
+use llm_fscq::metrics::incremental::{run_incremental, IncrementalConfig};
+use llm_fscq::metrics::{run_cell_jobs, CellConfig, CellResult};
 use llm_fscq::oracle::profiles::ModelProfile;
 use llm_fscq::oracle::prompt::{build_prompt, PromptConfig, PromptSetting};
 use llm_fscq::oracle::split::hint_set;
 use llm_fscq::oracle::SimulatedModel;
 use llm_fscq::search::{search_with_recovery, RecoveryConfig, SearchConfig, Strategy};
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 struct Args {
-    theorem: String,
+    theorem: Option<String>,
     profile: ModelProfile,
     setting: PromptSetting,
     retrieval: Option<usize>,
     cfg: SearchConfig,
     proof_jobs: usize,
     show_query: bool,
+    incremental: bool,
+    baseline: Option<PathBuf>,
+    save_baseline: Option<PathBuf>,
+    corpus_dir: Option<PathBuf>,
+    jobs: usize,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: prove <theorem> [--model mini|gpt4o|flash|pro|pro128k] [--vanilla]\n\
          \x20             [--retrieval K] [--limit N] [--width W] [--strategy best|greedy|bfs]\n\
-         \x20             [--preflight|--no-preflight] [--premise-rank] [--proof-jobs N]"
+         \x20             [--preflight|--no-preflight] [--premise-rank] [--proof-jobs N]\n\
+         \x20      prove --incremental --save-baseline DIR [--corpus DIR]\n\
+         \x20      prove --incremental --baseline DIR [--corpus DIR] [--jobs N]"
     );
     std::process::exit(2)
 }
@@ -46,6 +68,11 @@ fn parse_args() -> Args {
     let mut cfg = SearchConfig::default();
     let mut proof_jobs = 1usize;
     let mut show_query = false;
+    let mut incremental = false;
+    let mut baseline = None;
+    let mut save_baseline = None;
+    let mut corpus_dir = None;
+    let mut jobs = 1usize;
     while let Some(a) = args.next() {
         let mut value = |name: &str| {
             args.next().unwrap_or_else(|| {
@@ -92,6 +119,16 @@ fn parse_args() -> Args {
                     }
                 }
             }
+            "--incremental" => incremental = true,
+            "--baseline" => baseline = Some(PathBuf::from(value("--baseline"))),
+            "--save-baseline" => save_baseline = Some(PathBuf::from(value("--save-baseline"))),
+            "--corpus" => corpus_dir = Some(PathBuf::from(value("--corpus"))),
+            "--jobs" => {
+                jobs = value("--jobs")
+                    .parse::<usize>()
+                    .unwrap_or_else(|_| usage())
+                    .max(1)
+            }
             "--help" | "-h" => usage(),
             other if theorem.is_none() && !other.starts_with('-') => {
                 theorem = Some(other.to_string())
@@ -103,21 +140,171 @@ fn parse_args() -> Args {
         }
     }
     Args {
-        theorem: theorem.unwrap_or_else(|| usage()),
+        theorem,
         profile,
         setting,
         retrieval,
         cfg,
         proof_jobs,
         show_query,
+        incremental,
+        baseline,
+        save_baseline,
+        corpus_dir,
+        jobs,
     }
+}
+
+/// The corpus sources: the embedded benchmark, or every `.v` module in a
+/// directory (the loader topologically sorts by imports, so file order
+/// does not matter).
+fn corpus_sources_from(dir: Option<&Path>) -> Result<Vec<(String, String)>, String> {
+    let Some(dir) = dir else {
+        return Ok(llm_fscq::corpus::corpus_sources()
+            .into_iter()
+            .map(|(n, t)| (n.to_string(), t.to_string()))
+            .collect());
+    };
+    let mut out = Vec::new();
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    for entry in entries {
+        let path = entry.map_err(|e| e.to_string())?.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("v") {
+            continue;
+        }
+        let name = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .ok_or_else(|| format!("bad module filename {}", path.display()))?
+            .to_string();
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        out.push((name, text));
+    }
+    out.sort();
+    if out.is_empty() {
+        return Err(format!("no .v modules under {}", dir.display()));
+    }
+    Ok(out)
+}
+
+/// The cell configuration the incremental modes evaluate, assembled from
+/// the same model/setting/search flags single-theorem mode takes.
+fn cell_of(args: &Args) -> CellConfig {
+    let mut cell = CellConfig::standard(args.profile.clone(), args.setting);
+    cell.search = args.cfg.clone();
+    cell.retrieval = args.retrieval;
+    cell
+}
+
+/// `--incremental`: baseline capture or dirty-cone re-verification.
+fn incremental_main(args: &Args) -> ExitCode {
+    let fail = |msg: String| {
+        eprintln!("prove --incremental: {msg}");
+        ExitCode::FAILURE
+    };
+    let sources = match corpus_sources_from(args.corpus_dir.as_deref()) {
+        Ok(s) => s,
+        Err(e) => return fail(e),
+    };
+    let cell = cell_of(args);
+
+    if let Some(dir) = &args.save_baseline {
+        let (corpus, _graph) = match llm_fscq::metrics::incremental::load_edited(&sources) {
+            Ok(v) => v,
+            Err(e) => return fail(e),
+        };
+        let snapshot = Snapshot::capture(&corpus.dev);
+        let result = run_cell_jobs(&corpus, &cell, args.jobs);
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            return fail(format!("{}: {e}", dir.display()));
+        }
+        let baseline_json = match serde_json::to_string_pretty(&result) {
+            Ok(t) => t,
+            Err(e) => return fail(format!("serialize baseline: {e:?}")),
+        };
+        if let Err(e) = std::fs::write(dir.join("snapshot.json"), snapshot.to_json())
+            .and_then(|()| std::fs::write(dir.join("baseline.json"), baseline_json))
+        {
+            return fail(format!("{}: {e}", dir.display()));
+        }
+        println!(
+            "baseline: {} — {} theorems evaluated, artifacts in {}",
+            cell.label(),
+            result.outcomes.len(),
+            dir.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let Some(dir) = &args.baseline else {
+        return fail("need --baseline DIR (or --save-baseline DIR to create one)".to_string());
+    };
+    let read = |name: &str| {
+        std::fs::read_to_string(dir.join(name)).map_err(|e| {
+            format!(
+                "{}: {e} (run --save-baseline first?)",
+                dir.join(name).display()
+            )
+        })
+    };
+    let snapshot = match read("snapshot.json").and_then(|t| Snapshot::from_json(&t)) {
+        Ok(s) => s,
+        Err(e) => return fail(e),
+    };
+    let baseline: CellResult = match read("baseline.json")
+        .and_then(|t| serde_json::from_str(&t).map_err(|e| format!("baseline.json: {e:?}")))
+    {
+        Ok(b) => b,
+        Err(e) => return fail(e),
+    };
+    let cfg = IncrementalConfig {
+        recovery: RecoveryConfig {
+            proof_jobs: args.proof_jobs,
+            ..RecoveryConfig::default()
+        },
+        jobs: args.jobs,
+        ..IncrementalConfig::new(cell)
+    };
+    let inc = match run_incremental(Some(&baseline), &snapshot, &sources, &cfg) {
+        Ok(i) => i,
+        Err(e) => return fail(e),
+    };
+    print!("{}", inc.impact.render());
+    if inc.fallback_full {
+        println!("(theorem set changed — fell back to a full re-verification)");
+    }
+    println!(
+        "merged  : {} theorems — {} re-verified, {} cone-cache hits, {} from baseline",
+        inc.result.outcomes.len(),
+        inc.reverified.len(),
+        inc.cone_cache_hits,
+        inc.served_baseline
+    );
+    println!(
+        "proved  : {:.1}% ({} of {})",
+        100.0 * inc.result.proved_rate(),
+        inc.result
+            .outcomes
+            .iter()
+            .filter(|o| o.outcome == "proved")
+            .count(),
+        inc.result.outcomes.len()
+    );
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
     let args = parse_args();
+    if args.incremental || args.save_baseline.is_some() {
+        return incremental_main(&args);
+    }
+    let Some(theorem) = args.theorem.clone() else {
+        usage();
+    };
     let corpus = Corpus::load();
-    let Some(thm) = corpus.dev.theorem(&args.theorem) else {
-        eprintln!("unknown theorem `{}`; try one of:", args.theorem);
+    let Some(thm) = corpus.dev.theorem(&theorem) else {
+        eprintln!("unknown theorem `{theorem}`; try one of:");
         for t in corpus.dev.theorems.iter().take(10) {
             eprintln!("  {}", t.name);
         }
