@@ -446,6 +446,13 @@ pub fn hint_symbol_name(file: &str, idx: usize) -> String {
     format!("Hint@{file}#{idx}")
 }
 
+/// Inverse of [`hint_symbol_name`]: the `(file, item index)` a synthetic
+/// hint symbol name encodes, or `None` for ordinary symbol names.
+pub fn parse_hint_symbol_name(name: &str) -> Option<(&str, usize)> {
+    let (file, idx) = name.strip_prefix("Hint@")?.rsplit_once('#')?;
+    Some((file, idx.parse().ok()?))
+}
+
 /// 1-based line number of byte offset `start` in `text`.
 fn line_of(text: &str, start: usize) -> usize {
     if text.is_empty() {

@@ -40,6 +40,14 @@
 //!    in the environment, its statement matters to theorems that never
 //!    reference it.
 //!
+//! The hint-db and collision channels also fire on **deletions**, which
+//! the edited graph alone cannot see: a removed hint registration stops
+//! feeding the accumulated databases, and a removed collision lemma
+//! stops resolving hallucinated `apply` targets. Removal events are
+//! synthesized from the snapshot diff — at the hint's old load position
+//! (its synthetic name encodes it), or conservatively dirtying every
+//! theorem when the old position is unrecoverable.
+//!
 //! Theorem additions, removals, and renames reshuffle the deterministic
 //! hint/eval splits, so a changed theorem *set* is reported as
 //! [`ImpactReport::theorem_set_changed`] and callers fall back to a full
@@ -55,7 +63,7 @@ use minicoq_vernac::item::ItemKind;
 use minicoq_vernac::loader::Development;
 use serde::{Deserialize, Serialize};
 
-use crate::graph::{hint_symbol_name, DepGraph, SymbolKind};
+use crate::graph::{hint_symbol_name, parse_hint_symbol_name, DepGraph, SymbolKind};
 use crate::report::{AnalysisReport, Code, Finding};
 
 /// The hallucinated-variant suffixes the simulated oracle appends to
@@ -492,36 +500,47 @@ pub fn diff_and_cone(baseline: &Snapshot, dev: &Development, graph: &DepGraph) -
             hint_events.push(((fpos, sym.item_index), sym.name.clone()));
         }
     }
-    hint_events.sort();
 
     // Collision events: `<lemma><suffix>` names that resolve to a real
     // lemma, rule or axiom, whose definition changed or is affected.
     let mut collision_events: Vec<((usize, usize), String)> = Vec::new();
-    for (_, sym) in graph.symbols() {
-        if sym.kind != SymbolKind::Lemma {
-            continue;
-        }
-        for suffix in COLLISION_SUFFIXES {
-            let candidate = format!("{}{suffix}", sym.name);
-            let Some(cid) = graph.lookup(&candidate) else {
-                continue;
-            };
+    for (candidate, cid) in collision_candidates(graph) {
+        if affected[cid].is_some() {
             let c = graph.symbol(cid);
-            if !matches!(
-                c.kind,
-                SymbolKind::Lemma | SymbolKind::Rule | SymbolKind::Axiom
-            ) {
-                continue;
-            }
-            if affected[cid].is_some() {
-                if let Some(&fpos) = file_pos.get(c.file.as_str()) {
-                    collision_events.push(((fpos, c.item_index), candidate));
-                }
+            if let Some(&fpos) = file_pos.get(c.file.as_str()) {
+                collision_events.push(((fpos, c.item_index), candidate));
             }
         }
     }
     collision_events.sort();
     collision_events.dedup();
+
+    // Deletions: the two scans above walk the *edited* graph, so a
+    // removed hint registration or collision lemma generates no event
+    // there — yet search behavior changes for every theorem loaded after
+    // the old registration point. Synthesize events from the removal
+    // records. A removed hint's synthetic name encodes its old position,
+    // which is meaningful in edited coordinates only while the module
+    // list is unchanged (and the module still exists); otherwise, and
+    // for removed collision lemmas (whose old position the snapshot does
+    // not record), conservatively dirty every theorem.
+    let files_stable = baseline.files == edited.files;
+    let mut removed_hint_all: Option<String> = None;
+    let mut removed_collision_all: Option<String> = None;
+    for name in &report.removed_symbols {
+        if let Some((file, idx)) = parse_hint_symbol_name(name) {
+            let origin = format!("{name} (removed)");
+            match file_pos.get(file).filter(|_| files_stable) {
+                Some(&fpos) => hint_events.push(((fpos, idx), origin)),
+                None => {
+                    removed_hint_all.get_or_insert(origin);
+                }
+            }
+        } else if is_collision_name(name, graph) {
+            removed_collision_all.get_or_insert(format!("{name} (removed)"));
+        }
+    }
+    hint_events.sort();
 
     let first_event_before = |events: &[((usize, usize), String)], pos: (usize, usize)| {
         events
@@ -554,18 +573,22 @@ pub fn diff_and_cone(baseline: &Snapshot, dev: &Development, graph: &DepGraph) -
                 origin,
                 path: Vec::new(),
             })
-        } else if let Some(origin) = first_event_before(&hint_events, pos) {
+        } else if let Some(origin) =
+            first_event_before(&hint_events, pos).or_else(|| removed_hint_all.clone())
+        {
             Some(ImpactTrace {
                 reason: ImpactReason::HintDb,
                 origin,
                 path: Vec::new(),
             })
         } else {
-            first_event_before(&collision_events, pos).map(|origin| ImpactTrace {
-                reason: ImpactReason::Collision,
-                origin,
-                path: Vec::new(),
-            })
+            first_event_before(&collision_events, pos)
+                .or_else(|| removed_collision_all.clone())
+                .map(|origin| ImpactTrace {
+                    reason: ImpactReason::Collision,
+                    origin,
+                    path: Vec::new(),
+                })
         };
         if let Some(trace) = trace {
             report.dirty.insert(thm.name.clone(), trace);
@@ -597,6 +620,42 @@ fn visible_dirty_item(
     None
 }
 
+/// Every `(hallucinated name, symbol id)` collision pair of the graph, in
+/// scan order: a lemma's name plus a distractor suffix that resolves to a
+/// real lemma, rule, or axiom.
+fn collision_candidates(graph: &DepGraph) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    for (_, sym) in graph.symbols() {
+        if sym.kind != SymbolKind::Lemma {
+            continue;
+        }
+        for suffix in COLLISION_SUFFIXES {
+            let candidate = format!("{}{suffix}", sym.name);
+            if let Some(cid) = graph.lookup(&candidate) {
+                let c = graph.symbol(cid);
+                if matches!(
+                    c.kind,
+                    SymbolKind::Lemma | SymbolKind::Rule | SymbolKind::Axiom
+                ) {
+                    out.push((candidate, cid));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// True when `name` is a hallucinated-variant spelling of a lemma the
+/// edited corpus still declares (`<lemma><suffix>`): removing the symbol
+/// it named changes which `apply` guesses resolve.
+fn is_collision_name(name: &str, graph: &DepGraph) -> bool {
+    COLLISION_SUFFIXES.iter().any(|suffix| {
+        name.strip_suffix(suffix)
+            .and_then(|base| graph.lookup(base))
+            .is_some_and(|id| graph.symbol(id).kind == SymbolKind::Lemma)
+    })
+}
+
 /// The fingerprint of one theorem's *dependency cone*: everything on the
 /// corpus side that can influence its verification outcome. Two corpora
 /// assigning a theorem equal cone fingerprints are interchangeable for
@@ -613,8 +672,42 @@ fn visible_dirty_item(
 /// (the `auto`/`eauto` channel); and the full theorem name list (the
 /// deterministic hint/eval splits hash it).
 pub fn cone_fingerprint(dev: &Development, graph: &DepGraph, theorem: &str) -> Option<String> {
+    cone_fingerprint_in(&ConeIndex::build(dev, graph), dev, graph, theorem)
+}
+
+/// The corpus-wide inputs every cone-fingerprint query shares: the
+/// captured snapshot and the collision-candidate list. Both are O(corpus)
+/// to build, so callers fingerprinting many theorems of one development
+/// (`metrics::incremental`) build the index once and query it per theorem
+/// instead of paying a full corpus rescan per call.
+pub struct ConeIndex {
+    snapshot: Snapshot,
+    /// `(hallucinated name, symbol id)` pairs, in graph scan order (the
+    /// order is part of the fingerprint material, so it must match what
+    /// the inline scan produced).
+    collisions: Vec<(String, usize)>,
+}
+
+impl ConeIndex {
+    /// Captures the snapshot and scans the graph for collision pairs.
+    pub fn build(dev: &Development, graph: &DepGraph) -> ConeIndex {
+        ConeIndex {
+            snapshot: Snapshot::capture(dev),
+            collisions: collision_candidates(graph),
+        }
+    }
+}
+
+/// [`cone_fingerprint`] against a prebuilt [`ConeIndex`] (which must
+/// describe the same development and graph).
+pub fn cone_fingerprint_in(
+    ix: &ConeIndex,
+    dev: &Development,
+    graph: &DepGraph,
+    theorem: &str,
+) -> Option<String> {
     let thm = dev.theorem(theorem)?;
-    let snap = Snapshot::capture(dev);
+    let snap = &ix.snapshot;
     let closure = dev.import_closure(&thm.file);
     let closure_names: BTreeSet<&str> = closure.iter().map(|f| f.name.as_str()).collect();
     let mut material = String::new();
@@ -677,31 +770,17 @@ pub fn cone_fingerprint(dev: &Development, graph: &DepGraph, theorem: &str) -> O
 
     // Collision lemmas reachable by hallucinated names.
     material.push_str("collisions:");
-    for (_, sym) in graph.symbols() {
-        if sym.kind != SymbolKind::Lemma {
-            continue;
-        }
-        for suffix in COLLISION_SUFFIXES {
-            let candidate = format!("{}{suffix}", sym.name);
-            if let Some(cid) = graph.lookup(&candidate) {
-                let c = graph.symbol(cid);
-                if matches!(
-                    c.kind,
-                    SymbolKind::Lemma | SymbolKind::Rule | SymbolKind::Axiom
-                ) {
-                    material.push_str(&candidate);
-                    material.push('=');
-                    material.push_str(
-                        snap.symbols
-                            .get(&candidate)
-                            .map(String::as_str)
-                            .unwrap_or("-"),
-                    );
-                    material.push(';');
-                    roots.push(cid);
-                }
-            }
-        }
+    for (candidate, cid) in &ix.collisions {
+        material.push_str(candidate);
+        material.push('=');
+        material.push_str(
+            snap.symbols
+                .get(candidate)
+                .map(String::as_str)
+                .unwrap_or("-"),
+        );
+        material.push(';');
+        roots.push(*cid);
     }
 
     // The semantic forward cone of everything collected above.
@@ -739,6 +818,16 @@ mod tests {
             Some(("DirTree", 7))
         );
         assert_eq!(split_item_key("noindex"), None);
+    }
+
+    #[test]
+    fn hint_symbol_name_roundtrip() {
+        assert_eq!(
+            parse_hint_symbol_name(&hint_symbol_name("DirTree", 7)),
+            Some(("DirTree", 7))
+        );
+        assert_eq!(parse_hint_symbol_name("dbl_0"), None);
+        assert_eq!(parse_hint_symbol_name("Hint@NoIndex"), None);
     }
 
     #[test]

@@ -37,7 +37,8 @@ use minicoq_vernac::loader::{Development, Loader};
 
 pub use graph::DepGraph;
 pub use impact::{
-    cone_fingerprint, diff_and_cone, ImpactReason, ImpactReport, ImpactTrace, Snapshot,
+    cone_fingerprint, cone_fingerprint_in, diff_and_cone, ConeIndex, ImpactReason, ImpactReport,
+    ImpactTrace, Snapshot,
 };
 pub use passes::dead::Roots;
 pub use report::{AnalysisReport, Code, Finding, ALL_CODES};

@@ -28,7 +28,9 @@
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 
-use corpus_analysis::{cone_fingerprint, diff_and_cone, DepGraph, ImpactReport, Snapshot};
+use corpus_analysis::{
+    cone_fingerprint_in, diff_and_cone, ConeIndex, DepGraph, ImpactReport, Snapshot,
+};
 use fscq_corpus::Corpus;
 use minicoq_vernac::Loader;
 use proof_search::RecoveryConfig;
@@ -99,6 +101,11 @@ pub fn load_edited(sources: &[(String, String)]) -> Result<(Corpus, DepGraph), S
 /// and the edited corpus, and merging `baseline` outcomes for the clean
 /// remainder. With `baseline: None` every eval theorem is re-verified
 /// (still through the cone-keyed cache).
+///
+/// The baseline must come from the same cell as `cfg.cell`: merging
+/// outcomes across cells (a different `--model` or `--vanilla` than the
+/// saved baseline) would silently mix two incomparable runs, so a
+/// label/setting/variant mismatch is an error rather than a fallback.
 pub fn run_incremental(
     baseline: Option<&CellResult>,
     baseline_snapshot: &Snapshot,
@@ -106,6 +113,23 @@ pub fn run_incremental(
     cfg: &IncrementalConfig,
 ) -> Result<IncrementalOutcome, String> {
     let _sp = proof_trace::span("metrics", "incremental");
+    if let Some(b) = baseline {
+        let want = finish_cell(&cfg.cell, Vec::new());
+        if (b.label.as_str(), b.setting.as_str(), b.variant.as_str())
+            != (
+                want.label.as_str(),
+                want.setting.as_str(),
+                want.variant.as_str(),
+            )
+        {
+            return Err(format!(
+                "baseline cell `{}` (setting `{}`) does not match the requested cell `{}` \
+                 (setting `{}`): outcomes from different cells cannot be merged — re-save \
+                 the baseline or pass matching cell flags",
+                b.label, b.setting, want.label, want.setting
+            ));
+        }
+    }
     let (corpus, graph) = load_edited(sources)?;
     let impact = diff_and_cone(baseline_snapshot, &corpus.dev, &graph);
     let by_name: BTreeMap<&str, &TheoremOutcome> = baseline
@@ -115,6 +139,12 @@ pub fn run_incremental(
 
     let indices = cfg.cell.eval_indices(&corpus.dev);
     let cell_key = cell_cache_key(&cfg.cell);
+    // The snapshot capture and collision scan behind cone fingerprints
+    // are O(corpus): build the index once, not once per dirty theorem.
+    let cone_ix = cfg
+        .cone_cache_dir
+        .as_ref()
+        .map(|_| ConeIndex::build(&corpus.dev, &graph));
     let mut slots: Vec<Option<TheoremOutcome>> = vec![None; indices.len()];
     let mut to_eval: Vec<usize> = Vec::new(); // positions into `indices`
     let mut eval_keys: Vec<Option<PathBuf>> = Vec::new();
@@ -132,10 +162,14 @@ pub fn run_incremental(
             continue;
         }
         // Dirty: consult the cone-keyed cache before paying for a search.
-        let cache_path = cfg.cone_cache_dir.as_ref().and_then(|dir| {
-            cone_fingerprint(&corpus.dev, &graph, &name)
-                .map(|cone| dir.join(format!("{cell_key}-{cone}.json")))
-        });
+        let cache_path = cfg
+            .cone_cache_dir
+            .as_ref()
+            .zip(cone_ix.as_ref())
+            .and_then(|(dir, ix)| {
+                cone_fingerprint_in(ix, &corpus.dev, &graph, &name)
+                    .map(|cone| dir.join(format!("{cell_key}-{cone}.json")))
+            });
         if let Some(path) = &cache_path {
             if let Some(hit) = load_envelope::<TheoremOutcome>(path) {
                 proof_trace::event("cache", "cone-hit");

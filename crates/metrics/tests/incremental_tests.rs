@@ -32,8 +32,11 @@ fn scratch_dir(tag: &str) -> PathBuf {
     dir
 }
 
-/// A three-module corpus small enough to re-run dozens of times under
-/// proptest: `B` and `C` both import `A`, and `A` registers a hint.
+/// A four-module corpus small enough to re-run dozens of times under
+/// proptest: `B` and `C` both import `A`, which registers a hint, and `D`
+/// imports nothing — hint databases still reach it (they accumulate in
+/// load order), so it pins the channels that must cross non-import
+/// boundaries.
 const A_V: &str = "\
 Fixpoint dbl (n : nat) : nat :=
   match n with
@@ -74,11 +77,21 @@ Proof.
 Qed.
 ";
 
+const D_V: &str = "\
+Lemma d_add : forall n : nat, add n 0 = n.
+Proof.
+  induction n.
+  - reflexivity.
+  - simpl. rewrite IHn. reflexivity.
+Qed.
+";
+
 fn tiny_sources() -> Vec<(String, String)> {
     vec![
         ("A".to_string(), A_V.to_string()),
         ("B".to_string(), B_V.to_string()),
         ("C".to_string(), C_V.to_string()),
+        ("D".to_string(), D_V.to_string()),
     ]
 }
 
@@ -114,6 +127,11 @@ enum Edit {
     TweakRhs(&'static str),
     /// Repoint the hint registration: dirties everything loaded after it.
     TouchHintDb(&'static str),
+    /// Delete the hint registration outright: the edited graph has no
+    /// trace of it, so the dirty cone must synthesize the event from the
+    /// baseline-only symbol — in particular for `D`, which never imports
+    /// `A` and is otherwise invisible to the edit.
+    DeleteHint,
     /// Blank lines between items and trailing newlines: the sentence
     /// splitter drops them, so the snapshot must be bit-identical.
     WhitespaceOnly(usize),
@@ -146,6 +164,7 @@ fn apply_edit(edit: &Edit, sources: &mut [(String, String)]) {
             "Hint Resolve dbl_0.",
             &format!("Hint Resolve {targets}."),
         ),
+        Edit::DeleteHint => replace_once(sources, "A", "Hint Resolve dbl_0.", ""),
         Edit::WhitespaceOnly(n) => {
             let src = &mut sources.iter_mut().find(|(name, _)| name == "A").unwrap().1;
             let mut text = src.replacen("Qed.", &format!("Qed.{}", "\n".repeat(*n)), 1);
@@ -167,6 +186,7 @@ fn edit_strategy() -> impl Strategy<Value = Edit> {
         (0usize..VARS.len()).prop_map(|i| Edit::RenameLocal(VARS[i])),
         (0usize..LEMMAS.len()).prop_map(|i| Edit::TweakRhs(LEMMAS[i])),
         (0usize..HINTS.len()).prop_map(|i| Edit::TouchHintDb(HINTS[i])),
+        (0usize..1).prop_map(|_| Edit::DeleteHint),
         (1usize..4).prop_map(Edit::WhitespaceOnly),
         (0usize..1).prop_map(|_| Edit::CommentOnly),
     ]
@@ -236,14 +256,36 @@ proptest! {
             }
             Edit::TouchHintDb(_) => {
                 // Every theorem loaded after the hint registration (all of
-                // B and C) must be in the cone.
-                for thm in ["b_refl", "b_one", "c_zero", "c_add"] {
+                // B, C, and D) must be in the cone.
+                for thm in ["b_refl", "b_one", "c_zero", "c_add", "d_add"] {
                     prop_assert!(
                         inc.impact.dirty.contains_key(thm),
                         "{} loads after the edited hint and must be dirty",
                         thm
                     );
                 }
+            }
+            Edit::DeleteHint => {
+                prop_assert!(
+                    inc.impact
+                        .removed_symbols
+                        .iter()
+                        .any(|s| s.starts_with("Hint@A#")),
+                    "the deleted hint must show up as a removed symbol: {:?}",
+                    inc.impact.removed_symbols
+                );
+                for thm in ["b_refl", "b_one", "c_zero", "c_add", "d_add"] {
+                    prop_assert!(
+                        inc.impact.dirty.contains_key(thm),
+                        "{} loads after the deleted hint and must be dirty",
+                        thm
+                    );
+                }
+                // D never imports A, so only the synthesized removal
+                // event can reach it — and it must arrive on the hint-db
+                // channel, not via some textual accident.
+                let trace = inc.impact.dirty.get("d_add").expect("d_add is dirty");
+                prop_assert_eq!(trace.reason, ImpactReason::HintDb);
             }
             Edit::WhitespaceOnly(_) => {
                 prop_assert!(
@@ -292,6 +334,96 @@ fn missing_baseline_falls_back_to_full() {
     let inc = run_incremental(None, &snapshot, &pristine, &cfg).expect("fallback run completes");
     assert!(inc.fallback_full);
     assert_eq!(inc.served_baseline, 0);
+    assert_eq!(result_json(&inc.result), result_json(&full));
+}
+
+/// A baseline saved from one cell must not silently merge into a run of
+/// a different cell — mixing outcomes across `--model`/`--vanilla` is an
+/// error, not a quiet wrong answer.
+#[test]
+fn mismatched_baseline_cell_is_rejected() {
+    let cell = cheap_cell();
+    let pristine = tiny_sources();
+    let (baseline, snapshot) = cold_run(&pristine, &cell);
+
+    let mut other = cheap_cell();
+    other.setting = PromptSetting::Hints;
+    let cfg = IncrementalConfig {
+        cone_cache_dir: None,
+        ..IncrementalConfig::new(other)
+    };
+    let err = match run_incremental(Some(&baseline), &snapshot, &pristine, &cfg) {
+        Err(e) => e,
+        Ok(_) => panic!("merging a vanilla baseline into a hints cell must fail"),
+    };
+    assert!(
+        err.contains("does not match the requested cell"),
+        "unhelpful mismatch error: {err}"
+    );
+}
+
+/// Deleting a hallucination-collision axiom leaves no trace in the edited
+/// graph, yet theorems in later-loaded modules that never import the
+/// edited one could resolve the hallucinated name before the edit — they
+/// must land in the dirty cone via the collision channel, and the merged
+/// result must still equal a full cold re-run.
+#[test]
+fn deleting_a_collision_axiom_dirties_non_importers() {
+    const COLL_A: &str = "\
+Lemma foo : forall n : nat, add n 0 = n.
+Proof.
+  induction n.
+  - reflexivity.
+  - simpl. rewrite IHn. reflexivity.
+Qed.
+
+Axiom foo_l : forall (n : nat), add 0 n = n.
+";
+    const COLL_B: &str = "\
+Lemma bar : forall n : nat, add n 0 = n.
+Proof.
+  induction n.
+  - reflexivity.
+  - simpl. rewrite IHn. reflexivity.
+Qed.
+";
+    let pristine = vec![
+        ("A".to_string(), COLL_A.to_string()),
+        ("B".to_string(), COLL_B.to_string()),
+    ];
+    let cell = cheap_cell();
+    let (baseline, snapshot) = cold_run(&pristine, &cell);
+
+    let mut edited = pristine.clone();
+    replace_once(
+        &mut edited,
+        "A",
+        "Axiom foo_l : forall (n : nat), add 0 n = n.",
+        "",
+    );
+    let (full, _) = cold_run(&edited, &cell);
+
+    let cfg = IncrementalConfig {
+        cone_cache_dir: None,
+        ..IncrementalConfig::new(cell)
+    };
+    let inc = run_incremental(Some(&baseline), &snapshot, &edited, &cfg)
+        .expect("incremental run completes");
+    assert!(
+        !inc.fallback_full,
+        "axioms are not theorems; the set is unchanged"
+    );
+    assert!(
+        inc.impact.removed_symbols.iter().any(|s| s == "foo_l"),
+        "the deleted axiom must show up as a removed symbol: {:?}",
+        inc.impact.removed_symbols
+    );
+    let trace = inc
+        .impact
+        .dirty
+        .get("bar")
+        .expect("bar never imports A, only the collision channel reaches it");
+    assert_eq!(trace.reason, ImpactReason::Collision);
     assert_eq!(result_json(&inc.result), result_json(&full));
 }
 

@@ -24,6 +24,7 @@
 use llm_fscq::analysis::Snapshot;
 use llm_fscq::corpus::Corpus;
 use llm_fscq::metrics::incremental::{run_incremental, IncrementalConfig};
+use llm_fscq::metrics::runner::cell_cache_key;
 use llm_fscq::metrics::{run_cell_jobs, CellConfig, CellResult};
 use llm_fscq::oracle::profiles::ModelProfile;
 use llm_fscq::oracle::prompt::{build_prompt, PromptConfig, PromptSetting};
@@ -225,6 +226,7 @@ fn incremental_main(args: &Args) -> ExitCode {
         };
         if let Err(e) = std::fs::write(dir.join("snapshot.json"), snapshot.to_json())
             .and_then(|()| std::fs::write(dir.join("baseline.json"), baseline_json))
+            .and_then(|()| std::fs::write(dir.join("cell_key.txt"), cell_cache_key(&cell)))
         {
             return fail(format!("{}: {e}", dir.display()));
         }
@@ -258,6 +260,21 @@ fn incremental_main(args: &Args) -> ExitCode {
         Ok(b) => b,
         Err(e) => return fail(e),
     };
+    // The saved key pins every outcome-affecting flag (--model, --vanilla,
+    // --limit, ...); run_incremental additionally re-checks the cell
+    // label/setting, but only the key catches search-knob-only drift.
+    // Baselines predating the key file skip this check.
+    if let Ok(saved) = std::fs::read_to_string(dir.join("cell_key.txt")) {
+        if saved.trim() != cell_cache_key(&cell) {
+            return fail(format!(
+                "baseline in {} was saved under different cell flags (key {} vs requested {}): \
+                 re-save the baseline or pass the flags it was saved with",
+                dir.display(),
+                saved.trim(),
+                cell_cache_key(&cell)
+            ));
+        }
+    }
     let cfg = IncrementalConfig {
         recovery: RecoveryConfig {
             proof_jobs: args.proof_jobs,
