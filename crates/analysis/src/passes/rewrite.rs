@@ -90,12 +90,17 @@ pub fn run(env: &Env, graph: &DepGraph, out: &mut Vec<Finding>) {
         }
     }
     let by_fwd: BTreeMap<&str, &str> = keys.iter().map(|(n, f, _)| (f.as_str(), *n)).collect();
-    for (name, _, rev) in &keys {
+    for (name, fwd, rev) in &keys {
+        // Skip self-reverse shapes (commutativity, `x + y = y + x`) by
+        // key, not by name: a copy of a self-reverse equation in another
+        // module is a duplicate, not an opposite orientation.
+        if fwd == rev {
+            continue;
+        }
         let Some(&other) = by_fwd.get(rev.as_str()) else {
             continue;
         };
-        // Skip self-reverse (commutativity) and report each pair once,
-        // from its lexicographically first member.
+        // Report each pair once, from its lexicographically first member.
         if other == *name || *name > other {
             continue;
         }

@@ -2,8 +2,8 @@
 //! premise-rank A/B experiment it feeds.
 //!
 //! ```sh
-//! corpus_analyze [--check] [--sarif PATH] [--premise-ab] [--fresh]
-//!                [--trace-out BASE]
+//! corpus_analyze [--check] [--dir PATH] [--sarif PATH] [--premise-ab]
+//!                [--fresh] [--trace-out BASE]
 //! ```
 //!
 //! Default mode loads every corpus module, builds the dependency graph,
@@ -26,18 +26,20 @@ use proof_metrics::{CellConfig, EvalScope};
 use proof_oracle::profiles::ModelProfile;
 use proof_oracle::prompt::PromptSetting;
 
-/// Path prefix for SARIF artifact URIs: findings point into the corpus.
+/// Path prefix for SARIF artifact URIs: findings point into the embedded
+/// corpus; `--dir` runs point into that directory instead.
 const URI_PREFIX: &str = "crates/fscq/corpus/";
 
 struct Args {
     sarif: Option<String>,
     premise_ab: bool,
+    dir: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: corpus_analyze [--check] [--sarif PATH] [--premise-ab] [--fresh]\n\
-         \x20                     [--trace-out BASE]"
+        "usage: corpus_analyze [--check] [--dir PATH] [--sarif PATH] [--premise-ab]\n\
+         \x20                     [--fresh] [--trace-out BASE]"
     );
     std::process::exit(2)
 }
@@ -46,6 +48,7 @@ fn parse_args() -> Args {
     let mut args = std::env::args().skip(1);
     let mut sarif = None;
     let mut premise_ab = false;
+    let mut dir = None;
     while let Some(a) = args.next() {
         match a.as_str() {
             // `--check` is the explicit CI spelling of the default mode.
@@ -57,6 +60,12 @@ fn parse_args() -> Args {
                 }))
             }
             "--premise-ab" => premise_ab = true,
+            "--dir" => {
+                dir = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--dir needs a path");
+                    usage()
+                }))
+            }
             // Shared grid flags, parsed by the bench library.
             "--fresh" | "--jobs" => {
                 if a == "--jobs" {
@@ -74,7 +83,36 @@ fn parse_args() -> Args {
             }
         }
     }
-    Args { sarif, premise_ab }
+    Args {
+        sarif,
+        premise_ab,
+        dir,
+    }
+}
+
+/// Reads every `.v` module of an external corpus directory, sorted by
+/// file name so the analysis (and its SARIF artifact) is deterministic.
+fn dir_sources(dir: &str) -> Result<Vec<(String, String)>, String> {
+    let mut names: Vec<String> = std::fs::read_dir(dir)
+        .map_err(|e| format!("{dir}: {e}"))?
+        .filter_map(|entry| {
+            let name = entry.ok()?.file_name().into_string().ok()?;
+            name.strip_suffix(".v").map(str::to_string)
+        })
+        .collect();
+    names.sort();
+    if names.is_empty() {
+        return Err(format!("{dir}: no .v modules found"));
+    }
+    names
+        .into_iter()
+        .map(|name| {
+            let path = std::path::Path::new(dir).join(format!("{name}.v"));
+            std::fs::read_to_string(&path)
+                .map(|text| (name, text))
+                .map_err(|e| format!("{}: {e}", path.display()))
+        })
+        .collect()
 }
 
 fn main() -> ExitCode {
@@ -84,10 +122,19 @@ fn main() -> ExitCode {
         proof_trace::set_enabled(true);
     }
 
-    let sources: Vec<(String, String)> = fscq_corpus::corpus_sources()
-        .into_iter()
-        .map(|(n, t)| (n.to_string(), t.to_string()))
-        .collect();
+    let sources: Vec<(String, String)> = match &args.dir {
+        Some(dir) => match dir_sources(dir) {
+            Ok(sources) => sources,
+            Err(e) => {
+                eprintln!("corpus_analyze: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => fscq_corpus::corpus_sources()
+            .into_iter()
+            .map(|(n, t)| (n.to_string(), t.to_string()))
+            .collect(),
+    };
     let (report, graph) = match analyze_sources(&sources, &AnalysisConfig::default()) {
         Ok(r) => r,
         Err(e) => {
@@ -119,7 +166,11 @@ fn main() -> ExitCode {
     );
 
     if let Some(path) = &args.sarif {
-        let sarif = report.sarif_json("corpus_analyze", URI_PREFIX);
+        let prefix = match &args.dir {
+            Some(dir) => format!("{}/", dir.trim_end_matches('/')),
+            None => URI_PREFIX.to_string(),
+        };
+        let sarif = report.sarif_json("corpus_analyze", &prefix);
         if let Err(e) = std::fs::write(path, sarif) {
             eprintln!("corpus_analyze: cannot write {path}: {e}");
             return ExitCode::from(2);
@@ -128,6 +179,10 @@ fn main() -> ExitCode {
     }
 
     if args.premise_ab {
+        if args.dir.is_some() {
+            eprintln!("corpus_analyze: --premise-ab runs on the embedded corpus only");
+            return ExitCode::from(2);
+        }
         run_premise_ab(&report);
     }
 

@@ -278,6 +278,7 @@ fn ab(jobs: usize) {
             oracle_faults: 0,
             oracle_retries: 0,
             cells: Vec::new(),
+            elo: None,
         });
     // Replace any previous A/B records and note, keep everything else.
     eval.cells.retain(|c| c.variant != "incremental-ab");

@@ -113,6 +113,7 @@ fn append_bench_cell(cell: &CellBench) {
             oracle_faults: 0,
             oracle_retries: 0,
             cells: Vec::new(),
+            elo: None,
         });
     // One gate cell per file: re-runs replace their previous measurement
     // instead of accumulating.

@@ -180,6 +180,70 @@ fn parallel_expansion_matches_under_chaos() {
     }
 }
 
+/// A small pinned-seed generated corpus: several modules, every knob
+/// exercised, loaded the same way the `gen grid` bench loads it.
+fn golden_gen_corpus() -> corpus_gen::GeneratedCorpus {
+    let mut spec = corpus_gen::GenSpec::new(0xC0FFEE, 40);
+    spec.theorems_per_module = 8;
+    spec.knobs.depth = 3;
+    corpus_gen::generate(&spec)
+}
+
+#[test]
+fn generated_corpus_is_byte_identical_for_pinned_seed() {
+    // The corpus itself is a golden artifact: same seed and knobs must
+    // reproduce every module source and the manifest byte for byte.
+    let a = golden_gen_corpus();
+    let b = golden_gen_corpus();
+    assert_eq!(a.modules, b.modules, "module sources diverged");
+    assert_eq!(
+        serde_json::to_string(&a.manifest).unwrap(),
+        serde_json::to_string(&b.manifest).unwrap(),
+        "manifest diverged"
+    );
+}
+
+#[test]
+fn generated_grid_is_byte_identical_across_jobs_and_proof_jobs() {
+    // The full evaluation pipeline over a generated corpus is a pure
+    // function of (seed, cell): worker count and within-proof speculation
+    // are transport only, so the serialized cell result must not move by
+    // a byte across `--jobs 1/2` and `--proof-jobs 1/2`.
+    use proof_metrics::runner::Runner;
+    use proof_metrics::{CellConfig, EvalScope};
+    use proof_oracle::prompt::PromptSetting;
+
+    let corpus = golden_gen_corpus();
+    let dev = corpus.development(false).expect("generated corpus loads");
+    let fscq = fscq_corpus::Corpus { dev };
+    let mut cell = CellConfig::standard(ModelProfile::gpt4o_mini(), PromptSetting::Hints);
+    cell.scope = EvalScope::Full;
+    cell.variant = Some(format!("gen:{}", corpus.manifest.fingerprint));
+
+    let run = |jobs: usize, proof_jobs: usize| {
+        let recovery = RecoveryConfig {
+            proof_jobs,
+            ..Default::default()
+        };
+        let runner = Runner::from_env()
+            .with_jobs(jobs)
+            .without_cache()
+            .with_recovery(recovery);
+        let result = runner.run_cell(&fscq, &cell);
+        serde_json::to_string_pretty(&result).expect("cell result serializes")
+    };
+
+    let baseline = run(1, 1);
+    assert!(!baseline.is_empty());
+    for (jobs, proof_jobs) in [(2, 1), (1, 2), (2, 2)] {
+        assert_eq!(
+            baseline,
+            run(jobs, proof_jobs),
+            "grid output diverged at jobs={jobs}, proof_jobs={proof_jobs}"
+        );
+    }
+}
+
 #[test]
 fn havoc_plan_terminates_without_panic() {
     // With spurious STM timeouts armed the *results* may legitimately

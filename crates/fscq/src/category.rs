@@ -16,11 +16,14 @@ pub enum Category {
 }
 
 impl Category {
-    /// Derives a category from a module name.
+    /// Derives a category from a module name. Procedurally generated
+    /// modules (`corpus-gen` emits `Gen*` names) hold arithmetic utility
+    /// lemmas, so they land in [`Category::Utilities`].
     pub fn of_module(module: &str) -> Category {
         match module {
             "NatUtils" | "ListUtils" => Category::Utilities,
             "Mem" | "Pred" | "Prog" | "Hoare" => Category::Chl,
+            m if m.starts_with("Gen") => Category::Utilities,
             _ => Category::FileSystem,
         }
     }

@@ -1,0 +1,276 @@
+//! Module assembly: pool + generated theorems + distractors + hints,
+//! rendered to Gallina-lite source through `vernac`'s [`ModuleBuilder`].
+
+use std::collections::BTreeSet;
+
+use minicoq::env::Env;
+use minicoq::formula::Formula;
+use minicoq::pretty::formula_to_string;
+use minicoq::replay::replay_script;
+use minicoq_vernac::ModuleBuilder;
+
+use crate::backward::gen_theorem;
+use crate::pool::build_pool;
+use crate::rng::{derive_seed, fnv1a, GenRng};
+use crate::{GenSpec, TheoremRecord, ROLE_DISTRACTOR, ROLE_POOL, ROLE_THEOREM};
+
+/// Stream tags keeping per-purpose rng streams disjoint.
+const STREAM_THEOREM: u64 = 1;
+const STREAM_DISTRACTOR: u64 = 2;
+const STREAM_HINTS: u64 = 3;
+const STREAM_NAME: u64 = 4;
+
+/// One assembled module.
+#[derive(Debug, Clone)]
+pub struct GenModule {
+    /// Module name (`Gen000`, `Gen001`, ...).
+    pub name: String,
+    /// Rendered Gallina-lite source.
+    pub source: String,
+    /// Manifest records for every lemma in the module, in source order.
+    pub records: Vec<TheoremRecord>,
+}
+
+/// Maps a template base name to the emitted identifier for module `m`.
+fn make_namer(spec: &GenSpec, m: usize) -> impl Fn(&str) -> String + '_ {
+    let seed = spec.seed;
+    let obfuscate = spec.knobs.obfuscate_names;
+    move |base: &str| {
+        if obfuscate {
+            let h = derive_seed(seed, &[STREAM_NAME, m as u64, fnv1a(base.as_bytes())]);
+            format!("g{m}_x{:012x}", h & 0xffff_ffff_ffff)
+        } else {
+            format!("g{m}_{base}")
+        }
+    }
+}
+
+/// Tracks statement-level dedup: no two lemmas with the same rendered
+/// statement, and no equation that is another's mirror image (which would
+/// hand the analyzer a rewrite ping-pong pair).
+#[derive(Default)]
+struct DedupGuard {
+    statements: BTreeSet<String>,
+    eq_pairs: BTreeSet<(String, String)>,
+}
+
+impl DedupGuard {
+    /// Admits the statement, or rejects it as a duplicate/mirror.
+    fn admit(&mut self, stmt: &Formula) -> bool {
+        let rendered = formula_to_string(stmt);
+        if self.statements.contains(&rendered) {
+            return false;
+        }
+        let eq_pair = {
+            let peeled = stmt.peel();
+            if peeled.premises.is_empty() {
+                if let Formula::Eq(_, l, r) = &peeled.conclusion {
+                    Some((format!("{l:?}"), format!("{r:?}")))
+                } else {
+                    None
+                }
+            } else {
+                None
+            }
+        };
+        if let Some((l, r)) = &eq_pair {
+            if self.eq_pairs.contains(&(r.clone(), l.clone())) {
+                return false;
+            }
+        }
+        self.statements.insert(rendered);
+        if let Some(p) = eq_pair {
+            self.eq_pairs.insert(p);
+        }
+        true
+    }
+}
+
+/// Builds module `m` of the corpus: validates and emits the pool, grows
+/// `theorems` main theorems and `knobs.distractor_lemmas` distractors
+/// (each kernel-validated before emission), and hints up to
+/// `knobs.hint_pollution` premise-free equations.
+pub fn build_module(spec: &GenSpec, m: usize, theorems: usize) -> GenModule {
+    let name = format!("Gen{m:03}");
+    let name_of = make_namer(spec, m);
+    let pool = build_pool(&name_of);
+
+    let mut env = Env::with_prelude();
+    let mut builder = ModuleBuilder::new();
+    builder.comment(&format!(
+        "Generated module {name} (seed {}, depth {}). Do not edit by hand.",
+        spec.seed, spec.knobs.depth
+    ));
+    let mut records = Vec::new();
+    let mut guard = DedupGuard::default();
+
+    for lemma in &pool {
+        let script = format!("{}.", lemma.script.join(". "));
+        replay_script(&env, &lemma.stmt, &script)
+            .unwrap_or_else(|e| panic!("{name}: pool lemma {} failed replay: {e}", lemma.base));
+        env.add_lemma(lemma.name.clone(), lemma.stmt.clone())
+            .unwrap_or_else(|e| panic!("{name}: pool lemma {}: {e:?}", lemma.base));
+        builder.lemma(&lemma.name, &lemma.stmt, &lemma.script);
+        guard.admit(&lemma.stmt);
+        records.push(TheoremRecord {
+            name: lemma.name.clone(),
+            module: name.clone(),
+            role: ROLE_POOL.to_string(),
+            statement: formula_to_string(&lemma.stmt),
+            witness: script,
+            expected: crate::EXPECTED_PROVED.to_string(),
+        });
+    }
+
+    let emit_generated = |stream: u64,
+                          slot: usize,
+                          lemma_name: String,
+                          role: &str,
+                          builder: &mut ModuleBuilder,
+                          records: &mut Vec<TheoremRecord>,
+                          guard: &mut DedupGuard|
+     -> Option<Formula> {
+        for attempt in 0..16u64 {
+            let sub = derive_seed(spec.seed, &[stream, m as u64, slot as u64, attempt]);
+            let thm = gen_theorem(&env, &pool, sub, spec.knobs.depth);
+            let stmt = thm.statement();
+            if !guard.admit(&stmt) {
+                continue;
+            }
+            let script = thm.script_text();
+            // The referee, once more in release builds: nothing is
+            // emitted that does not replay to Qed right here.
+            if replay_script(&env, &stmt, &script).is_err() {
+                continue;
+            }
+            builder.lemma(&lemma_name, &stmt, &thm.sentences());
+            records.push(TheoremRecord {
+                name: lemma_name,
+                module: name.clone(),
+                role: role.to_string(),
+                statement: formula_to_string(&stmt),
+                witness: script,
+                expected: crate::EXPECTED_PROVED.to_string(),
+            });
+            return Some(stmt);
+        }
+        None
+    };
+
+    let mut hintable: Vec<(String, Formula)> = Vec::new();
+    for slot in 0..theorems {
+        let lemma_name = name_of(&format!("thm{slot:03}"));
+        emit_generated(
+            STREAM_THEOREM,
+            slot,
+            lemma_name,
+            ROLE_THEOREM,
+            &mut builder,
+            &mut records,
+            &mut guard,
+        );
+    }
+    for slot in 0..spec.knobs.distractor_lemmas {
+        let lemma_name = name_of(&format!("dis{slot:03}"));
+        if let Some(stmt) = emit_generated(
+            STREAM_DISTRACTOR,
+            slot,
+            lemma_name.clone(),
+            ROLE_DISTRACTOR,
+            &mut builder,
+            &mut records,
+            &mut guard,
+        ) {
+            hintable.push((lemma_name, stmt));
+        }
+    }
+
+    // Hint pollution: premise-free universally quantified equations only —
+    // these can never send the prover's backward chaining into a loop, so
+    // the module stays clean under the analyzer's hint audit.
+    if spec.knobs.hint_pollution > 0 {
+        let mut candidates: Vec<String> = pool
+            .iter()
+            .filter(|l| l.rewrite_safe)
+            .map(|l| l.name.clone())
+            .collect();
+        candidates.extend(hintable.iter().filter_map(|(n, stmt)| {
+            let peeled = stmt.peel();
+            (peeled.premises.is_empty() && matches!(peeled.conclusion, Formula::Eq(..)))
+                .then(|| n.clone())
+        }));
+        let mut rng = GenRng::new(derive_seed(spec.seed, &[STREAM_HINTS, m as u64]));
+        let mut chosen = Vec::new();
+        while chosen.len() < spec.knobs.hint_pollution && !candidates.is_empty() {
+            let i = rng.below(candidates.len());
+            chosen.push(candidates.swap_remove(i));
+        }
+        chosen.sort();
+        builder.hint_resolve(&chosen);
+    }
+
+    GenModule {
+        name,
+        source: builder.render(),
+        records,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minicoq_vernac::Loader;
+
+    fn small_spec(seed: u64) -> GenSpec {
+        let mut spec = GenSpec::new(seed, 20);
+        spec.theorems_per_module = 6;
+        spec
+    }
+
+    #[test]
+    fn module_loads_with_proof_checking() {
+        let spec = small_spec(11);
+        let module = build_module(&spec, 0, 6);
+        let mut loader = Loader::new();
+        loader.add_source(module.name.clone(), module.source.clone());
+        let dev = loader.load().unwrap_or_else(|e| {
+            panic!(
+                "generated module failed checked load: {e}\n{}",
+                module.source
+            )
+        });
+        // Pool + theorems + distractors all present as checked theorems.
+        assert_eq!(dev.theorems.len(), module.records.len());
+    }
+
+    #[test]
+    fn obfuscated_names_still_load() {
+        let mut spec = small_spec(12);
+        spec.knobs.obfuscate_names = true;
+        let module = build_module(&spec, 1, 4);
+        assert!(
+            module.source.contains("g1_x"),
+            "expected obfuscated identifiers:\n{}",
+            module.source
+        );
+        let mut loader = Loader::new();
+        loader.add_source(module.name.clone(), module.source.clone());
+        loader
+            .load()
+            .unwrap_or_else(|e| panic!("obfuscated module failed checked load: {e}"));
+    }
+
+    #[test]
+    fn statements_within_a_module_are_unique() {
+        let spec = small_spec(13);
+        let module = build_module(&spec, 2, 10);
+        let mut seen = BTreeSet::new();
+        for r in &module.records {
+            assert!(
+                seen.insert(r.statement.clone()),
+                "duplicate: {}",
+                r.statement
+            );
+        }
+    }
+}

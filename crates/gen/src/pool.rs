@@ -1,0 +1,254 @@
+//! The per-module lemma pool.
+//!
+//! Every generated module opens with a fixed pool of arithmetic lemmas
+//! over the prelude's `add`/`mul`/`le`. The pool plays the role the
+//! ISSUE's backward construction assigns to the "axiom/lemma/constructor
+//! pool": inverse tactic steps draw their equations and implication rules
+//! from here, and the pool lemmas are themselves emitted with pinned
+//! witness scripts — so the whole module stays axiom-free and every item
+//! replays through the kernel.
+//!
+//! Equations marked [`PoolLemma::rewrite_safe`] have the same variable
+//! set on both sides, which is exactly the condition under which a
+//! `rewrite` both replays (the instantiated replacement is ground) and
+//! inverts (the planted side is ground); see [`crate::backward`].
+
+use minicoq::formula::Formula;
+use minicoq::sort::Sort;
+use minicoq::term::Term;
+
+/// One pool lemma: statement, pinned witness, and whether the equation
+/// may serve as a rewrite step during backward construction.
+#[derive(Debug, Clone)]
+pub struct PoolLemma {
+    /// Template identity (stable across naming schemes).
+    pub base: &'static str,
+    /// Emitted name (possibly obfuscated).
+    pub name: String,
+    /// Closed statement.
+    pub stmt: Formula,
+    /// Witness sentences (no trailing dots).
+    pub script: Vec<String>,
+    /// Usable as a backward rewrite step (both sides bind the same
+    /// variables).
+    pub rewrite_safe: bool,
+}
+
+fn nat() -> Sort {
+    Sort::nat()
+}
+
+fn v(name: &str) -> Term {
+    Term::var(name)
+}
+
+fn app(f: &str, args: Vec<Term>) -> Term {
+    Term::App(f.into(), args)
+}
+
+fn add(a: Term, b: Term) -> Term {
+    app("add", vec![a, b])
+}
+
+fn mul(a: Term, b: Term) -> Term {
+    app("mul", vec![a, b])
+}
+
+fn suc(a: Term) -> Term {
+    app("S", vec![a])
+}
+
+fn eq(a: Term, b: Term) -> Formula {
+    Formula::Eq(nat(), a, b)
+}
+
+fn le(a: Term, b: Term) -> Formula {
+    Formula::Pred("le".into(), vec![], vec![a, b])
+}
+
+fn forall(names: &[&str], body: Formula) -> Formula {
+    let mut f = body;
+    for n in names.iter().rev() {
+        f = Formula::forall(*n, nat(), f);
+    }
+    f
+}
+
+fn sentences(parts: &[&str]) -> Vec<String> {
+    parts.iter().map(|s| (*s).to_string()).collect()
+}
+
+/// Builds the pool with final names assigned by `name_of` (the namer maps
+/// a template base like `add_comm` to the emitted identifier). Scripts
+/// that reference other pool lemmas are rendered against the same namer.
+pub fn build_pool(name_of: &dyn Fn(&str) -> String) -> Vec<PoolLemma> {
+    let n = |b: &str| name_of(b);
+    vec![
+        PoolLemma {
+            base: "add_0_l",
+            name: n("add_0_l"),
+            stmt: forall(&["n"], eq(add(Term::nat(0), v("n")), v("n"))),
+            script: sentences(&["intros n", "reflexivity"]),
+            rewrite_safe: true,
+        },
+        PoolLemma {
+            base: "add_0_r",
+            name: n("add_0_r"),
+            stmt: forall(&["n"], eq(add(v("n"), Term::nat(0)), v("n"))),
+            script: sentences(&[
+                "induction n",
+                "- reflexivity",
+                "- simpl",
+                "rewrite IHn",
+                "reflexivity",
+            ]),
+            rewrite_safe: true,
+        },
+        PoolLemma {
+            base: "add_succ_l",
+            name: n("add_succ_l"),
+            stmt: forall(
+                &["n", "m"],
+                eq(add(suc(v("n")), v("m")), suc(add(v("n"), v("m")))),
+            ),
+            script: sentences(&["intros n m", "reflexivity"]),
+            rewrite_safe: true,
+        },
+        PoolLemma {
+            base: "add_succ_r",
+            name: n("add_succ_r"),
+            stmt: forall(
+                &["n", "m"],
+                eq(add(v("n"), suc(v("m"))), suc(add(v("n"), v("m")))),
+            ),
+            script: sentences(&[
+                "induction n; intros",
+                "- reflexivity",
+                "- simpl",
+                "rewrite IHn",
+                "reflexivity",
+            ]),
+            rewrite_safe: true,
+        },
+        PoolLemma {
+            base: "add_comm",
+            name: n("add_comm"),
+            stmt: forall(&["n", "m"], eq(add(v("n"), v("m")), add(v("m"), v("n")))),
+            script: vec![
+                "induction n; intros; simpl".to_string(),
+                format!("- rewrite {}", n("add_0_r")),
+                "reflexivity".to_string(),
+                "- rewrite IHn".to_string(),
+                format!("rewrite {}", n("add_succ_r")),
+                "reflexivity".to_string(),
+            ],
+            rewrite_safe: true,
+        },
+        PoolLemma {
+            base: "add_assoc",
+            name: n("add_assoc"),
+            stmt: forall(
+                &["a", "b", "c"],
+                eq(
+                    add(v("a"), add(v("b"), v("c"))),
+                    add(add(v("a"), v("b")), v("c")),
+                ),
+            ),
+            script: sentences(&[
+                "induction a; intros; simpl",
+                "- reflexivity",
+                "- rewrite IHa",
+                "reflexivity",
+            ]),
+            rewrite_safe: true,
+        },
+        PoolLemma {
+            base: "mul_succ_l",
+            name: n("mul_succ_l"),
+            stmt: forall(
+                &["n", "m"],
+                eq(mul(suc(v("n")), v("m")), add(v("m"), mul(v("n"), v("m")))),
+            ),
+            script: sentences(&["intros n m", "reflexivity"]),
+            rewrite_safe: true,
+        },
+        PoolLemma {
+            base: "mul_1_l",
+            name: n("mul_1_l"),
+            stmt: forall(
+                &["n"],
+                eq(mul(Term::nat(1), v("n")), add(v("n"), Term::nat(0))),
+            ),
+            script: sentences(&["intros n", "reflexivity"]),
+            rewrite_safe: true,
+        },
+        // `mul 0 n = 0` drops `n` on the right, so it cannot serve as an
+        // invertible rewrite step — it stays in the pool as hint/premise
+        // surface.
+        PoolLemma {
+            base: "mul_0_l",
+            name: n("mul_0_l"),
+            stmt: forall(&["n"], eq(mul(Term::nat(0), v("n")), Term::nat(0))),
+            script: sentences(&["intros n", "reflexivity"]),
+            rewrite_safe: false,
+        },
+        PoolLemma {
+            base: "le_add_l",
+            name: n("le_add_l"),
+            stmt: forall(&["a", "b"], le(v("b"), add(v("a"), v("b")))),
+            script: sentences(&[
+                "intros a b",
+                "induction a",
+                "- simpl",
+                "apply le_n",
+                "- simpl",
+                "apply le_S",
+                "assumption",
+            ]),
+            rewrite_safe: false,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minicoq::env::Env;
+    use minicoq::replay::replay_script;
+
+    /// Every pool witness replays against an env holding its predecessors
+    /// — the exact situation in an emitted module.
+    #[test]
+    fn pool_witnesses_replay_in_order() {
+        let ident = |b: &str| format!("g0_{b}");
+        let mut env = Env::with_prelude();
+        for lemma in build_pool(&ident) {
+            let script = format!("{}.", lemma.script.join(". "));
+            replay_script(&env, &lemma.stmt, &script)
+                .unwrap_or_else(|e| panic!("pool lemma {}: {e}", lemma.base));
+            env.add_lemma(lemma.name.clone(), lemma.stmt.clone())
+                .unwrap_or_else(|e| panic!("pool lemma {}: {e:?}", lemma.base));
+        }
+    }
+
+    /// The rewrite-safe flag matches the both-sides-same-variables
+    /// condition the backward engine relies on.
+    #[test]
+    fn rewrite_safe_equations_bind_the_same_vars_on_both_sides() {
+        use std::collections::BTreeSet;
+        for lemma in build_pool(&|b| b.to_string()) {
+            let peeled = lemma.stmt.peel();
+            if let Formula::Eq(_, l, r) = &peeled.conclusion {
+                let mut lv = BTreeSet::new();
+                let mut rv = BTreeSet::new();
+                l.free_vars(&mut lv);
+                r.free_vars(&mut rv);
+                if lemma.rewrite_safe {
+                    assert_eq!(lv, rv, "{}: sides bind different vars", lemma.base);
+                }
+            } else {
+                assert!(!lemma.rewrite_safe, "{}: not an equation", lemma.base);
+            }
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! An Elo-style leaderboard over per-theorem cell outcomes.
+//!
+//! Model configurations are ranked by pairwise duels: for every theorem
+//! (in corpus order) and every ordered pair of cells (in cell order), a
+//! cell that proved the theorem beats one that did not; two cells with
+//! the same outcome class draw. Ratings update sequentially from
+//! [`ELO_START`] with K-factor [`ELO_K`]. The schedule is fully
+//! deterministic — same cells in, byte-identical leaderboard out — so the
+//! table can be diffed across runs like every other bench artifact.
+
+use serde::{Deserialize, Serialize};
+
+use crate::experiment::CellResult;
+
+/// Initial rating.
+pub const ELO_START: f64 = 1000.0;
+/// K-factor: rating shift per decisive duel at equal strength is K/2.
+pub const ELO_K: f64 = 24.0;
+
+/// One leaderboard row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EloEntry {
+    /// Cell label (model profile plus setting/variant).
+    pub model: String,
+    /// Final rating, rounded to 0.1 for a stable, readable artifact.
+    pub rating: f64,
+    /// Decisive duels won.
+    pub wins: u64,
+    /// Decisive duels lost.
+    pub losses: u64,
+    /// Drawn duels.
+    pub draws: u64,
+}
+
+/// The leaderboard: entries sorted by rating (descending), ties broken by
+/// label.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EloLeaderboard {
+    /// Theorems each pair dueled over.
+    pub theorems: usize,
+    /// Ranked entries.
+    pub entries: Vec<EloEntry>,
+}
+
+fn expected(ra: f64, rb: f64) -> f64 {
+    1.0 / (1.0 + 10f64.powf((rb - ra) / 400.0))
+}
+
+/// Runs the ladder. Cells duel on the theorems they all share (matched by
+/// `module::name`), in the order the first cell lists them; a cell's
+/// outcome counts as a win iff it is `proved` and the opponent's is not.
+pub fn elo_ladder(cells: &[&CellResult]) -> EloLeaderboard {
+    let mut ratings = vec![ELO_START; cells.len()];
+    let mut wins = vec![0u64; cells.len()];
+    let mut losses = vec![0u64; cells.len()];
+    let mut draws = vec![0u64; cells.len()];
+
+    let shared: Vec<(String, String)> = match cells.first() {
+        None => Vec::new(),
+        Some(first) => first
+            .outcomes
+            .iter()
+            .map(|o| (o.file.clone(), o.name.clone()))
+            .filter(|(file, name)| {
+                cells.iter().all(|c| {
+                    c.outcomes
+                        .iter()
+                        .any(|o| &o.file == file && &o.name == name)
+                })
+            })
+            .collect(),
+    };
+
+    for (file, name) in &shared {
+        let proved: Vec<bool> = cells
+            .iter()
+            .map(|c| {
+                c.outcomes
+                    .iter()
+                    .find(|o| &o.file == file && &o.name == name)
+                    .map(|o| o.outcome == "proved")
+                    .unwrap_or(false)
+            })
+            .collect();
+        for i in 0..cells.len() {
+            for j in (i + 1)..cells.len() {
+                let (si, sj) = match (proved[i], proved[j]) {
+                    (true, false) => {
+                        wins[i] += 1;
+                        losses[j] += 1;
+                        (1.0, 0.0)
+                    }
+                    (false, true) => {
+                        losses[i] += 1;
+                        wins[j] += 1;
+                        (0.0, 1.0)
+                    }
+                    _ => {
+                        draws[i] += 1;
+                        draws[j] += 1;
+                        (0.5, 0.5)
+                    }
+                };
+                let ei = expected(ratings[i], ratings[j]);
+                let ej = expected(ratings[j], ratings[i]);
+                ratings[i] += ELO_K * (si - ei);
+                ratings[j] += ELO_K * (sj - ej);
+            }
+        }
+    }
+
+    let mut entries: Vec<EloEntry> = cells
+        .iter()
+        .enumerate()
+        .map(|(i, c)| EloEntry {
+            model: c.label.clone(),
+            rating: (ratings[i] * 10.0).round() / 10.0,
+            wins: wins[i],
+            losses: losses[i],
+            draws: draws[i],
+        })
+        .collect();
+    entries.sort_by(|a, b| {
+        b.rating
+            .partial_cmp(&a.rating)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.model.cmp(&b.model))
+    });
+    EloLeaderboard {
+        theorems: shared.len(),
+        entries,
+    }
+}
+
+/// Renders the leaderboard as an aligned plain-text table.
+pub fn render_leaderboard(board: &EloLeaderboard) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Elo leaderboard ({} shared theorems)\n",
+        board.theorems
+    ));
+    out.push_str(&format!(
+        "{:<4} {:<42} {:>8} {:>6} {:>6} {:>6}\n",
+        "#", "model", "rating", "W", "L", "D"
+    ));
+    for (rank, e) in board.entries.iter().enumerate() {
+        out.push_str(&format!(
+            "{:<4} {:<42} {:>8.1} {:>6} {:>6} {:>6}\n",
+            rank + 1,
+            e.model,
+            e.rating,
+            e.wins,
+            e.losses,
+            e.draws
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::TheoremOutcome;
+
+    fn cell(label: &str, proved: &[bool]) -> CellResult {
+        CellResult {
+            label: label.to_string(),
+            setting: "vanilla".to_string(),
+            variant: String::new(),
+            outcomes: proved
+                .iter()
+                .enumerate()
+                .map(|(i, p)| TheoremOutcome {
+                    name: format!("t{i}"),
+                    file: "M".to_string(),
+                    category: "Utilities".to_string(),
+                    human_tokens: 4,
+                    bin: 0,
+                    outcome: if *p { "proved" } else { "stuck" }.to_string(),
+                    script: None,
+                    gen_tokens: None,
+                    similarity: None,
+                    queries: 1,
+                    pruned: 0,
+                    pruned_reasons: Default::default(),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn stronger_cell_ranks_higher() {
+        let strong = cell("strong", &[true, true, true, true]);
+        let mid = cell("mid", &[true, true, false, false]);
+        let weak = cell("weak", &[false, false, false, false]);
+        let board = elo_ladder(&[&weak, &strong, &mid]);
+        assert_eq!(board.theorems, 4);
+        let order: Vec<&str> = board.entries.iter().map(|e| e.model.as_str()).collect();
+        assert_eq!(order, vec!["strong", "mid", "weak"]);
+        assert!(board.entries[0].rating > board.entries[2].rating);
+    }
+
+    #[test]
+    fn ladder_is_deterministic_and_zero_sum_on_draws() {
+        let a = cell("a", &[true, false]);
+        let b = cell("b", &[true, false]);
+        let b1 = elo_ladder(&[&a, &b]);
+        let b2 = elo_ladder(&[&a, &b]);
+        assert_eq!(
+            serde_json::to_string(&b1).unwrap(),
+            serde_json::to_string(&b2).unwrap()
+        );
+        // Identical records: every duel draws, ratings stay at start.
+        assert!(b1.entries.iter().all(|e| e.rating == ELO_START));
+        assert!(b1.entries.iter().all(|e| e.wins == 0 && e.losses == 0));
+    }
+
+    #[test]
+    fn duels_run_only_on_shared_theorems() {
+        let a = cell("a", &[true, true, true]);
+        let mut b = cell("b", &[false, false]);
+        b.outcomes[1].name = "other".to_string();
+        let board = elo_ladder(&[&a, &b]);
+        assert_eq!(board.theorems, 1);
+    }
+}

@@ -4,6 +4,9 @@
 //!   proofs (Table 2's qualitative metric);
 //! * [`experiment`] — the per-(model, setting) experiment runner producing
 //!   per-theorem outcomes;
+//! * [`elo`] — a deterministic Elo-style ladder ranking model
+//!   configurations by pairwise per-theorem duels (the generated-corpus
+//!   leaderboard);
 //! * [`runner`] — the parallel, cache-aware engine the bench binaries use:
 //!   a work-stealing pool (bit-identical to the serial loop) plus a
 //!   content-hashed, checksummed on-disk cell cache and `BENCH_eval.json`
@@ -22,6 +25,7 @@
 //!   artifact format.
 
 pub mod coverage;
+pub mod elo;
 pub mod experiment;
 pub mod incremental;
 pub mod journal;
@@ -29,6 +33,7 @@ pub mod levenshtein;
 pub mod report;
 pub mod runner;
 
+pub use elo::{elo_ladder, render_leaderboard, EloEntry, EloLeaderboard};
 pub use experiment::{run_cell, CellConfig, CellResult, EvalScope, TheoremOutcome};
 pub use incremental::{load_edited, run_incremental, IncrementalConfig, IncrementalOutcome};
 pub use journal::{Journal, JournalState};

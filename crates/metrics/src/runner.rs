@@ -354,6 +354,11 @@ pub struct BenchEval {
     pub oracle_retries: u64,
     /// Per-cell records, in execution order.
     pub cells: Vec<CellBench>,
+    /// Elo leaderboard across the run's model configurations, when the
+    /// harness computed one (the `gen grid` bench does); absent otherwise
+    /// so pre-existing artifacts keep their exact shape.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub elo: Option<crate::elo::EloLeaderboard>,
 }
 
 /// The evaluation engine: a work-stealing pool plus the on-disk cell cache
@@ -610,6 +615,7 @@ impl Runner {
                 .copied()
                 .unwrap_or(0),
             cells: self.bench_records(),
+            elo: None,
         };
         let text = serde_json::to_string_pretty(&eval)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;

@@ -1,0 +1,123 @@
+//! Witness replay: checking a recorded proof script against a statement.
+//!
+//! Replay is the kernel's notion of "this theorem is provable": a script
+//! replays to `Qed` if and only if every sentence parses, every tactic
+//! application succeeds, and the final proof state is complete. The
+//! vernacular loader uses it to check human proofs, and the procedural
+//! corpus generator (`corpus-gen`) uses it as the soundness oracle — a
+//! generated theorem is emitted only after its witness replays here.
+
+use crate::env::Env;
+use crate::formula::Formula;
+use crate::fuel::Fuel;
+use crate::goal::ProofState;
+use crate::parse::{parse_tactic, split_sentences};
+use crate::tactic::apply_tactic;
+
+/// Per-sentence fuel for replay: generous, because replayed scripts are
+/// trusted inputs (human corpus proofs, generator witnesses) and the only
+/// goal is to bound runaway `repeat`/`auto` loops.
+pub const REPLAY_FUEL_PER_SENTENCE: u64 = 20_000_000;
+
+/// A successful replay: the trace of the proof state as the script ran.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Replay {
+    /// Number of sentences executed.
+    pub sentences: usize,
+    /// Open-goal count after each sentence (ends with 0).
+    pub goal_trace: Vec<usize>,
+}
+
+/// Why a replay failed, with enough context to debug the script.
+#[derive(Debug, Clone)]
+pub struct ReplayError {
+    /// Index of the failing sentence (or the sentence count when the
+    /// script ran out with goals still open).
+    pub sentence: usize,
+    /// Human-readable description, including the proof state on failure.
+    pub message: String,
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+/// Replays `script` against `stmt` in `env`, sentence by sentence, each
+/// under a fresh [`REPLAY_FUEL_PER_SENTENCE`] budget. Succeeds only when
+/// the final state is complete (`Qed`).
+pub fn replay_script(env: &Env, stmt: &Formula, script: &str) -> Result<Replay, ReplayError> {
+    let mut st = ProofState::new(stmt.clone());
+    let mut goal_trace = Vec::new();
+    for (i, sentence) in split_sentences(script).into_iter().enumerate() {
+        let tac = parse_tactic(env, st.focused(), &sentence).map_err(|e| ReplayError {
+            sentence: i,
+            message: format!("parse `{sentence}`: {e}"),
+        })?;
+        let mut fuel = Fuel::new(REPLAY_FUEL_PER_SENTENCE);
+        st = apply_tactic(env, &st, &tac, &mut fuel).map_err(|e| ReplayError {
+            sentence: i,
+            message: format!("`{sentence}`: {e}\nstate:\n{}", st.display()),
+        })?;
+        goal_trace.push(st.goals.len());
+    }
+    if !st.is_complete() {
+        return Err(ReplayError {
+            sentence: goal_trace.len(),
+            message: format!(
+                "proof ends with {} open goal(s):\n{}",
+                st.goals.len(),
+                st.display()
+            ),
+        });
+    }
+    Ok(Replay {
+        sentences: goal_trace.len(),
+        goal_trace,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sort::Sort;
+    use crate::term::Term;
+
+    fn refl_stmt() -> Formula {
+        Formula::forall(
+            "n",
+            Sort::nat(),
+            Formula::Eq(
+                Sort::nat(),
+                Term::App("add".into(), vec![Term::nat(0), Term::var("n")]),
+                Term::var("n"),
+            ),
+        )
+    }
+
+    #[test]
+    fn replays_a_witness_to_qed() {
+        let env = Env::with_prelude();
+        let r = replay_script(&env, &refl_stmt(), "intros n. reflexivity.").unwrap();
+        assert_eq!(r.sentences, 2);
+        assert_eq!(r.goal_trace, vec![1, 0]);
+    }
+
+    #[test]
+    fn incomplete_script_is_an_error() {
+        let env = Env::with_prelude();
+        let e = replay_script(&env, &refl_stmt(), "intros n.").unwrap_err();
+        assert!(e.message.contains("open goal"));
+        assert_eq!(e.sentence, 1);
+    }
+
+    #[test]
+    fn failing_sentence_is_located() {
+        let env = Env::with_prelude();
+        let e = replay_script(&env, &refl_stmt(), "intros n. assumption.").unwrap_err();
+        assert_eq!(e.sentence, 1);
+    }
+}

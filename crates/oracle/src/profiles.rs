@@ -93,6 +93,18 @@ impl ModelProfile {
         ]
     }
 
+    /// The Elo-ladder lineup for generated-corpus leaderboards: four
+    /// configurations spanning the capability range, weakest first so the
+    /// ladder's duel order is pinned.
+    pub fn ladder() -> Vec<ModelProfile> {
+        vec![
+            ModelProfile::gpt4o_mini(),
+            ModelProfile::gemini_flash(),
+            ModelProfile::gemini_pro(),
+            ModelProfile::gpt4o(),
+        ]
+    }
+
     /// All five evaluated configurations (Table 2 rows).
     pub fn all_five() -> Vec<ModelProfile> {
         let mut v = ModelProfile::main_four();

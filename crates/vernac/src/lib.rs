@@ -21,12 +21,14 @@
 //! not trusted), and records per-item source text so the oracle can build
 //! prompts that mirror the original files.
 
+pub mod emit;
 pub mod item;
 pub mod lint;
 pub mod loader;
 pub mod parser;
 pub mod split;
 
+pub use emit::ModuleBuilder;
 pub use item::{Item, ItemKind};
 pub use lint::{lint_development, LintDiagnostic, LintKind};
 pub use loader::{Development, LoadError, Loader, TheoremInfo};

@@ -5,17 +5,9 @@ use std::sync::Arc;
 
 use minicoq::env::Env;
 use minicoq::formula::Formula;
-use minicoq::fuel::Fuel;
-use minicoq::goal::ProofState;
-use minicoq::parse::{parse_tactic, split_sentences};
-use minicoq::tactic::apply_tactic;
 
 use crate::item::{group_items, Item, ItemKind};
 use crate::parser::{apply_decl, parse_item, Decl};
-
-/// Fuel budget per proof sentence during replay: generous, but bounded so a
-/// diverging corpus proof is caught during development.
-const REPLAY_FUEL_PER_SENTENCE: u64 = 20_000_000;
 
 /// A loaded source file.
 #[derive(Debug, Clone)]
@@ -137,27 +129,13 @@ impl std::fmt::Display for LoadError {
 impl std::error::Error for LoadError {}
 
 /// Replays a proof script against a statement in the given environment.
-/// Returns the intermediate goal counts on success (useful for metrics) or
-/// a message describing the first failure.
+/// Returns the sentence count on success (useful for metrics) or a
+/// message describing the first failure. Thin wrapper over the kernel's
+/// witness-replay API ([`minicoq::replay::replay_script`]).
 pub fn replay_proof(env: &Env, stmt: &Formula, script: &str) -> Result<usize, String> {
-    let mut st = ProofState::new(stmt.clone());
-    let mut steps = 0usize;
-    for sentence in split_sentences(script) {
-        let tac = parse_tactic(env, st.focused(), &sentence)
-            .map_err(|e| format!("parse `{sentence}`: {e}"))?;
-        let mut fuel = Fuel::new(REPLAY_FUEL_PER_SENTENCE);
-        st = apply_tactic(env, &st, &tac, &mut fuel)
-            .map_err(|e| format!("`{sentence}`: {e}\nstate:\n{}", st.display()))?;
-        steps += 1;
-    }
-    if !st.is_complete() {
-        return Err(format!(
-            "proof ends with {} open goal(s):\n{}",
-            st.goals.len(),
-            st.display()
-        ));
-    }
-    Ok(steps)
+    minicoq::replay::replay_script(env, stmt, script)
+        .map(|r| r.sentences)
+        .map_err(|e| e.message)
 }
 
 /// Loads developments from in-memory sources.

@@ -11,6 +11,9 @@
 //! * [`stm`] — the SerAPI-like state-transition machine the search drives;
 //! * [`corpus`] — FSCQ-lite, the 294-theorem crash-safe file-system
 //!   benchmark corpus;
+//! * [`gen`] — the seeded procedural theorem generator (backward
+//!   template-driven construction with recorded, kernel-replayed
+//!   witnesses);
 //! * [`oracle`] — the tactic-prediction model layer (prompts, profiles,
 //!   and the offline simulator);
 //! * [`search`] — the paper's best-first tactic tree search;
@@ -48,6 +51,7 @@
 //! ```
 
 pub use corpus_analysis as analysis;
+pub use corpus_gen as gen;
 pub use fscq_corpus as corpus;
 pub use minicoq;
 pub use minicoq_stm as stm;
