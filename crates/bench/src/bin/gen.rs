@@ -209,6 +209,32 @@ fn cmd_grid() {
         "[gen] wrote {BENCH_EVAL_PATH} ({} cells, elo attached)",
         eval.cells.len()
     );
+
+    // Fleet ledger: one run record for the whole ladder, keyed by the
+    // generated corpus fingerprint so different corpora trend as
+    // different series.
+    let records = runner.bench_records();
+    let proved: u64 = results
+        .iter()
+        .flat_map(|c| c.outcomes.iter())
+        .filter(|o| o.outcome == "proved")
+        .count() as u64;
+    let theorems: u64 = results.iter().map(|c| c.outcomes.len() as u64).sum();
+    if let Some(path) = llm_fscq_bench::ledger_append(&llm_fscq_bench::LedgerRun {
+        bin: "gen",
+        label: "elo-ladder",
+        variant: &format!("gen:{fingerprint}"),
+        jobs,
+        records: &records,
+        theorems: Some(theorems),
+        proved,
+        corpus_hash: fingerprint.clone(),
+        counters: std::collections::BTreeMap::new(),
+        phase_self_ms: std::collections::BTreeMap::new(),
+        dropped_spans: 0,
+    }) {
+        eprintln!("[gen] ledger appended to {}", path.display());
+    }
 }
 
 fn main() {

@@ -156,6 +156,44 @@ fn fail(msg: &str) -> ! {
     std::process::exit(1)
 }
 
+/// Appends the mode's headline measurement to the fleet ledger.
+fn append_ledger(variant: &str, result: &CellResult, wall_ms: f64, jobs: usize) {
+    let proved = result
+        .outcomes
+        .iter()
+        .filter(|o| o.outcome == "proved")
+        .count() as u64;
+    let record = CellBench {
+        label: format!("incr {variant}"),
+        theorems: result.outcomes.len(),
+        wall_ms,
+        thm_per_sec: if wall_ms > 0.0 {
+            result.outcomes.len() as f64 / (wall_ms / 1e3)
+        } else {
+            0.0
+        },
+        jobs,
+        cache_hit: false,
+        outcome: "computed".to_string(),
+        variant: variant.to_string(),
+    };
+    if let Some(path) = llm_fscq_bench::ledger_append(&llm_fscq_bench::LedgerRun {
+        bin: "incr",
+        label: variant,
+        variant,
+        jobs,
+        records: std::slice::from_ref(&record),
+        theorems: Some(result.outcomes.len() as u64),
+        proved,
+        corpus_hash: String::new(),
+        counters: std::collections::BTreeMap::new(),
+        phase_self_ms: std::collections::BTreeMap::new(),
+        dropped_spans: 0,
+    }) {
+        eprintln!("[incremental] ledger appended to {}", path.display());
+    }
+}
+
 /// The CI gate: cone precision + byte-identity.
 fn ci(jobs: usize) {
     let cell = cell();
@@ -215,6 +253,7 @@ fn ci(jobs: usize) {
     if result_json(&inc.merged) != result_json(&full) {
         fail("merged incremental result diverges from the full cold run");
     }
+    append_ledger("ci", &inc.merged, inc.wall_ms, jobs);
     println!(
         "[incremental] PASS: {} re-verified / {} served from baseline, merged output \
          byte-identical to the full run (artifacts in {})",
@@ -303,6 +342,7 @@ fn ab(jobs: usize) {
     eval.notes.push_str(&note);
     let text = serde_json::to_string_pretty(&eval).expect("bench eval serializes");
     std::fs::write(BENCH_EVAL_PATH, text).expect("BENCH_eval.json writes");
+    append_ledger("ab", &inc.merged, inc.wall_ms, jobs);
     println!("[incremental] {note}");
 }
 

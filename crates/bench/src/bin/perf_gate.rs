@@ -83,22 +83,73 @@ fn parse_args() -> Args {
 }
 
 /// Runs the ten Table 2 cells with no cache and returns
-/// `(theorems evaluated, wall ms)`.
-fn cold_grid() -> (usize, f64) {
+/// `(theorems evaluated, proved, wall ms)`.
+fn cold_grid() -> (usize, usize, f64) {
     let corpus = Corpus::load();
     // `fresh` drops the cell cache; there is no grid-level shortcut here.
     let runner = llm_fscq_bench::runner(true);
     let started = Instant::now();
     let mut theorems = 0usize;
+    let mut proved = 0usize;
     for profile in ModelProfile::all_five() {
         for setting in [PromptSetting::Vanilla, PromptSetting::Hints] {
             let cell = CellConfig::standard(profile.clone(), setting);
             eprintln!("perf_gate: {} ({} jobs)", cell.label(), runner.jobs());
             let result = runner.run_cell(&corpus, &cell);
             theorems += result.outcomes.len();
+            proved += result
+                .outcomes
+                .iter()
+                .filter(|o| o.outcome == "proved")
+                .count();
         }
     }
-    (theorems, started.elapsed().as_secs_f64() * 1e3)
+    (theorems, proved, started.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Appends the cold-grid measurement to the fleet ledger, stamping the
+/// git sha (via the shared record builder) and the kernel interner's
+/// dedup statistics so the radar can trend sharing efficiency alongside
+/// throughput.
+fn append_ledger(theorems: usize, proved: usize, wall_ms: f64) {
+    let s = minicoq::intern::stats();
+    let mut counters = std::collections::BTreeMap::new();
+    counters.insert("intern.term_hits".to_string(), s.term_hits);
+    counters.insert("intern.term_misses".to_string(), s.term_misses);
+    counters.insert("intern.arena_bytes".to_string(), s.arena_bytes as u64);
+    counters.insert(
+        "intern.dedup_factor_milli".to_string(),
+        (s.dedup_factor() * 1000.0).round() as u64,
+    );
+    let record = CellBench {
+        label: "cold grid (perf gate)".into(),
+        theorems,
+        wall_ms,
+        thm_per_sec: if wall_ms > 0.0 {
+            theorems as f64 / (wall_ms / 1e3)
+        } else {
+            0.0
+        },
+        jobs: proof_metrics::runner::resolve_jobs(),
+        cache_hit: false,
+        outcome: "computed".into(),
+        variant: "perf-gate".into(),
+    };
+    if let Some(path) = llm_fscq_bench::ledger_append(&llm_fscq_bench::LedgerRun {
+        bin: "perf_gate",
+        label: "cold-grid",
+        variant: "perf-gate",
+        jobs: record.jobs,
+        records: std::slice::from_ref(&record),
+        theorems: Some(theorems as u64),
+        proved: proved as u64,
+        corpus_hash: String::new(),
+        counters,
+        phase_self_ms: std::collections::BTreeMap::new(),
+        dropped_spans: 0,
+    }) {
+        eprintln!("perf_gate: ledger appended to {}", path.display());
+    }
 }
 
 /// Appends the gate's summary cell to `BENCH_eval.json`, preserving
@@ -139,7 +190,7 @@ fn read_baseline(path: &str) -> Option<f64> {
 
 fn main() -> ExitCode {
     let args = parse_args();
-    let (theorems, wall_ms) = cold_grid();
+    let (theorems, proved, wall_ms) = cold_grid();
     let thm_per_sec = if wall_ms > 0.0 {
         theorems as f64 / (wall_ms / 1e3)
     } else {
@@ -149,6 +200,7 @@ fn main() -> ExitCode {
         "perf_gate: cold grid {} theorems in {:.0} ms = {:.1} thm/sec",
         theorems, wall_ms, thm_per_sec
     );
+    append_ledger(theorems, proved, wall_ms);
 
     append_bench_cell(&CellBench {
         label: "cold grid (perf gate)".into(),

@@ -17,7 +17,8 @@
 use std::process::ExitCode;
 
 use proof_trace::metrics::{HistData, MetricsSnapshot};
-use proof_trace::report::{render_report, Span};
+use proof_trace::report::{render_report_full, Span};
+use proof_trace::SampledResidue;
 use serde_json::Value;
 
 fn num_u64(v: &Value, key: &str) -> Option<u64> {
@@ -28,11 +29,20 @@ fn str_of(v: &Value, key: &str) -> Option<String> {
     v.get(key).and_then(|x| x.as_str()).map(str::to_string)
 }
 
+/// Everything a JSONL trace stream carries.
+struct Parsed {
+    spans: Vec<Span>,
+    snap: MetricsSnapshot,
+    dropped: u64,
+    residues: Vec<SampledResidue>,
+}
+
 /// Parses the JSONL stream into report inputs.
-fn parse_jsonl(text: &str) -> Result<(Vec<Span>, MetricsSnapshot, u64), String> {
+fn parse_jsonl(text: &str) -> Result<Parsed, String> {
     let mut spans = Vec::new();
     let mut snap = MetricsSnapshot::default();
     let mut dropped = 0u64;
+    let mut residues = Vec::new();
     for (lineno, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
@@ -81,10 +91,21 @@ fn parse_jsonl(text: &str) -> Result<(Vec<Span>, MetricsSnapshot, u64), String> 
                     );
                 }
             }
+            "sampled" => residues.push(SampledResidue {
+                phase: str_of(&v, "phase").unwrap_or_default(),
+                parent_phase: str_of(&v, "parent_phase").unwrap_or_default(),
+                ns: num_u64(&v, "ns").unwrap_or(0),
+                count: num_u64(&v, "count").unwrap_or(0),
+            }),
             other => return Err(format!("line {}: unknown record {other}", lineno + 1)),
         }
     }
-    Ok((spans, snap, dropped))
+    Ok(Parsed {
+        spans,
+        snap,
+        dropped,
+        residues,
+    })
 }
 
 /// Validates a Chrome trace-event JSON artifact. Returns the number of
@@ -169,12 +190,14 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut jsonl_path = None;
     let mut check_path = None;
+    let mut flame_path = None;
     let mut top_n = 10usize;
     let mut min_phase_pct: Option<f64> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--check" => check_path = it.next().cloned(),
+            "--flame" => flame_path = it.next().cloned(),
             "--top" => top_n = it.next().and_then(|v| v.parse().ok()).unwrap_or(top_n),
             "--min-phase-pct" => min_phase_pct = it.next().and_then(|v| v.parse().ok()),
             other if !other.starts_with("--") => jsonl_path = Some(other.to_string()),
@@ -186,7 +209,8 @@ fn main() -> ExitCode {
     }
     let Some(jsonl_path) = jsonl_path else {
         eprintln!(
-            "usage: trace_report <trace.jsonl> [--check <trace.json>] [--top N] [--min-phase-pct P]"
+            "usage: trace_report <trace.jsonl> [--check <trace.json>] [--flame <out.folded>] \
+             [--top N] [--min-phase-pct P]"
         );
         return ExitCode::FAILURE;
     };
@@ -197,14 +221,54 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let (spans, snap, dropped) = match parse_jsonl(&text) {
+    let Parsed {
+        spans,
+        snap,
+        dropped,
+        residues,
+    } = match parse_jsonl(&text) {
         Ok(parsed) => parsed,
         Err(e) => {
             eprintln!("{jsonl_path}: {e}");
             return ExitCode::FAILURE;
         }
     };
-    print!("{}", render_report(&spans, &snap, dropped, top_n));
+    if dropped > 0 {
+        eprintln!(
+            "warning: {dropped} trace records were dropped at the collector cap — \
+             phase totals undercount; raise TRACE_CAP or lower TRACE_SAMPLE fidelity"
+        );
+    }
+    print!(
+        "{}",
+        render_report_full(&spans, &snap, dropped, top_n, &residues)
+    );
+
+    if let Some(path) = &flame_path {
+        // Re-shape into collector records: collapsed_stacks only reads
+        // id/parent/kind/name/dur, and kind needs a 'static str — leak
+        // the handful of distinct kinds (one-shot CLI, bounded set).
+        let recs: Vec<proof_trace::SpanRec> = spans
+            .iter()
+            .map(|s| proof_trace::SpanRec {
+                id: s.id,
+                parent: s.parent,
+                tid: s.tid,
+                kind: Box::leak(s.kind.clone().into_boxed_str()),
+                name: s.name.clone(),
+                start_ns: s.start_ns,
+                dur_ns: s.dur_ns,
+                fields: Vec::new(),
+            })
+            .collect();
+        match proof_trace::export::write_collapsed(std::path::Path::new(path), &recs) {
+            Ok(()) => println!("\nflamegraph collapsed stacks -> {path}"),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
 
     if let Some(path) = check_path {
         let text = match std::fs::read_to_string(&path) {
@@ -224,7 +288,10 @@ fn main() -> ExitCode {
     }
 
     if let Some(min) = min_phase_pct {
-        let pct = proof_trace::report::phase_breakdown(&spans).named_phase_pct();
+        // The residue-corrected breakdown: sampled-out span time counts
+        // toward its phase, so the coverage gate stays meaningful when
+        // span sampling is on.
+        let pct = proof_trace::report::phase_breakdown_full(&spans, &residues).named_phase_pct();
         if pct < min {
             eprintln!("named-phase attribution {pct:.1}% is below the required {min:.1}%");
             return ExitCode::FAILURE;

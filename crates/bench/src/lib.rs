@@ -15,15 +15,18 @@
 //! cell cache, so a faulted-then-resumed grid produces byte-identical
 //! results to a clean one.
 
+use std::collections::BTreeMap;
 use std::path::PathBuf;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use fscq_corpus::Corpus;
 use proof_chaos::FaultPlan;
 use proof_metrics::report::ResultSet;
+use proof_metrics::runner::CellBench;
 use proof_metrics::{CellConfig, Runner};
 use proof_oracle::profiles::ModelProfile;
 use proof_oracle::prompt::PromptSetting;
+use proof_trace::ledger::{Ledger, RunRecord};
 
 /// Where cached experiment artifacts live.
 pub fn artifact_dir() -> PathBuf {
@@ -60,6 +63,11 @@ pub struct GridOpts {
     /// to stderr after the grid (hit rates, dedup factor, arena bytes).
     /// Read-only diagnostics — never changes results.
     pub intern_stats: bool,
+    /// `--metrics-addr ADDR` / `METRICS_ADDR`: serve live Prometheus
+    /// exposition (plus `/healthz` and `/tracez`) on `ADDR` for the
+    /// duration of the run. Arming the endpoint also arms tracing —
+    /// the histograms have nothing to say otherwise.
+    pub metrics_addr: Option<String>,
 }
 
 impl GridOpts {
@@ -71,6 +79,7 @@ impl GridOpts {
             fault_plan: proof_chaos::plan_from_env_args(),
             trace_out: trace_out_flag(),
             intern_stats: intern_stats_flag(),
+            metrics_addr: metrics_addr_flag(),
         }
     }
 
@@ -97,10 +106,66 @@ pub fn trace_out_flag() -> Option<PathBuf> {
     None
 }
 
+/// The `--metrics-addr ADDR` / `--metrics-addr=ADDR` argument, falling
+/// back to the `METRICS_ADDR` environment variable.
+pub fn metrics_addr_flag() -> Option<String> {
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(a) = args.next() {
+        if a == "--metrics-addr" {
+            if let Some(v) = args.peek() {
+                return Some(v.clone());
+            }
+        } else if let Some(v) = a.strip_prefix("--metrics-addr=") {
+            return Some(v.to_string());
+        }
+    }
+    std::env::var("METRICS_ADDR").ok().filter(|v| !v.is_empty())
+}
+
+/// The live exposition server, once armed. Kept for the process lifetime
+/// so scrapes keep working until exit; `/metrics` reads the live registry
+/// and collector, so there is nothing to flush.
+static METRICS_SERVER: OnceLock<proof_trace::expose::ServerHandle> = OnceLock::new();
+
+/// Arms tracing and starts the Prometheus exposition endpoint on `addr`.
+/// Returns the bound address (port 0 resolves). Idempotent per process:
+/// the first successful bind wins.
+pub fn arm_metrics_endpoint(addr: &str) -> Option<std::net::SocketAddr> {
+    proof_trace::set_enabled(true);
+    if let Some(h) = METRICS_SERVER.get() {
+        return Some(h.addr());
+    }
+    match proof_trace::expose::serve(addr) {
+        Ok(handle) => {
+            let bound = handle.addr();
+            eprintln!("metrics endpoint: http://{bound}/metrics (also /healthz, /tracez)");
+            let _ = METRICS_SERVER.set(handle);
+            Some(bound)
+        }
+        Err(e) => {
+            eprintln!("metrics endpoint failed to bind {addr}: {e}");
+            None
+        }
+    }
+}
+
+/// What [`write_trace_artifacts`] drained and wrote, plus the per-phase
+/// roll-up the run ledger wants.
+pub struct TraceArtifacts {
+    /// Chrome trace-event JSON path.
+    pub chrome: PathBuf,
+    /// JSONL event-stream path.
+    pub jsonl: PathBuf,
+    /// Residue-corrected per-phase self time, milliseconds.
+    pub phase_self_ms: BTreeMap<String, f64>,
+    /// Records dropped at the collector cap.
+    pub dropped: u64,
+}
+
 /// Drains the collector and writes both trace artifacts: Chrome
 /// trace-event JSON at `base` with a `.json` extension and the JSONL
-/// event stream beside it with `.jsonl`. Returns the two paths.
-pub fn write_trace_artifacts(base: &std::path::Path) -> std::io::Result<(PathBuf, PathBuf)> {
+/// event stream beside it with `.jsonl`.
+pub fn write_trace_artifacts(base: &std::path::Path) -> std::io::Result<TraceArtifacts> {
     let chrome = base.with_extension("json");
     let jsonl = base.with_extension("jsonl");
     let data = proof_trace::drain();
@@ -118,7 +183,150 @@ pub fn write_trace_artifacts(base: &std::path::Path) -> std::io::Result<(PathBuf
         chrome.display(),
         jsonl.display()
     );
-    Ok((chrome, jsonl))
+    let report_spans: Vec<proof_trace::report::Span> = data
+        .spans
+        .iter()
+        .map(|s| proof_trace::report::Span {
+            id: s.id,
+            parent: s.parent,
+            tid: s.tid,
+            kind: s.kind.to_string(),
+            name: s.name.clone(),
+            start_ns: s.start_ns,
+            dur_ns: s.dur_ns,
+        })
+        .collect();
+    let bd = proof_trace::report::phase_breakdown_full(&report_spans, &data.sampled);
+    let phase_self_ms = bd
+        .phases
+        .iter()
+        .map(|(phase, (ns, _))| (phase.clone(), *ns as f64 / 1e6))
+        .collect();
+    Ok(TraceArtifacts {
+        chrome,
+        jsonl,
+        phase_self_ms,
+        dropped: data.dropped,
+    })
+}
+
+/// Aggregates a run's cell records plus context into a ledger
+/// [`RunRecord`] and appends it to the fleet ledger
+/// (`telemetry/RUNS.jsonl`, or `LEDGER_PATH`). Best-effort by design:
+/// telemetry must never fail a bench run.
+pub struct LedgerRun<'a> {
+    /// Bench binary name (`table2`, `perf_gate`, …).
+    pub bin: &'a str,
+    /// Run label (cell lineup / subcommand).
+    pub label: &'a str,
+    /// Series variant tag (empty for the default lineup).
+    pub variant: &'a str,
+    /// Cell-level worker parallelism.
+    pub jobs: usize,
+    /// Per-cell bench records for wall/cache aggregation.
+    pub records: &'a [CellBench],
+    /// Theorem evaluations (overrides the record sum when `Some`, for
+    /// bins whose records double-count replays).
+    pub theorems: Option<u64>,
+    /// How many evaluations ended `proved`.
+    pub proved: u64,
+    /// Content hash of what was evaluated (defaults to the embedded
+    /// corpus hash when empty).
+    pub corpus_hash: String,
+    /// Extra named counters worth trending.
+    pub counters: BTreeMap<String, u64>,
+    /// Per-phase self-time roll-up from [`write_trace_artifacts`].
+    pub phase_self_ms: BTreeMap<String, f64>,
+    /// Dropped trace records (0 when untraced).
+    pub dropped_spans: u64,
+}
+
+/// Builds the ledger record for a run. Fault/retry totals come from the
+/// always-on registry counters, same as `BENCH_eval.json`.
+pub fn ledger_record(run: &LedgerRun) -> RunRecord {
+    let snap = proof_trace::metrics::snapshot();
+    let counter = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+    let theorems_sum: u64 = run.records.iter().map(|r| r.theorems as u64).sum();
+    let wall_ms: f64 = run.records.iter().map(|r| r.wall_ms).sum();
+    let theorems = run.theorems.unwrap_or(theorems_sum);
+    let thm_per_sec = if wall_ms > 0.0 {
+        theorems as f64 * 1000.0 / wall_ms
+    } else {
+        0.0
+    };
+    let cache_hits = run.records.iter().filter(|r| r.cache_hit).count() as u64;
+    RunRecord {
+        ts_unix: proof_trace::ledger::unix_now(),
+        bin: run.bin.to_string(),
+        label: run.label.to_string(),
+        variant: run.variant.to_string(),
+        git_sha: proof_trace::ledger::git_sha(),
+        corpus_hash: if run.corpus_hash.is_empty() {
+            corpus_content_hash()
+        } else {
+            run.corpus_hash.clone()
+        },
+        jobs: run.jobs as u64,
+        theorems,
+        proved: run.proved,
+        wall_ms,
+        thm_per_sec,
+        cache_hits,
+        cache_misses: run.records.len() as u64 - cache_hits,
+        oracle_faults: counter("search.oracle_faults"),
+        oracle_retries: counter("search.oracle_retries"),
+        dropped_spans: run.dropped_spans,
+        counters: run.counters.clone(),
+        phase_self_ms: run.phase_self_ms.clone(),
+    }
+}
+
+/// Appends `run` to the fleet ledger; returns the ledger path on
+/// success.
+pub fn ledger_append(run: &LedgerRun) -> Option<PathBuf> {
+    let ledger = Ledger::from_env();
+    let record = ledger_record(run);
+    if ledger.append(&record) {
+        Some(ledger.path().to_path_buf())
+    } else {
+        None
+    }
+}
+
+/// FNV-1a over every embedded corpus source, formatted like the ledger's
+/// other hashes. Pins "what was evaluated" for cross-run comparability.
+pub fn corpus_content_hash() -> String {
+    let mut text = String::new();
+    for (name, src) in fscq_corpus::corpus_sources() {
+        text.push_str(name);
+        text.push('\0');
+        text.push_str(src);
+        text.push('\0');
+    }
+    format!("{:016x}", proof_trace::ledger::fnv1a(text.as_bytes()))
+}
+
+/// Counts `proved` outcomes across a result set.
+pub fn proved_in(rs: &ResultSet) -> u64 {
+    rs.cells
+        .iter()
+        .flat_map(|c| c.outcomes.iter())
+        .filter(|o| o.outcome == "proved")
+        .count() as u64
+}
+
+/// Total outcomes across a result set.
+pub fn outcomes_in(rs: &ResultSet) -> u64 {
+    rs.cells.iter().map(|c| c.outcomes.len() as u64).sum()
+}
+
+/// The current binary's file stem (`table2`, `perf_gate`, …) for ledger
+/// attribution.
+pub fn bin_name() -> String {
+    std::env::current_exe()
+        .ok()
+        .and_then(|p| p.file_stem().map(|s| s.to_string_lossy().into_owned()))
+        .unwrap_or_else(|| "unknown".to_string())
 }
 
 /// Runs (or loads) the main experiment grid: the five model configurations
@@ -137,6 +345,9 @@ pub fn main_grid(fresh: bool) -> ResultSet {
 pub fn main_grid_opts(opts: &GridOpts) -> ResultSet {
     if opts.trace_out.is_some() {
         proof_trace::set_enabled(true);
+    }
+    if let Some(addr) = &opts.metrics_addr {
+        arm_metrics_endpoint(addr);
     }
     let path = artifact_dir().join("main_grid.json");
     // A traced run also skips the grid-level JSON shortcut: serving the
@@ -188,10 +399,32 @@ pub fn main_grid_opts(opts: &GridOpts) -> ResultSet {
     let _ = std::fs::create_dir_all(artifact_dir());
     let _ = std::fs::write(&path, rs.to_json());
     let _ = runner.write_bench(BENCH_EVAL_PATH, "main grid (Table 2 cells)");
+    let mut phase_self_ms = BTreeMap::new();
+    let mut dropped_spans = 0;
     if let Some(base) = &opts.trace_out {
-        if let Err(e) = write_trace_artifacts(base) {
-            eprintln!("trace export failed: {e}");
+        match write_trace_artifacts(base) {
+            Ok(artifacts) => {
+                phase_self_ms = artifacts.phase_self_ms;
+                dropped_spans = artifacts.dropped;
+            }
+            Err(e) => eprintln!("trace export failed: {e}"),
         }
+    }
+    let records = runner.bench_records();
+    if let Some(ledger_path) = ledger_append(&LedgerRun {
+        bin: &bin_name(),
+        label: "main-grid",
+        variant: "",
+        jobs: runner.jobs(),
+        records: &records,
+        theorems: Some(outcomes_in(&rs)),
+        proved: proved_in(&rs),
+        corpus_hash: String::new(),
+        counters: BTreeMap::new(),
+        phase_self_ms,
+        dropped_spans,
+    }) {
+        eprintln!("ledger: appended run to {}", ledger_path.display());
     }
     if opts.intern_stats {
         print_intern_stats();

@@ -400,7 +400,8 @@ fn commit_proposals(
                     return Some(session.script_to(out.id));
                 }
                 *seq += 1;
-                let _sp = proof_trace::span("frontier", "push");
+                static PUSH_SITE: proof_trace::SampleSite = proof_trace::SampleSite::new();
+                let _sp = proof_trace::span_sampled(&PUSH_SITE, "frontier", "push");
                 frontier.push(Entry {
                     score: entry.score + prop.logprob,
                     seq: *seq,
@@ -524,7 +525,8 @@ pub fn search_with_recovery(
 
     loop {
         let entry = {
-            let _sp = proof_trace::span("frontier", "pop");
+            static POP_SITE: proof_trace::SampleSite = proof_trace::SampleSite::new();
+            let _sp = proof_trace::span_sampled(&POP_SITE, "frontier", "pop");
             match frontier.pop() {
                 Some(e) => e,
                 None => break,
@@ -539,7 +541,8 @@ pub fn search_with_recovery(
             };
         }
         let state = {
-            let _sp = proof_trace::span("stm", "state");
+            static STATE_SITE: proof_trace::SampleSite = proof_trace::SampleSite::new();
+            let _sp = proof_trace::span_sampled(&STATE_SITE, "stm", "state");
             match session.state(entry.id).cloned() {
                 Some(s) => s,
                 None => continue,
@@ -554,7 +557,8 @@ pub fn search_with_recovery(
         }
         stats.expansions.push(entry.id.0);
         let path = {
-            let _sp = proof_trace::span("stm", "path");
+            static PATH_SITE: proof_trace::SampleSite = proof_trace::SampleSite::new();
+            let _sp = proof_trace::span_sampled(&PATH_SITE, "stm", "path");
             session.script_to(entry.id)
         };
         let ctx = QueryCtx {
@@ -570,7 +574,12 @@ pub fn search_with_recovery(
         // run would have produced; only `stats.oracle_*` (never serialized
         // into cell results) records that anything went wrong.
         let proposals = {
-            let mut sp = proof_trace::span("oracle", theorem);
+            // Sampled: one oracle query per TRACE_SAMPLE gets a full span
+            // (its subtree — prompt assembly included — is all
+            // oracle-phase, so eliding the rest shifts no time across
+            // phases; the residue keeps the oracle total exact).
+            static ORACLE_SITE: proof_trace::SampleSite = proof_trace::SampleSite::new();
+            let mut sp = proof_trace::span_sampled(&ORACLE_SITE, "oracle", theorem);
             let (props, faults, retries) = propose_with_retry(model, &ctx, cfg.width, recovery);
             stats.oracle_faults += faults;
             stats.oracle_retries += retries;
@@ -681,21 +690,24 @@ fn search_parallel(
             Vec::with_capacity(want);
         while batch.len() < want {
             let entry = {
-                let _sp = proof_trace::span("frontier", "pop");
+                static POP_SITE: proof_trace::SampleSite = proof_trace::SampleSite::new();
+                let _sp = proof_trace::span_sampled(&POP_SITE, "frontier", "pop");
                 match frontier.pop() {
                     Some(e) => e,
                     None => break,
                 }
             };
             let state = {
-                let _sp = proof_trace::span("stm", "state");
+                static STATE_SITE: proof_trace::SampleSite = proof_trace::SampleSite::new();
+                let _sp = proof_trace::span_sampled(&STATE_SITE, "stm", "state");
                 match session.state(entry.id).cloned() {
                     Some(s) => s,
                     None => continue,
                 }
             };
             let path = {
-                let _sp = proof_trace::span("stm", "path");
+                static PATH_SITE: proof_trace::SampleSite = proof_trace::SampleSite::new();
+                let _sp = proof_trace::span_sampled(&PATH_SITE, "stm", "path");
                 session.script_to(entry.id)
             };
             batch.push((entry, state, path));
@@ -731,7 +743,9 @@ fn search_parallel(
                             theorem,
                             query_index,
                         };
-                        let mut sp = proof_trace::span("oracle", theorem);
+                        static ORACLE_SITE: proof_trace::SampleSite =
+                            proof_trace::SampleSite::new();
+                        let mut sp = proof_trace::span_sampled(&ORACLE_SITE, "oracle", theorem);
                         let (props, faults, retries) =
                             propose_with_retry(m, &ctx, cfg.width, recovery);
                         if sp.is_armed() {

@@ -107,6 +107,36 @@ impl AddError {
 
 impl std::error::Error for AddError {}
 
+/// The cached `stm.add.<outcome>` counter handle for a known outcome
+/// label (the two success labels plus every [`AddError::metric_label`]).
+/// The label set is closed, so each gets a static
+/// [`HotCounter`](proof_trace::metrics::HotCounter) and the hot path
+/// never formats a name or walks the registry.
+fn add_outcome_counter(outcome: &str) -> &'static proof_trace::metrics::HotCounter {
+    use proof_trace::metrics::HotCounter;
+    static PROVED: HotCounter = HotCounter::new("stm.add.proved");
+    static OK: HotCounter = HotCounter::new("stm.add.ok");
+    static REJECTED: HotCounter = HotCounter::new("stm.add.rejected");
+    static PARSE: HotCounter = HotCounter::new("stm.add.parse");
+    static TIMEOUT: HotCounter = HotCounter::new("stm.add.timeout");
+    static PREFLIGHT: HotCounter = HotCounter::new("stm.add.preflight");
+    static DUPLICATE: HotCounter = HotCounter::new("stm.add.duplicate");
+    static NO_SUCH_STATE: HotCounter = HotCounter::new("stm.add.no_such_state");
+    match outcome {
+        "proved" => &PROVED,
+        "ok" => &OK,
+        "rejected" => &REJECTED,
+        "parse" => &PARSE,
+        "timeout" => &TIMEOUT,
+        "preflight" => &PREFLIGHT,
+        "duplicate" => &DUPLICATE,
+        _ => {
+            debug_assert_eq!(outcome, "no_such_state", "unknown add outcome");
+            &NO_SUCH_STATE
+        }
+    }
+}
+
 /// The replayable outcome of running one tactic sentence against one
 /// focused goal. Tactic evaluation is a pure function of `(environment,
 /// focused goal, tactic source, fuel budget)` — the unfocused tail rides
@@ -162,11 +192,10 @@ fn memo_get(cfg: MemoConfig, tactic: &str, goal: &Goal) -> Option<CachedAdd> {
         .and_then(|m| m.get(goal))
         .cloned();
     if proof_trace::enabled() {
-        proof_trace::metrics::counter_inc(if hit.is_some() {
-            "stm.apply_memo.hit"
-        } else {
-            "stm.apply_memo.miss"
-        });
+        use proof_trace::metrics::HotCounter;
+        static HIT: HotCounter = HotCounter::new("stm.apply_memo.hit");
+        static MISS: HotCounter = HotCounter::new("stm.apply_memo.miss");
+        if hit.is_some() { &HIT } else { &MISS }.inc();
     }
     hit
 }
@@ -301,11 +330,21 @@ impl ProofSession {
     }
 
     /// Runs a tactic sentence against the state `at`.
+    ///
+    /// When tracing is armed, the per-outcome counter is a cached
+    /// [`HotCounter`](proof_trace::metrics::HotCounter) handle — this
+    /// runs once per tactic sentence, and the registry lookup (global
+    /// lock, map walk, key allocation) would otherwise dominate the
+    /// armed-tracing overhead budget.
     pub fn add(&mut self, at: StateId, tactic_src: &str) -> Result<AddOutcome, AddError> {
         if !proof_trace::enabled() {
             return self.add_inner(at, tactic_src);
         }
-        let mut sp = proof_trace::span("stm", "add");
+        // Hot path: one span per tactic sentence. Sampled (TRACE_SAMPLE)
+        // so an armed trace costs a fraction of full recording; the
+        // outcome counters below stay exact either way.
+        static SITE: proof_trace::SampleSite = proof_trace::SampleSite::new();
+        let mut sp = proof_trace::span_sampled(&SITE, "stm", "add");
         let result = self.add_inner(at, tactic_src);
         let outcome = match &result {
             Ok(o) if o.proved => "proved",
@@ -313,7 +352,7 @@ impl ProofSession {
             Err(e) => e.metric_label(),
         };
         sp.field_str("outcome", outcome);
-        proof_trace::metrics::counter_inc(&format!("stm.add.{outcome}"));
+        add_outcome_counter(outcome).inc();
         result
     }
 
@@ -504,7 +543,8 @@ impl ProofSession {
         if id.0 == 0 {
             return; // The root cannot be cancelled.
         }
-        let _sp = proof_trace::span("stm", "cancel");
+        static SITE: proof_trace::SampleSite = proof_trace::SampleSite::new();
+        let _sp = proof_trace::span_sampled(&SITE, "stm", "cancel");
         let mut dead = vec![id];
         while let Some(d) = dead.pop() {
             if let Some(e) = self.entries.get_mut(d.0 as usize) {

@@ -37,7 +37,7 @@ fn push_json_str(out: &mut String, s: &str) {
     out.push('"');
 }
 
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     push_json_str(&mut out, s);
     out
@@ -135,7 +135,88 @@ pub fn write_jsonl(
             buckets.join(",")
         )?;
     }
+    for r in &data.sampled {
+        writeln!(
+            w,
+            "{{\"t\":\"sampled\",\"phase\":{},\"parent_phase\":{},\"ns\":{},\"count\":{}}}",
+            json_str(&r.phase),
+            json_str(&r.parent_phase),
+            r.ns,
+            r.count
+        )?;
+    }
     w.flush()
+}
+
+/// Sanitizes a collapsed-stack frame label: `;` separates frames and the
+/// trailing space separates the value, so both are replaced.
+fn flame_frame(kind: &str, name: &str) -> String {
+    let raw = if name.is_empty() {
+        kind.to_string()
+    } else {
+        format!("{kind}:{name}")
+    };
+    raw.chars()
+        .map(|c| match c {
+            ';' | ' ' | '\n' | '\r' | '\t' => '_',
+            c => c,
+        })
+        .collect()
+}
+
+/// Renders spans as collapsed stacks (the `inferno` / `flamegraph.pl` /
+/// speedscope input format): one `frame;frame;frame value` line per
+/// distinct root-to-leaf path, value = **self time in microseconds**
+/// (duration minus recorded children), identical stacks merged, lines
+/// sorted so output is a function of the span data alone. Spans whose
+/// parent was dropped by the collector cap surface as roots.
+pub fn collapsed_stacks(spans: &[crate::SpanRec]) -> String {
+    use std::collections::BTreeMap;
+    use std::collections::HashMap;
+    let by_id: HashMap<u64, &crate::SpanRec> = spans.iter().map(|s| (s.id, s)).collect();
+    let mut child_ns: HashMap<u64, u64> = HashMap::new();
+    for s in spans {
+        if s.parent != 0 && by_id.contains_key(&s.parent) {
+            *child_ns.entry(s.parent).or_insert(0) += s.dur_ns;
+        }
+    }
+    let mut merged: BTreeMap<String, u64> = BTreeMap::new();
+    for s in spans {
+        let self_ns = s
+            .dur_ns
+            .saturating_sub(child_ns.get(&s.id).copied().unwrap_or(0));
+        let self_us = self_ns / 1_000;
+        if self_us == 0 {
+            continue;
+        }
+        let mut frames = vec![flame_frame(s.kind, &s.name)];
+        let mut cur = s.parent;
+        let mut hops = 0;
+        while cur != 0 && hops < 512 {
+            let Some(p) = by_id.get(&cur) else { break };
+            frames.push(flame_frame(p.kind, &p.name));
+            cur = p.parent;
+            hops += 1;
+        }
+        frames.reverse();
+        *merged.entry(frames.join(";")).or_insert(0) += self_us;
+    }
+    let mut out = String::new();
+    for (stack, us) in merged {
+        out.push_str(&stack);
+        out.push(' ');
+        out.push_str(&us.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes [`collapsed_stacks`] to a file.
+pub fn write_collapsed(path: impl AsRef<Path>, spans: &[crate::SpanRec]) -> std::io::Result<()> {
+    if let Some(dir) = path.as_ref().parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(path, collapsed_stacks(spans))
 }
 
 /// Writes Chrome trace-event JSON: thread-name metadata, one complete
@@ -257,6 +338,7 @@ mod tests {
                 fields: vec![],
             }],
             dropped: 0,
+            sampled: vec![],
         };
         let snap = MetricsSnapshot::default();
         let jsonl = dir.join("t.jsonl");

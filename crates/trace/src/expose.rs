@@ -1,0 +1,440 @@
+//! The live metrics endpoint: a `std::net::TcpListener` mini-server
+//! exposing the registry in Prometheus text exposition format v0.0.4.
+//!
+//! This is the scrape surface a resident proof server will inherit
+//! (ROADMAP open item 1): while a grid is running, `GET /metrics` returns
+//! every counter, gauge, and log₂ histogram (mapped to cumulative `le`
+//! buckets), plus collector health (`trace_collector_dropped_total` — the
+//! satellite contract that truncated traces are never silent) and the
+//! sampling residues. `GET /healthz` answers liveness probes and
+//! `GET /tracez` dumps the recent-span ring for a quick "what is it doing
+//! right now" look without draining the collector.
+//!
+//! The server is **off by default** (`--metrics-addr` / `METRICS_ADDR`
+//! arm it), runs on one detached thread, and only ever *reads*
+//! experiment state — the determinism contract in the crate docs applies:
+//! scraping a run must not perturb its primary output.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::metrics::{bucket_bounds, MetricsSnapshot, HIST_BUCKETS};
+use crate::SampledResidue;
+
+/// Content type of `/metrics`, per the exposition format spec.
+pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// Maps an internal metric name (dotted, dashed) onto the Prometheus name
+/// charset `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        if ok {
+            out.push(c);
+        } else if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Escapes a label value (backslash, quote, newline — per the spec).
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a [`MetricsSnapshot`] plus collector stats as Prometheus text
+/// exposition v0.0.4. Pure — golden and property tests call this
+/// directly; the server calls it with the live registry.
+///
+/// Histograms: bucket `i` of the registry covers `[2^(i-1), 2^i - 1]`, so
+/// its cumulative `le` bound is `2^i - 1`; the final bucket (values up to
+/// `u64::MAX`) renders as `le="+Inf"`, and `_count`/`_sum` come from the
+/// exact registry totals. Trailing all-zero buckets are elided (the
+/// cumulative count is already carried by `+Inf`).
+pub fn render_prometheus(
+    snap: &MetricsSnapshot,
+    dropped: u64,
+    stored: u64,
+    residues: &[SampledResidue],
+) -> String {
+    let mut out = String::new();
+    for (name, v) in &snap.counters {
+        let n = sanitize_name(name);
+        out.push_str(&format!("# TYPE {n} counter\n{n} {v}\n"));
+    }
+    for (name, v) in &snap.gauges {
+        let n = sanitize_name(name);
+        out.push_str(&format!("# TYPE {n} gauge\n{n} {v}\n"));
+    }
+    for (name, h) in &snap.hists {
+        let n = sanitize_name(name);
+        out.push_str(&format!("# TYPE {n} histogram\n"));
+        let buckets = &h.buckets;
+        let last_nonzero = buckets.iter().rposition(|&b| b != 0);
+        let mut cum = 0u64;
+        if let Some(last) = last_nonzero {
+            for (i, &b) in buckets.iter().enumerate().take(last + 1) {
+                if i == HIST_BUCKETS - 1 {
+                    break; // the final bucket is the +Inf line below
+                }
+                cum += b;
+                let le = bucket_bounds(i).1;
+                out.push_str(&format!("{n}_bucket{{le=\"{le}\"}} {cum}\n"));
+            }
+        }
+        out.push_str(&format!("{n}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+        out.push_str(&format!("{n}_sum {}\n", h.sum));
+        out.push_str(&format!("{n}_count {}\n", h.count));
+    }
+    out.push_str("# HELP trace_collector_dropped_total Trace records discarded at the collector cap; >0 means phase attribution is truncated.\n");
+    out.push_str("# TYPE trace_collector_dropped_total counter\n");
+    out.push_str(&format!("trace_collector_dropped_total {dropped}\n"));
+    out.push_str("# TYPE trace_collector_stored gauge\n");
+    out.push_str(&format!("trace_collector_stored {stored}\n"));
+    if !residues.is_empty() {
+        out.push_str("# TYPE trace_sampled_span_ns counter\n");
+        for r in residues {
+            out.push_str(&format!(
+                "trace_sampled_span_ns{{phase=\"{}\",parent=\"{}\"}} {}\n",
+                escape_label(&r.phase),
+                escape_label(&r.parent_phase),
+                r.ns
+            ));
+        }
+        out.push_str("# TYPE trace_sampled_spans_total counter\n");
+        for r in residues {
+            out.push_str(&format!(
+                "trace_sampled_spans_total{{phase=\"{}\",parent=\"{}\"}} {}\n",
+                escape_label(&r.phase),
+                escape_label(&r.parent_phase),
+                r.count
+            ));
+        }
+    }
+    out
+}
+
+/// Renders the live registry + collector state (what `GET /metrics`
+/// returns).
+pub fn scrape_body() -> String {
+    render_prometheus(
+        &crate::metrics::snapshot(),
+        crate::collect::dropped_so_far(),
+        crate::collect::stored_so_far(),
+        &crate::peek_residues(),
+    )
+}
+
+/// Validates Prometheus text exposition v0.0.4: line grammar, name
+/// charset, every sample preceded by a `# TYPE` for its family, histogram
+/// buckets cumulative/monotone ending in `+Inf` and agreeing with
+/// `_count`. The exposition conformance suite and the CI scrape smoke
+/// test both run scrapes through this.
+pub fn validate_exposition(text: &str) -> Result<(), String> {
+    use std::collections::BTreeMap;
+    fn name_ok(n: &str) -> bool {
+        let mut chars = n.chars();
+        match chars.next() {
+            Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+            _ => return false,
+        }
+        chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    }
+    fn value_ok(v: &str) -> bool {
+        matches!(v, "+Inf" | "-Inf" | "NaN") || v.parse::<f64>().is_ok()
+    }
+    // family name -> declared type
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    // histogram family -> (ordered (le, cumulative count), sum seen, count value)
+    let mut hist_buckets: BTreeMap<String, Vec<(String, u64)>> = BTreeMap::new();
+    let mut hist_count: BTreeMap<String, u64> = BTreeMap::new();
+    let mut hist_sum: BTreeMap<String, bool> = BTreeMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let at = |msg: &str| format!("line {}: {msg}: {line}", lineno + 1);
+        if line.is_empty() {
+            return Err(at("empty line"));
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            let mut parts = rest.splitn(3, ' ');
+            let keyword = parts.next().unwrap_or("");
+            match keyword {
+                "TYPE" => {
+                    let name = parts.next().ok_or_else(|| at("TYPE without name"))?;
+                    let ty = parts.next().ok_or_else(|| at("TYPE without type"))?;
+                    if !name_ok(name) {
+                        return Err(at("bad metric name in TYPE"));
+                    }
+                    if !matches!(
+                        ty,
+                        "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                    ) {
+                        return Err(at("unknown metric type"));
+                    }
+                    if types.insert(name.to_string(), ty.to_string()).is_some() {
+                        return Err(at("duplicate TYPE declaration"));
+                    }
+                }
+                "HELP" => {}
+                _ => return Err(at("unknown comment keyword")),
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            return Err(at("comment without space"));
+        }
+        // Sample line: name[{labels}] value
+        let (name_part, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| at("sample missing value"))?;
+        if !value_ok(value) {
+            return Err(at("unparseable sample value"));
+        }
+        let (name, labels) = match name_part.split_once('{') {
+            Some((n, rest)) => {
+                let rest = rest
+                    .strip_suffix('}')
+                    .ok_or_else(|| at("unclosed label set"))?;
+                (n, Some(rest))
+            }
+            None => (name_part, None),
+        };
+        if !name_ok(name) {
+            return Err(at("bad sample metric name"));
+        }
+        // The family a sample belongs to: strip histogram suffixes.
+        let family = ["_bucket", "_sum", "_count"]
+            .iter()
+            .find_map(|suf| {
+                name.strip_suffix(suf)
+                    .filter(|f| types.get(*f).map(String::as_str) == Some("histogram"))
+            })
+            .unwrap_or(name);
+        if !types.contains_key(family) {
+            return Err(at("sample with no preceding TYPE"));
+        }
+        if types.get(family).map(String::as_str) == Some("histogram") {
+            if let Some(bare) = name.strip_suffix("_bucket") {
+                if bare == family {
+                    let labels = labels.ok_or_else(|| at("bucket without le label"))?;
+                    let le = labels
+                        .split(',')
+                        .find_map(|l| l.strip_prefix("le=\""))
+                        .and_then(|l| l.strip_suffix('"'))
+                        .ok_or_else(|| at("bucket without le label"))?;
+                    let v: u64 = value
+                        .parse()
+                        .map_err(|_| at("bucket count not an integer"))?;
+                    hist_buckets
+                        .entry(family.to_string())
+                        .or_default()
+                        .push((le.to_string(), v));
+                }
+            } else if name.strip_suffix("_count") == Some(family) {
+                let v: u64 = value.parse().map_err(|_| at("count not an integer"))?;
+                hist_count.insert(family.to_string(), v);
+            } else if name.strip_suffix("_sum") == Some(family) {
+                hist_sum.insert(family.to_string(), true);
+            }
+        }
+    }
+    for (family, buckets) in &hist_buckets {
+        let mut prev = 0u64;
+        let mut prev_le = -1.0f64;
+        for (le, cum) in buckets {
+            if *cum < prev {
+                return Err(format!("{family}: bucket counts not cumulative"));
+            }
+            prev = *cum;
+            let le_v = if le == "+Inf" {
+                f64::INFINITY
+            } else {
+                le.parse::<f64>()
+                    .map_err(|_| format!("{family}: unparseable le bound {le}"))?
+            };
+            if le_v <= prev_le {
+                return Err(format!("{family}: le bounds not increasing"));
+            }
+            prev_le = le_v;
+        }
+        match buckets.last() {
+            Some((le, cum)) if le == "+Inf" => {
+                if hist_count.get(family) != Some(cum) {
+                    return Err(format!("{family}: +Inf bucket disagrees with _count"));
+                }
+            }
+            _ => return Err(format!("{family}: buckets do not end in +Inf")),
+        }
+        if !hist_sum.contains_key(family) {
+            return Err(format!("{family}: missing _sum"));
+        }
+        if !hist_count.contains_key(family) {
+            return Err(format!("{family}: missing _count"));
+        }
+    }
+    Ok(())
+}
+
+/// A running exposition server. Keep the handle alive for the lifetime of
+/// the scrape surface; [`stop`](ServerHandle::stop) shuts it down.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the server thread.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept call.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+        crate::collect::set_ring_enabled(false);
+    }
+}
+
+fn http_response(status: &str, content_type: &str, body: &str) -> Vec<u8> {
+    format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+fn tracez_body() -> String {
+    let spans = crate::collect::recent_spans();
+    let mut out = format!(
+        "recent spans: {} (ring) | stored: {} | dropped: {}\n",
+        spans.len(),
+        crate::collect::stored_so_far(),
+        crate::collect::dropped_so_far()
+    );
+    for s in &spans {
+        out.push_str(&format!(
+            "{:>14}ns +{:>12}ns tid={} id={} parent={} {}",
+            s.start_ns, s.dur_ns, s.tid, s.id, s.parent, s.kind
+        ));
+        if !s.name.is_empty() {
+            out.push_str(&format!(" {}", s.name));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn handle_conn(mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+    // Read until end of headers (or 8 KiB, whichever first).
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 8192 {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let request_line = buf
+        .split(|&b| b == b'\r' || b == b'\n')
+        .next()
+        .map(|l| String::from_utf8_lossy(l).to_string())
+        .unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let response = if method != "GET" {
+        http_response("405 Method Not Allowed", "text/plain", "GET only\n")
+    } else {
+        match path {
+            "/metrics" => http_response("200 OK", CONTENT_TYPE, &scrape_body()),
+            "/healthz" => http_response("200 OK", "text/plain", "ok\n"),
+            "/tracez" => http_response("200 OK", "text/plain", &tracez_body()),
+            _ => http_response("404 Not Found", "text/plain", "not found\n"),
+        }
+    };
+    let _ = stream.write_all(&response);
+    let _ = stream.flush();
+}
+
+/// Binds `addr` (e.g. `127.0.0.1:9464`; port 0 picks a free port) and
+/// serves `/metrics`, `/healthz`, and `/tracez` on a detached thread.
+/// Also arms the recent-span ring so `/tracez` has content.
+pub fn serve(addr: impl ToSocketAddrs) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = Arc::clone(&stop);
+    crate::collect::set_ring_enabled(true);
+    let thread = std::thread::Builder::new()
+        .name("trace-expose".to_string())
+        .spawn(move || {
+            for conn in listener.incoming() {
+                if stop_flag.load(Ordering::SeqCst) {
+                    break;
+                }
+                if let Ok(stream) = conn {
+                    handle_conn(stream);
+                }
+            }
+        })
+        .expect("spawn exposition server thread");
+    Ok(ServerHandle {
+        addr,
+        stop,
+        thread: Some(thread),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitize_maps_to_charset() {
+        assert_eq!(sanitize_name("stm.add.ok"), "stm_add_ok");
+        assert_eq!(sanitize_name("a-b c"), "a_b_c");
+        assert_eq!(sanitize_name("9lives"), "_9lives");
+        assert_eq!(sanitize_name(""), "_");
+    }
+
+    #[test]
+    fn empty_snapshot_renders_collector_stats_only() {
+        let text = render_prometheus(&MetricsSnapshot::default(), 3, 7, &[]);
+        assert!(text.contains("trace_collector_dropped_total 3\n"));
+        assert!(text.contains("trace_collector_stored 7\n"));
+        validate_exposition(&text).unwrap();
+    }
+}

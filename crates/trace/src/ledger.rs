@@ -1,0 +1,683 @@
+//! The append-only run ledger: one line per bench-bin run, forever.
+//!
+//! `BENCH_eval.json` is a *snapshot* — every run overwrites it, so the
+//! perf trajectory across commits is invisible. The ledger fixes that:
+//! every bench bin appends one [`RunRecord`] (git sha, corpus content
+//! hash, throughput, proved fraction, cache and fault counters, per-phase
+//! self time) to `telemetry/RUNS.jsonl` and never rewrites history. The
+//! `radar` bin reads it back and runs a changepoint test over the last-k
+//! runs of each series ([`crate::radar`]).
+//!
+//! Crash safety reuses the `metrics::journal` torn-tail discipline: each
+//! line is an envelope `{"ev":"run","v":N,"checksum":...,"payload":...}`
+//! whose payload rides as an FNV-1a-checksummed escaped JSON string; an
+//! append first terminates a torn final line, and the loader skips any
+//! line that fails to parse or checksum. A crash can cost at most the one
+//! record being written, never the ledger.
+//!
+//! This crate is dependency-free, so the module carries its own small
+//! recursive-descent JSON parser — enough to read back what it writes
+//! (and any hand-edited record that is still valid JSON).
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use crate::export::json_str;
+
+/// Ledger envelope schema version.
+pub const LEDGER_SCHEMA: u64 = 1;
+
+/// Default ledger path, relative to the repo root.
+pub const DEFAULT_LEDGER_PATH: &str = "telemetry/RUNS.jsonl";
+
+/// FNV-1a over a byte string (same parameters as `metrics::journal`; the
+/// trace crate is dependency-free so it carries its own copy).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// One bench-bin run, as the ledger records it.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunRecord {
+    /// Seconds since the Unix epoch when the record was appended.
+    pub ts_unix: u64,
+    /// The bench binary (`table2`, `perf_gate`, `gen`, `incr`,
+    /// `trace_overhead`, …).
+    pub bin: String,
+    /// Run label within the bin (cell lineup, subcommand).
+    pub label: String,
+    /// Variant tag — the series key alongside `bin` (e.g. `perf-gate`,
+    /// `gen:<fingerprint>`); empty for the default lineup.
+    pub variant: String,
+    /// `git rev-parse --short=12 HEAD` at run time (or `GIT_SHA`,
+    /// or `unknown`).
+    pub git_sha: String,
+    /// Content hash of the corpus/environment the run evaluated.
+    pub corpus_hash: String,
+    /// Cell-level worker parallelism.
+    pub jobs: u64,
+    /// Theorem evaluations across all cells of the run.
+    pub theorems: u64,
+    /// How many of them ended `proved`.
+    pub proved: u64,
+    /// End-to-end wall time of the measured work, milliseconds.
+    pub wall_ms: f64,
+    /// Aggregate throughput (theorems / wall seconds).
+    pub thm_per_sec: f64,
+    /// Cells served from the cell cache.
+    pub cache_hits: u64,
+    /// Cells computed (cache miss, journal replay, or fresh).
+    pub cache_misses: u64,
+    /// Injected oracle faults observed (`search.oracle_faults`).
+    pub oracle_faults: u64,
+    /// Oracle retries performed (`search.oracle_retries`).
+    pub oracle_retries: u64,
+    /// Trace records dropped at the collector cap (0 when untraced).
+    pub dropped_spans: u64,
+    /// Extra named counters worth trending (interner dedup stats, …).
+    pub counters: BTreeMap<String, u64>,
+    /// Per-phase self time in milliseconds, rolled up from the trace
+    /// (empty when the run was untraced).
+    pub phase_self_ms: BTreeMap<String, f64>,
+}
+
+impl RunRecord {
+    /// Proved fraction (0 when the run evaluated nothing).
+    pub fn proved_fraction(&self) -> f64 {
+        if self.theorems == 0 {
+            0.0
+        } else {
+            self.proved as f64 / self.theorems as f64
+        }
+    }
+
+    /// The series this record belongs to: `bin` plus the variant tag.
+    pub fn series(&self) -> String {
+        if self.variant.is_empty() {
+            self.bin.clone()
+        } else {
+            format!("{}/{}", self.bin, self.variant)
+        }
+    }
+
+    /// Serializes the record as a single JSON line (the envelope payload).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let push_field = |out: &mut String, key: &str, value: String| {
+            if out.len() > 1 {
+                out.push(',');
+            }
+            out.push_str(&json_str(key));
+            out.push(':');
+            out.push_str(&value);
+        };
+        push_field(&mut out, "ts_unix", self.ts_unix.to_string());
+        push_field(&mut out, "bin", json_str(&self.bin));
+        push_field(&mut out, "label", json_str(&self.label));
+        push_field(&mut out, "variant", json_str(&self.variant));
+        push_field(&mut out, "git_sha", json_str(&self.git_sha));
+        push_field(&mut out, "corpus_hash", json_str(&self.corpus_hash));
+        push_field(&mut out, "jobs", self.jobs.to_string());
+        push_field(&mut out, "theorems", self.theorems.to_string());
+        push_field(&mut out, "proved", self.proved.to_string());
+        push_field(&mut out, "wall_ms", fmt_f64(self.wall_ms));
+        push_field(&mut out, "thm_per_sec", fmt_f64(self.thm_per_sec));
+        push_field(&mut out, "cache_hits", self.cache_hits.to_string());
+        push_field(&mut out, "cache_misses", self.cache_misses.to_string());
+        push_field(&mut out, "oracle_faults", self.oracle_faults.to_string());
+        push_field(&mut out, "oracle_retries", self.oracle_retries.to_string());
+        push_field(&mut out, "dropped_spans", self.dropped_spans.to_string());
+        let mut counters = String::from("{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                counters.push(',');
+            }
+            counters.push_str(&json_str(k));
+            counters.push(':');
+            counters.push_str(&v.to_string());
+        }
+        counters.push('}');
+        push_field(&mut out, "counters", counters);
+        let mut phases = String::from("{");
+        for (i, (k, v)) in self.phase_self_ms.iter().enumerate() {
+            if i > 0 {
+                phases.push(',');
+            }
+            phases.push_str(&json_str(k));
+            phases.push(':');
+            phases.push_str(&fmt_f64(*v));
+        }
+        phases.push('}');
+        push_field(&mut out, "phase_self_ms", phases);
+        out.push('}');
+        out
+    }
+
+    /// Parses a record from its JSON form. Unknown fields are ignored and
+    /// missing fields default, so old readers survive new writers and
+    /// vice versa.
+    pub fn from_json(text: &str) -> Option<RunRecord> {
+        let Json::Obj(fields) = parse_json(text).ok()? else {
+            return None;
+        };
+        let mut r = RunRecord::default();
+        for (k, v) in fields {
+            match (k.as_str(), v) {
+                ("ts_unix", Json::Num(n)) => r.ts_unix = n as u64,
+                ("bin", Json::Str(s)) => r.bin = s,
+                ("label", Json::Str(s)) => r.label = s,
+                ("variant", Json::Str(s)) => r.variant = s,
+                ("git_sha", Json::Str(s)) => r.git_sha = s,
+                ("corpus_hash", Json::Str(s)) => r.corpus_hash = s,
+                ("jobs", Json::Num(n)) => r.jobs = n as u64,
+                ("theorems", Json::Num(n)) => r.theorems = n as u64,
+                ("proved", Json::Num(n)) => r.proved = n as u64,
+                ("wall_ms", Json::Num(n)) => r.wall_ms = n,
+                ("thm_per_sec", Json::Num(n)) => r.thm_per_sec = n,
+                ("cache_hits", Json::Num(n)) => r.cache_hits = n as u64,
+                ("cache_misses", Json::Num(n)) => r.cache_misses = n as u64,
+                ("oracle_faults", Json::Num(n)) => r.oracle_faults = n as u64,
+                ("oracle_retries", Json::Num(n)) => r.oracle_retries = n as u64,
+                ("dropped_spans", Json::Num(n)) => r.dropped_spans = n as u64,
+                ("counters", Json::Obj(m)) => {
+                    for (ck, cv) in m {
+                        if let Json::Num(n) = cv {
+                            r.counters.insert(ck, n as u64);
+                        }
+                    }
+                }
+                ("phase_self_ms", Json::Obj(m)) => {
+                    for (pk, pv) in m {
+                        if let Json::Num(n) = pv {
+                            r.phase_self_ms.insert(pk, n);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        Some(r)
+    }
+}
+
+/// Shortest-faithful float formatting for the ledger (finite; NaN and
+/// infinities write as 0 — no run metric legitimately produces them).
+fn fmt_f64(v: f64) -> String {
+    if !v.is_finite() {
+        return "0".to_string();
+    }
+    let s = format!("{v}");
+    // `{}` on f64 is already round-trip shortest in Rust.
+    s
+}
+
+/// Seconds since the Unix epoch, 0 if the clock is before it.
+pub fn unix_now() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+/// The current commit's short sha: `GIT_SHA` env override (CI sets it),
+/// else `git rev-parse --short=12 HEAD`, else `unknown`.
+pub fn git_sha() -> String {
+    if let Ok(sha) = std::env::var("GIT_SHA") {
+        let sha = sha.trim().to_string();
+        if !sha.is_empty() {
+            return sha;
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// The append-only run ledger at a fixed path.
+#[derive(Debug, Clone)]
+pub struct Ledger {
+    path: PathBuf,
+}
+
+impl Ledger {
+    /// A ledger at `path`. Nothing is created until the first append.
+    pub fn at(path: impl Into<PathBuf>) -> Ledger {
+        Ledger { path: path.into() }
+    }
+
+    /// The ledger honored by bench bins: `LEDGER_PATH` env override, else
+    /// [`DEFAULT_LEDGER_PATH`].
+    pub fn from_env() -> Ledger {
+        let path = std::env::var("LEDGER_PATH")
+            .ok()
+            .filter(|p| !p.trim().is_empty())
+            .unwrap_or_else(|| DEFAULT_LEDGER_PATH.to_string());
+        Ledger::at(path)
+    }
+
+    /// The ledger's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one record. Best-effort (the ledger must never take down
+    /// the run it observes); returns whether the write succeeded.
+    pub fn append(&self, record: &RunRecord) -> bool {
+        let payload = record.to_json();
+        let line = format!(
+            "{{\"ev\":\"run\",\"v\":{LEDGER_SCHEMA},\"checksum\":\"{:016x}\",\"payload\":{}}}",
+            fnv1a(payload.as_bytes()),
+            json_str(&payload)
+        );
+        if let Some(dir) = self.path.parent() {
+            if !dir.as_os_str().is_empty() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+        }
+        // Torn-tail repair, exactly as metrics::journal: a process that
+        // died mid-write leaves no trailing newline; terminate that line
+        // first or this record would merge into it and both would be lost.
+        let needs_repair = std::fs::read(&self.path)
+            .map(|bytes| !bytes.is_empty() && bytes.last() != Some(&b'\n'))
+            .unwrap_or(false);
+        let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)
+        else {
+            return false;
+        };
+        if needs_repair && writeln!(f).is_err() {
+            return false;
+        }
+        writeln!(f, "{line}").is_ok()
+    }
+
+    /// Loads every valid record, in file (= chronological) order. Missing
+    /// file yields the empty ledger; unparseable or checksum-failing
+    /// lines are skipped.
+    pub fn load(&self) -> Vec<RunRecord> {
+        let Ok(text) = std::fs::read_to_string(&self.path) else {
+            return Vec::new();
+        };
+        let mut records = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let Ok(Json::Obj(fields)) = parse_json(line) else {
+                continue;
+            };
+            let get = |name: &str| fields.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+            if get("ev").and_then(Json::as_str) != Some("run") {
+                continue;
+            }
+            let Some(payload) = get("payload").and_then(Json::as_str) else {
+                continue;
+            };
+            let Some(stored) = get("checksum").and_then(Json::as_str) else {
+                continue;
+            };
+            if format!("{:016x}", fnv1a(payload.as_bytes())) != stored {
+                continue;
+            }
+            if let Some(r) = RunRecord::from_json(payload) {
+                records.push(r);
+            }
+        }
+        records
+    }
+}
+
+// ---------------------------------------------------------------------------
+// A minimal JSON value + recursive-descent parser (read path only; the
+// write path is the hand-rolled serializer above, as everywhere else in
+// this crate).
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (f64 is exact for every magnitude the ledger writes).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, insertion-ordered.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a complete JSON document (trailing content is an error).
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        b: text.as_bytes(),
+        i: 0,
+    };
+    p.ws();
+    let v = p.value()?;
+    p.ws();
+    if p.i != p.b.len() {
+        return Err(format!("trailing content at byte {}", p.i));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn ws(&mut self) {
+        while self.i < self.b.len() && matches!(self.b[self.i], b' ' | b'\t' | b'\n' | b'\r') {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", c as char, self.i))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Json) -> Result<Json, String> {
+        if self.b[self.i..].starts_with(lit.as_bytes()) {
+            self.i += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.i))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(format!("unexpected byte at {}", self.i)),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.ws();
+            let key = self.string()?;
+            self.ws();
+            self.expect(b':')?;
+            self.ws();
+            let v = self.value()?;
+            fields.push((key, v));
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected `,` or `}}` at byte {}", self.i)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.ws();
+            items.push(self.value()?);
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected `,` or `]` at byte {}", self.i)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(c) = self.peek() else {
+                return Err("unterminated string".to_string());
+            };
+            self.i += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err("unterminated escape".to_string());
+                    };
+                    self.i += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let cp = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: require \uXXXX low half.
+                                if self.b[self.i..].starts_with(b"\\u") {
+                                    self.i += 2;
+                                    let lo = self.hex4()?;
+                                    if (0xDC00..0xE000).contains(&lo) {
+                                        0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                                    } else {
+                                        0xFFFD
+                                    }
+                                } else {
+                                    0xFFFD
+                                }
+                            } else if (0xDC00..0xE000).contains(&hi) {
+                                0xFFFD
+                            } else {
+                                hi
+                            };
+                            out.push(char::from_u32(cp).unwrap_or('\u{FFFD}'));
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.i)),
+                    }
+                }
+                c if c < 0x20 => return Err("control byte in string".to_string()),
+                c if c < 0x80 => out.push(c as char),
+                _ => {
+                    // Multi-byte UTF-8: the input is a &str, so the bytes
+                    // are valid — find the char that starts one byte back.
+                    let start = self.i - 1;
+                    let mut end = self.i;
+                    while end < self.b.len() && (self.b[end] & 0xC0) == 0x80 {
+                        end += 1;
+                    }
+                    let s = std::str::from_utf8(&self.b[start..end])
+                        .map_err(|_| "invalid utf-8".to_string())?;
+                    out.push_str(s);
+                    self.i = end;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        if self.i + 4 > self.b.len() {
+            return Err("short \\u escape".to_string());
+        }
+        let s = std::str::from_utf8(&self.b[self.i..self.i + 4])
+            .map_err(|_| "bad \\u escape".to_string())?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| "bad \\u escape".to_string())?;
+        self.i += 4;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.i;
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.i += 1;
+        }
+        let s = std::str::from_utf8(&self.b[start..self.i]).map_err(|_| "bad number")?;
+        s.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("bad number `{s}` at byte {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunRecord {
+        RunRecord {
+            ts_unix: 1_754_000_000,
+            bin: "table2".into(),
+            label: "grid \"quoted\"".into(),
+            variant: String::new(),
+            git_sha: "abc123def456".into(),
+            corpus_hash: "0011223344556677".into(),
+            jobs: 2,
+            theorems: 294,
+            proved: 106,
+            wall_ms: 3120.5,
+            thm_per_sec: 94.23,
+            cache_hits: 3,
+            cache_misses: 7,
+            oracle_faults: 0,
+            oracle_retries: 0,
+            dropped_spans: 0,
+            counters: [("intern.hits".to_string(), 42u64)].into_iter().collect(),
+            phase_self_ms: [("oracle".to_string(), 1200.25)].into_iter().collect(),
+        }
+    }
+
+    fn temp_ledger(name: &str) -> Ledger {
+        let p = std::env::temp_dir().join(format!("ledger-test-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        Ledger::at(p)
+    }
+
+    #[test]
+    fn record_roundtrips() {
+        let r = sample();
+        let parsed = RunRecord::from_json(&r.to_json()).unwrap();
+        assert_eq!(r, parsed);
+    }
+
+    #[test]
+    fn append_load_roundtrip_and_torn_tail() {
+        let l = temp_ledger("roundtrip");
+        assert!(l.append(&sample()));
+        let mut second = sample();
+        second.bin = "perf_gate".into();
+        assert!(l.append(&second));
+        assert_eq!(l.load().len(), 2);
+        // Tear the last line mid-write; the first record must survive and
+        // the next append must repair the tail.
+        let text = std::fs::read_to_string(l.path()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        std::fs::write(
+            l.path(),
+            format!("{}\n{}", lines[0], &lines[1][..lines[1].len() / 2]),
+        )
+        .unwrap();
+        assert_eq!(l.load().len(), 1);
+        assert!(l.append(&sample()));
+        let loaded = l.load();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded[0].bin, "table2");
+        let _ = std::fs::remove_file(l.path());
+    }
+
+    #[test]
+    fn checksum_mismatch_is_skipped() {
+        let l = temp_ledger("checksum");
+        l.append(&sample());
+        let text = std::fs::read_to_string(l.path()).unwrap();
+        let tampered = text.replacen("\"checksum\":\"", "\"checksum\":\"f", 1);
+        assert_ne!(tampered, text);
+        std::fs::write(l.path(), tampered).unwrap();
+        assert!(l.load().is_empty());
+        let _ = std::fs::remove_file(l.path());
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_nesting() {
+        let v =
+            parse_json(r#"{"a":[1,2.5,-3e2],"b":"q\"\\\nA😀","c":{"d":null,"e":true}}"#).unwrap();
+        let Json::Obj(fields) = v else { panic!() };
+        assert_eq!(
+            fields[0].1,
+            Json::Arr(vec![Json::Num(1.0), Json::Num(2.5), Json::Num(-300.0)])
+        );
+        assert_eq!(fields[1].1, Json::Str("q\"\\\nA😀".to_string()));
+    }
+
+    #[test]
+    fn series_key_includes_variant() {
+        let mut r = sample();
+        assert_eq!(r.series(), "table2");
+        r.variant = "perf-gate".into();
+        assert_eq!(r.series(), "table2/perf-gate");
+    }
+}

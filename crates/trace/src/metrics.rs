@@ -215,21 +215,31 @@ fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 }
 
 impl Registry {
-    /// The counter named `name`, created on first use.
+    /// The counter named `name`, created on first use. The hit path
+    /// allocates nothing (the owned key is only built on first insert).
     pub fn counter(&self, name: &str) -> Arc<Counter> {
         let mut map = lock_recover(&self.counters);
+        if let Some(c) = map.get(name) {
+            return Arc::clone(c);
+        }
         Arc::clone(map.entry(name.to_string()).or_default())
     }
 
     /// The gauge named `name`, created on first use.
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
         let mut map = lock_recover(&self.gauges);
+        if let Some(g) = map.get(name) {
+            return Arc::clone(g);
+        }
         Arc::clone(map.entry(name.to_string()).or_default())
     }
 
     /// The histogram named `name`, created on first use.
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
         let mut map = lock_recover(&self.hists);
+        if let Some(h) = map.get(name) {
+            return Arc::clone(h);
+        }
         Arc::clone(map.entry(name.to_string()).or_default())
     }
 
@@ -251,11 +261,63 @@ impl Registry {
         }
     }
 
-    /// Drops every metric (tests and between-grid resets).
+    /// Drops every metric (tests and between-grid resets). Bumps the
+    /// reset generation so every [`HotCounter`] re-resolves its handle.
     pub fn reset(&self) {
         lock_recover(&self.counters).clear();
         lock_recover(&self.gauges).clear();
         lock_recover(&self.hists).clear();
+        RESET_GEN.fetch_add(1, Ordering::Release);
+    }
+}
+
+/// Bumped on every [`Registry::reset`]; [`HotCounter`] compares it to
+/// decide whether a cached handle still points into the live registry.
+static RESET_GEN: AtomicU64 = AtomicU64::new(0);
+
+/// A counter handle cached at the call site: the registry lookup (global
+/// lock + map walk) runs once per process, not once per increment, while
+/// [`Registry::reset`] still invalidates the cache so counts never land in
+/// an orphaned slot. Declare `static` at hot sites whose label is fixed:
+///
+/// ```
+/// use proof_trace::metrics::HotCounter;
+/// static HITS: HotCounter = HotCounter::new("cache.hits");
+/// HITS.inc();
+/// assert_eq!(proof_trace::metrics::snapshot().counters["cache.hits"], 1);
+/// ```
+pub struct HotCounter {
+    name: &'static str,
+    slot: Mutex<Option<(u64, Arc<Counter>)>>,
+}
+
+impl HotCounter {
+    /// A fresh unresolved handle (usable in `static` position).
+    pub const fn new(name: &'static str) -> HotCounter {
+        HotCounter {
+            name,
+            slot: Mutex::new(None),
+        }
+    }
+
+    /// Adds `n` to the named counter, resolving (or re-resolving after a
+    /// registry reset) the handle if needed.
+    pub fn add(&self, n: u64) {
+        let generation = RESET_GEN.load(Ordering::Acquire);
+        let mut slot = lock_recover(&self.slot);
+        match slot.as_ref() {
+            Some((cached_gen, c)) if *cached_gen == generation => c.add(n),
+            _ => {
+                let c = registry().counter(self.name);
+                c.add(n);
+                *slot = Some((generation, c));
+            }
+        }
+    }
+
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
     }
 }
 
@@ -316,6 +378,18 @@ mod tests {
             assert_eq!(bucket_of(lo), i, "lo bound of bucket {i}");
             assert_eq!(bucket_of(hi), i, "hi bound of bucket {i}");
         }
+    }
+
+    #[test]
+    fn hot_counter_survives_registry_reset() {
+        static HOT: HotCounter = HotCounter::new("test.hot_counter");
+        HOT.add(3);
+        assert_eq!(registry().counter("test.hot_counter").get(), 3);
+        registry().reset();
+        // The cached handle is stale now; the next add must re-resolve
+        // into the fresh registry rather than increment the orphan.
+        HOT.inc();
+        assert_eq!(registry().counter("test.hot_counter").get(), 1);
     }
 
     #[test]

@@ -1,0 +1,200 @@
+//! Prometheus text-exposition conformance: a golden rendering, property
+//! tests over arbitrary histograms (cumulative/monotone `le` buckets that
+//! partition the `u64` range), and a live round-trip against the real
+//! HTTP endpoint on an ephemeral port.
+
+use proof_trace::expose::{render_prometheus, sanitize_name, validate_exposition};
+use proof_trace::metrics::{bucket_bounds, HistData, MetricsSnapshot, HIST_BUCKETS};
+use proof_trace::SampledResidue;
+use proptest::prelude::*;
+
+fn hist_from_buckets(buckets: Vec<u64>) -> HistData {
+    let count = buckets.iter().sum();
+    // The exposition only reads buckets/count/sum; a synthetic sum is
+    // fine for grammar checks.
+    HistData {
+        buckets,
+        count,
+        sum: count * 3,
+    }
+}
+
+#[test]
+fn golden_exposition() {
+    let mut snap = MetricsSnapshot::default();
+    snap.counters.insert("search.oracle_faults".into(), 4);
+    snap.gauges.insert("intern.arena_bytes".into(), 1024);
+    let mut buckets = vec![0u64; HIST_BUCKETS];
+    buckets[0] = 2; // bucket 0 covers exactly the value 0 (le="0")
+    buckets[3] = 5; // bucket 3 covers [4, 7] (le="7")
+    snap.hists
+        .insert("oracle.latency_ns".into(), hist_from_buckets(buckets));
+    let residues = vec![SampledResidue {
+        phase: "stm".into(),
+        parent_phase: "cell".into(),
+        ns: 123456,
+        count: 42,
+    }];
+    let text = render_prometheus(&snap, 7, 99, &residues);
+    let expected = "\
+# TYPE search_oracle_faults counter
+search_oracle_faults 4
+# TYPE intern_arena_bytes gauge
+intern_arena_bytes 1024
+# TYPE oracle_latency_ns histogram
+oracle_latency_ns_bucket{le=\"0\"} 2
+oracle_latency_ns_bucket{le=\"1\"} 2
+oracle_latency_ns_bucket{le=\"3\"} 2
+oracle_latency_ns_bucket{le=\"7\"} 7
+oracle_latency_ns_bucket{le=\"+Inf\"} 7
+oracle_latency_ns_sum 21
+oracle_latency_ns_count 7
+# HELP trace_collector_dropped_total Trace records discarded at the collector cap; >0 means phase attribution is truncated.
+# TYPE trace_collector_dropped_total counter
+trace_collector_dropped_total 7
+# TYPE trace_collector_stored gauge
+trace_collector_stored 99
+# TYPE trace_sampled_span_ns counter
+trace_sampled_span_ns{phase=\"stm\",parent=\"cell\"} 123456
+# TYPE trace_sampled_spans_total counter
+trace_sampled_spans_total{phase=\"stm\",parent=\"cell\"} 42
+";
+    assert_eq!(text, expected);
+    validate_exposition(&text).unwrap();
+}
+
+#[test]
+fn bucket_bounds_partition_u64() {
+    // The log2 buckets must tile [0, u64::MAX] with no gap or overlap:
+    // bucket i+1 starts exactly one past bucket i's upper bound.
+    let (lo0, _) = bucket_bounds(0);
+    assert_eq!(lo0, 0);
+    for i in 0..HIST_BUCKETS - 1 {
+        let (_, hi) = bucket_bounds(i);
+        let (lo_next, _) = bucket_bounds(i + 1);
+        assert_eq!(
+            lo_next,
+            hi + 1,
+            "gap/overlap between bucket {i} and {}",
+            i + 1
+        );
+    }
+    let (_, hi_last) = bucket_bounds(HIST_BUCKETS - 1);
+    assert_eq!(hi_last, u64::MAX);
+}
+
+#[test]
+fn sanitize_rejects_nothing_valid() {
+    assert_eq!(sanitize_name("oracle.latency_ns"), "oracle_latency_ns");
+    assert_eq!(sanitize_name("9lives"), "_9lives");
+    let s = sanitize_name("weird name-with:stuff");
+    assert!(s
+        .chars()
+        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'));
+}
+
+/// Extracts the `le → cumulative` pairs of one histogram family from an
+/// exposition, in document order.
+fn bucket_lines(text: &str, family: &str) -> Vec<(String, u64)> {
+    text.lines()
+        .filter_map(|l| {
+            let rest = l.strip_prefix(&format!("{family}_bucket{{le=\""))?;
+            let (le, tail) = rest.split_once("\"}")?;
+            Some((le.to_string(), tail.trim().parse().ok()?))
+        })
+        .collect()
+}
+
+proptest! {
+    /// Any histogram renders to a conformant exposition whose buckets are
+    /// cumulative, monotone, and end at `+Inf` = `_count`.
+    #[test]
+    fn histograms_render_cumulative_and_monotone(
+        raw in proptest::collection::vec(0u64..1000, 1..HIST_BUCKETS),
+        dropped in 0u64..100,
+        stored in 0u64..10_000,
+    ) {
+        let mut buckets = vec![0u64; HIST_BUCKETS];
+        for (i, v) in raw.iter().enumerate() {
+            buckets[i] = *v;
+        }
+        let total: u64 = buckets.iter().sum();
+        let mut snap = MetricsSnapshot::default();
+        snap.hists.insert("t.h".into(), hist_from_buckets(buckets.clone()));
+        let text = render_prometheus(&snap, dropped, stored, &[]);
+        prop_assert!(validate_exposition(&text).is_ok(), "invalid: {:?}\n{text}", validate_exposition(&text));
+
+        let lines = bucket_lines(&text, "t_h");
+        prop_assert!(!lines.is_empty());
+        // Monotone non-decreasing, +Inf last and equal to the count.
+        for w in lines.windows(2) {
+            prop_assert!(w[1].1 >= w[0].1, "non-monotone: {w:?}");
+        }
+        let (last_le, last_cum) = lines.last().unwrap();
+        prop_assert_eq!(last_le.as_str(), "+Inf");
+        prop_assert_eq!(*last_cum, total);
+        // Each finite le matches the true cumulative sum at its bucket
+        // boundary — the rendering really is cumulative, not per-bucket.
+        for (le, cum) in &lines {
+            if le == "+Inf" { continue; }
+            let bound: u64 = le.parse().unwrap();
+            let idx = (0..HIST_BUCKETS).find(|&i| bucket_bounds(i).1 == bound).unwrap();
+            let want: u64 = buckets[..=idx].iter().sum();
+            prop_assert_eq!(*cum, want, "le={le}");
+        }
+    }
+
+    /// Residue labels never break the exposition grammar, whatever the
+    /// phase strings contain.
+    #[test]
+    fn residue_labels_always_escape(
+        phase in ".*",
+        parent in ".*",
+        ns in 0u64..u64::MAX,
+        count in 1u64..u64::MAX,
+    ) {
+        let residues = vec![SampledResidue { phase, parent_phase: parent, ns, count }];
+        let text = render_prometheus(&MetricsSnapshot::default(), 0, 0, &residues);
+        prop_assert!(validate_exposition(&text).is_ok(), "{:?}", validate_exposition(&text));
+    }
+}
+
+#[test]
+fn live_endpoint_round_trip() {
+    // Bind an ephemeral port, drive real traffic through a TcpStream, and
+    // hold the whole response to the conformance validator.
+    use std::io::{Read, Write};
+    let handle = proof_trace::expose::serve("127.0.0.1:0").expect("bind");
+    let addr = handle.addr();
+
+    let get = |path: &str| -> (String, String) {
+        let mut s = std::net::TcpStream::connect(addr).expect("connect");
+        write!(
+            s,
+            "GET {path} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n"
+        )
+        .unwrap();
+        let mut buf = String::new();
+        s.read_to_string(&mut buf).expect("read");
+        let (head, body) = buf.split_once("\r\n\r\n").expect("http split");
+        (head.to_string(), body.to_string())
+    };
+
+    let (head, body) = get("/metrics");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert!(head.contains("text/plain; version=0.0.4"), "{head}");
+    validate_exposition(&body).unwrap_or_else(|e| panic!("invalid scrape: {e}\n{body}"));
+    assert!(body.contains("trace_collector_dropped_total"));
+
+    let (head, body) = get("/healthz");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert_eq!(body, "ok\n");
+
+    let (head, _) = get("/tracez");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+
+    let (head, _) = get("/nope");
+    assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+
+    handle.stop();
+}
