@@ -1,0 +1,390 @@
+//! Deterministic feature extraction for attempt-mined premise ranking.
+//!
+//! Every (theorem, premise) pair — and, more generally, every (theorem,
+//! tactic) pair — maps to a fixed-width vector of small integer slots
+//! computed from the environment's symbol table, the undirected reference
+//! graph (shared with [`crate::premise`]), and content fingerprints of
+//! premise statements (the env-side analogue of the per-symbol semantic
+//! fingerprints used by change-impact analysis). The encoding is pinned
+//! by golden tests: any change to slot layout, bucketing, or hashing MUST
+//! bump [`FEATURES_SCHEMA`], because serialized attempt logs and model
+//! artifacts reference the schema id and silently mixing encodings would
+//! corrupt training counts.
+//!
+//! Extraction is total: names that do not resolve to a lemma (section
+//! hypotheses, hallucinated identifiers) still get a vector, with the
+//! premise slots collapsed to sentinel values. Determinism holds by
+//! construction — everything is computed from `BTreeMap`/`BTreeSet`
+//! traversals and FNV hashing, with no ambient state.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use minicoq::env::Env;
+use minicoq::formula::Formula;
+use proof_trace::ledger::fnv1a;
+
+use crate::graph::{formula_refs, sort_refs, term_refs};
+use crate::premise::distances;
+
+/// Version of the feature encoding. Bump on any change to slot layout,
+/// value bucketing, or the hash used for symbol-identity slots.
+pub const FEATURES_SCHEMA: u32 = 1;
+
+/// Number of feature slots in a vector.
+pub const N_SLOTS: usize = 14;
+
+/// A feature vector: one small bucketed value per slot (all < 256).
+pub type FeatureVec = [u16; N_SLOTS];
+
+/// Slot indices, named so goldens and ablations can refer to them.
+pub mod slot {
+    /// Tactic head word (0 = pure premise vector, no tactic context).
+    pub const TACTIC_HEAD: usize = 0;
+    /// Goal conclusion head (kind tag + hashed symbol identity).
+    pub const GOAL_HEAD: usize = 1;
+    /// log2 bucket of the goal statement size.
+    pub const GOAL_SIZE: usize = 2;
+    /// Rule shape of the goal: leading binders + premises, capped.
+    pub const GOAL_SHAPE: usize = 3;
+    /// Premise resolution: 0 none, 1 env lemma, 2 unresolved name.
+    pub const PREMISE_KIND: usize = 4;
+    /// Premise conclusion head (same encoding as GOAL_HEAD; 0 = n/a).
+    pub const PREMISE_HEAD: usize = 5;
+    /// Undirected graph distance goal → premise (1 + capped; 15 = ∞).
+    pub const GRAPH_DIST: usize = 6;
+    /// log2 bucket of the premise's directed dependency cone size.
+    pub const CONE_SIZE: usize = 7;
+    /// Number of hint databases containing the premise, capped.
+    pub const HINT_DBS: usize = 8;
+    /// Best declaration position across hint databases (1 + pos/2; 0 = n/a).
+    pub const HINT_POS: usize = 9;
+    /// Rewrite orientation vs the premise's conclusion shape.
+    pub const REWRITE_ORIENT: usize = 10;
+    /// |goal symbols ∩ premise statement symbols|, capped.
+    pub const OVERLAP: usize = 11;
+    /// log2 bucket of the premise statement size (0 = n/a).
+    pub const PREMISE_SIZE: usize = 12;
+    /// Content fingerprint byte of the premise statement (0 = n/a).
+    pub const PREMISE_FP: usize = 13;
+}
+
+/// Tactic head words with stable ids (slot value = 1 + index). Unknown
+/// heads map to 255. Append-only: inserting in the middle is a schema
+/// change.
+const TACTIC_HEADS: [&str; 27] = [
+    "intros",
+    "intro",
+    "induction",
+    "destruct",
+    "unfold",
+    "simpl",
+    "reflexivity",
+    "lia",
+    "auto",
+    "eauto",
+    "split",
+    "constructor",
+    "subst",
+    "inversion",
+    "injection",
+    "discriminate",
+    "contradiction",
+    "exists",
+    "f_equal",
+    "symmetry",
+    "congruence",
+    "assumption",
+    "left",
+    "right",
+    "apply",
+    "eapply",
+    "rewrite",
+];
+
+fn log2_bucket(n: usize) -> u16 {
+    let mut b = 0u16;
+    let mut v = n;
+    while v > 1 && b < 15 {
+        v >>= 1;
+        b += 1;
+    }
+    b
+}
+
+/// Head encoding shared by GOAL_HEAD and PREMISE_HEAD: a small tag for
+/// structural heads, a hashed identity bucket for `Eq` sorts (16..64)
+/// and predicate symbols (64..256).
+fn head_code(conclusion: &Formula) -> u16 {
+    match conclusion {
+        Formula::True => 1,
+        Formula::False => 2,
+        Formula::Not(_) => 3,
+        Formula::And(..) => 4,
+        Formula::Or(..) => 5,
+        Formula::Iff(..) => 6,
+        Formula::FMatch(..) => 7,
+        Formula::Exists(..) => 8,
+        Formula::Eq(sort, _, _) => 16 + (fnv1a(format!("{sort:?}").as_bytes()) % 48) as u16,
+        Formula::Pred(name, _, _) => 64 + (fnv1a(name.as_bytes()) % 192) as u16,
+        // peel() strips these, but head_code is total anyway.
+        Formula::Implies(..) | Formula::Forall(..) | Formula::ForallSort(..) => 9,
+    }
+}
+
+/// Per-environment context: directed reference edges (for cone sizes),
+/// hint-db membership, and a premise statement index. Build once per
+/// environment and reuse across theorems.
+pub struct FeatureCtx<'a> {
+    env: &'a Env,
+    /// Directed references: every declared name → names its definition
+    /// or statement mentions.
+    refs: BTreeMap<String, BTreeSet<String>>,
+    /// Premise name → (number of hint dbs containing it, best position).
+    hints: BTreeMap<String, (u16, u16)>,
+    /// Lemma name → statement.
+    lemmas: BTreeMap<&'a str, &'a Formula>,
+}
+
+impl<'a> FeatureCtx<'a> {
+    /// Precomputes the per-environment tables.
+    pub fn new(env: &'a Env) -> FeatureCtx<'a> {
+        let mut refs: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        for (n, ind) in env.inductives.iter() {
+            let mut r = BTreeSet::new();
+            for c in &ind.ctors {
+                r.insert(c.name.to_string());
+                for s in &c.args {
+                    sort_refs(s, &mut r);
+                }
+            }
+            refs.insert(n.to_string(), r);
+        }
+        for (n, f) in env.funcs.iter() {
+            let mut r = BTreeSet::new();
+            term_refs(&f.body, &mut r);
+            sort_refs(&f.ret, &mut r);
+            for (_, s) in &f.params {
+                sort_refs(s, &mut r);
+            }
+            refs.insert(n.to_string(), r);
+        }
+        for (n, pd) in env.preds.iter() {
+            let mut r = BTreeSet::new();
+            match pd {
+                minicoq::env::PredDef::Defined(dp) => {
+                    formula_refs(&dp.body, &mut r);
+                    for (_, s) in &dp.params {
+                        sort_refs(s, &mut r);
+                    }
+                }
+                minicoq::env::PredDef::Inductive(ip) => {
+                    for (rn, stmt) in &ip.rules {
+                        r.insert(rn.to_string());
+                        let mut rr = BTreeSet::new();
+                        formula_refs(stmt, &mut rr);
+                        refs.entry(rn.to_string()).or_default().extend(rr.clone());
+                        r.extend(rr);
+                    }
+                    for s in &ip.arg_sorts {
+                        sort_refs(s, &mut r);
+                    }
+                }
+            }
+            refs.insert(n.to_string(), r);
+        }
+        let mut lemmas: BTreeMap<&str, &Formula> = BTreeMap::new();
+        for l in env.lemmas.iter() {
+            let mut r = BTreeSet::new();
+            formula_refs(&l.stmt, &mut r);
+            refs.insert(l.name.to_string(), r);
+            lemmas.insert(&l.name, &l.stmt);
+        }
+        let mut hints: BTreeMap<String, (u16, u16)> = BTreeMap::new();
+        for db in env.hints.values() {
+            for (pos, h) in db.iter().enumerate() {
+                let e = hints.entry(h.to_string()).or_insert((0, u16::MAX));
+                e.0 = (e.0 + 1).min(15);
+                e.1 = e.1.min(pos.min(u16::MAX as usize) as u16);
+            }
+        }
+        FeatureCtx {
+            env,
+            refs,
+            hints,
+            lemmas,
+        }
+    }
+
+    /// Every premise name in scope: lemmas plus hint-db entries.
+    pub fn premise_names(&self) -> BTreeSet<String> {
+        let mut names: BTreeSet<String> = self.lemmas.keys().map(|k| k.to_string()).collect();
+        for db in self.env.hints.values() {
+            names.extend(db.iter().map(|h| h.to_string()));
+        }
+        names
+    }
+
+    /// Size of the directed dependency cone rooted at `name`, bounded at
+    /// 64 nodes so extraction stays O(1) per premise.
+    fn cone_size(&self, name: &str) -> usize {
+        let mut seen = BTreeSet::new();
+        let mut queue = VecDeque::new();
+        seen.insert(name.to_string());
+        queue.push_back(name.to_string());
+        while let Some(n) = queue.pop_front() {
+            if seen.len() >= 64 {
+                break;
+            }
+            if let Some(next) = self.refs.get(&n) {
+                for m in next {
+                    if seen.insert(m.clone()) {
+                        queue.push_back(m.clone());
+                    }
+                }
+            }
+        }
+        seen.len()
+    }
+}
+
+/// Per-theorem context: BFS distances from the goal and the goal-side
+/// slots, computed once and shared across all premises of the theorem.
+pub struct GoalCtx {
+    dist: BTreeMap<String, usize>,
+    goal_syms: BTreeSet<String>,
+    goal_head: u16,
+    goal_size: u16,
+    goal_shape: u16,
+}
+
+impl GoalCtx {
+    /// Precomputes the goal-side features and the distance map.
+    pub fn new(fcx: &FeatureCtx<'_>, goal: &Formula) -> GoalCtx {
+        let mut goal_syms = BTreeSet::new();
+        formula_refs(goal, &mut goal_syms);
+        let peeled = goal.peel();
+        GoalCtx {
+            dist: distances(fcx.env, goal),
+            goal_syms,
+            goal_head: head_code(peeled.conclusion),
+            goal_size: log2_bucket(goal.size()),
+            goal_shape: (peeled.binders.len() + peeled.premises.len()).min(15) as u16,
+        }
+    }
+}
+
+/// The per-theorem vector: goal slots populated, premise slots zero.
+pub fn theorem_vector(gcx: &GoalCtx) -> FeatureVec {
+    let mut v = [0u16; N_SLOTS];
+    v[slot::GOAL_HEAD] = gcx.goal_head;
+    v[slot::GOAL_SIZE] = gcx.goal_size;
+    v[slot::GOAL_SHAPE] = gcx.goal_shape;
+    v
+}
+
+/// The per-(theorem, premise) vector. Total: unresolved names get
+/// `PREMISE_KIND = 2` with the statement-derived slots zeroed.
+pub fn premise_vector(fcx: &FeatureCtx<'_>, gcx: &GoalCtx, name: &str) -> FeatureVec {
+    premise_into(fcx, gcx, name, false, theorem_vector(gcx))
+}
+
+fn premise_into(
+    fcx: &FeatureCtx<'_>,
+    gcx: &GoalCtx,
+    name: &str,
+    backward: bool,
+    mut v: FeatureVec,
+) -> FeatureVec {
+    let stmt = fcx.lemmas.get(name).copied();
+    v[slot::PREMISE_KIND] = if stmt.is_some() { 1 } else { 2 };
+    v[slot::GRAPH_DIST] = match gcx.dist.get(name) {
+        Some(&d) => 1 + d.min(13) as u16,
+        None => 15,
+    };
+    if let Some(&(dbs, pos)) = fcx.hints.get(name) {
+        v[slot::HINT_DBS] = dbs;
+        v[slot::HINT_POS] = 1 + (pos as usize / 2).min(14) as u16;
+    }
+    if let Some(stmt) = stmt {
+        let peeled = stmt.peel();
+        v[slot::PREMISE_HEAD] = head_code(peeled.conclusion);
+        v[slot::CONE_SIZE] = log2_bucket(fcx.cone_size(name));
+        let mut syms = BTreeSet::new();
+        formula_refs(stmt, &mut syms);
+        v[slot::OVERLAP] = gcx.goal_syms.intersection(&syms).count().min(15) as u16;
+        v[slot::PREMISE_SIZE] = log2_bucket(stmt.size());
+        v[slot::PREMISE_FP] = 1 + (fnv1a(format!("{stmt:?}").as_bytes()) % 254) as u16;
+        let equational = matches!(peeled.conclusion, Formula::Eq(..) | Formula::Iff(..));
+        v[slot::REWRITE_ORIENT] = match (v[slot::REWRITE_ORIENT], equational, backward) {
+            (0, _, _) => 0, // not a rewrite tactic
+            (_, true, false) => 1,
+            (_, true, true) => 2,
+            (_, false, false) => 3,
+            (_, false, true) => 4,
+        };
+    } else if v[slot::REWRITE_ORIENT] != 0 {
+        v[slot::REWRITE_ORIENT] = if backward { 4 } else { 3 };
+    }
+    v
+}
+
+/// Parses a proposed tactic into `(head, premise argument, backward)`.
+/// Only `apply`/`eapply`/`rewrite` shapes carry a premise; `apply L in H`
+/// reports `L`.
+pub fn parse_tactic(tactic: &str) -> (&str, Option<&str>, bool) {
+    let mut words = tactic.split_whitespace();
+    let head = words.next().unwrap_or("");
+    match head {
+        "apply" | "eapply" => (head, words.next(), false),
+        "rewrite" => match words.next() {
+            Some("<-") => (head, words.next(), true),
+            other => (head, other, false),
+        },
+        _ => (head, None, false),
+    }
+}
+
+/// The premise (lemma argument) named by a tactic, if any.
+pub fn premise_of_tactic(tactic: &str) -> Option<&str> {
+    parse_tactic(tactic).1
+}
+
+/// The per-(theorem, tactic) vector: the premise vector of the tactic's
+/// lemma argument (when present) plus the tactic head slot. Total over
+/// arbitrary tactic strings.
+pub fn tactic_vector(fcx: &FeatureCtx<'_>, gcx: &GoalCtx, tactic: &str) -> FeatureVec {
+    let (head, premise, backward) = parse_tactic(tactic);
+    let mut v = theorem_vector(gcx);
+    v[slot::TACTIC_HEAD] = match TACTIC_HEADS.iter().position(|h| *h == head) {
+        Some(i) => 1 + i as u16,
+        None => 255,
+    };
+    if head == "rewrite" {
+        // Non-zero marks "rewrite context"; premise_into refines it.
+        v[slot::REWRITE_ORIENT] = 3;
+    }
+    match premise {
+        Some(p) => premise_into(fcx, gcx, p, backward, v),
+        None => v,
+    }
+}
+
+/// Stable textual encoding of a vector (two hex digits per slot), used
+/// by golden tests and debug output.
+pub fn encode(v: &FeatureVec) -> String {
+    let mut s = String::with_capacity(N_SLOTS * 2);
+    for x in v {
+        s.push_str(&format!("{:02x}", (*x).min(255)));
+    }
+    s
+}
+
+/// Feature buckets of a vector: `(slot << 8) | value`, the keys the
+/// count-based scorer aggregates over.
+pub fn buckets(v: &FeatureVec) -> [u32; N_SLOTS] {
+    let mut out = [0u32; N_SLOTS];
+    for (i, x) in v.iter().enumerate() {
+        out[i] = ((i as u32) << 8) | (*x as u32 & 0xff);
+    }
+    out
+}

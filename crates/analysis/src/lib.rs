@@ -16,22 +16,27 @@
 //! 5. **admitted/axiom** — unproved assumptions ([`passes::axioms`]).
 //!
 //! Unresolved references discovered while building the graph are reported
-//! as a sixth, structural finding (`unknown-ref`). Findings carry a
-//! stable reason-code taxonomy ([`report::Code`]) and render as SARIF
-//! 2.1.0 ([`report::AnalysisReport::to_sarif`]).
+//! as a sixth, structural finding (`unknown-ref`), and a log-driven audit
+//! ([`passes::cold`], reason code `cold-hint`) flags hint entries that
+//! never contributed to a successful proof in a supplied attempt log.
+//! Findings carry a stable reason-code taxonomy ([`report::Code`]) and
+//! render as SARIF 2.1.0 ([`report::AnalysisReport::to_sarif`]).
 //!
-//! The same dependency graph also powers an opt-in search heuristic:
-//! [`premise::reranked_env`] reorders hint databases by dependency
-//! distance to a goal (see `proof-search`'s `premise_rank` option) — and
-//! the change-impact analysis ([`impact`]): per-symbol semantic
-//! fingerprints, snapshot diffing, and the dirty-cone computation behind
-//! incremental re-verification.
+//! The same dependency graph also powers the opt-in premise-ranking
+//! pipeline: deterministic feature extraction ([`features`]), an offline
+//! attempt-mined scorer ([`score`]), and goal-specific hint reordering
+//! ([`premise::reranked_env_v2`], see `proof-search`'s `premise_rank`
+//! option) — and the change-impact analysis ([`impact`]): per-symbol
+//! semantic fingerprints, snapshot diffing, and the dirty-cone
+//! computation behind incremental re-verification.
 
+pub mod features;
 pub mod graph;
 pub mod impact;
 pub mod passes;
 pub mod premise;
 pub mod report;
+pub mod score;
 
 use minicoq_vernac::loader::{Development, Loader};
 

@@ -1,0 +1,60 @@
+//! Cold-hint audit: hint-db entries a supplied attempt log never used.
+//!
+//! Hint databases accrete — entries get added for one proof and outlive
+//! it. Given an attempt log (see [`proof_trace::attempts`]), a hint
+//! target is **hot** when it appears as the premise argument of any
+//! attempt on a proved script's path (`on_path`); a `Hint` sentence is
+//! **cold** when none of its targets is hot, and gets one `cold-hint`
+//! finding. `auto`/`eauto` consume hints internally without logging a
+//! premise, so a cold finding is evidence the entry never *visibly*
+//! contributed, not proof it is useless — hence a lint, not an error.
+//!
+//! Unlike the structural passes, this one only runs when a log is
+//! supplied (`corpus_analyze --attempt-log`), so the default analyzer
+//! output — and CI's `--check` gate — is unchanged. A log containing no
+//! successful attempt at all is treated as no evidence and produces no
+//! findings, rather than branding every hint cold.
+
+use std::collections::BTreeSet;
+
+use proof_trace::attempts::AttemptRecord;
+
+use crate::graph::{DepGraph, SymbolKind};
+use crate::report::{Code, Finding};
+
+/// Runs the audit, appending one finding per cold `Hint` sentence.
+pub fn run(graph: &DepGraph, log: &[AttemptRecord], out: &mut Vec<Finding>) {
+    let hot: BTreeSet<&str> = log
+        .iter()
+        .filter(|r| r.on_path && !r.premise.is_empty())
+        .map(|r| r.premise.as_str())
+        .collect();
+    if hot.is_empty() {
+        return;
+    }
+    for (id, sym) in graph.symbols() {
+        if sym.kind != SymbolKind::Hint {
+            continue;
+        }
+        let targets: Vec<&str> = graph
+            .out(id)
+            .map(|t| graph.symbol(t).name.as_str())
+            .collect();
+        if targets.is_empty() || targets.iter().any(|t| hot.contains(t)) {
+            continue;
+        }
+        out.push(Finding {
+            code: Code::ColdHint,
+            file: sym.file.clone(),
+            item: sym.name.clone(),
+            item_index: sym.item_index,
+            line: sym.line,
+            message: format!(
+                "hint target(s) {} never contributed to a successful proof across {} logged \
+                 attempt(s)",
+                targets.join(", "),
+                log.len()
+            ),
+        });
+    }
+}

@@ -3,6 +3,7 @@
 //! none of them mutates anything.
 
 pub mod axioms;
+pub mod cold;
 pub mod dead;
 pub mod hints;
 pub mod positivity;

@@ -84,7 +84,7 @@ fn adjacency(env: &Env) -> BTreeMap<String, BTreeSet<String>> {
 }
 
 /// Shortest undirected distance from the goal's symbols to every name.
-fn distances(env: &Env, goal: &Formula) -> BTreeMap<String, usize> {
+pub(crate) fn distances(env: &Env, goal: &Formula) -> BTreeMap<String, usize> {
     let adj = adjacency(env);
     let mut seeds = BTreeSet::new();
     formula_refs(goal, &mut seeds);
@@ -132,6 +132,48 @@ pub fn reranked_env(env: &Env, goal: &Formula) -> Env {
         *db = keyed.into_iter().map(|(_, _, h)| h).collect();
     }
     proof_trace::metrics::counter_inc("analysis.premise_rank.reranks");
+    let mut out = env.clone();
+    out.hints = Arc::new(hints);
+    out
+}
+
+/// How hint databases (and, for `Learned`, oracle proposal order) are
+/// reranked. `Off` is represented by not calling into this module at
+/// all, so the default search path stays byte-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RankMode {
+    /// PR 5 baseline: sort by undirected dependency distance to the goal.
+    Graph,
+    /// Sort by the installed [`crate::score::Model`]'s learned score;
+    /// falls back to `Graph` when no model is installed.
+    Learned,
+}
+
+/// [`reranked_env`] v2: the `Graph` arm is the original distance sort;
+/// the `Learned` arm sorts every hint database by descending learned
+/// score with declaration order as the tie-break. Both are permutations
+/// only — hint *sets* are unchanged, so any proof found with ranking
+/// replays without it.
+pub fn reranked_env_v2(env: &Env, goal: &Formula, mode: RankMode) -> Env {
+    let rcx = match mode {
+        RankMode::Graph => None,
+        RankMode::Learned => crate::score::RankCtx::new(env, goal),
+    };
+    let Some(rcx) = rcx else {
+        return reranked_env(env, goal);
+    };
+    let _sp = proof_trace::span("analysis", "premise_rank_learned");
+    let mut hints: BTreeMap<String, Vec<minicoq::Ident>> = (*env.hints).clone();
+    for db in hints.values_mut() {
+        let mut keyed: Vec<(i64, usize, minicoq::Ident)> = db
+            .iter()
+            .enumerate()
+            .map(|(i, h)| (-rcx.score_premise(h.as_str()), i, h.clone()))
+            .collect();
+        keyed.sort();
+        *db = keyed.into_iter().map(|(_, _, h)| h).collect();
+    }
+    proof_trace::metrics::counter_inc("analysis.premise_rank.learned_reranks");
     let mut out = env.clone();
     out.hints = Arc::new(hints);
     out

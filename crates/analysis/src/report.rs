@@ -29,10 +29,14 @@ pub enum Code {
     /// verification outcome could differ from the baseline snapshot's
     /// (change-impact analysis; see [`crate::impact`]).
     ImpactDirty,
+    /// A hint-database entry never contributed to any successful proof
+    /// in a supplied attempt log (log-driven audit; see
+    /// [`crate::passes::cold`]).
+    ColdHint,
 }
 
 /// Every code, in report order.
-pub const ALL_CODES: [Code; 8] = [
+pub const ALL_CODES: [Code; 9] = [
     Code::HintLoop,
     Code::NonPositive,
     Code::DeadSymbol,
@@ -41,6 +45,7 @@ pub const ALL_CODES: [Code; 8] = [
     Code::Axiom,
     Code::UnknownRef,
     Code::ImpactDirty,
+    Code::ColdHint,
 ];
 
 impl Code {
@@ -55,6 +60,7 @@ impl Code {
             Code::Axiom => "axiom",
             Code::UnknownRef => "unknown-ref",
             Code::ImpactDirty => "impact-dirty",
+            Code::ColdHint => "cold-hint",
         }
     }
 
@@ -74,6 +80,9 @@ impl Code {
             Code::UnknownRef => "reference does not resolve to any declared symbol",
             Code::ImpactDirty => {
                 "theorem is in the dirty cone of a corpus edit and needs re-verification"
+            }
+            Code::ColdHint => {
+                "hint entry never contributed to a successful proof in the supplied attempt log"
             }
         }
     }

@@ -1,0 +1,251 @@
+//! Offline learned scorer over attempt-mined feature buckets.
+//!
+//! The model is deliberately primitive — no ML framework, no floats on
+//! disk. Training counts, per feature bucket, how many attempts carrying
+//! that bucket succeeded (landed on a proved script's path) versus how
+//! many were charged at all, and stores the Laplace-smoothed log-odds
+//! `ln((wins + 1) / (losses + 1))` quantized to milli-units. Scoring a
+//! vector sums the weights of its buckets; ties (and everything, when no
+//! model is installed) fall back to declaration order, so ranking is
+//! always a stable permutation.
+//!
+//! An optional one-pass logistic refinement re-fits the bucket weights
+//! with a single deterministic sweep over the samples in log order,
+//! which sharpens buckets whose count-based estimates are correlated.
+//!
+//! The artifact format is byte-stable: a magic header, little-endian
+//! sorted `(bucket, milli-weight)` pairs, and a trailing FNV-1a checksum.
+//! Training from the same samples always produces identical bytes — CI
+//! pins this.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, RwLock};
+
+use minicoq::env::Env;
+use minicoq::formula::Formula;
+use proof_trace::ledger::fnv1a;
+
+use crate::features::{
+    self, buckets, tactic_vector, FeatureCtx, FeatureVec, GoalCtx, FEATURES_SCHEMA,
+};
+
+/// Version of the model artifact layout. Bump on any format change.
+pub const MODEL_SCHEMA: u32 = 1;
+
+pub const MAGIC: &[u8; 8] = b"RANKMDL\x01";
+
+/// A trained bucket-weight model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Model {
+    /// Feature encoding the weights were trained against.
+    pub features_schema: u32,
+    /// Whether the one-pass logistic refinement ran.
+    pub refined: bool,
+    /// Bucket → milli log-odds weight.
+    pub weights: BTreeMap<u32, i32>,
+}
+
+impl Model {
+    /// Trains from `(vector, success)` samples. Deterministic: counts
+    /// are order-independent and the refinement sweep visits samples in
+    /// the order given.
+    pub fn train(samples: &[(FeatureVec, bool)], refine: bool) -> Model {
+        let mut wins: BTreeMap<u32, u64> = BTreeMap::new();
+        let mut total: BTreeMap<u32, u64> = BTreeMap::new();
+        for (v, success) in samples {
+            for b in buckets(v) {
+                *total.entry(b).or_insert(0) += 1;
+                if *success {
+                    *wins.entry(b).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut w: BTreeMap<u32, f64> = BTreeMap::new();
+        for (b, &t) in &total {
+            let win = wins.get(b).copied().unwrap_or(0);
+            let loss = t - win;
+            w.insert(*b, ((win as f64 + 1.0) / (loss as f64 + 1.0)).ln());
+        }
+        if refine {
+            let lr = 0.05;
+            for (v, success) in samples {
+                let bs = buckets(v);
+                let score: f64 = bs.iter().filter_map(|b| w.get(b)).sum();
+                let p = 1.0 / (1.0 + (-score).exp());
+                let grad = lr * (if *success { 1.0 } else { 0.0 } - p);
+                for b in bs {
+                    *w.entry(b).or_insert(0.0) += grad;
+                }
+            }
+        }
+        let weights = w
+            .into_iter()
+            .map(|(b, x)| (b, (x * 1000.0).round() as i32))
+            .collect();
+        Model {
+            features_schema: FEATURES_SCHEMA,
+            refined: refine,
+            weights,
+        }
+    }
+
+    /// Milli-unit score of a vector: the sum of its bucket weights.
+    pub fn score_milli(&self, v: &FeatureVec) -> i64 {
+        buckets(v)
+            .iter()
+            .filter_map(|b| self.weights.get(b))
+            .map(|&w| w as i64)
+            .sum()
+    }
+
+    /// Byte-stable serialization with a trailing FNV-1a checksum.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(24 + self.weights.len() * 8);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&MODEL_SCHEMA.to_le_bytes());
+        out.extend_from_slice(&self.features_schema.to_le_bytes());
+        out.push(self.refined as u8);
+        out.extend_from_slice(&(self.weights.len() as u32).to_le_bytes());
+        for (b, w) in &self.weights {
+            out.extend_from_slice(&b.to_le_bytes());
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        let sum = fnv1a(&out);
+        out.extend_from_slice(&sum.to_le_bytes());
+        out
+    }
+
+    /// Parses [`Model::to_bytes`] output, verifying magic, schema, and
+    /// checksum.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Model, String> {
+        if bytes.len() < MAGIC.len() + 13 + 8 {
+            return Err("model artifact truncated".into());
+        }
+        let (body, tail) = bytes.split_at(bytes.len() - 8);
+        let stored = u64::from_le_bytes(tail.try_into().unwrap());
+        if fnv1a(body) != stored {
+            return Err("model artifact checksum mismatch".into());
+        }
+        if &body[..8] != MAGIC {
+            return Err("not a rank model artifact (bad magic)".into());
+        }
+        let rd_u32 = |off: usize| u32::from_le_bytes(body[off..off + 4].try_into().unwrap());
+        let schema = rd_u32(8);
+        if schema != MODEL_SCHEMA {
+            return Err(format!("unsupported model schema {schema}"));
+        }
+        let features_schema = rd_u32(12);
+        let refined = body[16] != 0;
+        let n = rd_u32(17) as usize;
+        if body.len() != 21 + n * 8 {
+            return Err("model artifact length mismatch".into());
+        }
+        let mut weights = BTreeMap::new();
+        for i in 0..n {
+            let off = 21 + i * 8;
+            let b = rd_u32(off);
+            let w = i32::from_le_bytes(body[off + 4..off + 8].try_into().unwrap());
+            weights.insert(b, w);
+        }
+        Ok(Model {
+            features_schema,
+            refined,
+            weights,
+        })
+    }
+
+    /// FNV-1a hash of the serialized artifact, for determinism checks.
+    pub fn content_hash(&self) -> u64 {
+        fnv1a(&self.to_bytes())
+    }
+}
+
+fn registry() -> &'static RwLock<Option<Arc<Model>>> {
+    static REGISTRY: RwLock<Option<Arc<Model>>> = RwLock::new(None);
+    &REGISTRY
+}
+
+/// Installs a model process-wide. The model intentionally lives outside
+/// `SearchConfig` — config feeds the cell cache key and must not embed
+/// model contents; callers that vary the model must also vary the cell
+/// `variant` or bypass the cache.
+pub fn install_model(model: Model) {
+    *registry().write().unwrap() = Some(Arc::new(model));
+}
+
+/// Removes any installed model (tests).
+pub fn clear_model() {
+    *registry().write().unwrap() = None;
+}
+
+/// The currently installed model, if any.
+pub fn installed_model() -> Option<Arc<Model>> {
+    registry().read().unwrap().clone()
+}
+
+/// Per-search ranking context: the installed model plus the theorem's
+/// feature contexts, with a memo table so repeated tactics across
+/// queries are scored once.
+pub struct RankCtx<'a> {
+    model: Arc<Model>,
+    fcx: FeatureCtx<'a>,
+    gcx: GoalCtx,
+    memo: std::cell::RefCell<BTreeMap<String, i64>>,
+}
+
+impl<'a> RankCtx<'a> {
+    /// Builds a context for one theorem, or `None` (with a counter bump)
+    /// when no model is installed — callers fall back to graph ranking.
+    pub fn new(env: &'a Env, goal: &Formula) -> Option<RankCtx<'a>> {
+        let model = match installed_model() {
+            Some(m) => m,
+            None => {
+                proof_trace::metrics::counter_inc("analysis.rank.no_model");
+                return None;
+            }
+        };
+        if model.features_schema != FEATURES_SCHEMA {
+            proof_trace::metrics::counter_inc("analysis.rank.schema_mismatch");
+            return None;
+        }
+        let fcx = FeatureCtx::new(env);
+        let gcx = GoalCtx::new(&fcx, goal);
+        Some(RankCtx {
+            model,
+            fcx,
+            gcx,
+            memo: std::cell::RefCell::new(BTreeMap::new()),
+        })
+    }
+
+    /// Learned milli-score of a premise name against this theorem.
+    pub fn score_premise(&self, name: &str) -> i64 {
+        self.model
+            .score_milli(&features::premise_vector(&self.fcx, &self.gcx, name))
+    }
+
+    /// Learned milli-score of a proposed tactic against this theorem.
+    pub fn score_tactic(&self, tactic: &str) -> i64 {
+        if let Some(&s) = self.memo.borrow().get(tactic) {
+            return s;
+        }
+        let s = self
+            .model
+            .score_milli(&tactic_vector(&self.fcx, &self.gcx, tactic));
+        self.memo.borrow_mut().insert(tactic.to_string(), s);
+        s
+    }
+
+    /// Stable permutation of `tactics` by descending learned score
+    /// (declaration order breaks ties): `out[k]` is the original index
+    /// of the tactic ranked `k`-th.
+    pub fn order_tactics(&self, tactics: &[&str]) -> Vec<usize> {
+        let mut keyed: Vec<(i64, usize)> = tactics
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (-self.score_tactic(t), i))
+            .collect();
+        keyed.sort();
+        keyed.into_iter().map(|(_, i)| i).collect()
+    }
+}

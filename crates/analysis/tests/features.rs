@@ -1,0 +1,109 @@
+//! Feature extraction: golden-pinned encodings for representative corpus
+//! theorems, plus generated-corpus properties (total, deterministic,
+//! in-range).
+//!
+//! The golden strings pin `FEATURES_SCHEMA` 1's exact encoding: any
+//! change to a slot layout, bucket function, or head-symbol hash must
+//! bump the schema and re-pin these.
+
+use corpus_analysis::features::{
+    self, encode, premise_vector, tactic_vector, theorem_vector, FeatureCtx, GoalCtx, N_SLOTS,
+};
+use fscq_corpus::Corpus;
+use proptest::prelude::*;
+
+/// Extracts the three encodings the goldens pin for one theorem: its
+/// goal vector, a premise vector, and an `apply`-tactic vector for that
+/// premise.
+fn encodings(corpus: &Corpus, theorem: &str, premise: &str) -> (String, String, String) {
+    let thm = corpus.dev.theorem(theorem).expect("pinned theorem exists");
+    let env = corpus.dev.env_before(thm);
+    let fcx = FeatureCtx::new(env);
+    let gcx = GoalCtx::new(&fcx, &thm.stmt);
+    (
+        encode(&theorem_vector(&gcx)),
+        encode(&premise_vector(&fcx, &gcx, premise)),
+        encode(&tactic_vector(&fcx, &gcx, &format!("apply {premise}"))),
+    )
+}
+
+#[test]
+fn golden_feature_vectors_for_pinned_theorems() {
+    let corpus = Corpus::load();
+    let cases = [
+        (
+            "add_comm",
+            "add_0_r",
+            (
+                "003c030200000000000000000000",
+                "003c0302013c0202000000020246",
+                "193c0302013c0202000000020246",
+            ),
+        ),
+        (
+            "tl_find_nil",
+            "tl_names_length",
+            (
+                "003c020100000000000000000000",
+                "003c0201013c02040000000102ad",
+                "193c0201013c02040000000102ad",
+            ),
+        ),
+        (
+            "nonzero_addrs_app",
+            "nonzero_addrs_nil",
+            (
+                "003c030200000000000000000000",
+                "003c0302013c02030000000202f2",
+                "193c0302013c02030000000202f2",
+            ),
+        ),
+    ];
+    for (thm, premise, (goal, prem, tac)) in cases {
+        let (g, p, t) = encodings(&corpus, thm, premise);
+        assert_eq!(g.len(), 2 * N_SLOTS, "{thm}: encoding width");
+        assert_eq!(g, goal, "{thm}: goal vector drifted — bump FEATURES_SCHEMA");
+        assert_eq!(p, prem, "{thm}/{premise}: premise vector drifted");
+        assert_eq!(t, tac, "{thm}/{premise}: tactic vector drifted");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Over procedurally generated corpora, extraction is *total* (every
+    /// theorem and every in-scope premise yields a vector with all slots
+    /// in encoding range) and *deterministic* (a fresh context re-derives
+    /// byte-identical encodings).
+    #[test]
+    fn extraction_is_total_and_deterministic_on_generated_corpora(
+        seed in 0u64..1000,
+        count in 6usize..16,
+    ) {
+        let spec = corpus_gen::GenSpec::new(seed, count);
+        let gen = corpus_gen::generate(&spec);
+        let dev = gen.development(false).expect("generated corpus loads");
+        for thm in &dev.theorems {
+            let env = dev.env_before(thm);
+            let fcx = FeatureCtx::new(env);
+            let gcx = GoalCtx::new(&fcx, &thm.stmt);
+            let goal = theorem_vector(&gcx);
+            prop_assert!(goal.iter().all(|&x| x <= 255), "{}: slot out of range", thm.name);
+            // Fresh context: same bytes.
+            let fcx2 = FeatureCtx::new(env);
+            let gcx2 = GoalCtx::new(&fcx2, &thm.stmt);
+            prop_assert_eq!(encode(&goal), encode(&theorem_vector(&gcx2)));
+            for premise in fcx.premise_names() {
+                let v = premise_vector(&fcx, &gcx, &premise);
+                prop_assert!(v.iter().all(|&x| x <= 255), "{}/{premise}: slot out of range", thm.name);
+                prop_assert_eq!(
+                    encode(&v),
+                    encode(&premise_vector(&fcx2, &gcx2, &premise)),
+                    "premise re-extraction drifted"
+                );
+                let t = tactic_vector(&fcx, &gcx, &format!("apply {premise}"));
+                prop_assert!(t[features::slot::TACTIC_HEAD] != 0, "apply head must be known");
+            }
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Scorer artifact: train → save → load → score round-trips
+//! byte-identically, and the loader rejects corrupted artifacts.
+
+use corpus_analysis::features::{FeatureVec, N_SLOTS};
+use corpus_analysis::score::{Model, MAGIC};
+
+/// A small synthetic sample set: bucket (0, 25) wins, bucket (4, 2)
+/// loses, everything else is noise.
+fn samples() -> Vec<(FeatureVec, bool)> {
+    let mut out = Vec::new();
+    for i in 0..20u16 {
+        let mut v: FeatureVec = [0; N_SLOTS];
+        v[0] = 25;
+        v[2] = i % 5;
+        out.push((v, i % 3 != 0));
+        let mut w: FeatureVec = [0; N_SLOTS];
+        w[0] = 27;
+        w[4] = 2;
+        w[2] = i % 7;
+        out.push((w, false));
+    }
+    out
+}
+
+#[test]
+fn train_save_load_score_round_trip_is_byte_identical() {
+    for refine in [false, true] {
+        let model = Model::train(&samples(), refine);
+        assert!(!model.weights.is_empty());
+        let bytes = model.to_bytes();
+        assert_eq!(&bytes[..MAGIC.len()], MAGIC);
+        let reloaded = Model::from_bytes(&bytes).expect("artifact loads");
+        assert_eq!(model, reloaded, "refine={refine}");
+        assert_eq!(
+            bytes,
+            reloaded.to_bytes(),
+            "serialization must be byte-stable (refine={refine})"
+        );
+        assert_eq!(model.content_hash(), reloaded.content_hash());
+        for (v, _) in samples() {
+            assert_eq!(model.score_milli(&v), reloaded.score_milli(&v));
+        }
+    }
+}
+
+#[test]
+fn training_is_deterministic() {
+    let a = Model::train(&samples(), true);
+    let b = Model::train(&samples(), true);
+    assert_eq!(a.to_bytes(), b.to_bytes());
+    assert_eq!(a.content_hash(), b.content_hash());
+}
+
+#[test]
+fn winning_buckets_outscore_losing_buckets() {
+    let model = Model::train(&samples(), false);
+    let mut win: FeatureVec = [0; N_SLOTS];
+    win[0] = 25;
+    let mut lose: FeatureVec = [0; N_SLOTS];
+    lose[0] = 27;
+    lose[4] = 2;
+    assert!(
+        model.score_milli(&win) > model.score_milli(&lose),
+        "win {} vs lose {}",
+        model.score_milli(&win),
+        model.score_milli(&lose)
+    );
+}
+
+#[test]
+fn corrupted_artifacts_are_rejected() {
+    let bytes = Model::train(&samples(), false).to_bytes();
+    // Flip one weight byte: the trailing checksum must catch it.
+    let mut tampered = bytes.clone();
+    let mid = bytes.len() / 2;
+    tampered[mid] ^= 0x40;
+    assert!(
+        Model::from_bytes(&tampered).is_err(),
+        "checksum must catch tampering"
+    );
+    // Truncation and a wrong magic are rejected too.
+    assert!(Model::from_bytes(&bytes[..bytes.len() - 3]).is_err());
+    let mut wrong_magic = bytes.clone();
+    wrong_magic[0] ^= 0xff;
+    assert!(Model::from_bytes(&wrong_magic).is_err());
+    assert!(Model::from_bytes(&[]).is_err());
+}

@@ -1,9 +1,8 @@
-//! `corpus_analyze` — the whole-corpus semantic analyzer, plus the
-//! premise-rank A/B experiment it feeds.
+//! `corpus_analyze` — the whole-corpus semantic analyzer.
 //!
 //! ```sh
-//! corpus_analyze [--check] [--dir PATH] [--sarif PATH] [--premise-ab]
-//!                [--fresh] [--trace-out BASE]
+//! corpus_analyze [--check] [--dir PATH] [--sarif PATH]
+//!                [--attempt-log PATH] [--fresh] [--trace-out BASE]
 //! ```
 //!
 //! Default mode loads every corpus module, builds the dependency graph,
@@ -11,20 +10,21 @@
 //! rewrite-orientation, axiom/admit), and prints the findings with
 //! per-pass counts. `--check` is the CI entry point (same run; the name
 //! marks intent). `--sarif PATH` additionally writes the SARIF 2.1.0
-//! report. `--premise-ab` then runs the full-corpus evaluation with
-//! `--premise-rank` off vs on and records both cells, the per-pass
-//! finding counts, and the node-expansion totals in `BENCH_eval.json`.
+//! report. `--attempt-log PATH` feeds a mined attempt log (see the
+//! `rank` bin) to the cold-hint audit, flagging hint entries that never
+//! contributed to a successful proof.
+//!
+//! The premise-rank A/B experiment that used to live here (`--premise-ab`)
+//! moved to the dedicated `rank` bin, which runs the three-arm
+//! off/graph/learned comparison.
 //!
 //! Exit codes: 0 = analysis clean, 1 = findings, 2 = load/usage error.
 
 use std::process::ExitCode;
 
-use corpus_analysis::{analyze_sources, AnalysisConfig};
-use fscq_corpus::Corpus;
-use llm_fscq_bench::{fresh_flag, runner, trace_out_flag, BENCH_EVAL_PATH};
-use proof_metrics::{CellConfig, EvalScope};
-use proof_oracle::profiles::ModelProfile;
-use proof_oracle::prompt::PromptSetting;
+use corpus_analysis::{analyze_sources, passes, AnalysisConfig};
+use llm_fscq_bench::trace_out_flag;
+use proof_trace::attempts::AttemptLog;
 
 /// Path prefix for SARIF artifact URIs: findings point into the embedded
 /// corpus; `--dir` runs point into that directory instead.
@@ -32,14 +32,14 @@ const URI_PREFIX: &str = "crates/fscq/corpus/";
 
 struct Args {
     sarif: Option<String>,
-    premise_ab: bool,
+    attempt_log: Option<String>,
     dir: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: corpus_analyze [--check] [--dir PATH] [--sarif PATH] [--premise-ab]\n\
-         \x20                     [--fresh] [--trace-out BASE]"
+        "usage: corpus_analyze [--check] [--dir PATH] [--sarif PATH]\n\
+         \x20                     [--attempt-log PATH] [--fresh] [--trace-out BASE]"
     );
     std::process::exit(2)
 }
@@ -47,7 +47,7 @@ fn usage() -> ! {
 fn parse_args() -> Args {
     let mut args = std::env::args().skip(1);
     let mut sarif = None;
-    let mut premise_ab = false;
+    let mut attempt_log = None;
     let mut dir = None;
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -59,7 +59,12 @@ fn parse_args() -> Args {
                     usage()
                 }))
             }
-            "--premise-ab" => premise_ab = true,
+            "--attempt-log" => {
+                attempt_log = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--attempt-log needs a path");
+                    usage()
+                }))
+            }
             "--dir" => {
                 dir = Some(args.next().unwrap_or_else(|| {
                     eprintln!("--dir needs a path");
@@ -85,7 +90,7 @@ fn parse_args() -> Args {
     }
     Args {
         sarif,
-        premise_ab,
+        attempt_log,
         dir,
     }
 }
@@ -135,13 +140,30 @@ fn main() -> ExitCode {
             .map(|(n, t)| (n.to_string(), t.to_string()))
             .collect(),
     };
-    let (report, graph) = match analyze_sources(&sources, &AnalysisConfig::default()) {
+    let (mut report, graph) = match analyze_sources(&sources, &AnalysisConfig::default()) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("corpus_analyze: load error: {e}");
             return ExitCode::from(2);
         }
     };
+
+    // The log-driven cold-hint audit only runs when a log is supplied, so
+    // plain `--check` output is unchanged.
+    if let Some(path) = &args.attempt_log {
+        let log = AttemptLog::at(path).load();
+        if log.is_empty() {
+            eprintln!("corpus_analyze: {path}: no valid attempt records");
+            return ExitCode::from(2);
+        }
+        let before = report.findings.len();
+        passes::cold::run(&graph, &log, &mut report.findings);
+        println!(
+            "cold-hint: {} record(s) mined, {} cold hint(s) flagged",
+            log.len(),
+            report.findings.len() - before
+        );
+    }
 
     println!(
         "graph    : {} symbols, {} edges across {} modules",
@@ -178,14 +200,6 @@ fn main() -> ExitCode {
         println!("sarif    : written to {path}");
     }
 
-    if args.premise_ab {
-        if args.dir.is_some() {
-            eprintln!("corpus_analyze: --premise-ab runs on the embedded corpus only");
-            return ExitCode::from(2);
-        }
-        run_premise_ab(&report);
-    }
-
     if let Some(base) = &trace_out {
         if let Err(e) = llm_fscq_bench::write_trace_artifacts(base) {
             eprintln!("trace export failed: {e}");
@@ -196,62 +210,5 @@ fn main() -> ExitCode {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(1)
-    }
-}
-
-/// Full-corpus evaluation with graph-guided premise ranking off vs on,
-/// recorded (with the analyzer's per-pass counts) in `BENCH_eval.json`.
-fn run_premise_ab(report: &corpus_analysis::AnalysisReport) {
-    let corpus = Corpus::load();
-    let runner = runner(fresh_flag());
-
-    let mut off = CellConfig::standard(ModelProfile::gpt4o(), PromptSetting::Hints);
-    off.scope = EvalScope::Full;
-    off.search.premise_rank = false;
-    off.variant = Some("premise-rank=off".into());
-    let mut on = off.clone();
-    on.search.premise_rank = true;
-    on.variant = Some("premise-rank=on".into());
-
-    eprintln!("running cell: {} ({} jobs)", off.label(), runner.jobs());
-    let r_off = runner.run_cell(&corpus, &off);
-    eprintln!("running cell: {}", on.label());
-    let r_on = runner.run_cell(&corpus, &on);
-
-    // Node expansions = one frontier pop per model query, so the per-cell
-    // query totals are the A/B expansion counts.
-    let exp_off: u64 = r_off.outcomes.iter().map(|o| u64::from(o.queries)).sum();
-    let exp_on: u64 = r_on.outcomes.iter().map(|o| u64::from(o.queries)).sum();
-    let mut moved = 0usize;
-    for (a, b) in r_off.outcomes.iter().zip(&r_on.outcomes) {
-        if a.outcome != b.outcome || a.script != b.script {
-            moved += 1;
-        }
-    }
-    println!(
-        "premise-rank A/B: proved {:.1}% -> {:.1}%, expansions {} -> {} ({} theorem(s) changed)",
-        r_off.proved_rate() * 100.0,
-        r_on.proved_rate() * 100.0,
-        exp_off,
-        exp_on,
-        moved
-    );
-
-    let counts = report.pass_counts();
-    let pass_list: Vec<String> = counts.iter().map(|(c, n)| format!("{c}={n}")).collect();
-    let notes = format!(
-        "premise-rank A/B ({}, full scope): cells tagged by their `variant` field; \
-         expansions off={exp_off} on={exp_on}; proved off={:.3} on={:.3}; \
-         {} diverging theorem(s); analyzer passes: {}",
-        off.label(),
-        r_off.proved_rate(),
-        r_on.proved_rate(),
-        moved,
-        pass_list.join(", "),
-    );
-    if let Err(e) = runner.write_bench(BENCH_EVAL_PATH, &notes) {
-        eprintln!("corpus_analyze: cannot write {BENCH_EVAL_PATH}: {e}");
-    } else {
-        println!("bench    : A/B cells recorded in {BENCH_EVAL_PATH}");
     }
 }

@@ -22,6 +22,6 @@ pub mod search;
 pub mod whole_proof;
 
 pub use search::{
-    search, search_with_recovery, Outcome, RecoveryConfig, SearchConfig, SearchResult, SearchStats,
-    Strategy,
+    search, search_with_recovery, Outcome, PremiseRank, RecoveryConfig, SearchConfig, SearchResult,
+    SearchStats, Strategy,
 };

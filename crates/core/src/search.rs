@@ -25,6 +25,30 @@ pub enum Strategy {
     BreadthFirst,
 }
 
+/// How (and whether) premise ranking steers the search.
+///
+/// `Off` leaves the environment and the oracle's proposal order untouched,
+/// byte for byte. `Graph` reorders every hint database by dependency-graph
+/// distance to the goal (`corpus_analysis::premise::reranked_env`, the
+/// PR 5 baseline). `Learned` reorders hint databases *and* each query's
+/// proposal order by the installed attempt-mined scorer
+/// (`corpus_analysis::score`), falling back to `Graph` when no model is
+/// installed. Every mode is a permutation only — no hint or proposal is
+/// added or dropped — so found scripts always replay against the unranked
+/// environment. Unlike `preflight`, ranking *can* change which proofs are
+/// found (hint order is observable through `auto`'s traversal, and
+/// proposal order drives the frontier), so it defaults to `Off`;
+/// `--premise-rank=graph|learned` opts in for A/B runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum PremiseRank {
+    /// No reordering: the caller's environment is used as-is.
+    Off,
+    /// Hint databases sorted by dependency distance to the goal.
+    Graph,
+    /// Hint databases and oracle proposal order sorted by learned score.
+    Learned,
+}
+
 /// Search hyper-parameters (§4 "Best-first search's hyperparameters").
 #[derive(Debug, Clone, Serialize)]
 pub struct SearchConfig {
@@ -43,15 +67,9 @@ pub struct SearchConfig {
     /// identical with the filter on or off, only cheaper — so it defaults
     /// to on; `--no-preflight` turns it off for A/B runs.
     pub preflight: bool,
-    /// Reorder every hint database by dependency-graph distance to the
-    /// goal before searching (`corpus_analysis::premise::reranked_env`).
-    /// A permutation only — no hint is added or dropped — so found
-    /// scripts still replay against the unranked environment. Unlike
-    /// `preflight` this *can* change which proofs are found (hint order
-    /// is observable through `auto`'s traversal), so it defaults to off
-    /// and the off path leaves the environment untouched, byte for byte;
-    /// `--premise-rank` opts in for A/B runs.
-    pub premise_rank: bool,
+    /// Premise-ranking mode; see [`PremiseRank`]. Defaults to
+    /// [`PremiseRank::Off`], which leaves the environment untouched.
+    pub premise_rank: PremiseRank,
 }
 
 impl Default for SearchConfig {
@@ -63,7 +81,7 @@ impl Default for SearchConfig {
             dedupe_states: true,
             strategy: Strategy::BestFirst,
             preflight: true,
-            premise_rank: false,
+            premise_rank: PremiseRank::Off,
         }
     }
 }
@@ -97,6 +115,13 @@ pub struct RecoveryConfig {
     /// recomputed — so every value yields byte-identical results and the
     /// knob stays out of the cell cache key.
     pub proof_jobs: usize,
+    /// Record one [`AttemptRec`] per committed proposal into
+    /// [`SearchStats::attempts`]. A side channel in the trace-crate
+    /// sense: records are *read* from the finished search (attempt-log
+    /// mining) and never flow back into behavior, so the knob lives here
+    /// with the transport parameters, outside the cell cache key, and
+    /// defaults to off so `SearchStats` serializes unchanged.
+    pub collect_attempts: bool,
 }
 
 impl Default for RecoveryConfig {
@@ -107,6 +132,7 @@ impl Default for RecoveryConfig {
             backoff_cap_ms: 200,
             fault_plan: None,
             proof_jobs: 1,
+            collect_attempts: false,
         }
     }
 }
@@ -134,6 +160,61 @@ pub enum Outcome {
     Stuck,
     /// The query limit was exhausted.
     Fuelout,
+}
+
+/// How one committed proposal fared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum AttemptOutcome {
+    /// Produced a new live proof state.
+    Applied,
+    /// Closed the final goal: the search ends Proved on this attempt.
+    Proved,
+    /// Led to an already-seen proof state.
+    Duplicate,
+    /// Exceeded the tactic fuel budget.
+    Timeout,
+    /// Statically pruned by the pre-flight analyzer.
+    Preflight,
+    /// Rejected by the proof assistant.
+    Rejected,
+}
+
+impl AttemptOutcome {
+    /// Stable lower-case label (the attempt log's `outcome` field).
+    pub fn label(self) -> &'static str {
+        match self {
+            AttemptOutcome::Applied => "applied",
+            AttemptOutcome::Proved => "proved",
+            AttemptOutcome::Duplicate => "duplicate",
+            AttemptOutcome::Timeout => "timeout",
+            AttemptOutcome::Preflight => "preflight",
+            AttemptOutcome::Rejected => "rejected",
+        }
+    }
+}
+
+/// One charged proposal, recorded when
+/// [`RecoveryConfig::collect_attempts`] is on — the raw material the
+/// `rank` pipeline mines for training labels.
+#[derive(Debug, Clone, Serialize)]
+pub struct AttemptRec {
+    /// The proposed tactic, verbatim.
+    pub tactic: String,
+    /// State id the proposal was applied at.
+    pub parent: u64,
+    /// Resulting state id, when the proposal applied cleanly.
+    pub child: Option<u64>,
+    /// How the commit fared.
+    pub outcome: AttemptOutcome,
+    /// Depth of the parent node.
+    pub depth: u32,
+    /// Oracle query the proposal came from.
+    pub query: u32,
+    /// Expansions charged when the attempt was tried.
+    pub expansions: u64,
+    /// Whether the attempt lies on the final proved script's path
+    /// (marked after the search ends).
+    pub on_path: bool,
 }
 
 /// Counters describing one search run.
@@ -168,6 +249,11 @@ pub struct SearchStats {
     /// transcript the determinism suite compares across runs. Bounded by
     /// the query limit.
     pub expansions: Vec<u64>,
+    /// Per-proposal attempt records; populated only when
+    /// [`RecoveryConfig::collect_attempts`] is set, and skipped when
+    /// empty so default-run serializations are unchanged.
+    #[serde(skip_serializing_if = "Vec::is_empty")]
+    pub attempts: Vec<AttemptRec>,
 }
 
 /// The result of a search run.
@@ -391,14 +477,33 @@ fn commit_proposals(
     seq: &mut u64,
     entry: &Entry,
     proposals: Vec<Proposal>,
+    collect: bool,
 ) -> Option<Vec<String>> {
+    // Attempt recording is pure observation: the closure reads the commit
+    // result after the fact and touches nothing the search consults.
+    let record = |stats: &mut SearchStats, tactic: &str, child, outcome| {
+        if collect {
+            stats.attempts.push(AttemptRec {
+                tactic: tactic.to_string(),
+                parent: entry.id.0,
+                child,
+                outcome,
+                depth: entry.depth,
+                query: stats.queries.saturating_sub(1),
+                expansions: stats.expansions.len() as u64,
+                on_path: false,
+            });
+        }
+    };
     for prop in proposals {
         match session.add(entry.id, &prop.tactic) {
             Ok(out) => {
                 stats.valid_tactics += 1;
                 if out.proved {
+                    record(stats, &prop.tactic, Some(out.id.0), AttemptOutcome::Proved);
                     return Some(session.script_to(out.id));
                 }
+                record(stats, &prop.tactic, Some(out.id.0), AttemptOutcome::Applied);
                 *seq += 1;
                 static PUSH_SITE: proof_trace::SampleSite = proof_trace::SampleSite::new();
                 let _sp = proof_trace::span_sampled(&PUSH_SITE, "frontier", "push");
@@ -409,9 +514,16 @@ fn commit_proposals(
                     depth: entry.depth + 1,
                 });
             }
-            Err(AddError::DuplicateState(_)) => stats.duplicates += 1,
-            Err(AddError::Timeout) => stats.timeouts += 1,
+            Err(AddError::DuplicateState(_)) => {
+                stats.duplicates += 1;
+                record(stats, &prop.tactic, None, AttemptOutcome::Duplicate);
+            }
+            Err(AddError::Timeout) => {
+                stats.timeouts += 1;
+                record(stats, &prop.tactic, None, AttemptOutcome::Timeout);
+            }
             Err(AddError::Preflight(r)) => {
+                record(stats, &prop.tactic, None, AttemptOutcome::Preflight);
                 stats.preflight_pruned += 1;
                 if proof_trace::enabled() {
                     proof_trace::metrics::counter_inc(&format!(
@@ -424,10 +536,57 @@ fn commit_proposals(
                     .entry(r.code.code().to_string())
                     .or_insert(0) += 1;
             }
-            Err(_) => stats.rejected += 1,
+            Err(_) => {
+                stats.rejected += 1;
+                record(stats, &prop.tactic, None, AttemptOutcome::Rejected);
+            }
         }
     }
     None
+}
+
+/// Marks the attempts forming the proved script's root-to-QED chain. The
+/// chain is reconstructed from the records themselves: starting at the
+/// root, each script step matches exactly the applied attempt the search
+/// committed for it (state ids are unique, so the walk is unambiguous).
+fn mark_on_path(attempts: &mut [AttemptRec], root: u64, script: &[String]) {
+    let mut cur = root;
+    for tactic in script {
+        let Some(a) = attempts
+            .iter_mut()
+            .find(|a| a.parent == cur && a.child.is_some() && &a.tactic == tactic)
+        else {
+            return;
+        };
+        a.on_path = true;
+        cur = a.child.unwrap();
+    }
+}
+
+/// Reorders one query's proposals by learned score (stable: declaration
+/// order breaks ties), reassigning the descending logprob multiset to the
+/// new order so frontier priorities follow it. A permutation only — the
+/// proposal *set* is unchanged, so preflight/dedup outcomes per tactic
+/// are too; only the order (and thus the best-first expansion order) can
+/// differ.
+fn rerank_proposals(
+    rcx: &corpus_analysis::score::RankCtx<'_>,
+    props: Vec<Proposal>,
+) -> Vec<Proposal> {
+    if props.len() < 2 {
+        return props;
+    }
+    let tactics: Vec<&str> = props.iter().map(|p| p.tactic.as_str()).collect();
+    let perm = rcx.order_tactics(&tactics);
+    let mut logprobs: Vec<f64> = props.iter().map(|p| p.logprob).collect();
+    logprobs.sort_by(|a, b| b.partial_cmp(a).unwrap_or(Ordering::Equal));
+    perm.into_iter()
+        .zip(logprobs)
+        .map(|(i, logprob)| Proposal {
+            tactic: props[i].tactic.clone(),
+            logprob,
+        })
+        .collect()
 }
 
 /// Runs the search for `stmt` against `model`. The environment is shared
@@ -493,14 +652,33 @@ pub fn search_with_recovery(
         }
         None => model,
     };
-    // Goal-directed hint reordering (opt-in). The ranked environment is a
-    // fresh snapshot; with ranking off the caller's Arc is used as-is.
+    // Goal-directed ranking (opt-in). The learned scorer is built against
+    // the caller's *unranked* environment — the same view mining and
+    // training see — before hint reordering produces the fresh snapshot;
+    // with ranking off the caller's Arc is used as-is, untouched.
+    let rank_ctx = match cfg.premise_rank {
+        PremiseRank::Learned => corpus_analysis::score::RankCtx::new(env, stmt),
+        _ => None,
+    };
     let ranked_env;
-    let env: &Arc<Env> = if cfg.premise_rank {
-        ranked_env = Arc::new(corpus_analysis::premise::reranked_env(env, stmt));
-        &ranked_env
-    } else {
-        env
+    let env: &Arc<Env> = match cfg.premise_rank {
+        PremiseRank::Off => env,
+        PremiseRank::Graph => {
+            ranked_env = Arc::new(corpus_analysis::premise::reranked_env_v2(
+                env,
+                stmt,
+                corpus_analysis::premise::RankMode::Graph,
+            ));
+            &ranked_env
+        }
+        PremiseRank::Learned => {
+            ranked_env = Arc::new(corpus_analysis::premise::reranked_env_v2(
+                env,
+                stmt,
+                corpus_analysis::premise::RankMode::Learned,
+            ));
+            &ranked_env
+        }
     };
     let mut session = ProofSession::new(
         Arc::clone(env),
@@ -516,6 +694,7 @@ pub fn search_with_recovery(
     let mut stats = SearchStats::default();
     let mut frontier = Frontier::new(cfg.strategy);
     let mut seq = 0u64;
+    let root_id = session.root().0;
     frontier.push(Entry {
         score: 0.0,
         seq,
@@ -590,6 +769,10 @@ pub fn search_with_recovery(
             }
             props
         };
+        let proposals = match &rank_ctx {
+            Some(rcx) => rerank_proposals(rcx, proposals),
+            None => proposals,
+        };
         stats.queries += 1;
         if let Some(script) = commit_proposals(
             &mut session,
@@ -598,7 +781,11 @@ pub fn search_with_recovery(
             &mut seq,
             &entry,
             proposals,
+            recovery.collect_attempts,
         ) {
+            if recovery.collect_attempts {
+                mark_on_path(&mut stats.attempts, root_id, &script);
+            }
             stats.fuel_spent = session.fuel_spent();
             stats.tree_size = session.live_states();
             return SearchResult {
@@ -638,12 +825,29 @@ fn search_parallel(
     cfg: &SearchConfig,
     recovery: &RecoveryConfig,
 ) -> SearchResult {
+    let rank_ctx = match cfg.premise_rank {
+        PremiseRank::Learned => corpus_analysis::score::RankCtx::new(env, stmt),
+        _ => None,
+    };
     let ranked_env;
-    let env: &Arc<Env> = if cfg.premise_rank {
-        ranked_env = Arc::new(corpus_analysis::premise::reranked_env(env, stmt));
-        &ranked_env
-    } else {
-        env
+    let env: &Arc<Env> = match cfg.premise_rank {
+        PremiseRank::Off => env,
+        PremiseRank::Graph => {
+            ranked_env = Arc::new(corpus_analysis::premise::reranked_env_v2(
+                env,
+                stmt,
+                corpus_analysis::premise::RankMode::Graph,
+            ));
+            &ranked_env
+        }
+        PremiseRank::Learned => {
+            ranked_env = Arc::new(corpus_analysis::premise::reranked_env_v2(
+                env,
+                stmt,
+                corpus_analysis::premise::RankMode::Learned,
+            ));
+            &ranked_env
+        }
     };
     let mut session = ProofSession::new(
         Arc::clone(env),
@@ -659,6 +863,7 @@ fn search_parallel(
     let mut stats = SearchStats::default();
     let mut frontier = Frontier::new(cfg.strategy);
     let mut seq = 0u64;
+    let root_id = session.root().0;
     frontier.push(Entry {
         score: 0.0,
         seq,
@@ -780,6 +985,10 @@ fn search_parallel(
             stats.oracle_faults += faults;
             stats.oracle_retries += retries;
             stats.queries += 1;
+            let props = match &rank_ctx {
+                Some(rcx) => rerank_proposals(rcx, props),
+                None => props,
+            };
             if let Some(script) = commit_proposals(
                 &mut session,
                 &mut frontier,
@@ -787,7 +996,11 @@ fn search_parallel(
                 &mut seq,
                 entry,
                 props,
+                recovery.collect_attempts,
             ) {
+                if recovery.collect_attempts {
+                    mark_on_path(&mut stats.attempts, root_id, &script);
+                }
                 stats.fuel_spent = session.fuel_spent();
                 stats.tree_size = session.live_states();
                 return SearchResult {
@@ -1014,14 +1227,14 @@ mod tests {
         // a run with the explicit flag must match the plain default on
         // every observable: outcome, counters, and the full expansion
         // transcript.
-        assert!(!SearchConfig::default().premise_rank);
+        assert_eq!(SearchConfig::default().premise_rank, PremiseRank::Off);
         for name in ["add_0_l", "in_cons", "le_refl"] {
             let base = run_one(name, ModelProfile::gpt4o(), &SearchConfig::default());
             let off = run_one(
                 name,
                 ModelProfile::gpt4o(),
                 &SearchConfig {
-                    premise_rank: false,
+                    premise_rank: PremiseRank::Off,
                     ..Default::default()
                 },
             );
@@ -1038,7 +1251,7 @@ mod tests {
         // environment (soundness of the heuristic).
         let dev = fscq_corpus::load_corpus(false).unwrap();
         let cfg = SearchConfig {
-            premise_rank: true,
+            premise_rank: PremiseRank::Graph,
             ..Default::default()
         };
         let mut proved = 0;
@@ -1055,6 +1268,73 @@ mod tests {
         assert!(
             proved >= 2,
             "only {proved}/5 easy theorems proved with ranking"
+        );
+    }
+
+    #[test]
+    fn learned_rank_scripts_replay_and_attempts_are_mined() {
+        // The one test in this binary that touches the global model
+        // registry (other tests never consult it, so parallel test
+        // threads cannot observe the install). A hand-built model that
+        // loves `apply`-family proposals and shuns unresolved premise
+        // names must still only *permute*: every found script replays
+        // against the unranked environment, and attempt records cover
+        // exactly the charged proposals.
+        use corpus_analysis::features::{slot, FEATURES_SCHEMA};
+        use corpus_analysis::score::{clear_model, install_model, Model};
+        let mut weights = std::collections::BTreeMap::new();
+        weights.insert(((slot::TACTIC_HEAD as u32) << 8) | 25, 5_000); // "apply"
+        weights.insert(((slot::PREMISE_KIND as u32) << 8) | 2, -8_000); // unresolved
+        install_model(Model {
+            features_schema: FEATURES_SCHEMA,
+            refined: false,
+            weights,
+        });
+        let dev = fscq_corpus::load_corpus(false).unwrap();
+        let cfg = SearchConfig {
+            premise_rank: PremiseRank::Learned,
+            ..Default::default()
+        };
+        let recovery = RecoveryConfig {
+            collect_attempts: true,
+            ..Default::default()
+        };
+        let mut proved = 0;
+        for name in ["le_refl", "in_eq", "app_nil_l", "add_0_l"] {
+            let thm = dev.theorem(name).unwrap();
+            let env = dev.env_before(thm);
+            let hints = proof_oracle::split::hint_set(&dev);
+            let prompt = build_prompt(&dev, thm, &hints, &PromptConfig::hints());
+            let mut model = SimulatedModel::new(ModelProfile::gpt4o());
+            let r = search_with_recovery(
+                env, &thm.stmt, &thm.name, &mut model, &prompt, &cfg, &recovery,
+            );
+            assert!(
+                !r.stats.attempts.is_empty(),
+                "{name}: no attempts collected"
+            );
+            let charged = r.stats.valid_tactics
+                + r.stats.rejected
+                + r.stats.duplicates
+                + r.stats.timeouts
+                + r.stats.preflight_pruned;
+            assert_eq!(
+                r.stats.attempts.len(),
+                charged as usize,
+                "{name}: attempt records != charged proposals"
+            );
+            if let Some(script) = r.script_text() {
+                proved += 1;
+                let on_path = r.stats.attempts.iter().filter(|a| a.on_path).count();
+                assert!(on_path > 0, "{name}: proved but no on-path attempts");
+                minicoq_vernac::loader::replay_proof(dev.env_before(thm), &thm.stmt, &script)
+                    .unwrap_or_else(|e| panic!("{name}: learned-run script does not replay: {e}"));
+            }
+        }
+        clear_model();
+        assert!(
+            proved >= 2,
+            "only {proved}/4 easy theorems proved with learned ranking"
         );
     }
 

@@ -7,7 +7,7 @@ use minicoq::env::Env;
 use minicoq::parse::parse_formula;
 use proof_oracle::model::{Proposal, QueryCtx, TacticModel};
 use proof_oracle::prompt::PromptInfo;
-use proof_search::search::{search, Outcome, SearchConfig, Strategy};
+use proof_search::search::{search, Outcome, PremiseRank, SearchConfig, Strategy};
 
 /// An empty prompt (the scripted models below ignore it).
 fn empty_prompt() -> PromptInfo {
@@ -59,7 +59,7 @@ fn cfg() -> SearchConfig {
         dedupe_states: true,
         strategy: Strategy::BestFirst,
         preflight: true,
-        premise_rank: false,
+        premise_rank: PremiseRank::Off,
     }
 }
 

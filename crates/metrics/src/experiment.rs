@@ -2,6 +2,8 @@
 //! setting) pair evaluated over a set of theorems.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::path::PathBuf;
+use std::sync::{OnceLock, RwLock};
 
 use fscq_corpus::{Category, Corpus};
 use minicoq_vernac::Development;
@@ -10,10 +12,76 @@ use proof_oracle::prompt::{build_prompt_cached, PromptCache, PromptConfig, Promp
 use proof_oracle::split::{eval_set, eval_set_small, hint_set};
 use proof_oracle::tokenizer::{bin_of, count_tokens};
 use proof_oracle::SimulatedModel;
-use proof_search::{search_with_recovery, Outcome, RecoveryConfig, SearchConfig};
+use proof_search::{search_with_recovery, Outcome, RecoveryConfig, SearchConfig, SearchStats};
+use proof_trace::attempts::{AttemptLog, AttemptRecord};
 use serde::{Deserialize, Serialize};
 
 use crate::levenshtein::{canonical_script, similarity};
+
+// ---------------------------------------------------------------------------
+// Attempt-log sink: when installed (programmatically or via the
+// `ATTEMPT_LOG` env var), every theorem evaluation collects per-proposal
+// attempt records and appends them to the log — the raw material the
+// `rank` pipeline mines. Strictly a side channel: outcomes, cell records,
+// and cache contents are byte-identical with the sink on or off.
+
+fn sink_cell() -> &'static RwLock<Option<AttemptLog>> {
+    static SINK: OnceLock<RwLock<Option<AttemptLog>>> = OnceLock::new();
+    SINK.get_or_init(|| {
+        RwLock::new(
+            std::env::var("ATTEMPT_LOG")
+                .ok()
+                .filter(|p| !p.trim().is_empty())
+                .map(AttemptLog::at),
+        )
+    })
+}
+
+/// Routes every subsequent theorem evaluation's attempt records to the
+/// given JSONL log (overriding any `ATTEMPT_LOG` env var).
+pub fn install_attempt_log(path: impl Into<PathBuf>) {
+    *sink_cell().write().unwrap() = Some(AttemptLog::at(path));
+}
+
+/// Stops attempt-log emission.
+pub fn clear_attempt_log() {
+    *sink_cell().write().unwrap() = None;
+}
+
+fn active_attempt_log() -> Option<AttemptLog> {
+    sink_cell().read().unwrap().clone()
+}
+
+/// Appends one finished search's attempt records to the installed sink.
+/// Returns `false` when no sink is installed or the write fails.
+pub fn append_attempts(theorem: &str, stats: &SearchStats) -> bool {
+    match active_attempt_log() {
+        Some(log) => log.append_all(&attempt_records(theorem, stats)),
+        None => false,
+    }
+}
+
+/// Converts a finished search's collected attempts into attempt-log
+/// records for `theorem`, extracting each tactic's premise argument.
+pub fn attempt_records(theorem: &str, stats: &SearchStats) -> Vec<AttemptRecord> {
+    stats
+        .attempts
+        .iter()
+        .map(|a| AttemptRecord {
+            theorem: theorem.to_string(),
+            tactic: a.tactic.clone(),
+            premise: corpus_analysis::features::premise_of_tactic(&a.tactic)
+                .unwrap_or("")
+                .to_string(),
+            features_schema: corpus_analysis::features::FEATURES_SCHEMA as u64,
+            outcome: a.outcome.label().to_string(),
+            expansions: a.expansions,
+            depth: a.depth as u64,
+            query: a.query as u64,
+            on_path: a.on_path,
+        })
+        .collect()
+}
 
 /// Which theorems a cell evaluates (§4 "Data").
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -40,12 +108,17 @@ pub struct CellConfig {
     /// Automated premise selection: keep only the top-k retrieved lemmas
     /// in the prompt (`None` = the paper's full-context protocol).
     pub retrieval: Option<usize>,
-    /// Experiment-variant tag for A/B runs (e.g. `premise-rank=on`).
+    /// Experiment-variant tag for A/B runs (e.g. `rank-learned`).
     /// Flows into [`CellConfig::label`], the persisted [`CellResult`], and
     /// the `BENCH_eval.json` timing records, so two cells that differ only
     /// in a search knob no longer collapse onto one ambiguous label.
     /// `None` (every standard cell) adds nothing anywhere.
     pub variant: Option<String>,
+    /// Restricts evaluation to these theorem names, intersected with the
+    /// scope's eval set. Drives tiered runs (e.g. the generated corpus's
+    /// hard tier in the `rank` A/B); part of the `Debug` form, so the
+    /// cell cache key covers it.
+    pub subset: Option<Vec<String>>,
 }
 
 impl CellConfig {
@@ -65,6 +138,7 @@ impl CellConfig {
             tuning: proof_oracle::sim::Tuning::default(),
             retrieval: None,
             variant: None,
+            subset: None,
         }
     }
 
@@ -83,9 +157,19 @@ impl CellConfig {
 
     /// The theorem indices this cell evaluates, in corpus order.
     pub fn eval_indices(&self, dev: &Development) -> Vec<usize> {
-        match self.scope {
+        let base = match self.scope {
             EvalScope::Full => eval_set(dev),
             EvalScope::Sampled => eval_set_small(dev),
+        };
+        match &self.subset {
+            None => base,
+            Some(names) => {
+                let keep: std::collections::BTreeSet<&str> =
+                    names.iter().map(String::as_str).collect();
+                base.into_iter()
+                    .filter(|&i| keep.contains(dev.theorems[i].name.as_str()))
+                    .collect()
+            }
         }
     }
 
@@ -248,12 +332,28 @@ pub fn eval_theorem_with_recovery(
     let mut thm_sp = proof_trace::span("theorem", &thm.name);
     let env = dev.env_before(thm);
     let prompt = build_prompt_cached(dev, thm, hints, prompt_cfg, prompt_cache);
+    // When an attempt sink is installed, switch on per-proposal
+    // collection (a transport knob: results are unchanged).
+    let sink = active_attempt_log();
+    let recovery_with_sink;
+    let recovery = if sink.is_some() && !recovery.collect_attempts {
+        recovery_with_sink = RecoveryConfig {
+            collect_attempts: true,
+            ..recovery.clone()
+        };
+        &recovery_with_sink
+    } else {
+        recovery
+    };
     let result = {
         let _sp = proof_trace::span("search", &thm.name);
         search_with_recovery(
             env, &thm.stmt, &thm.name, model, &prompt, search_cfg, recovery,
         )
     };
+    if let Some(log) = &sink {
+        log.append_all(&attempt_records(&thm.name, &result.stats));
+    }
     let _classify_sp = proof_trace::span("classify", &thm.name);
     let human = canonical_script(&thm.proof_text);
     let human_tokens = count_tokens(&thm.proof_text);

@@ -35,7 +35,9 @@ use crate::journal::{fnv1a, Journal};
 /// Bump when the cached [`CellResult`] layout or the evaluation semantics
 /// change; old cache files then simply stop matching. Schema 3 wraps the
 /// result in a checksummed envelope so torn writes are detected on load.
-const CACHE_SCHEMA: u32 = 4;
+/// Schema 5 follows `SearchConfig::premise_rank` becoming a three-arm
+/// enum (its `Debug` form feeds the key).
+const CACHE_SCHEMA: u32 = 5;
 
 /// Where cell caches live by default.
 pub fn default_cache_dir() -> PathBuf {

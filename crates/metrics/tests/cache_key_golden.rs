@@ -33,7 +33,7 @@ fn golden(cell: &CellConfig, expected: &str) {
 fn golden_key_gpt4o_hints() {
     golden(
         &CellConfig::standard(ModelProfile::gpt4o(), PromptSetting::Hints),
-        "219e034b89e37afc",
+        "d9cf883ecfcf594d",
     );
 }
 
@@ -41,7 +41,7 @@ fn golden_key_gpt4o_hints() {
 fn golden_key_gpt4o_mini_vanilla() {
     golden(
         &CellConfig::standard(ModelProfile::gpt4o_mini(), PromptSetting::Vanilla),
-        "f2f2735d0449f315",
+        "9acd93b2da3dfb82",
     );
 }
 
@@ -49,7 +49,7 @@ fn golden_key_gpt4o_mini_vanilla() {
 fn golden_key_gpt4o_mini_hints() {
     golden(
         &CellConfig::standard(ModelProfile::gpt4o_mini(), PromptSetting::Hints),
-        "0c1927e88e130676",
+        "21dc7442c4a6a655",
     );
 }
 
@@ -58,7 +58,7 @@ fn golden_key_variant_and_retrieval() {
     let mut cell = CellConfig::standard(ModelProfile::gpt4o_mini(), PromptSetting::Hints);
     cell.retrieval = Some(8);
     cell.variant = Some("premise-rank=on".to_string());
-    golden(&cell, "a6c480f1c3dbe0ca");
+    golden(&cell, "d680d89e8dd35da5");
 }
 
 /// The schema version is part of the hashed representation, so distinct

@@ -1,0 +1,254 @@
+//! The attempt log: one checksummed JSONL record per search attempt.
+//!
+//! `prove --attempt-log` and grid runs (when an attempt sink is
+//! installed) emit one record for every tactic the searcher charged
+//! against a theorem — the proposed tactic, its extracted premise
+//! argument, the feature-schema id the miner should decode it with, the
+//! commit outcome, and the expansion count/depth at which it was tried.
+//! `rank train` folds these into bucket counts; the `cold-hint` analysis
+//! pass audits hint databases against them.
+//!
+//! The wire format mirrors [`crate::ledger`]: each line is an envelope
+//! `{"ev":"attempt","v":N,"checksum":...,"payload":...}` whose payload
+//! rides as an FNV-1a-checksummed escaped JSON string, with the same
+//! torn-tail repair on append and checksum-verified skip on load. Like
+//! everything in this crate, attempt logging is a side channel: records
+//! are *read* from finished searches and must never flow back into
+//! search behavior, cache keys, or byte-compared outputs.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use crate::export::json_str;
+use crate::ledger::{fnv1a, parse_json, Json};
+
+/// Attempt-log schema version (the envelope `v`).
+pub const ATTEMPTS_SCHEMA: u64 = 1;
+
+/// One charged search attempt.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AttemptRecord {
+    /// Theorem under search.
+    pub theorem: String,
+    /// The proposed tactic, verbatim.
+    pub tactic: String,
+    /// The tactic's premise (lemma) argument, empty when none.
+    pub premise: String,
+    /// Feature-encoding schema the miner should use for this record.
+    pub features_schema: u64,
+    /// Commit outcome: `applied`, `proved`, `duplicate`, `timeout`,
+    /// `preflight`, or `rejected`.
+    pub outcome: String,
+    /// Expansions charged before this attempt was tried.
+    pub expansions: u64,
+    /// Depth of the parent node in the proof tree.
+    pub depth: u64,
+    /// Oracle query index the attempt came from.
+    pub query: u64,
+    /// Whether the attempt lies on the final proved script's path.
+    pub on_path: bool,
+}
+
+impl AttemptRecord {
+    /// Hand-rolled serializer (this crate is dependency-free).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"theorem\":{},\"tactic\":{},\"premise\":{},\"features_schema\":{},\
+             \"outcome\":{},\"expansions\":{},\"depth\":{},\"query\":{},\"on_path\":{}}}",
+            json_str(&self.theorem),
+            json_str(&self.tactic),
+            json_str(&self.premise),
+            self.features_schema,
+            json_str(&self.outcome),
+            self.expansions,
+            self.depth,
+            self.query,
+            self.on_path
+        )
+    }
+
+    /// Tolerant parse of [`to_json`](Self::to_json) output: missing
+    /// fields default, unknown fields are ignored.
+    pub fn from_json(text: &str) -> Option<AttemptRecord> {
+        let Ok(Json::Obj(fields)) = parse_json(text) else {
+            return None;
+        };
+        let get = |name: &str| fields.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+        let str_of = |name: &str| get(name).and_then(Json::as_str).unwrap_or("").to_string();
+        let num_of = |name: &str| get(name).and_then(Json::as_u64).unwrap_or(0);
+        Some(AttemptRecord {
+            theorem: str_of("theorem"),
+            tactic: str_of("tactic"),
+            premise: str_of("premise"),
+            features_schema: num_of("features_schema"),
+            outcome: str_of("outcome"),
+            expansions: num_of("expansions"),
+            depth: num_of("depth"),
+            query: num_of("query"),
+            on_path: matches!(get("on_path"), Some(Json::Bool(true))),
+        })
+    }
+}
+
+/// An append-only attempt log at a fixed path.
+#[derive(Debug, Clone)]
+pub struct AttemptLog {
+    path: PathBuf,
+}
+
+impl AttemptLog {
+    /// A log at an explicit path.
+    pub fn at(path: impl Into<PathBuf>) -> AttemptLog {
+        AttemptLog { path: path.into() }
+    }
+
+    /// The log's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends records in order under one file handle, so one theorem's
+    /// attempts land contiguously even with concurrent writers taking
+    /// turns. Best-effort; returns whether every write succeeded.
+    pub fn append_all(&self, records: &[AttemptRecord]) -> bool {
+        if records.is_empty() {
+            return true;
+        }
+        if let Some(dir) = self.path.parent() {
+            if !dir.as_os_str().is_empty() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+        }
+        // Torn-tail repair, exactly as ledger::append.
+        let needs_repair = std::fs::read(&self.path)
+            .map(|bytes| !bytes.is_empty() && bytes.last() != Some(&b'\n'))
+            .unwrap_or(false);
+        let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)
+        else {
+            return false;
+        };
+        if needs_repair && writeln!(f).is_err() {
+            return false;
+        }
+        for r in records {
+            let payload = r.to_json();
+            let line = format!(
+                "{{\"ev\":\"attempt\",\"v\":{ATTEMPTS_SCHEMA},\"checksum\":\"{:016x}\",\"payload\":{}}}",
+                fnv1a(payload.as_bytes()),
+                json_str(&payload)
+            );
+            if writeln!(f, "{line}").is_err() {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Loads every valid record in file order; unparseable or
+    /// checksum-failing lines are skipped.
+    pub fn load(&self) -> Vec<AttemptRecord> {
+        let Ok(text) = std::fs::read_to_string(&self.path) else {
+            return Vec::new();
+        };
+        let mut records = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let Ok(Json::Obj(fields)) = parse_json(line) else {
+                continue;
+            };
+            let get = |name: &str| fields.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+            if get("ev").and_then(Json::as_str) != Some("attempt") {
+                continue;
+            }
+            let Some(payload) = get("payload").and_then(Json::as_str) else {
+                continue;
+            };
+            let Some(stored) = get("checksum").and_then(Json::as_str) else {
+                continue;
+            };
+            if format!("{:016x}", fnv1a(payload.as_bytes())) != stored {
+                continue;
+            }
+            if let Some(r) = AttemptRecord::from_json(payload) {
+                records.push(r);
+            }
+        }
+        records
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_log(tag: &str) -> AttemptLog {
+        let dir = std::env::temp_dir().join(format!("attempts-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        AttemptLog::at(dir.join("attempts.jsonl"))
+    }
+
+    fn rec(theorem: &str, tactic: &str, on_path: bool) -> AttemptRecord {
+        AttemptRecord {
+            theorem: theorem.to_string(),
+            tactic: tactic.to_string(),
+            premise: "app_nil_l".to_string(),
+            features_schema: 1,
+            outcome: if on_path { "proved" } else { "rejected" }.to_string(),
+            expansions: 7,
+            depth: 2,
+            query: 3,
+            on_path,
+        }
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let r = rec("app_nil_l", "apply app_nil_l", true);
+        assert_eq!(AttemptRecord::from_json(&r.to_json()), Some(r));
+    }
+
+    #[test]
+    fn append_load_round_trip_preserves_order() {
+        let log = temp_log("order");
+        let records = vec![
+            rec("a", "intros", false),
+            rec("a", "apply app_nil_l", true),
+            rec("b", "rewrite <- app_nil_l", false),
+        ];
+        assert!(log.append_all(&records));
+        assert_eq!(log.load(), records);
+        let _ = std::fs::remove_dir_all(log.path().parent().unwrap());
+    }
+
+    #[test]
+    fn tampered_lines_are_skipped_and_torn_tail_repaired() {
+        let log = temp_log("tamper");
+        assert!(log.append_all(&[rec("a", "intros", false), rec("b", "lia", true)]));
+        let text = std::fs::read_to_string(log.path()).unwrap();
+        let tampered = text.replacen("\"checksum\":\"", "\"checksum\":\"f", 1);
+        // Also tear the tail: drop the final newline.
+        std::fs::write(log.path(), tampered.trim_end_matches('\n')).unwrap();
+        assert!(log.append_all(&[rec("c", "auto", false)]));
+        let loaded = log.load();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded[0].theorem, "b");
+        assert_eq!(loaded[1].theorem, "c");
+        let _ = std::fs::remove_dir_all(log.path().parent().unwrap());
+    }
+
+    #[test]
+    fn escapes_survive_the_envelope() {
+        let log = temp_log("escape");
+        let mut r = rec("quote", "apply \"weird\\name\"", false);
+        r.premise = "line\nbreak".to_string();
+        assert!(log.append_all(std::slice::from_ref(&r)));
+        assert_eq!(log.load(), vec![r]);
+        let _ = std::fs::remove_dir_all(log.path().parent().unwrap());
+    }
+}

@@ -372,6 +372,16 @@ impl Json {
             _ => None,
         }
     }
+
+    /// The value as a non-negative integer, if this is a whole number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
 }
 
 /// Parses a complete JSON document (trailing content is an error).

@@ -43,6 +43,7 @@
 //! query, not per nanosecond measured. `BENCH_eval.json` records the
 //! measured on-vs-off delta for the full Table 2 grid.
 
+pub mod attempts;
 pub mod collect;
 pub mod export;
 pub mod expose;

@@ -76,6 +76,15 @@ pub const METRICS: &[MetricDef] = &[
         rel_max: 0.90,
         floor: 1.0,
     },
+    // Node-expansion totals from the premise-rank A/B (`rank` bin): a
+    // counter, absent from most series, trended so a ranking-quality
+    // regression (more frontier pops to reach the same proofs) is caught.
+    MetricDef {
+        key: "expansions",
+        higher_is_better: false,
+        rel_max: 0.10,
+        floor: 1.0,
+    },
 ];
 
 /// Looks up a metric definition by key.
@@ -92,6 +101,7 @@ pub fn metric_value(r: &RunRecord, key: &str) -> Option<f64> {
         "oracle_faults" => Some(r.oracle_faults as f64),
         "oracle_retries" => Some(r.oracle_retries as f64),
         "dropped_spans" => Some(r.dropped_spans as f64),
+        "expansions" => r.counters.get("expansions").map(|&n| n as f64),
         _ => None,
     }
 }

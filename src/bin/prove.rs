@@ -4,8 +4,9 @@
 //! ```sh
 //! prove <theorem> [--model mini|gpt4o|flash|pro|pro128k] [--vanilla]
 //!       [--retrieval K] [--limit N] [--width W] [--strategy best|greedy|bfs]
-//!       [--show-query] [--preflight|--no-preflight] [--premise-rank]
-//!       [--proof-jobs N]
+//!       [--show-query] [--preflight|--no-preflight]
+//!       [--premise-rank off|graph|learned] [--rank-model PATH]
+//!       [--attempt-log PATH] [--proof-jobs N]
 //! prove --incremental --save-baseline DIR [--corpus DIR] [cell flags]
 //! prove --incremental --baseline DIR [--corpus DIR] [cell flags] [--jobs N]
 //! ```
@@ -30,7 +31,7 @@ use llm_fscq::oracle::profiles::ModelProfile;
 use llm_fscq::oracle::prompt::{build_prompt, PromptConfig, PromptSetting};
 use llm_fscq::oracle::split::hint_set;
 use llm_fscq::oracle::SimulatedModel;
-use llm_fscq::search::{search_with_recovery, RecoveryConfig, SearchConfig, Strategy};
+use llm_fscq::search::{search_with_recovery, PremiseRank, RecoveryConfig, SearchConfig, Strategy};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -40,6 +41,8 @@ struct Args {
     setting: PromptSetting,
     retrieval: Option<usize>,
     cfg: SearchConfig,
+    rank_model: Option<PathBuf>,
+    attempt_log: Option<PathBuf>,
     proof_jobs: usize,
     show_query: bool,
     incremental: bool,
@@ -53,7 +56,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: prove <theorem> [--model mini|gpt4o|flash|pro|pro128k] [--vanilla]\n\
          \x20             [--retrieval K] [--limit N] [--width W] [--strategy best|greedy|bfs]\n\
-         \x20             [--preflight|--no-preflight] [--premise-rank] [--proof-jobs N]\n\
+         \x20             [--preflight|--no-preflight] [--premise-rank off|graph|learned]\n\
+         \x20             [--rank-model PATH] [--attempt-log PATH] [--proof-jobs N]\n\
          \x20      prove --incremental --save-baseline DIR [--corpus DIR]\n\
          \x20      prove --incremental --baseline DIR [--corpus DIR] [--jobs N]"
     );
@@ -67,6 +71,8 @@ fn parse_args() -> Args {
     let mut setting = PromptSetting::Hints;
     let mut retrieval = None;
     let mut cfg = SearchConfig::default();
+    let mut rank_model = None;
+    let mut attempt_log = None;
     let mut proof_jobs = 1usize;
     let mut show_query = false;
     let mut incremental = false;
@@ -98,7 +104,19 @@ fn parse_args() -> Args {
             "--vanilla" => setting = PromptSetting::Vanilla,
             "--preflight" => cfg.preflight = true,
             "--no-preflight" => cfg.preflight = false,
-            "--premise-rank" => cfg.premise_rank = true,
+            "--premise-rank" => {
+                cfg.premise_rank = match value("--premise-rank").as_str() {
+                    "off" => PremiseRank::Off,
+                    "graph" => PremiseRank::Graph,
+                    "learned" => PremiseRank::Learned,
+                    other => {
+                        eprintln!("unknown premise-rank mode {other}");
+                        usage()
+                    }
+                }
+            }
+            "--rank-model" => rank_model = Some(PathBuf::from(value("--rank-model"))),
+            "--attempt-log" => attempt_log = Some(PathBuf::from(value("--attempt-log"))),
             "--show-query" => show_query = true,
             "--retrieval" => retrieval = value("--retrieval").parse().ok(),
             "--limit" => cfg.query_limit = value("--limit").parse().unwrap_or_else(|_| usage()),
@@ -146,6 +164,8 @@ fn parse_args() -> Args {
         setting,
         retrieval,
         cfg,
+        rank_model,
+        attempt_log,
         proof_jobs,
         show_query,
         incremental,
@@ -313,6 +333,21 @@ fn incremental_main(args: &Args) -> ExitCode {
 
 fn main() -> ExitCode {
     let args = parse_args();
+    if let Some(path) = &args.rank_model {
+        let model = std::fs::read(path)
+            .map_err(|e| format!("{}: {e}", path.display()))
+            .and_then(|bytes| llm_fscq::analysis::score::Model::from_bytes(&bytes));
+        match model {
+            Ok(m) => llm_fscq::analysis::score::install_model(m),
+            Err(e) => {
+                eprintln!("prove: bad --rank-model: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(path) = &args.attempt_log {
+        llm_fscq::metrics::experiment::install_attempt_log(path.clone());
+    }
     if args.incremental || args.save_baseline.is_some() {
         return incremental_main(&args);
     }
@@ -369,11 +404,15 @@ fn main() -> ExitCode {
     let mut model = SimulatedModel::new(args.profile.clone());
     let recovery = RecoveryConfig {
         proof_jobs: args.proof_jobs,
+        collect_attempts: args.attempt_log.is_some(),
         ..RecoveryConfig::default()
     };
     let r = search_with_recovery(
         env, &thm.stmt, &thm.name, &mut model, &prompt, &args.cfg, &recovery,
     );
+    if args.attempt_log.is_some() {
+        llm_fscq::metrics::experiment::append_attempts(&thm.name, &r.stats);
+    }
     let outcome_name = match &r.outcome {
         llm_fscq::search::Outcome::Proved { .. } => "Proved",
         llm_fscq::search::Outcome::Stuck => "Stuck",
